@@ -1,0 +1,23 @@
+.PHONY: install test bench examples reports clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+reports: bench
+	@echo "reports in benchmarks/_reports/"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info benchmarks/_reports .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Assemble all benchmark reports into one markdown file.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only   # writes benchmarks/_reports/*.txt
+    python benchmarks/collect_reports.py  # writes benchmarks/_reports/ALL_REPORTS.md
+"""
+
+import os
+import sys
+
+REPORT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_reports")
+
+ORDER = [
+    "fig3_speedup",
+    "fig4_datasize",
+    "fig5_selectivity",
+    "table3_intermediate",
+    "table4_runtimes",
+    "appendix_cardinalities",
+    "ablation_indexed_graph",
+    "ablation_planner",
+    "ablation_join_strategy",
+    "ablation_embedding",
+    "ablation_leaf_reuse",
+    "ablation_partitioning",
+    "ablation_bsp_matcher",
+]
+
+
+def main():
+    if not os.path.isdir(REPORT_DIR):
+        print("no reports found — run: pytest benchmarks/ --benchmark-only")
+        return 1
+    available = {
+        name[:-4] for name in os.listdir(REPORT_DIR) if name.endswith(".txt")
+    }
+    sections = ["# Measured experiment reports\n"]
+    for name in ORDER + sorted(available - set(ORDER)):
+        path = os.path.join(REPORT_DIR, name + ".txt")
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            body = handle.read().strip()
+        sections.append("```\n%s\n```\n" % body)
+    target = os.path.join(REPORT_DIR, "ALL_REPORTS.md")
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print("wrote", target)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4).  Rendered outputs are written to ``benchmarks/_reports/``
+so EXPERIMENTS.md can quote measured numbers, and printed (visible with
+``pytest -s``).
+"""
+
+import os
+
+import pytest
+
+from repro.harness import DatasetCache
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "_reports")
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """Generate each scale factor's dataset once for the whole session."""
+    return DatasetCache(seed=42)
+
+
+@pytest.fixture
+def report():
+    """Collects rendered text and writes it to the report directory."""
+
+    class Report:
+        def __init__(self):
+            self.sections = []
+
+        def add(self, title, body):
+            self.sections.append("## %s\n\n%s\n" % (title, body))
+
+        def write(self, name):
+            os.makedirs(REPORT_DIR, exist_ok=True)
+            text = "\n".join(self.sections)
+            with open(os.path.join(REPORT_DIR, name + ".txt"), "w") as handle:
+                handle.write(text)
+            print("\n" + text)
+
+    return Report()

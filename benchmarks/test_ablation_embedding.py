@@ -1,0 +1,89 @@
+"""Ablation — the byte-array embedding vs a naive dict representation.
+
+The paper motivates the three-array layout (§3.3) with (de)serialization
+and merge efficiency.  We compare wire size and merge throughput against
+a straightforward dict-of-lists embedding.
+"""
+
+import pytest
+
+from repro.dataflow import estimate_size
+from repro.engine import Embedding
+from repro.epgm import GradoopId, PropertyValue
+from repro.harness import format_table
+
+
+def _byte_embeddings(count):
+    rows = []
+    for index in range(count):
+        embedding = (
+            Embedding.of_ids(GradoopId(index + 1))
+            .append_path([GradoopId(index + 2), GradoopId(index + 3)])
+            .append_id(GradoopId(index + 4))
+            .append_properties([PropertyValue("name%d" % index), PropertyValue(index)])
+        )
+        rows.append(embedding)
+    return rows
+
+
+def _dict_embeddings(count):
+    rows = []
+    for index in range(count):
+        rows.append(
+            {
+                "ids": {"a": index + 1, "b": index + 4},
+                "paths": {"e": [index + 2, index + 3]},
+                "props": {"a.name": "name%d" % index, "a.rank": index},
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+def test_embedding_wire_size(benchmark, report):
+    byte_rows = _byte_embeddings(1000)
+    dict_rows = _dict_embeddings(1000)
+
+    def measure():
+        return (
+            sum(estimate_size(row) for row in byte_rows),
+            sum(estimate_size(row) for row in dict_rows),
+        )
+
+    byte_size, dict_size = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report.add(
+        "Ablation — embedding wire size (1000 rows, 2 ids + path + 2 props)",
+        format_table(
+            ["representation", "total bytes", "bytes/row"],
+            [
+                ("byte-array (paper §3.3)", byte_size, byte_size // 1000),
+                ("dict-of-lists", dict_size, dict_size // 1000),
+            ],
+        ),
+    )
+    report.write("ablation_embedding")
+    assert byte_size < dict_size
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+def test_embedding_merge_throughput(benchmark):
+    left = _byte_embeddings(2000)
+    right = _byte_embeddings(2000)
+
+    def merge_all():
+        return [l.merge(r, frozenset([0])) for l, r in zip(left, right)]
+
+    merged = benchmark(merge_all)
+    assert len(merged) == 2000
+    assert merged[0].column_count == 3 + 2  # 3 kept + (3 - 1 dropped)
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+def test_embedding_column_access(benchmark):
+    rows = _byte_embeddings(2000)
+
+    def read_all():
+        return [row.raw_id_at(2) for row in rows]
+
+    values = benchmark(read_all)
+    assert len(values) == 2000

@@ -1,0 +1,67 @@
+"""Appendix — result cardinalities per query, scale factor, selectivity.
+
+Shape claims:
+* per operational query: high < medium < low result counts;
+* cardinalities grow with the scale factor;
+* analytical queries produce far larger result sets than operational ones
+  at matching selectivity (they consider large parts of the graph).
+"""
+
+import pytest
+
+from repro.harness import (
+    SCALE_FACTOR_LARGE,
+    SCALE_FACTOR_SMALL,
+    format_table,
+    result_cardinalities,
+)
+
+
+@pytest.mark.benchmark(group="appendix")
+def test_appendix_cardinalities(benchmark, dataset_cache, report):
+    def run():
+        return result_cardinalities(
+            [SCALE_FACTOR_SMALL, SCALE_FACTOR_LARGE], dataset_cache
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for query, by_sf in table.items():
+        for scale_factor, counts in by_sf.items():
+            if isinstance(counts, dict):
+                rows.append(
+                    (
+                        query,
+                        scale_factor,
+                        counts["high"],
+                        counts["medium"],
+                        counts["low"],
+                    )
+                )
+            else:
+                rows.append((query, scale_factor, "-", "-", counts))
+    report.add(
+        "Appendix — result cardinalities",
+        format_table(["query", "SF", "high", "medium", "low/total"], rows),
+    )
+    report.write("appendix_cardinalities")
+
+    for query in ("Q1", "Q2", "Q3"):
+        for scale_factor in (SCALE_FACTOR_SMALL, SCALE_FACTOR_LARGE):
+            counts = table[query][scale_factor]
+            assert counts["high"] <= counts["medium"] <= counts["low"], (
+                query,
+                scale_factor,
+                counts,
+            )
+
+    for query in ("Q4", "Q5", "Q6"):
+        assert table[query][SCALE_FACTOR_LARGE] > table[query][SCALE_FACTOR_SMALL]
+
+    # analytical queries dwarf the operational low-selectivity results
+    operational_low = max(
+        table[q][SCALE_FACTOR_LARGE]["low"] for q in ("Q1", "Q2", "Q3")
+    )
+    analytical = min(table[q][SCALE_FACTOR_LARGE] for q in ("Q4", "Q5", "Q6"))
+    assert analytical > operational_low

@@ -1,0 +1,88 @@
+"""Figure 3 — speedup over workers (paper §4.1).
+
+Paper shape claims under test:
+* operational queries (Q1-Q3, low selectivity, large SF) speed up
+  near-linearly to 16 workers;
+* analytical queries (Q4-Q6, small SF) scale clearly worse — large result
+  sets and power-law skew limit their speedup.
+"""
+
+import pytest
+
+from repro.harness import (
+    SCALE_FACTOR_LARGE,
+    SCALE_FACTOR_SMALL,
+    format_table,
+    paper_speedup,
+    speedup_series,
+)
+
+WORKERS = [1, 2, 4, 8, 16]
+
+#: which (selectivity, size) the paper's Figure 3 uses per query
+_PAPER_CELLS = {
+    "Q1": ("low", "large"),
+    "Q2": ("low", "large"),
+    "Q3": ("low", "large"),
+    "Q4": (None, "small"),
+    "Q5": (None, "small"),
+    "Q6": (None, "small"),
+}
+
+
+def _series_rows(name, series):
+    selectivity, size = _PAPER_CELLS[name]
+    rows = []
+    for point in series:
+        reference = paper_speedup(name, selectivity, size, point["workers"])
+        rows.append(
+            (
+                name,
+                point["workers"],
+                point["seconds"],
+                round(point["speedup"], 1),
+                reference if reference is not None else "-",
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_speedup(benchmark, dataset_cache, report):
+    def run():
+        results = {}
+        for query in ("Q1", "Q2", "Q3"):
+            results[query] = speedup_series(
+                query, SCALE_FACTOR_LARGE, WORKERS, "low", dataset_cache
+            )
+        for query in ("Q4", "Q5", "Q6"):
+            results[query] = speedup_series(
+                query, SCALE_FACTOR_SMALL, WORKERS, cache=dataset_cache
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for query, series in results.items():
+        rows.extend(_series_rows(query, series))
+    report.add(
+        "Figure 3 — speedup over workers "
+        "(Q1-Q3 on SF-large/low selectivity, Q4-Q6 on SF-small)",
+        format_table(
+            ["query", "workers", "sim seconds", "speedup", "paper speedup"], rows
+        ),
+    )
+    report.write("fig3_speedup")
+
+    # Shape: all queries benefit from more resources
+    for query, series in results.items():
+        speedups = [point["speedup"] for point in series]
+        assert speedups == sorted(speedups), "%s speedup not monotone" % query
+
+    # Shape: operational near-linear at 16 workers; analytical clearly worse
+    operational = [results[q][-1]["speedup"] for q in ("Q1", "Q2", "Q3")]
+    analytical = [results[q][-1]["speedup"] for q in ("Q4", "Q5", "Q6")]
+    assert min(operational) > 9.0, operational
+    assert max(analytical) < min(operational), (operational, analytical)
+    assert all(s < 9.0 for s in analytical), analytical

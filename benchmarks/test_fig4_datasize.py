@@ -1,0 +1,61 @@
+"""Figure 4 — runtime vs data volume at 16 workers (paper §4.1).
+
+Shape claim: "the runtime increases almost linearly with the data volume"
+— a 10x scale-factor increase costs roughly 10x in the data-dependent part
+of the runtime (the fixed per-job overhead does not scale, so total ratios
+land somewhat below 10).
+"""
+
+import pytest
+
+from repro.harness import (
+    SCALE_FACTOR_LARGE,
+    SCALE_FACTOR_SMALL,
+    datasize_series,
+    default_cost_model,
+    format_table,
+)
+
+QUERIES = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]
+WORKERS = 16
+SCALE_FACTOR_MID = 0.3
+_OVERHEAD = default_cost_model(WORKERS).job_overhead_seconds
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_datasize(benchmark, dataset_cache, report):
+    def run():
+        return datasize_series(
+            QUERIES,
+            WORKERS,
+            [SCALE_FACTOR_SMALL, SCALE_FACTOR_MID, SCALE_FACTOR_LARGE],
+            dataset_cache,
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    ratios = {}
+    for query, series in table.items():
+        small, mid, large = (point["seconds"] for point in series)
+        work_ratio = (large - _OVERHEAD) / max(small - _OVERHEAD, 1e-9)
+        ratios[query] = work_ratio
+        rows.append(
+            (query, small, mid, large, round(large / small, 1), round(work_ratio, 1))
+        )
+    report.add(
+        "Figure 4 — runtime over data volume (SF 0.1 / 0.3 / 1.0) at 16 workers",
+        format_table(
+            ["query", "SF 0.1 [s]", "SF 0.3 [s]", "SF 1.0 [s]", "total ratio",
+             "work ratio"],
+            rows,
+        ),
+    )
+    report.write("fig4_datasize")
+
+    for query, series in table.items():
+        seconds = [point["seconds"] for point in series]
+        assert seconds == sorted(seconds), (query, "not monotone in data size")
+    for query, ratio in ratios.items():
+        # near-linear: a 10x data increase costs 4x..14x in query work
+        assert 4.0 < ratio < 14.0, (query, ratio)

@@ -1,0 +1,57 @@
+"""Figure 5 — runtime vs predicate selectivity at 4 workers (paper §4.2).
+
+Shape claims:
+* Query 3's intermediate results grow superlinearly with selected persons:
+  its low-selectivity runtime is roughly double the high-selectivity one;
+* Query 1's intermediate results grow only linearly: selectivity has
+  almost no impact on its runtime.
+"""
+
+import pytest
+
+from repro.harness import SCALE_FACTOR_LARGE, format_table, selectivity_series
+
+WORKERS = 4
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_selectivity(benchmark, dataset_cache, report):
+    def run():
+        return selectivity_series(
+            ["Q1", "Q2", "Q3"], WORKERS, SCALE_FACTOR_LARGE, dataset_cache
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for query, runs in table.items():
+        for selectivity in ("high", "medium", "low"):
+            run_result = runs[selectivity]
+            rows.append(
+                (
+                    query,
+                    selectivity,
+                    run_result.simulated_seconds,
+                    run_result.result_count,
+                )
+            )
+    report.add(
+        "Figure 5 — query runtime by predicate selectivity (4 workers, SF-large)",
+        format_table(["query", "selectivity", "sim seconds", "results"], rows),
+    )
+    report.write("fig5_selectivity")
+
+    def seconds(query, selectivity):
+        return table[query][selectivity].simulated_seconds
+
+    # runtimes ordered with selectivity for every query
+    for query in ("Q1", "Q2", "Q3"):
+        assert seconds(query, "high") <= seconds(query, "medium") * 1.05
+        assert seconds(query, "medium") <= seconds(query, "low") * 1.05
+
+    # Q3: low roughly doubles high; Q1: almost flat
+    q3_ratio = seconds("Q3", "low") / seconds("Q3", "high")
+    q1_ratio = seconds("Q1", "low") / seconds("Q1", "high")
+    assert q3_ratio > 1.5, q3_ratio
+    assert q1_ratio < 1.25, q1_ratio
+    assert q3_ratio > q1_ratio

@@ -1,0 +1,76 @@
+"""Engine micro-benchmarks: parse, plan, execute throughput.
+
+Unlike the experiment benchmarks (simulated runtimes), these measure real
+wall-clock performance of the Python implementation with pytest-benchmark's
+statistical machinery — the numbers an OSS maintainer watches for
+regressions.
+"""
+
+import pytest
+
+from repro.cypher import QueryHandler, parse
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics, GreedyPlanner
+from repro.harness import ALL_QUERIES, default_cost_model, instantiate
+
+QUERY = instantiate(ALL_QUERIES["Q3"], "Jan")
+
+
+@pytest.fixture(scope="module")
+def medium_graph(dataset_cache):
+    dataset = dataset_cache.dataset(0.1)
+    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
+    graph = dataset.to_logical_graph(environment)
+    return dataset, graph, GraphStatistics.from_graph(graph)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_parse_throughput(benchmark):
+    query = benchmark(parse, QUERY)
+    assert query.patterns
+
+
+@pytest.mark.benchmark(group="micro")
+def test_compile_throughput(benchmark, medium_graph):
+    _, graph, statistics = medium_graph
+
+    def compile_query():
+        handler = QueryHandler(QUERY)
+        return GreedyPlanner(graph, handler, statistics).plan()
+
+    root = benchmark(compile_query)
+    assert root.meta.variables
+
+
+@pytest.mark.benchmark(group="micro")
+def test_execute_q1_throughput(benchmark, medium_graph):
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+    query = instantiate(ALL_QUERIES["Q1"], dataset.first_name("low"))
+
+    def execute():
+        embeddings, _ = runner.execute_embeddings(query)
+        return embeddings
+
+    embeddings = benchmark(execute)
+    assert embeddings
+
+
+@pytest.mark.benchmark(group="micro")
+def test_execute_q5_throughput(benchmark, medium_graph):
+    _, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+
+    def execute():
+        embeddings, _ = runner.execute_embeddings(ALL_QUERIES["Q5"])
+        return embeddings
+
+    embeddings = benchmark(execute)
+    assert embeddings
+
+
+@pytest.mark.benchmark(group="micro")
+def test_statistics_computation(benchmark, medium_graph):
+    _, graph, _ = medium_graph
+    statistics = benchmark(GraphStatistics.from_graph, graph)
+    assert statistics.vertex_count > 0

@@ -1,0 +1,50 @@
+"""Table 3 — intermediate result sizes per selectivity (paper §4.2).
+
+Shape claims:
+* every pattern's cardinality grows by orders of magnitude from high to
+  low selectivity;
+* the two-join pattern (knows + hasCreator) grows *superlinearly* in the
+  number of selected persons, while the single-join patterns grow roughly
+  linearly — this is what makes Q3 selectivity-sensitive in Figure 5.
+"""
+
+import pytest
+
+from repro.harness import (
+    SCALE_FACTOR_LARGE,
+    format_table,
+    intermediate_result_sizes,
+)
+
+PERSON = "(:Person)"
+TWO_JOIN = "(:Person)-[:knows]->(:Person)<-[:hasCreator]-(:Comment)"
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_intermediate_results(benchmark, dataset_cache, report):
+    def run():
+        return intermediate_result_sizes(SCALE_FACTOR_LARGE, dataset_cache)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (pattern, counts["high"], counts["medium"], counts["low"])
+        for pattern, counts in table.items()
+    ]
+    report.add(
+        "Table 3 — intermediate result sizes (SF-large)",
+        format_table(["pattern", "high", "medium", "low"], rows),
+    )
+    report.write("table3_intermediate")
+
+    for pattern, counts in table.items():
+        assert counts["high"] <= counts["medium"] <= counts["low"], pattern
+        # orders of magnitude between high and low
+        assert counts["low"] >= 20 * max(counts["high"], 1), pattern
+
+    # superlinear growth of the two-join pattern relative to selected persons
+    person_growth = table[PERSON]["low"] / max(table[PERSON]["medium"], 1)
+    two_join_growth = table[TWO_JOIN]["low"] / max(table[TWO_JOIN]["medium"], 1)
+    assert two_join_growth > person_growth * 0.7
+    # the deep pattern has far more rows than the persons that seed it
+    assert table[TWO_JOIN]["low"] > 10 * table[PERSON]["low"]

@@ -1,0 +1,67 @@
+"""Table 4 — the full runtime/speedup grid (paper appendix).
+
+Regenerates every row of the paper's Table 4: operational queries across
+selectivities, scale factors and worker counts; analytical queries across
+scale factors and worker counts.
+"""
+
+import pytest
+
+from repro.harness import format_table, runtime_grid
+
+WORKERS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_runtime_grid(benchmark, dataset_cache, report):
+    def run():
+        return runtime_grid(WORKERS, cache=dataset_cache)
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for entry in grid:
+        for point in entry["series"]:
+            rows.append(
+                (
+                    entry["query"],
+                    entry["selectivity"] or "-",
+                    entry["scale_factor"],
+                    point["workers"],
+                    point["seconds"],
+                    round(point["speedup"], 1),
+                )
+            )
+    report.add(
+        "Table 4 — query runtimes in simulated seconds (speedup)",
+        format_table(
+            ["query", "selectivity", "SF", "workers", "seconds", "speedup"], rows
+        ),
+    )
+    report.write("table4_runtimes")
+
+    # Shape checks over the whole grid ------------------------------------
+
+    for entry in grid:
+        series = entry["series"]
+        # runtime decreases monotonically with workers
+        seconds = [point["seconds"] for point in series]
+        assert seconds == sorted(seconds, reverse=True), entry["query"]
+
+    def final_speedup(query, scale_factor, selectivity=None):
+        for entry in grid:
+            if (
+                entry["query"] == query
+                and entry["scale_factor"] == scale_factor
+                and entry["selectivity"] == selectivity
+            ):
+                return entry["series"][-1]["speedup"]
+        raise KeyError((query, scale_factor, selectivity))
+
+    # large SF scales better than small SF for the operational queries
+    from repro.harness import SCALE_FACTOR_LARGE, SCALE_FACTOR_SMALL
+
+    for query in ("Q1", "Q2", "Q3"):
+        assert final_speedup(query, SCALE_FACTOR_LARGE, "low") > final_speedup(
+            query, SCALE_FACTOR_SMALL, "low"
+        )

@@ -1,0 +1,45 @@
+"""repro — Cypher-based graph pattern matching on a simulated distributed
+dataflow engine.
+
+A from-scratch Python reproduction of *Cypher-based Graph Pattern Matching
+in Gradoop* (Junghanns et al., GRADES'17).  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Convenience imports for the common workflow::
+
+    from repro import ExecutionEnvironment, LogicalGraph, CypherRunner
+
+    env = ExecutionEnvironment(parallelism=4)
+    graph = LogicalGraph.from_collections(env, vertices, edges)
+    matches = graph.cypher("MATCH (a:Person)-[:knows]->(b) RETURN *")
+"""
+
+from repro.dataflow import ClusterCostModel, ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics, MatchStrategy
+from repro.epgm import (
+    Edge,
+    GradoopId,
+    GraphCollection,
+    IndexedLogicalGraph,
+    LogicalGraph,
+    PropertyValue,
+    Vertex,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ClusterCostModel",
+    "CypherRunner",
+    "Edge",
+    "ExecutionEnvironment",
+    "GradoopId",
+    "GraphCollection",
+    "GraphStatistics",
+    "IndexedLogicalGraph",
+    "LogicalGraph",
+    "MatchStrategy",
+    "PropertyValue",
+    "Vertex",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Vertex-centric BSP processing (Pregel/Giraph style).
+
+The paper's related work singles out PSgL [Shao et al., SIGMOD'14], a
+pattern matcher built on the vertex-centric abstraction of Apache Giraph,
+as a source of ideas "to improve our implementation".  This package
+provides that abstraction on our dataflow substrate — a
+:class:`PregelRuntime` with message passing between supersteps — plus two
+classic programs (PageRank, connected components) and
+:class:`~repro.bsp.psgl.PSgLMatcher`, a simplified PSgL-style pattern
+matcher used as an architectural baseline against the join-based engine.
+"""
+
+from .pregel import PregelRuntime, VertexProgram
+from .programs import BSPConnectedComponents, PageRank, SingleSourceShortestPaths
+from .psgl import PSgLMatcher
+
+__all__ = [
+    "BSPConnectedComponents",
+    "PSgLMatcher",
+    "PageRank",
+    "PregelRuntime",
+    "SingleSourceShortestPaths",
+    "VertexProgram",
+]

@@ -1,0 +1,85 @@
+"""Classic vertex-centric programs."""
+
+from .pregel import VertexProgram
+
+
+class PageRank(VertexProgram):
+    """Synchronous PageRank over outgoing edges.
+
+    Runs a fixed number of supersteps (bounded by the runtime); dangling
+    vertices distribute nothing, matching the simple Gelly formulation.
+    Rank contributions are summed by a combiner before delivery.
+    """
+
+    combiner = staticmethod(lambda payloads: [sum(payloads)])
+
+    def __init__(self, damping=0.85, vertex_count=None):
+        self.damping = damping
+        self.vertex_count = vertex_count
+
+    def initial_state(self, vertex, adjacency):
+        return 1.0
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        if ctx.superstep == 0:
+            rank = state
+        else:
+            incoming = sum(messages) if messages else 0.0
+            rank = (1.0 - self.damping) + self.damping * incoming
+        out_edges = [entry for entry in adjacency if entry[2]]
+        if out_edges:
+            share = rank / len(out_edges)
+            for _, neighbour, _ in out_edges:
+                ctx.send(neighbour, share)
+        return rank
+
+
+class BSPConnectedComponents(VertexProgram):
+    """Minimum-label propagation; converges when no labels change."""
+
+    combiner = staticmethod(lambda payloads: [min(payloads)])
+
+    def initial_state(self, vertex, adjacency):
+        return vertex.id.value
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        candidate = min(messages) if messages else state
+        if ctx.superstep == 0 or candidate < state:
+            new_state = min(state, candidate)
+            for _, neighbour, _ in adjacency:
+                ctx.send(neighbour, new_state)
+            return new_state
+        return state
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """Unweighted SSSP from a source vertex (Pregel's canonical example).
+
+    State is the best known hop distance (``None`` = unreached); vertices
+    relax their neighbours whenever their own distance improves.
+    """
+
+    combiner = staticmethod(lambda payloads: [min(payloads)])
+
+    def __init__(self, source_id):
+        self.source_value = source_id.value
+
+    def initial_state(self, vertex, adjacency):
+        return 0 if vertex.id.value == self.source_value else None
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        candidate = min(messages) if messages else None
+        improved = False
+        if ctx.superstep == 0:
+            improved = state == 0
+            new_state = state
+        elif candidate is not None and (state is None or candidate < state):
+            new_state = candidate
+            improved = True
+        else:
+            new_state = state
+        if improved:
+            for _, neighbour, outgoing in adjacency:
+                if outgoing:
+                    ctx.send(neighbour, new_state + 1)
+        return new_state

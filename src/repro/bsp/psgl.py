@@ -1,0 +1,234 @@
+"""A simplified PSgL-style pattern matcher on the Pregel runtime.
+
+PSgL [Shao et al., SIGMOD'14] lists subgraphs by forwarding partial
+embeddings between vertices: each superstep expands one query edge, the
+partial travelling to the data vertex that owns the edges needed next.
+Differences from the join-based engine that make this an interesting
+architectural baseline (paper §5 related work):
+
+* intermediate results are *messages*, not relational embeddings — their
+  volume shows up as Pregel message traffic;
+* predicates on a query vertex are checked by the receiving data vertex;
+* there is no planner: query edges are expanded in an order that keeps
+  the pattern connected.
+
+Restrictions: connected patterns, fixed-length edges only (variable-length
+paths would need nested traversals), same morphism semantics as the
+engine.
+"""
+
+from repro.cypher.predicates import evaluate_cnf
+from repro.cypher.query_graph import QueryHandler
+from repro.engine.embedding import ElementBindings
+from repro.engine.morphism import (
+    DEFAULT_EDGE_STRATEGY,
+    DEFAULT_VERTEX_STRATEGY,
+    MatchStrategy,
+)
+from repro.engine.naive import _NaiveBindings, canonical_row
+
+from .pregel import PregelRuntime, VertexProgram
+
+
+class PSgLError(ValueError):
+    pass
+
+
+def _expansion_order(handler):
+    """Order query edges so each one touches an already-bound vertex."""
+    edges = list(handler.edges.values())
+    if not edges:
+        raise PSgLError("PSgL needs at least one query edge")
+    if any(edge.is_variable_length for edge in edges):
+        raise PSgLError("variable-length paths are not supported by PSgL")
+    ordered = [edges[0]]
+    bound = {edges[0].source, edges[0].target}
+    remaining = edges[1:]
+    while remaining:
+        for edge in remaining:
+            if edge.source in bound or edge.target in bound:
+                ordered.append(edge)
+                bound.update((edge.source, edge.target))
+                remaining.remove(edge)
+                break
+        else:
+            raise PSgLError("pattern is not connected")
+    return ordered
+
+
+class _PSgLProgram(VertexProgram):
+    """Partial embeddings travel as messages; one query edge per step.
+
+    A partial is ``(bindings, used_edges)`` with ``bindings`` a tuple over
+    the query-vertex order (``None`` = unbound).
+    """
+
+    def __init__(self, handler, vertex_strategy, edge_strategy, vertices_by_id):
+        self.handler = handler
+        self.vertices_by_id = vertices_by_id  # replicated lookup, like
+        # PSgL's label index: lets the expanding vertex check the far
+        # endpoint's predicate before forwarding the partial
+        self.order = _expansion_order(handler)
+        self.query_vertices = list(handler.vertices)
+        self.vertex_index = {v: i for i, v in enumerate(self.query_vertices)}
+        self.anchor = self.order[0].source
+        self.vertex_iso = vertex_strategy is MatchStrategy.ISOMORPHISM
+        self.edge_iso = edge_strategy is MatchStrategy.ISOMORPHISM
+
+    def initial_state(self, vertex, adjacency):
+        return None  # PSgL keeps no per-vertex state
+
+    def _vertex_ok(self, variable, vertex):
+        return evaluate_cnf(
+            self.handler.vertices[variable].predicates,
+            ElementBindings(variable, vertex),
+        )
+
+    def _edge_ok(self, variable, edge):
+        return evaluate_cnf(
+            self.handler.edges[variable].predicates,
+            ElementBindings(variable, edge),
+        )
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        if ctx.superstep == 0:
+            if self._vertex_ok(self.anchor, vertex):
+                bindings = [None] * len(self.query_vertices)
+                bindings[self.vertex_index[self.anchor]] = vertex.id.value
+                self._advance(ctx, vertex, adjacency, (tuple(bindings), ()), 0)
+            return state
+        for partial in messages:
+            self._advance(ctx, vertex, adjacency, partial, ctx.superstep)
+        return state
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, ctx, vertex, adjacency, partial, step):
+        """Expand query edge ``step`` from ``vertex`` (its local edges)."""
+        if step >= len(self.order):
+            ctx.emit(partial)
+            return
+        query_edge = self.order[step]
+        bindings, used_edges = partial
+        source_binding = bindings[self.vertex_index[query_edge.source]]
+        target_binding = bindings[self.vertex_index[query_edge.target]]
+
+        # the partial must currently sit at a bound endpoint of this edge
+        here = vertex.id.value
+        for edge, neighbour, outgoing in adjacency:
+            if query_edge.undirected:
+                if source_binding == here:
+                    far_variable = query_edge.target
+                elif target_binding == here:
+                    far_variable = query_edge.source
+                else:
+                    continue
+            else:
+                if source_binding == here and outgoing:
+                    far_variable = query_edge.target
+                elif target_binding == here and not outgoing:
+                    far_variable = query_edge.source
+                else:
+                    continue
+            if not self._edge_ok(query_edge.variable, edge):
+                continue
+            if self.edge_iso and edge.id.value in used_edges:
+                continue
+            far_index = self.vertex_index[far_variable]
+            existing = bindings[far_index]
+            if existing is not None:
+                if existing != neighbour:
+                    continue
+                new_bindings = bindings
+            else:
+                if self.vertex_iso and neighbour in bindings:
+                    continue
+                if not self._vertex_ok(
+                    far_variable, self.vertices_by_id[neighbour]
+                ):
+                    continue
+                as_list = list(bindings)
+                as_list[far_index] = neighbour
+                new_bindings = tuple(as_list)
+            new_partial = (new_bindings, used_edges + (edge.id.value,))
+            # forward to where the next expansion happens
+            ctx.send(self._next_location(new_bindings, step + 1), new_partial)
+
+    def _next_location(self, bindings, next_step):
+        if next_step >= len(self.order):
+            # fully matched: deliver to the anchor for emission
+            return bindings[self.vertex_index[self.anchor]]
+        next_edge = self.order[next_step]
+        source_binding = bindings[self.vertex_index[next_edge.source]]
+        if source_binding is not None:
+            return source_binding
+        return bindings[self.vertex_index[next_edge.target]]
+
+
+class PSgLMatcher:
+    """Vertex-centric pattern matching with engine-compatible semantics."""
+
+    def __init__(self, graph, vertex_strategy=None, edge_strategy=None):
+        self.graph = graph
+        self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
+        self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
+        self._vertices = {v.id: v for v in graph.collect_vertices()}
+        self._edges = {e.id: e for e in graph.collect_edges()}
+
+    def match(self, query):
+        """All matches as canonical rows (same form as the naive matcher)."""
+        handler = query if isinstance(query, QueryHandler) else QueryHandler(query)
+        program = _PSgLProgram(
+            handler,
+            self.vertex_strategy,
+            self.edge_strategy,
+            {vid.value: vertex for vid, vertex in self._vertices.items()},
+        )
+        runtime = PregelRuntime(
+            self.graph, max_supersteps=len(program.order) + 2
+        )
+        _, raw_results = runtime.run(program)
+
+        rows = []
+        seen = set()
+        for bindings, used_edges in raw_results:
+            key = (bindings, used_edges)
+            if key in seen:
+                continue
+            seen.add(key)
+            row = self._finalize(handler, program, bindings, used_edges)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def _finalize(self, handler, program, bindings, used_edges):
+        from repro.epgm import GradoopId
+
+        vertex_bind = {}
+        for variable, index in program.vertex_index.items():
+            if bindings[index] is None:
+                return None  # disconnected leftovers cannot occur, but guard
+            vertex_bind[variable] = GradoopId(bindings[index])
+        edge_bind = {
+            edge.variable: GradoopId(edge_id)
+            for edge, edge_id in zip(program.order, used_edges)
+        }
+        if not handler.global_predicates.is_trivial:
+            elements = {
+                variable: self._vertices[vid]
+                for variable, vid in vertex_bind.items()
+            }
+            elements.update(
+                {
+                    variable: self._edges[eid]
+                    for variable, eid in edge_bind.items()
+                }
+            )
+            if not evaluate_cnf(
+                handler.global_predicates, _NaiveBindings(elements)
+            ):
+                return None
+        return canonical_row(vertex_bind, edge_bind, {})
+
+    def count(self, query):
+        return len(self.match(query))

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+.. code-block:: bash
+
+    python -m repro generate --scale-factor 0.1 --output /tmp/sn
+    python -m repro query /tmp/sn "MATCH (p:Person) RETURN count(*) AS n"
+    python -m repro explain /tmp/sn "MATCH (a:Person)-[:knows]->(b) RETURN *"
+    python -m repro stats /tmp/sn
+    python -m repro bench --experiment fig5
+"""
+
+import argparse
+import sys
+
+from repro.dataflow import ClusterCostModel, ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics, MatchStrategy
+from repro.epgm.io import CSVDataSink, CSVDataSource
+from repro.ldbc import LDBCGenerator
+
+
+def _environment(args):
+    model = ClusterCostModel(workers=args.workers)
+    return ExecutionEnvironment(cost_model=model)
+
+
+def _load(args):
+    import os
+
+    if not os.path.isdir(args.graph):
+        raise SystemExit(
+            "error: %r is not a graph directory (run 'repro generate' first)"
+            % args.graph
+        )
+    environment = _environment(args)
+    source = CSVDataSource(args.graph)
+    graph = source.get_logical_graph(environment)
+    statistics = source.get_statistics()
+    return environment, graph, statistics
+
+
+def _strategy(text):
+    return {
+        "homo": MatchStrategy.HOMOMORPHISM,
+        "iso": MatchStrategy.ISOMORPHISM,
+    }[text]
+
+
+def cmd_generate(args):
+    environment = _environment(args)
+    dataset = LDBCGenerator(args.scale_factor, args.seed).generate()
+    graph = dataset.to_logical_graph(environment)
+    CSVDataSink(args.output).write_logical_graph(graph)
+    counts = dataset.counts_by_label()
+    print("wrote %s" % args.output)
+    for label in sorted(counts):
+        print("  %-14s %6d" % (label, counts[label]))
+    return 0
+
+
+def cmd_query(args):
+    environment, graph, statistics = _load(args)
+    runner = CypherRunner(
+        graph,
+        vertex_strategy=_strategy(args.vertex_strategy),
+        edge_strategy=_strategy(args.edge_strategy),
+        statistics=statistics,
+    )
+    environment.reset_metrics("query")
+    rows = runner.execute_table(args.cypher)
+    columns = list(rows[0]) if rows else []
+    if columns:
+        print("\t".join(columns))
+        for row in rows:
+            print("\t".join(str(row[column]) for column in columns))
+    print(
+        "-- %d row(s); simulated %.2f s on %d workers; %d records shuffled"
+        % (
+            len(rows),
+            environment.simulated_runtime_seconds(),
+            args.workers,
+            environment.metrics.total_shuffled_records,
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explain(args):
+    _, graph, statistics = _load(args)
+    runner = CypherRunner(graph, statistics=statistics)
+    if args.analyze:
+        print(runner.explain_analyze(args.cypher))
+    else:
+        print(runner.explain(args.cypher))
+    return 0
+
+
+def cmd_stats(args):
+    environment, graph, statistics = _load(args)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    print("vertices: %d" % statistics.vertex_count)
+    for label in sorted(statistics.vertex_count_by_label):
+        print("  :%-14s %6d" % (label, statistics.vertex_count_by_label[label]))
+    print("edges: %d" % statistics.edge_count)
+    for label in sorted(statistics.edge_count_by_label):
+        print(
+            "  :%-14s %6d  (distinct sources %d, targets %d)"
+            % (
+                label,
+                statistics.edge_count_by_label[label],
+                statistics.distinct_source_by_label.get(label, 0),
+                statistics.distinct_target_by_label.get(label, 0),
+            )
+        )
+    return 0
+
+
+def cmd_shell(args):
+    environment, graph, statistics = _load(args)
+    runner = CypherRunner(graph, statistics=statistics)
+    print(
+        "repro shell — %d vertices, %d edges; Cypher queries, "
+        "':explain <q>', ':quit'" % (graph.vertex_count(), graph.edge_count())
+    )
+    while True:
+        try:
+            line = input("cypher> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line in (":quit", ":exit", ":q"):
+            break
+        try:
+            if line.startswith(":explain "):
+                print(runner.explain(line[len(":explain "):]))
+                continue
+            environment.reset_metrics("shell")
+            rows = runner.execute_table(line)
+            columns = list(rows[0]) if rows else []
+            if columns:
+                print("\t".join(columns))
+                for row in rows:
+                    print("\t".join(str(row[c]) for c in columns))
+            print(
+                "-- %d row(s), simulated %.2f s"
+                % (len(rows), environment.simulated_runtime_seconds())
+            )
+        except Exception as exc:  # noqa: BLE001 — REPL keeps running
+            print("error: %s" % exc)
+    return 0
+
+
+def cmd_bench(args):
+    from repro.harness import (
+        SCALE_FACTOR_LARGE,
+        SCALE_FACTOR_SMALL,
+        datasize_series,
+        format_table,
+        intermediate_result_sizes,
+        selectivity_series,
+        speedup_series,
+    )
+
+    if args.experiment == "fig3":
+        rows = []
+        for query in ("Q1", "Q2", "Q3"):
+            for point in speedup_series(query, SCALE_FACTOR_LARGE, [1, 2, 4, 8, 16], "low"):
+                rows.append((query, point["workers"], point["seconds"],
+                             round(point["speedup"], 1)))
+        for query in ("Q4", "Q5", "Q6"):
+            for point in speedup_series(query, SCALE_FACTOR_SMALL, [1, 2, 4, 8, 16]):
+                rows.append((query, point["workers"], point["seconds"],
+                             round(point["speedup"], 1)))
+        print(format_table(["query", "workers", "sim s", "speedup"], rows))
+    elif args.experiment == "fig4":
+        table = datasize_series(
+            ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"],
+            16,
+            [SCALE_FACTOR_SMALL, SCALE_FACTOR_LARGE],
+        )
+        rows = [
+            (query, series[0]["seconds"], series[1]["seconds"])
+            for query, series in table.items()
+        ]
+        print(format_table(["query", "SF-small [s]", "SF-large [s]"], rows))
+    elif args.experiment == "fig5":
+        table = selectivity_series(["Q1", "Q2", "Q3"], 4, SCALE_FACTOR_LARGE)
+        rows = []
+        for query, runs in table.items():
+            for selectivity in ("high", "medium", "low"):
+                run = runs[selectivity]
+                rows.append(
+                    (query, selectivity, run.simulated_seconds, run.result_count)
+                )
+        print(format_table(["query", "selectivity", "sim s", "results"], rows))
+    elif args.experiment == "table3":
+        table = intermediate_result_sizes(SCALE_FACTOR_LARGE)
+        rows = [
+            (pattern, c["high"], c["medium"], c["low"])
+            for pattern, c in table.items()
+        ]
+        print(format_table(["pattern", "high", "medium", "low"], rows))
+    else:
+        raise SystemExit("unknown experiment %r" % args.experiment)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cypher pattern matching on a simulated distributed "
+        "dataflow engine (Gradoop reproduction)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="simulated cluster size"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate an LDBC-like graph")
+    generate.add_argument("--scale-factor", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True, help="target directory")
+    generate.set_defaults(handler=cmd_generate)
+
+    query = commands.add_parser("query", help="run a Cypher query on a CSV graph")
+    query.add_argument("graph", help="graph directory (CSV format)")
+    query.add_argument("cypher", help="the query text")
+    query.add_argument(
+        "--vertex-strategy", choices=["homo", "iso"], default="homo"
+    )
+    query.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
+    query.set_defaults(handler=cmd_query)
+
+    explain = commands.add_parser("explain", help="show the physical query plan")
+    explain.add_argument("graph")
+    explain.add_argument("cypher")
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan and show actual row counts",
+    )
+    explain.set_defaults(handler=cmd_explain)
+
+    stats = commands.add_parser("stats", help="show graph statistics")
+    stats.add_argument("graph")
+    stats.set_defaults(handler=cmd_stats)
+
+    shell = commands.add_parser("shell", help="interactive Cypher shell")
+    shell.add_argument("graph")
+    shell.set_defaults(handler=cmd_shell)
+
+    bench = commands.add_parser("bench", help="run one paper experiment")
+    bench.add_argument(
+        "--experiment",
+        choices=["fig3", "fig4", "fig5", "table3"],
+        default="fig5",
+    )
+    bench.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Cypher front-end errors."""
+
+
+class CypherError(Exception):
+    """Base class for query language errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """The query text does not conform to the supported Cypher subset."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at offset %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class CypherSemanticError(CypherError):
+    """The query parses but is not well-formed (e.g. unbound variable)."""

@@ -1,0 +1,157 @@
+"""Tokenizer for the supported Cypher subset."""
+
+from .errors import CypherSyntaxError
+
+KEYWORDS = {
+    "MATCH",
+    "WHERE",
+    "RETURN",
+    "AND",
+    "OR",
+    "XOR",
+    "NOT",
+    "TRUE",
+    "FALSE",
+    "NULL",
+    "DISTINCT",
+    "LIMIT",
+    "IN",
+    "AS",
+    "IS",
+    "STARTS",
+    "ENDS",
+    "WITH",
+    "CONTAINS",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "SKIP",
+}
+
+# multi-character symbols first so maximal munch applies
+_SYMBOLS = ["<=", ">=", "<>", "..", "(", ")", "[", "]", "{", "}", ":", ",",
+            ".", "|", "-", ">", "<", "=", "*", "+", "/", "%"]
+
+
+class Token:
+    """A lexical token with its source offset for error reporting."""
+
+    __slots__ = ("kind", "text", "value", "position")
+
+    def __init__(self, kind, text, value=None, position=0):
+        self.kind = kind  # 'keyword' | 'ident' | 'int' | 'float' | 'string' | 'symbol' | 'eof'
+        self.text = text
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(query):
+    """Turn ``query`` into a list of tokens ending with an EOF token."""
+    tokens = []
+    i = 0
+    length = len(query)
+    while i < length:
+        char = query[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "/" and query.startswith("//", i):
+            newline = query.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if char in "'\"":
+            text, consumed = _read_string(query, i)
+            tokens.append(Token("string", query[i : i + consumed], text, i))
+            i += consumed
+            continue
+        if char.isdigit():
+            token, consumed = _read_number(query, i)
+            tokens.append(token)
+            i += consumed
+            continue
+        if char.isalpha() or char == "_":
+            j = i + 1
+            while j < length and (query[j].isalnum() or query[j] == "_"):
+                j += 1
+            word = query[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), position=i))
+            else:
+                tokens.append(Token("ident", word, position=i))
+            i = j
+            continue
+        if char == "`":
+            end = query.find("`", i + 1)
+            if end < 0:
+                raise CypherSyntaxError("unterminated backtick identifier", i)
+            tokens.append(Token("ident", query[i + 1 : end], position=i))
+            i = end + 1
+            continue
+        if char == "$":
+            j = i + 1
+            while j < length and (query[j].isalnum() or query[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise CypherSyntaxError("expected parameter name after '$'", i)
+            tokens.append(Token("param", query[i + 1 : j], position=i))
+            i = j
+            continue
+        symbol = _match_symbol(query, i)
+        if symbol is not None:
+            tokens.append(Token("symbol", symbol, position=i))
+            i += len(symbol)
+            continue
+        raise CypherSyntaxError("unexpected character %r" % char, i)
+    tokens.append(Token("eof", "", position=length))
+    return tokens
+
+
+def _match_symbol(query, i):
+    for symbol in _SYMBOLS:
+        if query.startswith(symbol, i):
+            return symbol
+    return None
+
+
+def _read_string(query, i):
+    quote = query[i]
+    out = []
+    j = i + 1
+    while j < len(query):
+        char = query[j]
+        if char == "\\" and j + 1 < len(query):
+            escape = query[j + 1]
+            out.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            j += 2
+            continue
+        if char == quote:
+            return "".join(out), j - i + 1
+        out.append(char)
+        j += 1
+    raise CypherSyntaxError("unterminated string literal", i)
+
+
+def _read_number(query, i):
+    j = i
+    length = len(query)
+    while j < length and query[j].isdigit():
+        j += 1
+    # '..' is the range operator in [*1..3]; a single '.' + digit is a float
+    if (
+        j < length
+        and query[j] == "."
+        and not query.startswith("..", j)
+        and j + 1 < length
+        and query[j + 1].isdigit()
+    ):
+        j += 1
+        while j < length and query[j].isdigit():
+            j += 1
+        text = query[i:j]
+        return Token("float", text, float(text), i), j - i
+    text = query[i:j]
+    return Token("int", text, int(text), i), j - i

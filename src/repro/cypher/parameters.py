@@ -1,0 +1,127 @@
+"""Query parameter binding (``$name`` placeholders).
+
+Parameters keep query plans reusable and values out of the query text —
+the paper's operational queries 1–3 are parameterized by ``firstName``
+exactly for this purpose.  Binding happens before compilation:
+
+.. code-block:: python
+
+    query = parse("MATCH (p:Person {firstName: $name}) RETURN *")
+    bound = bind_parameters(query, {"name": "Jan"})
+"""
+
+from .ast import (
+    And,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+    PathPattern,
+    Query,
+    ReturnClause,
+    Xor,
+)
+from .errors import CypherSemanticError
+
+
+def bind_parameters(query, parameters=None):
+    """A copy of ``query`` with every ``$name`` replaced by its value.
+
+    Raises :class:`CypherSemanticError` for unbound parameters; unused
+    parameter values are ignored (like Neo4j).
+    """
+    parameters = parameters or {}
+
+    def resolve(node):
+        if isinstance(node, Parameter):
+            if node.name not in parameters:
+                raise CypherSemanticError(
+                    "no value for query parameter $%s" % node.name
+                )
+            return Literal(parameters[node.name])
+        if isinstance(node, Comparison):
+            return Comparison(node.operator, resolve(node.left), resolve(node.right))
+        if isinstance(node, And):
+            return And(resolve(node.left), resolve(node.right))
+        if isinstance(node, Or):
+            return Or(resolve(node.left), resolve(node.right))
+        if isinstance(node, Xor):
+            return Xor(resolve(node.left), resolve(node.right))
+        if isinstance(node, Not):
+            return Not(resolve(node.operand))
+        return node
+
+    patterns = []
+    for path in query.patterns:
+        nodes = []
+        for node in path.nodes:
+            entries = [(key, resolve(value)) for key, value in node.properties]
+            clone = type(node)(node.variable, list(node.labels), entries)
+            nodes.append(clone)
+        relationships = []
+        for rel in path.relationships:
+            entries = [(key, resolve(value)) for key, value in rel.properties]
+            clone = type(rel)(
+                rel.variable,
+                list(rel.types),
+                rel.direction,
+                rel.lower,
+                rel.upper,
+                entries,
+            )
+            relationships.append(clone)
+        patterns.append(PathPattern(nodes, relationships))
+
+    where = resolve(query.where) if query.where is not None else None
+
+    returns = query.returns
+    if returns is not None:
+        items = [
+            type(item)(resolve(item.expression), item.alias)
+            for item in returns.items
+        ]
+        order_by = [
+            type(order)(resolve(order.expression), order.descending)
+            for order in returns.order_by
+        ]
+        returns = ReturnClause(
+            star=returns.star,
+            items=items,
+            distinct=returns.distinct,
+            order_by=order_by,
+            skip=returns.skip,
+            limit=returns.limit,
+        )
+
+    return Query(patterns=patterns, where=where, returns=returns)
+
+
+def find_parameters(query):
+    """Names of all ``$parameters`` appearing in a parsed query."""
+    names = set()
+
+    def walk(node):
+        if isinstance(node, Parameter):
+            names.add(node.name)
+        elif isinstance(node, Comparison):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (And, Or, Xor)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Not):
+            walk(node.operand)
+
+    for path in query.patterns:
+        for element in list(path.nodes) + list(path.relationships):
+            for _, value in element.properties:
+                walk(value)
+    if query.where is not None:
+        walk(query.where)
+    if query.returns is not None:
+        for item in query.returns.items:
+            walk(item.expression)
+        for order in query.returns.order_by:
+            walk(order.expression)
+    return names

@@ -1,0 +1,403 @@
+"""Predicate normalization (CNF) and three-valued evaluation.
+
+The WHERE expression, inline property maps and label predicates are all
+normalized into **conjunctive normal form**: a conjunction of clauses, each
+clause a disjunction of (possibly negated) comparisons.  CNF makes
+predicate push-down trivial — a clause whose variables are all bound by one
+query element can be evaluated at the leaf operator (paper §2.5/§3.1);
+everything else waits for :class:`SelectEmbeddings`.
+
+Evaluation follows Cypher's ternary logic: comparisons involving NULL or
+incomparable types yield *unknown*; a clause is satisfied only if some atom
+is definitely true, and unknown never satisfies a filter.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.epgm.property_value import IncomparableError, PropertyValue
+
+from .ast import (
+    And,
+    Comparison,
+    LabelRef,
+    Literal,
+    Not,
+    Or,
+    PropertyAccess,
+    VariableRef,
+    Xor,
+)
+from .errors import CypherSemanticError
+
+_NEGATED_OPERATOR = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    ">=": "<",
+    ">": "<=",
+    "<=": ">",
+    "IS NULL": "IS NOT NULL",
+    "IS NOT NULL": "IS NULL",
+}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One (possibly negated) comparison inside a clause."""
+
+    comparison: Comparison
+    negated: bool = False
+
+    def variables(self):
+        return _expression_variables(self.comparison.left) | _expression_variables(
+            self.comparison.right
+        )
+
+    def property_keys(self):
+        """Mapping variable -> set of property keys this atom reads."""
+        keys = {}
+        for side in (self.comparison.left, self.comparison.right):
+            if isinstance(side, PropertyAccess):
+                keys.setdefault(side.variable, set()).add(side.key)
+        return keys
+
+    def negate(self):
+        operator = self.comparison.operator
+        if operator in _NEGATED_OPERATOR:
+            return Atom(
+                Comparison(
+                    _NEGATED_OPERATOR[operator],
+                    self.comparison.left,
+                    self.comparison.right,
+                )
+            )
+        return Atom(self.comparison, negated=not self.negated)
+
+    def __str__(self):
+        text = str(self.comparison)
+        return "NOT %s" % text if self.negated else text
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of atoms."""
+
+    atoms: Tuple[Atom, ...]
+
+    def variables(self):
+        result = set()
+        for atom in self.atoms:
+            result |= atom.variables()
+        return result
+
+    def property_keys(self):
+        keys = {}
+        for atom in self.atoms:
+            for variable, atom_keys in atom.property_keys().items():
+                keys.setdefault(variable, set()).update(atom_keys)
+        return keys
+
+    def __str__(self):
+        return "(" + " OR ".join(str(atom) for atom in self.atoms) + ")"
+
+
+class CNF:
+    """A conjunction of clauses."""
+
+    def __init__(self, clauses=()):
+        self.clauses = list(clauses)
+
+    @classmethod
+    def true(cls):
+        return cls([])
+
+    @classmethod
+    def single(cls, comparison):
+        return cls([Clause((Atom(comparison),))])
+
+    def and_(self, other):
+        return CNF(self.clauses + other.clauses)
+
+    @property
+    def is_trivial(self):
+        return not self.clauses
+
+    def variables(self):
+        result = set()
+        for clause in self.clauses:
+            result |= clause.variables()
+        return result
+
+    def property_keys(self):
+        keys = {}
+        for clause in self.clauses:
+            for variable, clause_keys in clause.property_keys().items():
+                keys.setdefault(variable, set()).update(clause_keys)
+        return keys
+
+    def split(self, available_variables):
+        """Clauses evaluable with ``available_variables`` vs. the rest."""
+        available = set(available_variables)
+        now, later = [], []
+        for clause in self.clauses:
+            (now if clause.variables() <= available else later).append(clause)
+        return CNF(now), CNF(later)
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def __str__(self):
+        if not self.clauses:
+            return "TRUE"
+        return " AND ".join(str(clause) for clause in self.clauses)
+
+
+# Normalization ------------------------------------------------------------------
+
+
+def to_cnf(expression):
+    """Convert a WHERE expression tree to CNF."""
+    if expression is None:
+        return CNF.true()
+    return CNF(_distribute(_push_not(expression, negate=False)))
+
+
+def _push_not(node, negate):
+    """Eliminate XOR, push negation down to atoms."""
+    if isinstance(node, Xor):
+        # a XOR b == (a OR b) AND (NOT a OR NOT b); XOR under NOT flips to XNOR
+        rewritten = And(Or(node.left, node.right), Or(Not(node.left), Not(node.right)))
+        return _push_not(rewritten, negate)
+    if isinstance(node, Not):
+        return _push_not(node.operand, not negate)
+    if isinstance(node, And):
+        combinator = Or if negate else And
+        return combinator(
+            _push_not(node.left, negate), _push_not(node.right, negate)
+        )
+    if isinstance(node, Or):
+        combinator = And if negate else Or
+        return combinator(
+            _push_not(node.left, negate), _push_not(node.right, negate)
+        )
+    if isinstance(node, Comparison):
+        atom = Atom(node)
+        return atom.negate() if negate else atom
+    if isinstance(node, VariableRef):
+        raise CypherSemanticError(
+            "bare variable %r cannot be used as a boolean predicate" % node.name
+        )
+    if isinstance(node, Literal):
+        if isinstance(node.value, bool):
+            truth = node.value != negate
+            # TRUE is an empty conjunction; FALSE an unsatisfiable comparison
+            if truth:
+                return _TRUE
+            return Atom(Comparison("<>", Literal(0), Literal(0)))
+        raise CypherSemanticError("literal %r is not a boolean predicate" % node.value)
+    raise CypherSemanticError("unsupported predicate node %r" % (node,))
+
+
+class _TrueMarker:
+    pass
+
+
+_TRUE = _TrueMarker()
+
+
+def _distribute(node):
+    """Distribute OR over AND; returns a list of Clauses."""
+    if node is _TRUE:
+        return []
+    if isinstance(node, Atom):
+        return [Clause((node,))]
+    if isinstance(node, And):
+        return _distribute(node.left) + _distribute(node.right)
+    if isinstance(node, Or):
+        left_clauses = _distribute(node.left)
+        right_clauses = _distribute(node.right)
+        if not left_clauses or not right_clauses:
+            return []  # OR with TRUE is TRUE
+        return [
+            Clause(tuple(l.atoms) + tuple(r.atoms))
+            for l in left_clauses
+            for r in right_clauses
+        ]
+    raise AssertionError("unexpected node in distribution: %r" % (node,))
+
+
+# Evaluation -----------------------------------------------------------------------
+
+
+def _expression_variables(side):
+    if isinstance(side, (PropertyAccess, LabelRef)):
+        return {side.variable}
+    if isinstance(side, VariableRef):
+        return {side.name}
+    return set()
+
+
+def _resolve(side, bindings):
+    """Evaluate one comparison side against a bindings object.
+
+    ``bindings`` must provide ``property_value(variable, key)``,
+    ``label(variable)`` and ``element_id(variable)``.
+    """
+    if isinstance(side, Literal):
+        return PropertyValue(side.value)
+    if isinstance(side, PropertyAccess):
+        return bindings.property_value(side.variable, side.key)
+    if isinstance(side, LabelRef):
+        return PropertyValue(bindings.label(side.variable))
+    if isinstance(side, VariableRef):
+        return bindings.element_id(side.name)
+    raise CypherSemanticError("unsupported expression %r" % (side,))
+
+
+def evaluate_comparison(comparison, bindings):
+    """Ternary evaluation: True, False, or None for unknown."""
+    left = _resolve(comparison.left, bindings)
+    operator = comparison.operator
+    if operator == "IS NULL":
+        return _is_null(left)
+    if operator == "IS NOT NULL":
+        return not _is_null(left)
+    right = _resolve(comparison.right, bindings)
+    if operator == "IN":
+        return _evaluate_in(left, right)
+    if operator in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+        return _evaluate_string_operator(operator, left, right)
+    if _is_null(left) or _is_null(right):
+        return None
+    if operator == "=":
+        return left == right
+    if operator == "<>":
+        return left != right
+    try:
+        result = left.compare(right)
+    except IncomparableError:
+        return None
+    except AttributeError:
+        # VariableRef sides resolve to GradoopIds, which only support =/<>
+        return None
+    if operator == "<":
+        return result < 0
+    if operator == "<=":
+        return result <= 0
+    if operator == ">":
+        return result > 0
+    if operator == ">=":
+        return result >= 0
+    raise CypherSemanticError("unknown operator %r" % operator)
+
+
+def _is_null(value):
+    return isinstance(value, PropertyValue) and value.is_null
+
+
+def _evaluate_string_operator(operator, left, right):
+    """Cypher string predicates: unknown unless both sides are strings."""
+    if not (
+        isinstance(left, PropertyValue)
+        and isinstance(right, PropertyValue)
+        and left.is_string
+        and right.is_string
+    ):
+        return None
+    haystack, needle = left.raw(), right.raw()
+    if operator == "STARTS WITH":
+        return haystack.startswith(needle)
+    if operator == "ENDS WITH":
+        return haystack.endswith(needle)
+    return needle in haystack
+
+
+def _evaluate_in(left, right):
+    if _is_null(left):
+        return None
+    values = right.raw() if isinstance(right, PropertyValue) else right
+    if not isinstance(values, list):
+        return None
+    return any(left == PropertyValue(item) for item in values)
+
+
+def evaluate_atom(atom, bindings):
+    result = evaluate_comparison(atom.comparison, bindings)
+    if result is None:
+        return None
+    return (not result) if atom.negated else result
+
+
+def evaluate_clause(clause, bindings):
+    """True iff some atom is definitely true (unknown never satisfies)."""
+    unknown = False
+    for atom in clause.atoms:
+        result = evaluate_atom(atom, bindings)
+        if result is True:
+            return True
+        if result is None:
+            unknown = True
+    return None if unknown else False
+
+
+def evaluate_cnf(cnf, bindings):
+    """Strict filter semantics: every clause must be definitely true."""
+    for clause in cnf.clauses:
+        if evaluate_clause(clause, bindings) is not True:
+            return False
+    return True
+
+
+def cnf_signature(cnf):
+    """A variable-name-independent fingerprint of a single-variable CNF.
+
+    Two query elements with equal signatures (plus equal labels/projection
+    keys) select identical element sets, so their leaf scans can be shared
+    — the "recurring subqueries" optimization the paper names as ongoing
+    work (§5).  Only meaningful for CNFs over one variable.
+    """
+
+    def side(expression):
+        if isinstance(expression, Literal):
+            return ("lit", repr(expression.value))
+        if isinstance(expression, PropertyAccess):
+            return ("prop", expression.key)
+        if isinstance(expression, LabelRef):
+            return ("label",)
+        if isinstance(expression, VariableRef):
+            return ("var",)
+        return ("other", repr(expression))
+
+    clauses = []
+    for clause in cnf.clauses:
+        atoms = tuple(
+            sorted(
+                (
+                    atom.comparison.operator,
+                    side(atom.comparison.left),
+                    side(atom.comparison.right),
+                    atom.negated,
+                )
+                for atom in clause.atoms
+            )
+        )
+        clauses.append(atoms)
+    return tuple(sorted(clauses))
+
+
+def label_predicate(variable, labels):
+    """CNF clause for a label alternation ``(v:A|B)``."""
+    atoms = tuple(
+        Atom(Comparison("=", LabelRef(variable), Literal(label))) for label in labels
+    )
+    return CNF([Clause(atoms)])
+
+
+def property_map_predicate(variable, entries):
+    """CNF for an inline property map ``{key: literal, ...}``."""
+    clauses = [
+        Clause((Atom(Comparison("=", PropertyAccess(variable, key), literal)),))
+        for key, literal in entries
+    ]
+    return CNF(clauses)

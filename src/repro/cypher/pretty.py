@@ -1,0 +1,40 @@
+"""Render a parsed query back to Cypher text.
+
+``parse(render(parse(q)))`` equals ``parse(q)`` — property-tested — which
+makes the renderer safe for logging, EXPLAIN headers and query rewriting.
+"""
+
+from .ast import FunctionCall, Query
+
+
+def render_query(query):
+    """Cypher text for a :class:`~repro.cypher.ast.Query`."""
+    if not isinstance(query, Query):
+        raise TypeError("expected a parsed Query")
+    parts = ["MATCH " + ", ".join(str(path) for path in query.patterns)]
+    if query.where is not None:
+        parts.append("WHERE " + str(query.where))
+    returns = query.returns
+    if returns is not None:
+        if returns.star:
+            items = "*"
+        else:
+            items = ", ".join(str(item) for item in returns.items)
+        clause = "RETURN "
+        if returns.distinct:
+            clause += "DISTINCT "
+        clause += items
+        if returns.order_by:
+            rendered = []
+            for order in returns.order_by:
+                text = str(order.expression)
+                if order.descending:
+                    text += " DESC"
+                rendered.append(text)
+            clause += " ORDER BY " + ", ".join(rendered)
+        if returns.skip is not None:
+            clause += " SKIP %d" % returns.skip
+        if returns.limit is not None:
+            clause += " LIMIT %d" % returns.limit
+        parts.append(clause)
+    return "\n".join(parts)

@@ -1,0 +1,34 @@
+"""A deterministic, partition-parallel dataflow engine.
+
+This package is the project's stand-in for Apache Flink (see DESIGN.md §2):
+lazy :class:`DataSet` DAGs, hash/broadcast join strategies, bulk iteration
+and a :class:`ClusterCostModel` that converts execution metrics into
+simulated cluster runtimes.
+"""
+
+from .cost import ClusterCostModel
+from .dataset import DataSet, GroupedDataSet
+from .environment import ExecutionEnvironment
+from .errors import DataflowError, IterationError, JobExecutionError, PlanError
+from .metrics import JobMetrics, OperatorRun
+from .operators import JoinStrategy
+from .partitioner import partition_index, round_robin_partitions, stable_hash
+from .sizing import estimate_size
+
+__all__ = [
+    "ClusterCostModel",
+    "DataSet",
+    "DataflowError",
+    "ExecutionEnvironment",
+    "GroupedDataSet",
+    "IterationError",
+    "JobExecutionError",
+    "JobMetrics",
+    "JoinStrategy",
+    "OperatorRun",
+    "PlanError",
+    "estimate_size",
+    "partition_index",
+    "round_robin_partitions",
+    "stable_hash",
+]

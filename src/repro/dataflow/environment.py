@@ -1,0 +1,232 @@
+"""Execution environment: owns parallelism, cost model, metrics and the
+evaluator, including Flink-style bulk iterations.
+"""
+
+from .cost import ClusterCostModel
+from .dataset import DataSet
+from .errors import IterationError, PlanError
+from .metrics import JobMetrics
+from .operators import ExecutionContext, PartitionedSourceOperator, SourceOperator
+
+
+class ExecutionEnvironment:
+    """A simulated shared-nothing cluster running dataflow jobs.
+
+    Args:
+        parallelism: Number of simulated workers; if ``cost_model`` is given
+            its ``workers`` field wins and this may be omitted.
+        cost_model: :class:`~repro.dataflow.cost.ClusterCostModel` used for
+            spill thresholds and simulated runtimes.
+    """
+
+    def __init__(self, parallelism=None, cost_model=None):
+        if cost_model is None:
+            cost_model = ClusterCostModel(workers=parallelism or 4)
+        elif parallelism is not None and parallelism != cost_model.workers:
+            cost_model = cost_model.with_workers(parallelism)
+        self.cost_model = cost_model
+        self.metrics = JobMetrics()
+
+    @property
+    def parallelism(self):
+        return self.cost_model.workers
+
+    # Sources ----------------------------------------------------------------
+
+    def from_collection(self, items, name=None):
+        """Create a dataset from an in-memory iterable."""
+        return DataSet(self, SourceOperator(self, items, name))
+
+    def from_partitions(self, partitions, name=None):
+        """Create a dataset from pre-partitioned data (one list per worker)."""
+        return DataSet(self, PartitionedSourceOperator(self, partitions, name))
+
+    # Metrics ------------------------------------------------------------------
+
+    def reset_metrics(self, job_name="job"):
+        """Start a fresh metrics scope; returns the previous one."""
+        previous = self.metrics
+        self.metrics = JobMetrics(job_name)
+        return previous
+
+    def simulated_runtime_seconds(self):
+        """Simulated wall-clock time of everything since the last reset."""
+        return self.cost_model.job_seconds(self.metrics)
+
+    # Evaluation ----------------------------------------------------------------
+
+    def run(self, operator):
+        """Evaluate the DAG rooted at ``operator``; returns partitions."""
+        ctx = ExecutionContext(self, self.metrics)
+        return self._evaluate(operator, {}, ctx)
+
+    def _evaluate(self, operator, cache, ctx):
+        if operator.environment is not self:
+            raise PlanError("operator belongs to a different environment")
+        if operator.id in cache:
+            return cache[operator.id]
+        # Iterative post-order walk: deep Cypher plans (long join chains,
+        # many expansion supersteps) would overflow Python's recursion limit.
+        stack = [(operator, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.id in cache:
+                continue
+            if expanded:
+                parent_results = [cache[parent.id] for parent in node.parents]
+                cache[node.id] = node.execute(ctx, parent_results)
+            else:
+                stack.append((node, True))
+                for parent in node.parents:
+                    if parent.id not in cache:
+                        stack.append((parent, False))
+        return cache[operator.id]
+
+    # Bulk iteration -------------------------------------------------------------
+
+    def bulk_iterate(
+        self,
+        initial,
+        step,
+        max_iterations,
+        collect_emissions=True,
+        metrics_scope=None,
+    ):
+        """Run a Flink-style bulk iteration.
+
+        Args:
+            initial: DataSet seeding the working set.
+            step: ``step(working: DataSet, iteration: int) ->
+                (next_working: DataSet, emit: DataSet | None)``.  Called once
+                per superstep with a dataset view of the current working set;
+                it must build and return lazy datasets in this environment.
+            max_iterations: Hard superstep bound (paper: the path upper
+                bound).
+            collect_emissions: When True the result is the union of all
+                ``emit`` datasets; when False it is the final working set.
+
+        Returns:
+            A materialized :class:`DataSet`.
+
+        The iteration terminates early once the working set is empty, like
+        Flink's empty-workset convergence criterion.
+        """
+        if max_iterations < 0:
+            raise IterationError("max_iterations must be >= 0")
+        metrics = metrics_scope if metrics_scope is not None else self.metrics
+        outer_ctx = ExecutionContext(self, metrics)
+        shared_cache = {}
+        working = self._evaluate(initial.operator, shared_cache, outer_ctx)
+        emitted = [[] for _ in range(self.parallelism)]
+
+        for iteration in range(1, max_iterations + 1):
+            if sum(len(p) for p in working) == 0:
+                break
+            ctx = ExecutionContext(self, metrics, iteration=iteration)
+            working_ds = self.from_partitions(working, name="iteration-working-set")
+            result = step(working_ds, iteration)
+            if isinstance(result, tuple):
+                next_working_ds, emit_ds = result
+            else:
+                next_working_ds, emit_ds = result, None
+            if next_working_ds is None:
+                raise IterationError("step returned no next working set")
+            cache = dict(shared_cache)
+            working = self._evaluate(next_working_ds.operator, cache, ctx)
+            if emit_ds is not None and collect_emissions:
+                emit_parts = self._evaluate(emit_ds.operator, cache, ctx)
+                for worker, partition in enumerate(emit_parts):
+                    emitted[worker].extend(partition)
+
+        if collect_emissions:
+            return self.from_partitions(emitted, name="iteration-result")
+        return self.from_partitions(working, name="iteration-result")
+
+    def delta_iterate(
+        self,
+        solution,
+        key_fn,
+        step,
+        max_iterations,
+        workset=None,
+        metrics_scope=None,
+    ):
+        """Run a Flink-style delta iteration.
+
+        The *solution set* is a keyed state (one record per key); the
+        *workset* carries the records that changed last superstep.  Each
+        superstep calls ``step(solution_ds, workset_ds, iteration)`` which
+        must return a DataSet of **candidate solution records**; records
+        whose key's stored value actually changes become the next workset,
+        and the iteration converges when no record changes — Flink's
+        delta-iteration contract, which lets algorithms like connected
+        components touch only the moving frontier.
+
+        Args:
+            solution: DataSet seeding the solution set.
+            key_fn: Extracts the solution key from a record.
+            step: Callback building the candidate dataset (lazy).
+            max_iterations: Superstep bound.
+            workset: Optional initial workset DataSet (defaults to the
+                full solution set).
+
+        Returns:
+            A materialized DataSet of the final solution records.
+        """
+        if max_iterations < 0:
+            raise IterationError("max_iterations must be >= 0")
+        metrics = metrics_scope if metrics_scope is not None else self.metrics
+        ctx = ExecutionContext(self, metrics)
+        cache = {}
+        solution_parts = self._evaluate(solution.operator, cache, ctx)
+        state = {}
+        for partition in solution_parts:
+            for record in partition:
+                state[key_fn(record)] = record
+        if workset is None:
+            working = [list(p) for p in solution_parts]
+        else:
+            working = self._evaluate(workset.operator, dict(cache), ctx)
+
+        for iteration in range(1, max_iterations + 1):
+            if sum(len(p) for p in working) == 0:
+                break
+            step_ctx = ExecutionContext(self, metrics, iteration=iteration)
+            solution_ds = self.from_partitions(
+                [list(p) for p in _partition_values(state, self.parallelism)],
+                name="delta-solution",
+            )
+            workset_ds = self.from_partitions(working, name="delta-workset")
+            candidates_ds = step(solution_ds, workset_ds, iteration)
+            if candidates_ds is None:
+                raise IterationError("step returned no candidate dataset")
+            candidate_parts = self._evaluate(
+                candidates_ds.operator, {}, step_ctx
+            )
+            changed = [[] for _ in range(self.parallelism)]
+            for worker, partition in enumerate(candidate_parts):
+                for record in partition:
+                    key = key_fn(record)
+                    if key not in state:
+                        raise IterationError(
+                            "delta iteration produced unknown key %r" % (key,)
+                        )
+                    if state[key] != record:
+                        state[key] = record
+                        changed[worker].append(record)
+            working = changed
+
+        return self.from_partitions(
+            [list(p) for p in _partition_values(state, self.parallelism)],
+            name="delta-result",
+        )
+
+
+def _partition_values(state, parallelism):
+    """Deterministically spread the solution records over workers."""
+    from .partitioner import partition_index
+
+    partitions = [[] for _ in range(parallelism)]
+    for key, record in state.items():
+        partitions[partition_index(key, parallelism)].append(record)
+    return partitions

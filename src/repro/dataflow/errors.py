@@ -1,0 +1,28 @@
+"""Exceptions raised by the dataflow substrate."""
+
+
+class DataflowError(Exception):
+    """Base class for all dataflow errors."""
+
+
+class JobExecutionError(DataflowError):
+    """A user-defined function raised inside an operator.
+
+    The original exception is chained; the message names the operator so
+    failures in deep plans remain diagnosable.
+    """
+
+    def __init__(self, operator_name, cause):
+        super().__init__(
+            "operator %r failed: %s: %s" % (operator_name, type(cause).__name__, cause)
+        )
+        self.operator_name = operator_name
+        self.cause = cause
+
+
+class PlanError(DataflowError):
+    """The transformation DAG is structurally invalid (e.g. mixed environments)."""
+
+
+class IterationError(DataflowError):
+    """A bulk iteration was mis-configured or failed to converge."""

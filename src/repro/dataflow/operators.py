@@ -1,0 +1,599 @@
+"""Logical operators of the dataflow DAG and their partitioned execution.
+
+Each :class:`Operator` is an immutable node holding its parents and a
+user-defined function.  Execution is partition-parallel over ``parallelism``
+simulated workers: partition-local operators (map, filter, flat-map) never
+move data; key-based operators (join, group, distinct) shuffle records and
+report the movement to the environment's :class:`~repro.dataflow.metrics.JobMetrics`.
+"""
+
+import enum
+import itertools
+
+from .errors import JobExecutionError
+from .partitioner import partition_index, round_robin_partitions, stable_hash
+from .sizing import estimate_size
+
+_ids = itertools.count()
+
+
+class JoinStrategy(enum.Enum):
+    """Physical join strategies, mirroring Flink's optimizer choices."""
+
+    AUTO = "auto"
+    REPARTITION_HASH = "repartition-hash"
+    BROADCAST_FIRST = "broadcast-first"
+    BROADCAST_SECOND = "broadcast-second"
+    SORT_MERGE = "sort-merge"
+
+
+class ShuffleStats:
+    """Bookkeeping for one data redistribution."""
+
+    def __init__(self, parallelism):
+        self.records = 0
+        self.bytes = 0
+        self.bytes_in = [0] * parallelism
+
+    def merge(self, other):
+        self.records += other.records
+        self.bytes += other.bytes
+        for worker, received in enumerate(other.bytes_in):
+            self.bytes_in[worker] += received
+
+
+class ExecutionContext:
+    """Per-run services handed to operators: shuffling, metrics, memory."""
+
+    def __init__(self, environment, metrics, iteration=None):
+        self._environment = environment
+        self._metrics = metrics
+        self.iteration = iteration
+
+    @property
+    def parallelism(self):
+        return self._environment.parallelism
+
+    @property
+    def memory_records_per_worker(self):
+        return self._environment.cost_model.memory_records_per_worker
+
+    def evaluate(self, operator, cache):
+        """Evaluate a sub-DAG (used by bulk iteration)."""
+        return self._environment._evaluate(operator, cache, self)
+
+    # Shuffle primitives ---------------------------------------------------
+
+    def hash_shuffle(self, partitions, key_fn):
+        """Redistribute records so equal keys share a worker."""
+        parallelism = self.parallelism
+        out = [[] for _ in range(parallelism)]
+        stats = ShuffleStats(parallelism)
+        for source_worker, partition in enumerate(partitions):
+            for record in partition:
+                target = partition_index(key_fn(record), parallelism)
+                out[target].append(record)
+                if target != source_worker:
+                    size = estimate_size(record)
+                    stats.records += 1
+                    stats.bytes += size
+                    stats.bytes_in[target] += size
+        return out, stats
+
+    def broadcast(self, partitions):
+        """Replicate a dataset's records to every worker."""
+        parallelism = self.parallelism
+        stats = ShuffleStats(parallelism)
+        everything = [record for partition in partitions for record in partition]
+        total_bytes = sum(estimate_size(record) for record in everything)
+        stats.records = len(everything) * max(parallelism - 1, 0)
+        stats.bytes = total_bytes * max(parallelism - 1, 0)
+        for worker in range(parallelism):
+            stats.bytes_in[worker] = total_bytes
+        return [list(everything) for _ in range(parallelism)], stats
+
+    def record_run(
+        self,
+        name,
+        parent_partition_sets,
+        out_partitions,
+        shuffle=None,
+        spilled_workers=0,
+        worker_work=None,
+    ):
+        """Append an OperatorRun for a finished operator execution.
+
+        ``worker_work`` overrides the per-worker input distribution; shuffle
+        operators pass their post-shuffle partition sizes so that skew
+        reflects the work each worker actually performs.
+        """
+        from .metrics import OperatorRun
+
+        if worker_work is not None:
+            worker_in = list(worker_work)
+        else:
+            worker_in = [0] * self.parallelism
+            for partitions in parent_partition_sets:
+                for worker, partition in enumerate(partitions):
+                    worker_in[worker] += len(partition)
+        run = OperatorRun(
+            name=name,
+            records_in=sum(worker_in),
+            records_out=sum(len(p) for p in out_partitions),
+            worker_records_in=worker_in,
+            worker_records_out=[len(p) for p in out_partitions],
+            iteration=self.iteration,
+        )
+        if shuffle is not None:
+            run.shuffled_records = shuffle.records
+            run.shuffled_bytes = shuffle.bytes
+            run.worker_shuffle_bytes_in = list(shuffle.bytes_in)
+        run.spilled_workers = spilled_workers
+        self._metrics.add(run)
+        return run
+
+
+class Operator:
+    """Base class for DAG nodes."""
+
+    display = "operator"
+
+    def __init__(self, environment, parents, name=None):
+        self.id = next(_ids)
+        self.environment = environment
+        self.parents = list(parents)
+        self.name = name or self.display
+
+    def execute(self, ctx, parent_partition_sets):
+        raise NotImplementedError
+
+    def _call(self, fn, *args):
+        try:
+            return fn(*args)
+        except Exception as exc:  # noqa: BLE001 — rewrap with operator context
+            raise JobExecutionError(self.name, exc) from exc
+
+
+class SourceOperator(Operator):
+    """Materialized input split round-robin across workers."""
+
+    display = "source"
+
+    def __init__(self, environment, items, name=None):
+        super().__init__(environment, [], name)
+        self._partitions = round_robin_partitions(list(items), environment.parallelism)
+
+    def execute(self, ctx, parent_partition_sets):
+        out = [list(p) for p in self._partitions]
+        ctx.record_run(self.name, [], out)
+        return out
+
+
+class PartitionedSourceOperator(Operator):
+    """Input that is already partitioned (e.g. an iteration's working set)."""
+
+    display = "partitioned-source"
+
+    def __init__(self, environment, partitions, name=None):
+        super().__init__(environment, [], name)
+        if len(partitions) != environment.parallelism:
+            raise ValueError(
+                "expected %d partitions, got %d"
+                % (environment.parallelism, len(partitions))
+            )
+        self.partitions = partitions
+
+    def execute(self, ctx, parent_partition_sets):
+        out = [list(p) for p in self.partitions]
+        ctx.record_run(self.name, [], out)
+        return out
+
+
+class MapOperator(Operator):
+    display = "map"
+
+    def __init__(self, environment, parent, fn, name=None):
+        super().__init__(environment, [parent], name)
+        self.fn = fn
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        out = [[self._call(self.fn, r) for r in p] for p in partitions]
+        ctx.record_run(self.name, parent_partition_sets, out)
+        return out
+
+
+class FlatMapOperator(Operator):
+    display = "flat-map"
+
+    def __init__(self, environment, parent, fn, name=None):
+        super().__init__(environment, [parent], name)
+        self.fn = fn
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        out = []
+        for partition in partitions:
+            produced = []
+            for record in partition:
+                produced.extend(self._call(self.fn, record))
+            out.append(produced)
+        ctx.record_run(self.name, parent_partition_sets, out)
+        return out
+
+
+class FilterOperator(Operator):
+    display = "filter"
+
+    def __init__(self, environment, parent, predicate, name=None):
+        super().__init__(environment, [parent], name)
+        self.predicate = predicate
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        out = [[r for r in p if self._call(self.predicate, r)] for p in partitions]
+        ctx.record_run(self.name, parent_partition_sets, out)
+        return out
+
+
+class MapPartitionOperator(Operator):
+    display = "map-partition"
+
+    def __init__(self, environment, parent, fn, name=None):
+        super().__init__(environment, [parent], name)
+        self.fn = fn
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        out = [list(self._call(self.fn, iter(p))) for p in partitions]
+        ctx.record_run(self.name, parent_partition_sets, out)
+        return out
+
+
+class UnionOperator(Operator):
+    """Partition-wise concatenation; no data movement."""
+
+    display = "union"
+
+    def __init__(self, environment, left, right, name=None):
+        super().__init__(environment, [left, right], name)
+
+    def execute(self, ctx, parent_partition_sets):
+        left, right = parent_partition_sets
+        out = [list(l) + list(r) for l, r in zip(left, right)]
+        ctx.record_run(self.name, parent_partition_sets, out)
+        return out
+
+
+class RebalanceOperator(Operator):
+    """Round-robin redistribution to even out partition sizes."""
+
+    display = "rebalance"
+
+    def __init__(self, environment, parent, name=None):
+        super().__init__(environment, [parent], name)
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        parallelism = ctx.parallelism
+        out = [[] for _ in range(parallelism)]
+        stats = ShuffleStats(parallelism)
+        cursor = 0
+        for source_worker, partition in enumerate(partitions):
+            for record in partition:
+                target = cursor % parallelism
+                cursor += 1
+                out[target].append(record)
+                if target != source_worker:
+                    size = estimate_size(record)
+                    stats.records += 1
+                    stats.bytes += size
+                    stats.bytes_in[target] += size
+        ctx.record_run(self.name, parent_partition_sets, out, shuffle=stats)
+        return out
+
+
+class PartitionByOperator(Operator):
+    """Explicit hash partitioning by a key function."""
+
+    display = "partition-by"
+
+    def __init__(self, environment, parent, key_fn, name=None):
+        super().__init__(environment, [parent], name)
+        self.key_fn = key_fn
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        out, stats = ctx.hash_shuffle(
+            partitions, lambda record: self._call(self.key_fn, record)
+        )
+        ctx.record_run(self.name, parent_partition_sets, out, shuffle=stats)
+        return out
+
+
+class DistinctOperator(Operator):
+    """Key-based deduplication (shuffle + per-worker hash set)."""
+
+    display = "distinct"
+
+    def __init__(self, environment, parent, key_fn=None, name=None):
+        super().__init__(environment, [parent], name)
+        self.key_fn = key_fn if key_fn is not None else _identity
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        shuffled, stats = ctx.hash_shuffle(
+            partitions, lambda record: self._call(self.key_fn, record)
+        )
+        out = []
+        spilled = 0
+        for partition in shuffled:
+            if len(partition) > ctx.memory_records_per_worker:
+                spilled += 1
+            seen = set()
+            kept = []
+            for record in partition:
+                key = _hashable(self._call(self.key_fn, record))
+                if key not in seen:
+                    seen.add(key)
+                    kept.append(record)
+            out.append(kept)
+        ctx.record_run(
+            self.name,
+            parent_partition_sets,
+            out,
+            shuffle=stats,
+            spilled_workers=spilled,
+            worker_work=[len(p) for p in shuffled],
+        )
+        return out
+
+
+class GroupReduceOperator(Operator):
+    """Shuffle by key, then apply ``reduce_fn(key, records) -> iterable``."""
+
+    display = "group-reduce"
+
+    def __init__(self, environment, parent, key_fn, reduce_fn, name=None):
+        super().__init__(environment, [parent], name)
+        self.key_fn = key_fn
+        self.reduce_fn = reduce_fn
+
+    def execute(self, ctx, parent_partition_sets):
+        (partitions,) = parent_partition_sets
+        shuffled, stats = ctx.hash_shuffle(
+            partitions, lambda record: self._call(self.key_fn, record)
+        )
+        out = []
+        spilled = 0
+        for partition in shuffled:
+            if len(partition) > ctx.memory_records_per_worker:
+                spilled += 1
+            groups = {}
+            order = []
+            for record in partition:
+                key = _hashable(self._call(self.key_fn, record))
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(record)
+            produced = []
+            for key in order:
+                produced.extend(self._call(self.reduce_fn, key, groups[key]))
+            out.append(produced)
+        ctx.record_run(
+            self.name,
+            parent_partition_sets,
+            out,
+            shuffle=stats,
+            spilled_workers=spilled,
+            worker_work=[len(p) for p in shuffled],
+        )
+        return out
+
+
+class JoinOperator(Operator):
+    """Equi-join with selectable physical strategy.
+
+    ``join_fn(left, right)`` has FlatJoin semantics: it returns an iterable
+    of output records, so morphism checks can drop pairs without a second
+    filter pass (paper §3.1).
+    """
+
+    display = "join"
+    # Broadcasting pays off when one side is small in absolute terms and
+    # much smaller than the other; mirrors Flink's size-based heuristic.
+    _BROADCAST_LIMIT = 10_000
+    _BROADCAST_RATIO = 8
+
+    def __init__(
+        self,
+        environment,
+        left,
+        right,
+        left_key,
+        right_key,
+        join_fn=None,
+        strategy=JoinStrategy.AUTO,
+        name=None,
+    ):
+        super().__init__(environment, [left, right], name)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.join_fn = join_fn if join_fn is not None else _pair
+        self.strategy = strategy
+        self.chosen_strategy = None
+
+    def _choose(self, left_count, right_count):
+        if self.strategy is not JoinStrategy.AUTO:
+            return self.strategy
+        smaller, larger = sorted((left_count, right_count))
+        if smaller <= self._BROADCAST_LIMIT and larger >= smaller * self._BROADCAST_RATIO:
+            if left_count <= right_count:
+                return JoinStrategy.BROADCAST_FIRST
+            return JoinStrategy.BROADCAST_SECOND
+        return JoinStrategy.REPARTITION_HASH
+
+    def execute(self, ctx, parent_partition_sets):
+        left_parts, right_parts = parent_partition_sets
+        left_count = sum(len(p) for p in left_parts)
+        right_count = sum(len(p) for p in right_parts)
+        strategy = self._choose(left_count, right_count)
+        self.chosen_strategy = strategy
+
+        stats = ShuffleStats(ctx.parallelism)
+        if strategy is JoinStrategy.BROADCAST_FIRST:
+            left_local, s = ctx.broadcast(left_parts)
+            stats.merge(s)
+            right_local = [list(p) for p in right_parts]
+        elif strategy is JoinStrategy.BROADCAST_SECOND:
+            right_local, s = ctx.broadcast(right_parts)
+            stats.merge(s)
+            left_local = [list(p) for p in left_parts]
+        else:  # repartition-based strategies co-locate equal keys
+            left_local, s1 = ctx.hash_shuffle(
+                left_parts, lambda record: self._call(self.left_key, record)
+            )
+            right_local, s2 = ctx.hash_shuffle(
+                right_parts, lambda record: self._call(self.right_key, record)
+            )
+            stats.merge(s1)
+            stats.merge(s2)
+
+        out = []
+        spilled = 0
+        for left_partition, right_partition in zip(left_local, right_local):
+            build, probe, build_is_left = self._pick_sides(
+                left_partition, right_partition
+            )
+            if len(build) > ctx.memory_records_per_worker:
+                spilled += 1
+            if strategy is JoinStrategy.SORT_MERGE:
+                produced = self._sort_merge(left_partition, right_partition)
+            else:
+                produced = self._hash_join(build, probe, build_is_left)
+            out.append(produced)
+
+        name = "%s[%s]" % (self.name, strategy.value)
+        worker_work = [
+            len(l) + len(r) for l, r in zip(left_local, right_local)
+        ]
+        ctx.record_run(
+            name,
+            parent_partition_sets,
+            out,
+            shuffle=stats,
+            spilled_workers=spilled,
+            worker_work=worker_work,
+        )
+        return out
+
+    def _pick_sides(self, left_partition, right_partition):
+        if len(left_partition) <= len(right_partition):
+            return left_partition, right_partition, True
+        return right_partition, left_partition, False
+
+    def _hash_join(self, build, probe, build_is_left):
+        build_key = self.left_key if build_is_left else self.right_key
+        probe_key = self.right_key if build_is_left else self.left_key
+        table = {}
+        for record in build:
+            table.setdefault(_hashable(self._call(build_key, record)), []).append(record)
+        produced = []
+        for probe_record in probe:
+            matches = table.get(_hashable(self._call(probe_key, probe_record)))
+            if not matches:
+                continue
+            for build_record in matches:
+                if build_is_left:
+                    produced.extend(self._call(self.join_fn, build_record, probe_record))
+                else:
+                    produced.extend(self._call(self.join_fn, probe_record, build_record))
+        return produced
+
+    def _sort_merge(self, left_partition, right_partition):
+        left_sorted = sorted(
+            left_partition, key=lambda r: stable_hash(self._call(self.left_key, r))
+        )
+        right_sorted = sorted(
+            right_partition, key=lambda r: stable_hash(self._call(self.right_key, r))
+        )
+        produced = []
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            lk = stable_hash(self._call(self.left_key, left_sorted[i]))
+            rk = stable_hash(self._call(self.right_key, right_sorted[j]))
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                i_end = i
+                while (
+                    i_end < len(left_sorted)
+                    and stable_hash(self._call(self.left_key, left_sorted[i_end])) == lk
+                ):
+                    i_end += 1
+                j_end = j
+                while (
+                    j_end < len(right_sorted)
+                    and stable_hash(self._call(self.right_key, right_sorted[j_end])) == rk
+                ):
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        left_record = left_sorted[li]
+                        right_record = right_sorted[rj]
+                        # hash equality is necessary but not sufficient
+                        if self._call(self.left_key, left_record) == self._call(
+                            self.right_key, right_record
+                        ):
+                            produced.extend(
+                                self._call(self.join_fn, left_record, right_record)
+                            )
+                i, j = i_end, j_end
+        return produced
+
+
+class CrossOperator(Operator):
+    """Cartesian product: the right side is broadcast."""
+
+    display = "cross"
+
+    def __init__(self, environment, left, right, fn=None, name=None):
+        super().__init__(environment, [left, right], name)
+        self.fn = fn if fn is not None else _pair_single
+
+    def execute(self, ctx, parent_partition_sets):
+        left_parts, right_parts = parent_partition_sets
+        right_local, stats = ctx.broadcast(right_parts)
+        out = []
+        for left_partition, right_partition in zip(left_parts, right_local):
+            produced = []
+            for left_record in left_partition:
+                for right_record in right_partition:
+                    produced.append(self._call(self.fn, left_record, right_record))
+            out.append(produced)
+        ctx.record_run(self.name, parent_partition_sets, out, shuffle=stats)
+        return out
+
+
+def _identity(record):
+    return record
+
+
+def _pair(left, right):
+    return [(left, right)]
+
+
+def _pair_single(left, right):
+    return (left, right)
+
+
+def _hashable(key):
+    """Coerce mutable key types to hashable equivalents."""
+    if isinstance(key, bytearray):
+        return bytes(key)
+    if isinstance(key, list):
+        return tuple(_hashable(part) for part in key)
+    return key

@@ -1,0 +1,393 @@
+"""The embedding data structure (paper §3.3), byte-for-byte.
+
+An embedding is three byte arrays:
+
+* ``id_data`` — fixed-width entries (1 flag byte + 8-byte value).  Flag
+  ``ID`` marks a vertex/edge identifier; flag ``PATH`` marks an offset into
+  ``path_data``.  Fixed width makes column access O(1).
+* ``path_data`` — per path: a 4-byte element count followed by the ordered
+  8-byte identifiers of the path's alternating edge/vertex elements
+  (``via`` in Table 2b — endpoints excluded).
+* ``prop_data`` — per property: a 2-byte byte-length followed by the
+  serialized :class:`~repro.epgm.PropertyValue`.  Access walks length
+  fields, exactly as the paper describes.
+
+Merging two embeddings (a join) is append-only for identifiers and
+properties; path offsets of the right side are rewritten by the left
+side's ``path_data`` length.
+
+The mapping from query variables and property keys to entry indices lives
+outside the embedding, in :class:`EmbeddingMetaData` — "utilized and
+updated by the query operators but not part of the embedding" (§3.3).
+"""
+
+import struct
+
+from repro.epgm import GradoopId, PropertyValue
+from repro.epgm.property_value import NULL_VALUE
+
+FLAG_ID = 0
+FLAG_PATH = 1
+
+_ENTRY = struct.Struct(">BQ")
+_PATH_LEN = struct.Struct(">I")
+_ID = struct.Struct(">Q")
+_PROP_LEN = struct.Struct(">H")
+
+ENTRY_WIDTH = _ENTRY.size  # 9 bytes
+
+
+class Embedding:
+    """An immutable row of the embeddings relation."""
+
+    __slots__ = ("id_data", "path_data", "prop_data")
+
+    def __init__(self, id_data=b"", path_data=b"", prop_data=b""):
+        self.id_data = bytes(id_data)
+        self.path_data = bytes(path_data)
+        self.prop_data = bytes(prop_data)
+
+    # Reading ------------------------------------------------------------------
+
+    @property
+    def column_count(self):
+        return len(self.id_data) // ENTRY_WIDTH
+
+    def flag_at(self, column):
+        return self.id_data[column * ENTRY_WIDTH]
+
+    def _value_at(self, column):
+        flag, value = _ENTRY.unpack_from(self.id_data, column * ENTRY_WIDTH)
+        return flag, value
+
+    def id_at(self, column):
+        """The GradoopId stored at ``column`` (must be an ID entry)."""
+        flag, value = self._value_at(column)
+        if flag != FLAG_ID:
+            raise ValueError("column %d holds a path, not an id" % column)
+        return GradoopId(value)
+
+    def raw_id_at(self, column):
+        """Like :meth:`id_at` but returns the bare int (hot-path helper)."""
+        flag, value = self._value_at(column)
+        if flag != FLAG_ID:
+            raise ValueError("column %d holds a path, not an id" % column)
+        return value
+
+    def path_at(self, column):
+        """The identifier list of the path stored at ``column``."""
+        flag, offset = self._value_at(column)
+        if flag != FLAG_PATH:
+            raise ValueError("column %d holds an id, not a path" % column)
+        (count,) = _PATH_LEN.unpack_from(self.path_data, offset)
+        cursor = offset + _PATH_LEN.size
+        ids = []
+        for _ in range(count):
+            (value,) = _ID.unpack_from(self.path_data, cursor)
+            ids.append(GradoopId(value))
+            cursor += _ID.size
+        return ids
+
+    @property
+    def property_count(self):
+        count = 0
+        cursor = 0
+        data = self.prop_data
+        while cursor < len(data):
+            (length,) = _PROP_LEN.unpack_from(data, cursor)
+            cursor += _PROP_LEN.size + length
+            count += 1
+        return count
+
+    def property_at(self, index):
+        """The index-th property value; walks length fields (O(index))."""
+        cursor = 0
+        data = self.prop_data
+        for _ in range(index):
+            if cursor >= len(data):
+                raise IndexError("property index %d out of range" % index)
+            (length,) = _PROP_LEN.unpack_from(data, cursor)
+            cursor += _PROP_LEN.size + length
+        if cursor >= len(data):
+            raise IndexError("property index %d out of range" % index)
+        (length,) = _PROP_LEN.unpack_from(data, cursor)
+        start = cursor + _PROP_LEN.size
+        value, _ = PropertyValue.from_bytes(data[start : start + length])
+        return value
+
+    def properties(self):
+        """All property values in index order."""
+        values = []
+        cursor = 0
+        data = self.prop_data
+        while cursor < len(data):
+            (length,) = _PROP_LEN.unpack_from(data, cursor)
+            start = cursor + _PROP_LEN.size
+            value, _ = PropertyValue.from_bytes(data[start : start + length])
+            values.append(value)
+            cursor = start + length
+        return values
+
+    # Building (returns new embeddings; instances stay immutable) -----------------
+
+    def append_id(self, gradoop_id):
+        entry = _ENTRY.pack(FLAG_ID, gradoop_id.value)
+        return Embedding(self.id_data + entry, self.path_data, self.prop_data)
+
+    def append_properties(self, values):
+        chunks = [self.prop_data]
+        for value in values:
+            if not isinstance(value, PropertyValue):
+                value = PropertyValue(value)
+            payload = value.to_bytes()
+            chunks.append(_PROP_LEN.pack(len(payload)))
+            chunks.append(payload)
+        return Embedding(self.id_data, self.path_data, b"".join(chunks))
+
+    def append_path(self, ids):
+        """Append a PATH column holding ``ids`` (list of GradoopId or int)."""
+        offset = len(self.path_data)
+        entry = _ENTRY.pack(FLAG_PATH, offset)
+        chunks = [self.path_data, _PATH_LEN.pack(len(ids))]
+        for gid in ids:
+            value = gid.value if isinstance(gid, GradoopId) else gid
+            chunks.append(_ID.pack(value))
+        return Embedding(self.id_data + entry, b"".join(chunks), self.prop_data)
+
+    def merge(self, other, drop_columns=frozenset()):
+        """Join-merge: append ``other``'s entries except ``drop_columns``.
+
+        Path offsets in kept PATH entries are rewritten relative to the
+        concatenated ``path_data``; identifiers and properties are appended
+        as-is (the append-only property of §3.3).
+        """
+        base_offset = len(self.path_data)
+        id_chunks = [self.id_data]
+        for column in range(other.column_count):
+            if column in drop_columns:
+                continue
+            flag, value = other._value_at(column)
+            if flag == FLAG_PATH:
+                value += base_offset
+            id_chunks.append(_ENTRY.pack(flag, value))
+        return Embedding(
+            b"".join(id_chunks),
+            self.path_data + other.path_data,
+            self.prop_data + other.prop_data,
+        )
+
+    def project_properties(self, keep_indices):
+        """Keep only the properties at ``keep_indices`` (in the given order)."""
+        values = self.properties()
+        kept = [values[index] for index in keep_indices]
+        return Embedding(self.id_data, self.path_data).append_properties(kept)
+
+    # Infrastructure ----------------------------------------------------------------
+
+    @classmethod
+    def of_ids(cls, *gradoop_ids):
+        embedding = cls()
+        for gid in gradoop_ids:
+            embedding = embedding.append_id(gid)
+        return embedding
+
+    def serialized_size(self):
+        return len(self.id_data) + len(self.path_data) + len(self.prop_data)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Embedding)
+            and self.id_data == other.id_data
+            and self.path_data == other.path_data
+            and self.prop_data == other.prop_data
+        )
+
+    def __hash__(self):
+        return hash((self.id_data, self.path_data, self.prop_data))
+
+    def __repr__(self):
+        columns = []
+        for column in range(self.column_count):
+            flag, value = self._value_at(column)
+            if flag == FLAG_ID:
+                columns.append(str(value))
+            else:
+                columns.append(
+                    "path[%s]" % ",".join(str(g.value) for g in self.path_at(column))
+                )
+        return "Embedding(%s | %d props)" % (", ".join(columns), self.property_count)
+
+
+class EmbeddingMetaData:
+    """Variable/property → entry-index mapping (kept outside the embedding).
+
+    ``entries`` maps a query variable to ``(column, kind)`` with kind one
+    of ``'v'`` (vertex), ``'e'`` (edge), ``'p'`` (variable-length path);
+    ``properties`` maps ``(variable, key)`` to a property index.
+    """
+
+    def __init__(self, entries=None, properties=None):
+        self._entries = dict(entries or {})
+        self._properties = dict(properties or {})
+
+    # Construction ---------------------------------------------------------------
+
+    def with_entry(self, variable, kind):
+        if variable in self._entries:
+            raise ValueError("variable %r already mapped" % variable)
+        if kind not in ("v", "e", "p"):
+            raise ValueError("unknown entry kind %r" % kind)
+        entries = dict(self._entries)
+        entries[variable] = (len(self._entries), kind)
+        return EmbeddingMetaData(entries, self._properties)
+
+    def with_property(self, variable, key):
+        if (variable, key) in self._properties:
+            raise ValueError("property %s.%s already mapped" % (variable, key))
+        properties = dict(self._properties)
+        properties[(variable, key)] = len(self._properties)
+        return EmbeddingMetaData(self._entries, properties)
+
+    @staticmethod
+    def combine(left, right, join_variables):
+        """Meta data of ``left.merge(right, drop)`` dropping the join columns.
+
+        Returns ``(meta, drop_columns)`` where ``drop_columns`` is the set
+        of right-side columns to drop in :meth:`Embedding.merge`.
+        """
+        drop_columns = set()
+        for variable in join_variables:
+            drop_columns.add(right.entry_column(variable))
+        entries = dict(left._entries)
+        offset = len(left._entries)
+        for variable, (column, kind) in sorted(
+            right._entries.items(), key=lambda item: item[1][0]
+        ):
+            if column in drop_columns:
+                continue
+            if variable in entries:
+                raise ValueError(
+                    "variable %r bound on both join sides but not joined" % variable
+                )
+            entries[variable] = (offset, kind)
+            offset += 1
+        properties = dict(left._properties)
+        prop_offset = len(left._properties)
+        for (variable, key), index in sorted(
+            right._properties.items(), key=lambda item: item[1]
+        ):
+            # prop_data is appended wholesale, so right indices shift by the
+            # left side's property count; a pair loaded on both sides keeps
+            # the left mapping (the right copy becomes dead bytes).
+            properties.setdefault((variable, key), prop_offset + index)
+        meta = EmbeddingMetaData(entries, properties)
+        return meta, drop_columns
+
+    # Lookup ---------------------------------------------------------------------
+
+    @property
+    def variables(self):
+        return [
+            variable
+            for variable, _ in sorted(
+                self._entries.items(), key=lambda item: item[1][0]
+            )
+        ]
+
+    @property
+    def column_count(self):
+        return len(self._entries)
+
+    @property
+    def property_count(self):
+        return len(self._properties)
+
+    def has_variable(self, variable):
+        return variable in self._entries
+
+    def entry_column(self, variable):
+        try:
+            return self._entries[variable][0]
+        except KeyError:
+            raise KeyError("variable %r not in embedding" % variable) from None
+
+    def entry_kind(self, variable):
+        try:
+            return self._entries[variable][1]
+        except KeyError:
+            raise KeyError("variable %r not in embedding" % variable) from None
+
+    def has_property(self, variable, key):
+        return (variable, key) in self._properties
+
+    def property_index(self, variable, key):
+        try:
+            return self._properties[(variable, key)]
+        except KeyError:
+            raise KeyError("property %s.%s not in embedding" % (variable, key)) from None
+
+    def property_entries(self):
+        """All ``(variable, key)`` pairs in index order."""
+        return [
+            pair
+            for pair, _ in sorted(self._properties.items(), key=lambda item: item[1])
+        ]
+
+    def property_keys_of(self, variable):
+        return [key for (var, key) in self.property_entries() if var == variable]
+
+    def __repr__(self):
+        return "EmbeddingMetaData(%r, %r)" % (self._entries, self._properties)
+
+
+class EmbeddingBindings:
+    """Adapter exposing an embedding to the CNF evaluator.
+
+    Labels are not materialized in embeddings (label predicates are always
+    pushed to the leaf operators where the element is at hand), so
+    :meth:`label` answering is unsupported here by design.
+    """
+
+    __slots__ = ("embedding", "meta")
+
+    def __init__(self, embedding, meta):
+        self.embedding = embedding
+        self.meta = meta
+
+    def property_value(self, variable, key):
+        if not self.meta.has_property(variable, key):
+            return NULL_VALUE
+        return self.embedding.property_at(self.meta.property_index(variable, key))
+
+    def label(self, variable):
+        raise KeyError(
+            "label of %r is not available after the leaf operators" % variable
+        )
+
+    def element_id(self, variable):
+        return self.embedding.id_at(self.meta.entry_column(variable))
+
+
+class ElementBindings:
+    """Adapter exposing a single vertex/edge to the CNF evaluator."""
+
+    __slots__ = ("variable", "element")
+
+    def __init__(self, variable, element):
+        self.variable = variable
+        self.element = element
+
+    def property_value(self, variable, key):
+        if variable != self.variable:
+            raise KeyError("variable %r not bound at this leaf" % variable)
+        return self.element.get_property(key)
+
+    def label(self, variable):
+        if variable != self.variable:
+            raise KeyError("variable %r not bound at this leaf" % variable)
+        return self.element.label
+
+    def element_id(self, variable):
+        if variable != self.variable:
+            raise KeyError("variable %r not bound at this leaf" % variable)
+        return self.element.id

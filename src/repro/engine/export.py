@@ -1,0 +1,53 @@
+"""Export query results to numpy arrays for downstream analytics.
+
+The paper positions pattern matching inside *analytical programs* —
+matches feed further computation.  This module hands embeddings to the
+scientific Python stack as columnar arrays.
+"""
+
+import numpy
+
+
+def embeddings_to_arrays(embeddings, meta):
+    """Columnar view of an embedding relation.
+
+    Returns a dict with one ``numpy`` array per entry column (``uint64``
+    element ids; PATH columns become ``object`` arrays of id lists) and
+    one ``object`` array per projected property (raw Python values, None
+    for NULL).
+
+    .. code-block:: python
+
+        embeddings, meta = runner.execute_embeddings(query)
+        columns = embeddings_to_arrays(embeddings, meta)
+        columns["p1"]          # array of vertex ids
+        columns["p1.name"]     # array of property values
+    """
+    count = len(embeddings)
+    columns = {}
+    for variable in meta.variables:
+        column = meta.entry_column(variable)
+        if meta.entry_kind(variable) == "p":
+            data = numpy.empty(count, dtype=object)
+            for index, embedding in enumerate(embeddings):
+                data[index] = [g.value for g in embedding.path_at(column)]
+        else:
+            data = numpy.fromiter(
+                (embedding.raw_id_at(column) for embedding in embeddings),
+                dtype=numpy.uint64,
+                count=count,
+            )
+        columns[variable] = data
+    for variable, key in meta.property_entries():
+        prop_index = meta.property_index(variable, key)
+        data = numpy.empty(count, dtype=object)
+        for index, embedding in enumerate(embeddings):
+            data[index] = embedding.property_at(prop_index).raw()
+        columns["%s.%s" % (variable, key)] = data
+    return columns
+
+
+def result_table(runner, query, parameters=None):
+    """One-call helper: execute and export to arrays."""
+    embeddings, meta = runner.execute_embeddings(query, parameters)
+    return embeddings_to_arrays(embeddings, meta)

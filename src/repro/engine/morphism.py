@@ -1,0 +1,68 @@
+"""Match semantics (Definition 2.3) and their enforcement.
+
+Unlike Neo4j (vertex homomorphism, edge isomorphism, fixed), Gradoop lets
+the caller choose the strategy per element kind (paper §2.3).  Isomorphism
+means the binding function is injective: no two query vertices (edges) may
+bind the same data vertex (edge).  Variable-length paths participate —
+their internal vertices/edges count toward distinctness.
+"""
+
+import enum
+
+
+class MatchStrategy(enum.Enum):
+    HOMOMORPHISM = "homomorphism"
+    ISOMORPHISM = "isomorphism"
+
+
+#: Neo4j-compatible defaults used when the caller does not specify.
+DEFAULT_VERTEX_STRATEGY = MatchStrategy.HOMOMORPHISM
+DEFAULT_EDGE_STRATEGY = MatchStrategy.ISOMORPHISM
+
+
+def check_distinct(values):
+    """True iff no value repeats."""
+    seen = set()
+    for value in values:
+        if value in seen:
+            return False
+        seen.add(value)
+    return True
+
+
+def embedding_satisfies_morphism(embedding, meta, vertex_strategy, edge_strategy):
+    """Full injectivity check over an embedding.
+
+    Under vertex isomorphism all vertex columns plus every path-internal
+    vertex must be pairwise distinct; under edge isomorphism all edge
+    columns plus every path edge must be.  Homomorphism performs no check.
+    """
+    vertex_iso = vertex_strategy is MatchStrategy.ISOMORPHISM
+    edge_iso = edge_strategy is MatchStrategy.ISOMORPHISM
+    if not vertex_iso and not edge_iso:
+        return True
+    vertex_ids = []
+    edge_ids = []
+    for variable in meta.variables:
+        column = meta.entry_column(variable)
+        kind = meta.entry_kind(variable)
+        if kind == "v":
+            if vertex_iso:
+                vertex_ids.append(embedding.id_at(column).value)
+        elif kind == "e":
+            if edge_iso:
+                edge_ids.append(embedding.id_at(column).value)
+        elif kind == "p":
+            path = embedding.path_at(column)
+            # via = [e1, v1, e2, v2, ..., ek]: even indices are edges
+            for index, gid in enumerate(path):
+                if index % 2 == 0:
+                    if edge_iso:
+                        edge_ids.append(gid.value)
+                elif vertex_iso:
+                    vertex_ids.append(gid.value)
+    if vertex_iso and not check_distinct(vertex_ids):
+        return False
+    if edge_iso and not check_distinct(edge_ids):
+        return False
+    return True

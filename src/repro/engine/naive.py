@@ -1,0 +1,246 @@
+"""A brute-force backtracking pattern matcher.
+
+Serves two purposes:
+
+* **ground truth** — integration tests cross-check the dataflow engine's
+  results against this independent implementation on small graphs;
+* **baseline** — the "no dataflow, no planner" single-machine comparator
+  used in ablation benchmarks.
+
+Semantics are identical to the engine: configurable vertex/edge morphism
+strategies, per-hop predicates on variable-length edges, Cypher ternary
+predicate logic.
+"""
+
+from repro.cypher.predicates import evaluate_cnf
+from repro.cypher.query_graph import QueryHandler
+
+from .embedding import ElementBindings
+from .morphism import (
+    DEFAULT_EDGE_STRATEGY,
+    DEFAULT_VERTEX_STRATEGY,
+    MatchStrategy,
+    check_distinct,
+)
+
+
+class _NaiveBindings:
+    """CNF bindings over a plain variable->element dict."""
+
+    def __init__(self, elements):
+        self.elements = elements
+
+    def property_value(self, variable, key):
+        return self.elements[variable].get_property(key)
+
+    def label(self, variable):
+        return self.elements[variable].label
+
+    def element_id(self, variable):
+        return self.elements[variable].id
+
+
+class NaiveMatcher:
+    """Enumerates all embeddings by backtracking."""
+
+    def __init__(self, graph, vertex_strategy=None, edge_strategy=None):
+        self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
+        self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
+        self.vertices = {v.id: v for v in graph.collect_vertices()}
+        self.edges = {e.id: e for e in graph.collect_edges()}
+        self.out_edges = {}
+        for edge in self.edges.values():
+            self.out_edges.setdefault(edge.source_id, []).append(edge)
+
+    # ----------------------------------------------------------------------
+
+    def match(self, query):
+        """All matches as canonical rows (see :func:`canonical_row`)."""
+        handler = query if isinstance(query, QueryHandler) else QueryHandler(query)
+        results = []
+        self._recurse(handler, list(handler.edges.values()), {}, {}, {}, results)
+        return results
+
+    def count(self, query):
+        return len(self.match(query))
+
+    # Backtracking ------------------------------------------------------------
+
+    def _vertex_ok(self, handler, variable, vertex):
+        return evaluate_cnf(
+            handler.vertices[variable].predicates, ElementBindings(variable, vertex)
+        )
+
+    def _edge_ok(self, handler, variable, edge):
+        return evaluate_cnf(
+            handler.edges[variable].predicates, ElementBindings(variable, edge)
+        )
+
+    def _recurse(self, handler, pending, vertex_bind, edge_bind, path_bind, results):
+        if not pending:
+            self._finalize(handler, vertex_bind, edge_bind, path_bind, results)
+            return
+        edge = pending[0]
+        rest = pending[1:]
+        if edge.is_variable_length:
+            self._match_paths(handler, edge, rest, vertex_bind, edge_bind, path_bind, results)
+        else:
+            self._match_edge(handler, edge, rest, vertex_bind, edge_bind, path_bind, results)
+
+    def _candidate_sources(self, handler, variable, vertex_bind):
+        if variable in vertex_bind:
+            return [vertex_bind[variable]]
+        return [
+            vid
+            for vid, vertex in self.vertices.items()
+            if self._vertex_ok(handler, variable, vertex)
+        ]
+
+    def _match_edge(self, handler, edge, rest, vertex_bind, edge_bind, path_bind, results):
+        for data_edge in self.edges.values():
+            if not self._edge_ok(handler, edge.variable, data_edge):
+                continue
+            orientations = [(data_edge.source_id, data_edge.target_id)]
+            if edge.undirected and data_edge.source_id != data_edge.target_id:
+                orientations.append((data_edge.target_id, data_edge.source_id))
+            for source_id, target_id in orientations:
+                new_vertex_bind = dict(vertex_bind)
+                if not self._bind_vertex(handler, new_vertex_bind, edge.source, source_id):
+                    continue
+                if not self._bind_vertex(handler, new_vertex_bind, edge.target, target_id):
+                    continue
+                new_edge_bind = dict(edge_bind)
+                new_edge_bind[edge.variable] = data_edge.id
+                self._recurse(
+                    handler, rest, new_vertex_bind, new_edge_bind, path_bind, results
+                )
+
+    def _bind_vertex(self, handler, vertex_bind, variable, vertex_id):
+        if variable in vertex_bind:
+            return vertex_bind[variable] == vertex_id
+        if not self._vertex_ok(handler, variable, self.vertices[vertex_id]):
+            return False
+        vertex_bind[variable] = vertex_id
+        return True
+
+    def _match_paths(self, handler, edge, rest, vertex_bind, edge_bind, path_bind, results):
+        sources = self._candidate_sources(handler, edge.source, vertex_bind)
+        for source_id in sources:
+            for via, end_id in self._enumerate_paths(handler, edge, source_id):
+                new_vertex_bind = dict(vertex_bind)
+                if not self._bind_vertex(handler, new_vertex_bind, edge.source, source_id):
+                    continue
+                if not self._bind_vertex(handler, new_vertex_bind, edge.target, end_id):
+                    continue
+                new_path_bind = dict(path_bind)
+                new_path_bind[edge.variable] = tuple(gid.value for gid in via)
+                self._recurse(
+                    handler, rest, new_vertex_bind, edge_bind, new_path_bind, results
+                )
+
+    def _enumerate_paths(self, handler, edge, source_id):
+        """All (via, end) pairs for paths of length lower..upper.
+
+        ``via`` is the alternating [e1, v1, e2, ..., ek] identifier list
+        (endpoints excluded).  HOMO semantics may revisit elements; the
+        search is still finite because the hop count is bounded.
+        """
+        paths = []
+        if edge.lower == 0:
+            paths.append(((), source_id))
+
+        def dfs(current, via, depth):
+            if depth >= edge.upper:
+                return
+            neighbours = list(self.out_edges.get(current, []))
+            if edge.undirected:
+                neighbours = [
+                    e
+                    for e in self.edges.values()
+                    if e.source_id == current or e.target_id == current
+                ]
+            for data_edge in neighbours:
+                if not self._edge_ok(handler, edge.variable, data_edge):
+                    continue
+                if edge.undirected and data_edge.target_id == current:
+                    next_vertex = data_edge.source_id
+                elif data_edge.source_id == current:
+                    next_vertex = data_edge.target_id
+                else:
+                    next_vertex = data_edge.source_id
+                new_via = via + ((current,) if via else ()) + (data_edge.id,)
+                if depth + 1 >= max(edge.lower, 1):
+                    paths.append((new_via, next_vertex))
+                dfs(next_vertex, new_via, depth + 1)
+
+        dfs(source_id, (), 0)
+        return paths
+
+    # Finalization ---------------------------------------------------------------
+
+    def _finalize(self, handler, vertex_bind, edge_bind, path_bind, results):
+        # isolated vertices that no edge bound
+        unbound = [v for v in handler.vertices if v not in vertex_bind]
+        if unbound:
+            variable = unbound[0]
+            for vid, vertex in self.vertices.items():
+                if self._vertex_ok(handler, variable, vertex):
+                    extended = dict(vertex_bind)
+                    extended[variable] = vid
+                    self._finalize(handler, extended, edge_bind, path_bind, results)
+            return
+        if not self._morphism_ok(vertex_bind, edge_bind, path_bind):
+            return
+        if not handler.global_predicates.is_trivial:
+            elements = {v: self.vertices[i] for v, i in vertex_bind.items()}
+            elements.update({e: self.edges[i] for e, i in edge_bind.items()})
+            if not evaluate_cnf(
+                handler.global_predicates, _NaiveBindings(elements)
+            ):
+                return
+        results.append(canonical_row(vertex_bind, edge_bind, path_bind))
+
+    def _morphism_ok(self, vertex_bind, edge_bind, path_bind):
+        if self.vertex_strategy is MatchStrategy.ISOMORPHISM:
+            vertex_ids = [vid.value for vid in vertex_bind.values()]
+            for via in path_bind.values():
+                vertex_ids.extend(via[i] for i in range(1, len(via), 2))
+            if not check_distinct(vertex_ids):
+                return False
+        if self.edge_strategy is MatchStrategy.ISOMORPHISM:
+            edge_ids = [eid.value for eid in edge_bind.values()]
+            for via in path_bind.values():
+                edge_ids.extend(via[i] for i in range(0, len(via), 2))
+            if not check_distinct(edge_ids):
+                return False
+        return True
+
+
+def canonical_row(vertex_bind, edge_bind, path_bind):
+    """A hashable, order-independent representation of one match."""
+    parts = []
+    for variable, vid in vertex_bind.items():
+        parts.append((variable, vid.value))
+    for variable, eid in edge_bind.items():
+        parts.append((variable, eid.value))
+    for variable, via in path_bind.items():
+        parts.append((variable, tuple(via)))
+    return tuple(sorted(parts))
+
+
+def canonical_rows_from_embeddings(embeddings, meta):
+    """Engine results in the same canonical form (for cross-checking)."""
+    rows = []
+    for embedding in embeddings:
+        parts = []
+        for variable in meta.variables:
+            kind = meta.entry_kind(variable)
+            column = meta.entry_column(variable)
+            if kind == "p":
+                parts.append(
+                    (variable, tuple(g.value for g in embedding.path_at(column)))
+                )
+            else:
+                parts.append((variable, embedding.raw_id_at(column)))
+        rows.append(tuple(sorted(parts)))
+    return rows

@@ -1,0 +1,18 @@
+"""Physical query operators (paper §3.1)."""
+
+from .base import PhysicalOperator
+from .expand import ExpandEmbeddings
+from .filter_project import ProjectEmbeddings, SelectEmbeddings
+from .join import CartesianEmbeddings, JoinEmbeddings
+from .leaves import SelectAndProjectEdges, SelectAndProjectVertices
+
+__all__ = [
+    "CartesianEmbeddings",
+    "ExpandEmbeddings",
+    "JoinEmbeddings",
+    "PhysicalOperator",
+    "ProjectEmbeddings",
+    "SelectAndProjectEdges",
+    "SelectAndProjectVertices",
+    "SelectEmbeddings",
+]

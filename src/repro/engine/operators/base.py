@@ -1,0 +1,56 @@
+"""Base class for physical query operators.
+
+A query plan is a tree of physical operators (Fig. 2).  Each operator
+carries the :class:`~repro.engine.embedding.EmbeddingMetaData` of its
+output and knows how to build the dataflow ``DataSet`` that computes it.
+"""
+
+
+class PhysicalOperator:
+    """A node of the physical query plan."""
+
+    #: human-readable operator name used in EXPLAIN output and metrics
+    display = "physical-operator"
+
+    def __init__(self, children=()):
+        self.children = list(children)
+        self.meta = None  # set by subclasses
+        self.estimated_cardinality = None  # set by the planner
+        self._dataset = None
+
+    def evaluate(self):
+        """The output DataSet (built once, cached)."""
+        if self._dataset is None:
+            self._dataset = self._build()
+        return self._dataset
+
+    def _build(self):
+        raise NotImplementedError
+
+    def describe(self):
+        """One line for EXPLAIN trees."""
+        return self.display
+
+    def explain(self, indent=0, analyze=False):
+        """Recursive EXPLAIN rendering (root at top, inputs below).
+
+        With ``analyze=True`` every operator is executed and the actual
+        output cardinality is shown next to the planner's estimate, making
+        estimation errors visible (EXPLAIN ANALYZE).
+        """
+        line = "%s%s" % ("  " * indent, self.describe())
+        if self.estimated_cardinality is not None:
+            line += "  [est=%d" % round(self.estimated_cardinality)
+            if analyze:
+                line += " actual=%d" % self.actual_cardinality()
+            line += "]"
+        elif analyze:
+            line += "  [actual=%d]" % self.actual_cardinality()
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(indent + 1, analyze=analyze))
+        return "\n".join(lines)
+
+    def actual_cardinality(self):
+        """Execute this operator's sub-plan and count the output rows."""
+        return self.evaluate().count()

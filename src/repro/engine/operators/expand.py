@@ -1,0 +1,228 @@
+"""ExpandEmbeddings: variable-length path expressions (paper §3.1).
+
+A ``-[e:knows*l..u]->`` edge is evaluated as an iterated 1-hop join inside
+the dataflow's bulk iteration: each superstep joins the current frontier
+of partial paths with the (pre-filtered) edge relation, keeps only paths
+satisfying the morphism semantics, and emits paths whose length has
+reached the lower bound.  The result embedding gains a PATH column with
+the ``via`` identifiers (Table 2b) and — unless the target vertex was
+already bound ("closing" an existing binding) — an ID column for the path
+end.
+"""
+
+from repro.cypher.predicates import evaluate_cnf
+from repro.epgm.indexed import IndexedLogicalGraph
+
+from ..embedding import ElementBindings
+from ..morphism import MatchStrategy
+from .base import PhysicalOperator
+
+
+class ExpandEmbeddings(PhysicalOperator):
+    """Expand a bound source vertex along a variable-length query edge."""
+
+    display = "ExpandEmbeddings"
+
+    def __init__(
+        self,
+        child,
+        graph,
+        query_edge,
+        vertex_strategy,
+        edge_strategy,
+        closing,
+        reverse=False,
+    ):
+        """
+        Args:
+            child: Input plan; must bind the expansion's start vertex.
+            graph: The data graph supplying the edge relation.
+            query_edge: A variable-length
+                :class:`~repro.cypher.QueryEdge`.
+            vertex_strategy / edge_strategy: Morphism semantics.
+            closing: True when the far endpoint is already bound in the
+                input — the expansion then filters on it instead of
+                binding a new column.
+            reverse: Expand from the edge's *target* side (the source is
+                the unbound endpoint); edges are traversed backwards and
+                the emitted ``via`` list is reversed into source→target
+                order.
+        """
+        super().__init__([child])
+        if not query_edge.is_variable_length:
+            raise ValueError("ExpandEmbeddings requires a variable-length edge")
+        self.graph = graph
+        self.query_edge = query_edge
+        self.vertex_strategy = vertex_strategy
+        self.edge_strategy = edge_strategy
+        self.closing = closing
+        self.reverse = reverse
+        self.start_variable = query_edge.target if reverse else query_edge.source
+        self.end_variable = query_edge.source if reverse else query_edge.target
+        if not child.meta.has_variable(self.start_variable):
+            raise ValueError(
+                "expansion start %r not bound in input" % self.start_variable
+            )
+        if closing and not child.meta.has_variable(self.end_variable):
+            raise ValueError("closing expansion requires the end to be bound")
+        meta = child.meta.with_entry(query_edge.variable, "p")
+        if not closing:
+            meta = meta.with_entry(self.end_variable, "v")
+        self.meta = meta
+
+    # ------------------------------------------------------------------------
+
+    def _edge_tuples(self):
+        """The pre-filtered edge relation as ``(from, edge, to)`` int triples."""
+        query_edge = self.query_edge
+        cnf = query_edge.predicates
+        variable = query_edge.variable
+        reverse = self.reverse
+        undirected = query_edge.undirected
+
+        def to_tuples(edge):
+            if not evaluate_cnf(cnf, ElementBindings(variable, edge)):
+                return []
+            source, target = edge.source_id.value, edge.target_id.value
+            if undirected:
+                if source == target:
+                    return [(source, edge.id.value, target)]
+                return [
+                    (source, edge.id.value, target),
+                    (target, edge.id.value, source),
+                ]
+            if reverse:
+                return [(target, edge.id.value, source)]
+            return [(source, edge.id.value, target)]
+
+        labels = query_edge.types
+        if labels and (isinstance(self.graph, IndexedLogicalGraph) or len(labels) == 1):
+            dataset = self.graph.edges_by_label(labels[0])
+            for label in labels[1:]:
+                dataset = dataset.union(self.graph.edges_by_label(label))
+        else:
+            dataset = self.graph.edges
+        return dataset.flat_map(
+            to_tuples, name="ExpandEmbeddings(%s):edges" % variable
+        )
+
+    def _build(self):
+        child_meta = self.children[0].meta
+        start_column = child_meta.entry_column(self.start_variable)
+        end_column = (
+            child_meta.entry_column(self.end_variable) if self.closing else None
+        )
+        vertex_iso = self.vertex_strategy is MatchStrategy.ISOMORPHISM
+        edge_iso = self.edge_strategy is MatchStrategy.ISOMORPHISM
+        lower = self.query_edge.lower
+        upper = self.query_edge.upper
+        closing = self.closing
+        reverse = self.reverse
+        environment = self.graph.environment
+        input_ds = self.children[0].evaluate()
+        edges = self._edge_tuples()
+
+        base_vertex_columns = [
+            child_meta.entry_column(v)
+            for v in child_meta.variables
+            if child_meta.entry_kind(v) == "v"
+        ]
+        base_edge_columns = [
+            child_meta.entry_column(v)
+            for v in child_meta.variables
+            if child_meta.entry_kind(v) == "e"
+        ]
+        base_path_columns = [
+            child_meta.entry_column(v)
+            for v in child_meta.variables
+            if child_meta.entry_kind(v) == "p"
+        ]
+
+        def initial_item(embedding):
+            """(embedding, path, end, seen-vertices, seen-edges)."""
+            vertex_ids = set()
+            edge_ids = set()
+            if vertex_iso or edge_iso:
+                for column in base_vertex_columns:
+                    vertex_ids.add(embedding.raw_id_at(column))
+                for column in base_edge_columns:
+                    edge_ids.add(embedding.raw_id_at(column))
+                for column in base_path_columns:
+                    for index, gid in enumerate(embedding.path_at(column)):
+                        (edge_ids if index % 2 == 0 else vertex_ids).add(gid.value)
+            start = embedding.raw_id_at(start_column)
+            return (embedding, (), start, frozenset(vertex_ids), frozenset(edge_ids))
+
+        def extend(item, edge_tuple):
+            embedding, path, end, vertex_ids, edge_ids = item
+            _, edge_id, new_end = edge_tuple
+            if edge_iso and edge_id in edge_ids:
+                return []
+            if path:
+                # the previous end becomes a path-internal vertex
+                if vertex_iso and end in vertex_ids:
+                    return []
+                new_path = path + (end, edge_id)
+                new_vertex_ids = (
+                    frozenset(vertex_ids | {end}) if vertex_iso else vertex_ids
+                )
+            else:
+                new_path = (edge_id,)
+                new_vertex_ids = vertex_ids
+            new_edge_ids = frozenset(edge_ids | {edge_id}) if edge_iso else edge_ids
+            return [(embedding, new_path, new_end, new_vertex_ids, new_edge_ids)]
+
+        def emit_result(item):
+            """Attach the path (and end binding) to the input embedding."""
+            embedding, path, end, vertex_ids, _ = item
+            via = tuple(reversed(path)) if reverse else path
+            if closing:
+                if end != embedding.raw_id_at(end_column):
+                    return []
+                return [embedding.append_path(via)]
+            if vertex_iso and end in vertex_ids:
+                return []
+            from repro.epgm import GradoopId
+
+            return [embedding.append_path(via).append_id(GradoopId(end))]
+
+        def step(working, iteration):
+            expanded = working.join(
+                edges,
+                lambda item: item[2],  # current path end
+                lambda edge_tuple: edge_tuple[0],
+                join_fn=extend,
+                name="ExpandEmbeddings:hop",
+            )
+            if iteration >= lower:
+                emitted = expanded.flat_map(
+                    emit_result, name="ExpandEmbeddings:emit"
+                )
+            else:
+                emitted = environment.from_collection([], name="ExpandEmbeddings:none")
+            return expanded, emitted
+
+        frontier = input_ds.map(initial_item, name="ExpandEmbeddings:init")
+        result = environment.bulk_iterate(frontier, step, max_iterations=upper)
+        if lower == 0:
+            zero_hop = frontier.flat_map(
+                emit_result, name="ExpandEmbeddings:zero-hop"
+            )
+            result = result.union(zero_hop)
+        return result
+
+    def describe(self):
+        types = (
+            ":" + "|".join(self.query_edge.types) if self.query_edge.types else ""
+        )
+        return "ExpandEmbeddings((%s)-[%s%s*%d..%d]->(%s)%s%s)" % (
+            self.query_edge.source,
+            self.query_edge.variable,
+            types,
+            self.query_edge.lower,
+            self.query_edge.upper,
+            self.query_edge.target,
+            ", closing" if self.closing else "",
+            ", reverse" if self.reverse else "",
+        )
+

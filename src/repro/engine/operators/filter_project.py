@@ -1,0 +1,74 @@
+"""SelectEmbeddings and ProjectEmbeddings (paper §3.1)."""
+
+from repro.cypher.predicates import evaluate_cnf
+
+from ..embedding import EmbeddingBindings, EmbeddingMetaData
+from .base import PhysicalOperator
+
+
+class SelectEmbeddings(PhysicalOperator):
+    """Evaluate predicates spanning multiple query elements."""
+
+    display = "SelectEmbeddings"
+
+    def __init__(self, child, cnf):
+        super().__init__([child])
+        self.cnf = cnf
+        self.meta = child.meta
+        missing = cnf.variables() - set(child.meta.variables)
+        if missing:
+            raise ValueError(
+                "SelectEmbeddings predicate references unbound variables: %s"
+                % ", ".join(sorted(missing))
+            )
+
+    def _build(self):
+        cnf = self.cnf
+        meta = self.meta
+
+        def keep(embedding):
+            return evaluate_cnf(cnf, EmbeddingBindings(embedding, meta))
+
+        return self.children[0].evaluate().filter(
+            keep, name="SelectEmbeddings(%s)" % cnf
+        )
+
+    def describe(self):
+        return "SelectEmbeddings(%s)" % self.cnf
+
+
+class ProjectEmbeddings(PhysicalOperator):
+    """Drop properties that later stages no longer need."""
+
+    display = "ProjectEmbeddings"
+
+    def __init__(self, child, keep_pairs):
+        """``keep_pairs``: list of ``(variable, key)`` to retain, in order."""
+        super().__init__([child])
+        self.keep_pairs = list(keep_pairs)
+        self._keep_indices = [
+            child.meta.property_index(variable, key)
+            for variable, key in self.keep_pairs
+        ]
+        meta = EmbeddingMetaData(
+            {v: (child.meta.entry_column(v), child.meta.entry_kind(v))
+             for v in child.meta.variables}
+        )
+        for variable, key in self.keep_pairs:
+            meta = meta.with_property(variable, key)
+        self.meta = meta
+
+    def _build(self):
+        keep_indices = list(self._keep_indices)
+
+        def project(embedding):
+            return embedding.project_properties(keep_indices)
+
+        return self.children[0].evaluate().map(
+            project, name="ProjectEmbeddings"
+        )
+
+    def describe(self):
+        return "ProjectEmbeddings(%s)" % ", ".join(
+            "%s.%s" % pair for pair in self.keep_pairs
+        )

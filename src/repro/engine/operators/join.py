@@ -1,0 +1,131 @@
+"""JoinEmbeddings: combine two sub-query results on shared variables.
+
+Implemented with the dataflow FlatJoin so embeddings violating the
+configured morphism semantics are dropped inside the join, never
+materialized (paper §3.1).
+"""
+
+from ..embedding import EmbeddingMetaData
+from ..morphism import embedding_satisfies_morphism
+from .base import PhysicalOperator
+
+from repro.dataflow import JoinStrategy
+
+
+class JoinEmbeddings(PhysicalOperator):
+    """Equi-join of two embedding relations on one or more variables."""
+
+    display = "JoinEmbeddings"
+
+    def __init__(
+        self,
+        left,
+        right,
+        join_variables,
+        vertex_strategy,
+        edge_strategy,
+        strategy=JoinStrategy.AUTO,
+    ):
+        super().__init__([left, right])
+        if not join_variables:
+            raise ValueError("JoinEmbeddings requires at least one join variable")
+        self.join_variables = list(join_variables)
+        self.vertex_strategy = vertex_strategy
+        self.edge_strategy = edge_strategy
+        self.strategy = strategy
+        for variable in self.join_variables:
+            if not left.meta.has_variable(variable):
+                raise ValueError("join variable %r missing on left side" % variable)
+            if not right.meta.has_variable(variable):
+                raise ValueError("join variable %r missing on right side" % variable)
+        self.meta, self._drop_columns = EmbeddingMetaData.combine(
+            left.meta, right.meta, self.join_variables
+        )
+        self._left_columns = [left.meta.entry_column(v) for v in self.join_variables]
+        self._right_columns = [right.meta.entry_column(v) for v in self.join_variables]
+
+    def _build(self):
+        left_columns = tuple(self._left_columns)
+        right_columns = tuple(self._right_columns)
+        drop = frozenset(self._drop_columns)
+        meta = self.meta
+        vertex_strategy = self.vertex_strategy
+        edge_strategy = self.edge_strategy
+
+        # single-column joins use the bare id so the shuffle hash matches
+        # the id-based data placement (tuple hashes differ from int hashes)
+        if len(left_columns) == 1:
+            left_only, right_only = left_columns[0], right_columns[0]
+
+            def left_key(embedding):
+                return embedding.raw_id_at(left_only)
+
+            def right_key(embedding):
+                return embedding.raw_id_at(right_only)
+
+        else:
+
+            def left_key(embedding):
+                return tuple(embedding.raw_id_at(column) for column in left_columns)
+
+            def right_key(embedding):
+                return tuple(
+                    embedding.raw_id_at(column) for column in right_columns
+                )
+
+        def flat_join(left_embedding, right_embedding):
+            merged = left_embedding.merge(right_embedding, drop)
+            if embedding_satisfies_morphism(
+                merged, meta, vertex_strategy, edge_strategy
+            ):
+                return [merged]
+            return []
+
+        return self.children[0].evaluate().join(
+            self.children[1].evaluate(),
+            left_key,
+            right_key,
+            join_fn=flat_join,
+            strategy=self.strategy,
+            name="JoinEmbeddings(%s)" % ",".join(self.join_variables),
+        )
+
+    def describe(self):
+        return "JoinEmbeddings(on %s)" % ", ".join(self.join_variables)
+
+
+class CartesianEmbeddings(PhysicalOperator):
+    """Cross product of two disconnected sub-patterns.
+
+    Needed when a MATCH clause contains disconnected components; still
+    applies the morphism check on the combined embedding.
+    """
+
+    display = "CartesianEmbeddings"
+
+    def __init__(self, left, right, vertex_strategy, edge_strategy):
+        super().__init__([left, right])
+        self.vertex_strategy = vertex_strategy
+        self.edge_strategy = edge_strategy
+        self.meta, self._drop_columns = EmbeddingMetaData.combine(
+            left.meta, right.meta, []
+        )
+
+    def _build(self):
+        meta = self.meta
+        vertex_strategy = self.vertex_strategy
+        edge_strategy = self.edge_strategy
+
+        def combine(pair):
+            left_embedding, right_embedding = pair
+            merged = left_embedding.merge(right_embedding)
+            if embedding_satisfies_morphism(
+                merged, meta, vertex_strategy, edge_strategy
+            ):
+                return [merged]
+            return []
+
+        crossed = self.children[0].evaluate().cross(
+            self.children[1].evaluate(), name="CartesianEmbeddings"
+        )
+        return crossed.flat_map(combine, name="CartesianEmbeddings(check)")

@@ -1,0 +1,149 @@
+"""Leaf operators: SelectAndProjectVertices / SelectAndProjectEdges.
+
+Each combines Select → Project → Transform in a single FlatMap (paper
+§3.1): filter by the element's pushed-down CNF, keep only the property
+keys later operators need, and emit an embedding.
+"""
+
+from repro.cypher.predicates import evaluate_cnf
+from repro.epgm.indexed import IndexedLogicalGraph
+
+from ..embedding import Embedding, ElementBindings, EmbeddingMetaData
+from .base import PhysicalOperator
+
+
+def _label_scoped_dataset(graph, labels, kind):
+    """The smallest element dataset covering a label alternation.
+
+    Indexed graphs read one dataset per label (paper §3.4); plain graphs
+    scan everything once — per-label filtering there would multiply scans.
+    """
+    by_label = graph.vertices_by_label if kind == "v" else graph.edges_by_label
+    full = graph.vertices if kind == "v" else graph.edges
+    if labels and (isinstance(graph, IndexedLogicalGraph) or len(labels) == 1):
+        dataset = by_label(labels[0])
+        for label in labels[1:]:
+            dataset = dataset.union(by_label(label))
+        return dataset
+    return full
+
+
+class SelectAndProjectVertices(PhysicalOperator):
+    """Vertices satisfying a query vertex's predicates, as embeddings."""
+
+    display = "SelectAndProjectVertices"
+
+    def __init__(self, graph, query_vertex, property_keys):
+        super().__init__()
+        self.graph = graph
+        self.query_vertex = query_vertex
+        self.property_keys = sorted(property_keys)
+        meta = EmbeddingMetaData().with_entry(query_vertex.variable, "v")
+        for key in self.property_keys:
+            meta = meta.with_property(query_vertex.variable, key)
+        self.meta = meta
+
+    def _build(self):
+        variable = self.query_vertex.variable
+        cnf = self.query_vertex.predicates
+        keys = self.property_keys
+
+        def select_project_transform(vertex):
+            if not evaluate_cnf(cnf, ElementBindings(variable, vertex)):
+                return []
+            embedding = Embedding.of_ids(vertex.id)
+            if keys:
+                embedding = embedding.append_properties(
+                    [vertex.get_property(key) for key in keys]
+                )
+            return [embedding]
+
+        source = _label_scoped_dataset(self.graph, self.query_vertex.labels, "v")
+        return source.flat_map(
+            select_project_transform, name="SelectAndProjectVertices(%s)" % variable
+        )
+
+    def describe(self):
+        label = ":" + "|".join(self.query_vertex.labels) if self.query_vertex.labels else ""
+        return "SelectAndProjectVertices(%s%s)" % (self.query_vertex.variable, label)
+
+
+class SelectAndProjectEdges(PhysicalOperator):
+    """Edges satisfying a query edge's predicates, as embeddings.
+
+    The output embedding has columns ``[source, edge, target]`` (``[source,
+    edge]`` for loop edges where the query source and target coincide).
+    An undirected query edge emits both orientations of each data edge.
+    """
+
+    display = "SelectAndProjectEdges"
+
+    def __init__(self, graph, query_edge, property_keys, distinct_endpoints=False):
+        """``distinct_endpoints``: drop self-loop data edges.  Set by the
+        planner under vertex isomorphism when the query edge's endpoints
+        are different variables — a leaf-only plan has no downstream join
+        to enforce the injectivity of the two endpoint bindings."""
+        super().__init__()
+        if query_edge.is_variable_length:
+            raise ValueError(
+                "variable-length edge %r needs ExpandEmbeddings" % query_edge.variable
+            )
+        self.graph = graph
+        self.query_edge = query_edge
+        self.property_keys = sorted(property_keys)
+        self.is_loop = query_edge.source == query_edge.target
+        self.distinct_endpoints = distinct_endpoints and not self.is_loop
+        meta = EmbeddingMetaData().with_entry(query_edge.source, "v")
+        meta = meta.with_entry(query_edge.variable, "e")
+        if not self.is_loop:
+            meta = meta.with_entry(query_edge.target, "v")
+        for key in self.property_keys:
+            meta = meta.with_property(query_edge.variable, key)
+        self.meta = meta
+
+    def _build(self):
+        variable = self.query_edge.variable
+        cnf = self.query_edge.predicates
+        keys = self.property_keys
+        is_loop = self.is_loop
+        undirected = self.query_edge.undirected
+        distinct_endpoints = self.distinct_endpoints
+
+        def select_project_transform(edge):
+            if not evaluate_cnf(cnf, ElementBindings(variable, edge)):
+                return []
+            if distinct_endpoints and edge.source_id == edge.target_id:
+                return []
+            if is_loop:
+                if edge.source_id != edge.target_id:
+                    return []
+                orientations = [(edge.source_id, edge.id)]
+            else:
+                orientations = [(edge.source_id, edge.id, edge.target_id)]
+                if undirected and edge.source_id != edge.target_id:
+                    orientations.append((edge.target_id, edge.id, edge.source_id))
+            results = []
+            for ids in orientations:
+                embedding = Embedding.of_ids(*ids)
+                if keys:
+                    embedding = embedding.append_properties(
+                        [edge.get_property(key) for key in keys]
+                    )
+                results.append(embedding)
+            return results
+
+        source = _label_scoped_dataset(self.graph, self.query_edge.types, "e")
+        return source.flat_map(
+            select_project_transform, name="SelectAndProjectEdges(%s)" % variable
+        )
+
+    def describe(self):
+        types = ":" + "|".join(self.query_edge.types) if self.query_edge.types else ""
+        arrow = "-" if self.query_edge.undirected else "->"
+        return "SelectAndProjectEdges((%s)-[%s%s]%s(%s))" % (
+            self.query_edge.source,
+            self.query_edge.variable,
+            types,
+            arrow,
+            self.query_edge.target,
+        )

@@ -1,0 +1,120 @@
+"""Join cardinality estimation (paper §3.2).
+
+"We use basic approaches from relational query planning to estimate the
+join cardinality" — textbook formulas over the pre-computed
+:class:`~repro.engine.statistics.GraphStatistics`:
+
+* leaf cardinality = label count × a fixed selectivity per non-label
+  predicate clause;
+* ``|L ⋈ R| = |L|·|R| / max(V(L,a), V(R,a))`` with distinct-value counts
+  taken from the per-label distinct source/target statistics;
+* a variable-length expansion multiplies by the average out-degree once
+  per hop, summed over the allowed path lengths.
+"""
+
+from repro.cypher.ast import LabelRef
+
+#: Selectivity guesses for predicate clauses the statistics cannot resolve.
+EQUALITY_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 0.3
+DEFAULT_SELECTIVITY = 0.5
+
+_RANGE_OPERATORS = {"<", "<=", ">", ">="}
+
+
+def _is_label_clause(clause):
+    return any(
+        isinstance(atom.comparison.left, LabelRef)
+        or isinstance(atom.comparison.right, LabelRef)
+        for atom in clause.atoms
+    )
+
+
+def clause_selectivity(clause):
+    """Heuristic selectivity of one non-label CNF clause."""
+    best = 0.0
+    for atom in clause.atoms:
+        operator = atom.comparison.operator
+        if operator == "=":
+            selectivity = EQUALITY_SELECTIVITY
+        elif operator in _RANGE_OPERATORS:
+            selectivity = RANGE_SELECTIVITY
+        else:
+            selectivity = DEFAULT_SELECTIVITY
+        if atom.negated:
+            selectivity = 1.0 - selectivity
+        best = max(best, selectivity)  # a disjunction is as selective as its
+        # least selective satisfied atom
+    return min(best if clause.atoms else 1.0, 1.0)
+
+
+def predicate_selectivity(cnf):
+    """Combined selectivity of all non-label clauses of a CNF."""
+    selectivity = 1.0
+    for clause in cnf.clauses:
+        if _is_label_clause(clause):
+            continue
+        selectivity *= clause_selectivity(clause)
+    return selectivity
+
+
+class CardinalityEstimator:
+    """Estimates intermediate result sizes for the greedy planner."""
+
+    def __init__(self, statistics):
+        self.statistics = statistics
+
+    # Leaves ---------------------------------------------------------------
+
+    def vertex_cardinality(self, query_vertex):
+        base = self.statistics.vertices_with_labels(query_vertex.labels)
+        return max(base * predicate_selectivity(query_vertex.predicates), 0.0)
+
+    def edge_cardinality(self, query_edge):
+        base = self.statistics.edges_with_labels(query_edge.types)
+        if query_edge.undirected:
+            base *= 2  # both orientations are emitted
+        return max(base * predicate_selectivity(query_edge.predicates), 0.0)
+
+    # Distinct-value estimates ------------------------------------------------
+
+    def distinct_vertices(self, cardinality, labels):
+        """Distinct bindings a plan of ``cardinality`` rows can hold for a
+        vertex variable with the given label alternation."""
+        return max(min(cardinality, self.statistics.vertices_with_labels(labels)), 1.0)
+
+    def edge_endpoint_distinct(self, query_edge, endpoint):
+        """Distinct source/target vertices of the edge relation."""
+        if endpoint == "source":
+            return float(self.statistics.distinct_sources(query_edge.types))
+        return float(self.statistics.distinct_targets(query_edge.types))
+
+    # Composite operators --------------------------------------------------------
+
+    def join_cardinality(self, left_card, right_card, left_distinct, right_distinct):
+        denominator = max(left_distinct, right_distinct, 1.0)
+        return (left_card * right_card) / denominator
+
+    def expand_cardinality(self, input_card, query_edge, closing):
+        """Iterated-join estimate for a variable-length expansion."""
+        edges = self.statistics.edges_with_labels(query_edge.types)
+        edges *= predicate_selectivity(query_edge.predicates)
+        sources = self.statistics.distinct_sources(query_edge.types)
+        fanout = edges / max(sources, 1)
+        if query_edge.undirected:
+            fanout *= 2
+        total = 0.0
+        for hops in range(max(query_edge.lower, 1), query_edge.upper + 1):
+            total += fanout**hops
+        if query_edge.lower == 0:
+            total += 1.0  # the zero-length path binds source = target
+        estimate = input_card * total
+        if closing:
+            estimate /= max(self.statistics.vertex_count, 1)
+        return estimate
+
+    def selection_cardinality(self, input_card, cnf):
+        return input_card * predicate_selectivity(cnf)
+
+    def cartesian_cardinality(self, left_card, right_card):
+        return left_card * right_card

@@ -1,0 +1,353 @@
+"""CypherRunner: parse → plan → execute → post-process.
+
+The entry point behind :meth:`LogicalGraph.cypher` (paper §3): compiles a
+query string into a physical plan via the greedy planner, runs it on the
+dataflow substrate, and turns the resulting embeddings into the
+:class:`~repro.epgm.GraphCollection` the EPGM operator contract requires
+(Definition 2.4).  Variable bindings are attached as properties on the
+result graph heads so arbitrary post-processing remains possible (§2.3).
+"""
+
+from repro.cypher.ast import FunctionCall, PropertyAccess, VariableRef
+from repro.cypher.errors import CypherSemanticError
+from repro.cypher.query_graph import QueryHandler
+from repro.epgm import GradoopId, GraphCollection, GraphHead, PropertyValue
+
+from .embedding import EmbeddingBindings
+from .morphism import DEFAULT_EDGE_STRATEGY, DEFAULT_VERTEX_STRATEGY
+from .planning import GreedyPlanner
+from .statistics import GraphStatistics
+
+
+class CypherRunner:
+    """Executes Cypher pattern-matching queries against one logical graph."""
+
+    def __init__(
+        self,
+        graph,
+        vertex_strategy=None,
+        edge_strategy=None,
+        statistics=None,
+        planner_cls=GreedyPlanner,
+    ):
+        self.graph = graph
+        self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
+        self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
+        self._statistics = statistics
+        self.planner_cls = planner_cls
+        self._plan_cache = {}
+
+    @property
+    def statistics(self):
+        if self._statistics is None:
+            self._statistics = GraphStatistics.from_graph(self.graph)
+        return self._statistics
+
+    # Compilation -------------------------------------------------------------
+
+    def compile(self, query, parameters=None):
+        """``(QueryHandler, root physical operator)`` for ``query``.
+
+        Compiled plans are cached per (query text, parameter values): the
+        data graph is immutable, so re-running the same query skips
+        parsing and planning.
+        """
+        cache_key = None
+        if isinstance(query, str):
+            # repr keeps the key hashable for list/None parameter values
+            cache_key = (query, repr(sorted((parameters or {}).items())))
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if isinstance(query, QueryHandler):
+            handler = query
+        else:
+            handler = QueryHandler(query, parameters=parameters)
+        planner = self.planner_cls(
+            self.graph,
+            handler,
+            self.statistics,
+            vertex_strategy=self.vertex_strategy,
+            edge_strategy=self.edge_strategy,
+        )
+        compiled = (handler, planner.plan())
+        if cache_key is not None:
+            self._plan_cache[cache_key] = compiled
+        return compiled
+
+    def explain(self, query, parameters=None):
+        """EXPLAIN output: the physical plan with cardinality estimates."""
+        _, root = self.compile(query, parameters)
+        return root.explain()
+
+    def explain_analyze(self, query, parameters=None):
+        """EXPLAIN ANALYZE: the plan with estimated *and* actual row counts.
+
+        Executes the query (every sub-plan), so use it for diagnostics, not
+        on hot paths.
+        """
+        _, root = self.compile(query, parameters)
+        return root.explain(analyze=True)
+
+    # Execution ------------------------------------------------------------------
+
+    def execute_embeddings(self, query, parameters=None):
+        """``(embeddings, meta)`` — the raw relational result."""
+        _, root = self.compile(query, parameters)
+        return root.evaluate().collect(), root.meta
+
+    def execute(self, query, attach_bindings=True, parameters=None):
+        """The EPGM pattern-matching operator: a GraphCollection of matches."""
+        embeddings, meta = self.execute_embeddings(query, parameters)
+        return self._build_collection(embeddings, meta, attach_bindings)
+
+    def execute_table(self, query, parameters=None):
+        """Neo4j-style tabular result honouring the RETURN clause.
+
+        Returns a list of dicts keyed by alias/expression text.  ``RETURN *``
+        yields one column per variable with the bound identifier(s).
+        Supports aggregates (count/sum/min/max/avg/collect) with implicit
+        grouping over the non-aggregate items, plus DISTINCT, ORDER BY,
+        SKIP and LIMIT.
+        """
+        handler, root = self.compile(query, parameters)
+        embeddings = root.evaluate().collect()
+        meta = root.meta
+        returns = handler.ast.returns
+
+        if returns is not None and returns.has_aggregates:
+            rows = self._aggregate_rows(returns, embeddings, meta)
+        else:
+            rows = [
+                self._plain_row(returns, embedding, meta) for embedding in embeddings
+            ]
+
+        if returns is not None and returns.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        if returns is not None and returns.order_by:
+            rows = self._order_rows(returns, rows)
+        if returns is not None and returns.skip is not None:
+            rows = rows[returns.skip :]
+        if returns is not None and returns.limit is not None:
+            rows = rows[: returns.limit]
+        return rows
+
+    def _plain_row(self, returns, embedding, meta):
+        if returns is None or returns.star:
+            row = {}
+            for variable in meta.variables:
+                column = meta.entry_column(variable)
+                if meta.entry_kind(variable) == "p":
+                    row[variable] = [g.value for g in embedding.path_at(column)]
+                else:
+                    row[variable] = embedding.raw_id_at(column)
+            return row
+        bindings = EmbeddingBindings(embedding, meta)
+        row = {}
+        for item in returns.items:
+            name = item.alias or str(item.expression)
+            row[name] = self._evaluate_return_item(
+                item.expression, bindings, embedding, meta
+            )
+        return row
+
+    def _aggregate_rows(self, returns, embeddings, meta):
+        """Implicit grouping: non-aggregate items are the group key."""
+        group_items = [
+            item
+            for item in returns.items
+            if not isinstance(item.expression, FunctionCall)
+        ]
+        agg_items = [
+            item for item in returns.items if isinstance(item.expression, FunctionCall)
+        ]
+        groups = {}
+        order = []
+        for embedding in embeddings:
+            bindings = EmbeddingBindings(embedding, meta)
+            key_values = tuple(
+                _hashable(
+                    self._evaluate_return_item(
+                        item.expression, bindings, embedding, meta
+                    )
+                )
+                for item in group_items
+            )
+            if key_values not in groups:
+                groups[key_values] = []
+                order.append(key_values)
+            inputs = []
+            for item in agg_items:
+                argument = item.expression.argument
+                if argument is None:  # count(*)
+                    inputs.append(1)
+                else:
+                    inputs.append(
+                        self._evaluate_return_item(argument, bindings, embedding, meta)
+                    )
+            groups[key_values].append(inputs)
+        rows = []
+        for key_values in order:
+            row = {}
+            for item, value in zip(group_items, key_values):
+                row[item.alias or str(item.expression)] = (
+                    list(value) if isinstance(value, tuple) else value
+                )
+            for index, item in enumerate(agg_items):
+                values = [inputs[index] for inputs in groups[key_values]]
+                row[item.alias or str(item.expression)] = _aggregate(
+                    item.expression.name, item.expression.argument, values
+                )
+            rows.append(row)
+        return rows
+
+    def _order_rows(self, returns, rows):
+        column_names = None
+        if rows:
+            column_names = set(rows[0])
+
+        def sort_key(row):
+            key = []
+            for order in returns.order_by:
+                name = str(order.expression)
+                if column_names is not None and name not in column_names:
+                    raise CypherSemanticError(
+                        "ORDER BY expression %r is not among the returned columns"
+                        % name
+                    )
+                value = row[name] if rows else None
+                # None sorts last regardless of direction
+                key.append(
+                    (value is None, _negate_if(value, order.descending))
+                )
+            return tuple(key)
+
+        return sorted(rows, key=sort_key)
+
+    @staticmethod
+    def _evaluate_return_item(expression, bindings, embedding, meta):
+        if isinstance(expression, PropertyAccess):
+            return bindings.property_value(expression.variable, expression.key).raw()
+        if isinstance(expression, VariableRef):
+            variable = expression.name
+            if meta.entry_kind(variable) == "p":
+                return [
+                    g.value for g in embedding.path_at(meta.entry_column(variable))
+                ]
+            return embedding.raw_id_at(meta.entry_column(variable))
+        raise ValueError("unsupported RETURN expression %r" % (expression,))
+
+    # Post-processing -----------------------------------------------------------------
+
+    def _build_collection(self, embeddings, meta, attach_bindings):
+        vertices_by_id = {v.id: v for v in self.graph.collect_vertices()}
+        edges_by_id = {e.id: e for e in self.graph.collect_edges()}
+        heads = []
+        result_vertices = {}
+        result_edges = {}
+
+        for embedding in embeddings:
+            head = GraphHead(self.graph.id_factory.next_id(), label="match")
+            bound_vertices, bound_edges = set(), set()
+            for variable in meta.variables:
+                column = meta.entry_column(variable)
+                kind = meta.entry_kind(variable)
+                if kind == "v":
+                    vid = embedding.id_at(column)
+                    bound_vertices.add(vid)
+                    if attach_bindings:
+                        head.set_property(variable, PropertyValue(vid.value))
+                elif kind == "e":
+                    eid = embedding.id_at(column)
+                    bound_edges.add(eid)
+                    if attach_bindings:
+                        head.set_property(variable, PropertyValue(eid.value))
+                else:  # path
+                    via = embedding.path_at(column)
+                    for index, gid in enumerate(via):
+                        (bound_edges if index % 2 == 0 else bound_vertices).add(gid)
+                    if attach_bindings:
+                        head.set_property(
+                            variable, PropertyValue([g.value for g in via])
+                        )
+            if attach_bindings:
+                for variable, key in meta.property_entries():
+                    value = embedding.property_at(meta.property_index(variable, key))
+                    if not value.is_null:
+                        head.set_property("%s.%s" % (variable, key), value)
+            heads.append(head)
+            # Definition 2.4: matched elements join the new logical graph
+            for vid in bound_vertices:
+                vertex = vertices_by_id[vid]
+                vertex.add_graph_id(head.id)
+                result_vertices[vid] = vertex
+            for eid in bound_edges:
+                edge = edges_by_id[eid]
+                edge.add_graph_id(head.id)
+                result_edges[eid] = edge
+
+        environment = self.graph.environment
+        return GraphCollection(
+            environment,
+            environment.from_collection(heads, name="match-heads"),
+            environment.from_collection(
+                list(result_vertices.values()), name="match-vertices"
+            ),
+            environment.from_collection(
+                list(result_edges.values()), name="match-edges"
+            ),
+        )
+
+
+def _hashable(value):
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _aggregate(name, argument, values):
+    """Cypher aggregate semantics: NULL inputs are skipped."""
+    if name == "count":
+        if argument is None:
+            return len(values)
+        return sum(1 for value in values if value is not None)
+    present = [value for value in values if value is not None]
+    if name == "collect":
+        return present
+    if name == "sum":
+        return sum(present) if present else 0
+    if not present:
+        return None
+    if name == "min":
+        return min(present)
+    if name == "max":
+        return max(present)
+    if name == "avg":
+        return sum(present) / len(present)
+    raise CypherSemanticError("unknown aggregate %r" % name)
+
+
+class _Descending:
+    """Sort-order inverter usable with non-numeric values."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return isinstance(other, _Descending) and self.value == other.value
+
+
+def _negate_if(value, descending):
+    return _Descending(value) if descending else value

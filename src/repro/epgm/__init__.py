@@ -1,0 +1,29 @@
+"""The Extended Property Graph Model (EPGM), paper §2.1 and §2.4."""
+
+from .elements import Edge, Element, GraphElement, GraphHead, Vertex
+from .graph_collection import GraphCollection
+from .identifiers import ID_BYTES, GradoopId, GradoopIdFactory
+from .indexed import IndexedLogicalGraph
+from .logical_graph import LogicalGraph
+from .partitioning import GraphPartitioning
+from .properties import Properties
+from .property_value import NULL_VALUE, IncomparableError, PropertyValue
+
+__all__ = [
+    "Edge",
+    "Element",
+    "GradoopId",
+    "GradoopIdFactory",
+    "GraphCollection",
+    "GraphElement",
+    "GraphPartitioning",
+    "GraphHead",
+    "ID_BYTES",
+    "IncomparableError",
+    "IndexedLogicalGraph",
+    "LogicalGraph",
+    "NULL_VALUE",
+    "Properties",
+    "PropertyValue",
+    "Vertex",
+]

@@ -1,0 +1,22 @@
+"""Graph algorithms on logical graphs.
+
+Gradoop combines pattern matching with the iterative graph algorithms of
+Flink's Gelly library (paper §1: analysts integrate "declarative pattern
+matching within a graph analytical program").  This package provides the
+classic algorithms on the same dataflow substrate: connected components,
+breadth-first distances, degree statistics and a Cypher-powered triangle
+count.
+"""
+
+from .bfs import bfs_distances
+from .degrees import degree_distribution, degrees
+from .triangles import triangle_count
+from .wcc import weakly_connected_components
+
+__all__ = [
+    "bfs_distances",
+    "degree_distribution",
+    "degrees",
+    "triangle_count",
+    "weakly_connected_components",
+]

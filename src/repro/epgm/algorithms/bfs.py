@@ -1,0 +1,47 @@
+"""Breadth-first distances via frontier expansion (bulk iteration)."""
+
+
+def bfs_distances(graph, source_id, directed=True, max_iterations=100):
+    """Hop distances from ``source_id`` to every reachable vertex.
+
+    Args:
+        graph: The logical graph.
+        source_id: Start vertex :class:`~repro.epgm.GradoopId`.
+        directed: Follow edge direction (True) or treat edges as
+            undirected.
+        max_iterations: Hard bound on the BFS depth.
+
+    Returns:
+        dict: ``{GradoopId: int}`` with ``source_id`` mapped to 0.
+    """
+    environment = graph.environment
+    if directed:
+        adjacency = graph.edges.map(
+            lambda e: (e.source_id, e.target_id), name="bfs-adjacency"
+        )
+    else:
+        adjacency = graph.edges.flat_map(
+            lambda e: [(e.source_id, e.target_id), (e.target_id, e.source_id)],
+            name="bfs-adjacency",
+        )
+
+    distances = {source_id: 0}
+    frontier = [source_id]
+    for depth in range(1, max_iterations + 1):
+        frontier_ds = environment.from_collection(frontier, name="bfs-frontier")
+        neighbours = frontier_ds.join(
+            adjacency,
+            lambda v: v,
+            lambda a: a[0],
+            join_fn=lambda v, a: [a[1]],
+            name="bfs-expand",
+        ).distinct()
+        discovered = [
+            vid for vid in neighbours.collect() if vid not in distances
+        ]
+        if not discovered:
+            break
+        for vid in discovered:
+            distances[vid] = depth
+        frontier = discovered
+    return distances

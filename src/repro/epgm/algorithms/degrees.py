@@ -1,0 +1,35 @@
+"""Degree statistics as dataflow jobs."""
+
+
+def degrees(graph, mode="out"):
+    """Per-vertex degree: ``'out'``, ``'in'`` or ``'both'``.
+
+    Vertices without edges are included with degree 0.
+
+    Returns:
+        dict: ``{GradoopId: int}``.
+    """
+    if mode == "out":
+        endpoints = graph.edges.map(lambda e: e.source_id, name="degree-endpoints")
+    elif mode == "in":
+        endpoints = graph.edges.map(lambda e: e.target_id, name="degree-endpoints")
+    elif mode == "both":
+        endpoints = graph.edges.flat_map(
+            lambda e: [e.source_id, e.target_id], name="degree-endpoints"
+        )
+    else:
+        raise ValueError("mode must be 'out', 'in' or 'both'")
+    counted = dict(
+        endpoints.group_by(lambda vid: vid).count_per_group().collect()
+    )
+    return {
+        vertex.id: counted.get(vertex.id, 0) for vertex in graph.collect_vertices()
+    }
+
+
+def degree_distribution(graph, mode="out"):
+    """Histogram ``{degree: vertex count}``."""
+    histogram = {}
+    for degree in degrees(graph, mode).values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram

@@ -1,0 +1,112 @@
+"""EPGM elements: graph heads, vertices and edges (Definition 2.1)."""
+
+from .identifiers import GradoopId
+from .properties import Properties
+
+
+class Element:
+    """Base for everything with an id, a type label and properties."""
+
+    __slots__ = ("id", "label", "properties")
+
+    def __init__(self, element_id, label="", properties=None):
+        if not isinstance(element_id, GradoopId):
+            raise TypeError("element id must be a GradoopId")
+        self.id = element_id
+        self.label = label
+        if properties is None:
+            self.properties = Properties()
+        elif isinstance(properties, Properties):
+            self.properties = properties
+        else:
+            self.properties = Properties(properties)
+
+    def get_property(self, key):
+        """Property value for ``key`` (NULL if absent) — κ of Definition 2.1."""
+        return self.properties.get(key)
+
+    def set_property(self, key, value):
+        self.properties.set(key, value)
+
+    def has_property(self, key):
+        return self.properties.has(key)
+
+    def serialized_size(self):
+        return 8 + len(self.label.encode("utf-8")) + self.properties.serialized_size()
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.id == other.id
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.id))
+
+
+class GraphHead(Element):
+    """The data record of one logical graph."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "GraphHead(%s, :%s, %r)" % (
+            self.id,
+            self.label,
+            self.properties.to_dict(),
+        )
+
+
+class GraphElement(Element):
+    """A vertex or edge: additionally tracks graph membership l(v)/l(e)."""
+
+    __slots__ = ("graph_ids",)
+
+    def __init__(self, element_id, label="", properties=None, graph_ids=None):
+        super().__init__(element_id, label, properties)
+        self.graph_ids = set(graph_ids) if graph_ids else set()
+
+    def add_graph_id(self, graph_id):
+        self.graph_ids.add(graph_id)
+
+    def in_graph(self, graph_id):
+        return graph_id in self.graph_ids
+
+
+class Vertex(GraphElement):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Vertex(%s, :%s, %r)" % (self.id, self.label, self.properties.to_dict())
+
+
+class Edge(GraphElement):
+    """A directed edge from ``source_id`` to ``target_id``."""
+
+    __slots__ = ("source_id", "target_id")
+
+    def __init__(
+        self,
+        element_id,
+        label="",
+        source_id=None,
+        target_id=None,
+        properties=None,
+        graph_ids=None,
+    ):
+        super().__init__(element_id, label, properties, graph_ids)
+        if not isinstance(source_id, GradoopId) or not isinstance(
+            target_id, GradoopId
+        ):
+            raise TypeError("edge endpoints must be GradoopIds")
+        self.source_id = source_id
+        self.target_id = target_id
+
+    def serialized_size(self):
+        return super().serialized_size() + 16
+
+    def __repr__(self):
+        return "Edge(%s, :%s, %s->%s, %r)" % (
+            self.id,
+            self.label,
+            self.source_id,
+            self.target_id,
+            self.properties.to_dict(),
+        )

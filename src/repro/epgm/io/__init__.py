@@ -1,0 +1,15 @@
+"""Graph data sources and sinks."""
+
+from .csv import CSVDataSink, CSVDataSource
+from .dot import to_dot
+from .gdl import GDLError, parse_gdl
+from .gdl_writer import to_gdl
+
+__all__ = [
+    "CSVDataSink",
+    "CSVDataSource",
+    "GDLError",
+    "parse_gdl",
+    "to_dot",
+    "to_gdl",
+]

@@ -1,0 +1,46 @@
+"""Graphviz DOT export for logical graphs.
+
+Handy for inspecting small graphs and match results:
+
+.. code-block:: python
+
+    print(to_dot(graph, vertex_label_key="name"))
+"""
+
+
+def _escape(text):
+    return str(text).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph, name="G", vertex_label_key=None, include_properties=False):
+    """Render a logical graph as a DOT digraph string.
+
+    Args:
+        graph: The :class:`~repro.epgm.LogicalGraph`.
+        name: Graph name in the DOT output.
+        vertex_label_key: Property whose value becomes the node caption
+            (falls back to the type label).
+        include_properties: Append all properties to element captions.
+    """
+    lines = ["digraph %s {" % name, "  node [shape=box];"]
+    for vertex in graph.collect_vertices():
+        caption = vertex.label
+        if vertex_label_key is not None:
+            value = vertex.get_property(vertex_label_key)
+            if not value.is_null:
+                caption = "%s:%s" % (value.raw(), vertex.label)
+        if include_properties and len(vertex.properties):
+            caption += "\\n" + _escape(vertex.properties.to_dict())
+        lines.append(
+            '  v%d [label="%s"];' % (vertex.id.value, _escape(caption))
+        )
+    for edge in graph.collect_edges():
+        caption = edge.label
+        if include_properties and len(edge.properties):
+            caption += "\\n" + _escape(edge.properties.to_dict())
+        lines.append(
+            '  v%d -> v%d [label="%s"];'
+            % (edge.source_id.value, edge.target_id.value, _escape(caption))
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""A GDL-style graph definition reader.
+
+Gradoop defines example and test graphs with GDL (Graph Definition
+Language), whose pattern syntax matches Cypher's MATCH patterns.  This
+module materializes such ASCII-art graphs:
+
+.. code-block:: python
+
+    graph = parse_gdl(env, '''
+        community:Community {area: "Leipzig"} [
+            (alice:Person {name: "Alice"})-[:knows]->(bob:Person)
+            (bob)-[e:knows {since: 2014}]->(alice)
+        ]
+    ''')
+
+Rules: a repeated variable denotes the same element; anonymous elements
+are created fresh per occurrence; the graph head declaration before ``[``
+is optional; paths may be separated by commas or whitespace.  Undirected
+and variable-length edges are pattern features, not data, and are
+rejected.
+"""
+
+from repro.cypher.ast import Direction
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.lexer import tokenize
+from repro.cypher.parser import _Parser
+
+from ..elements import Edge, GraphHead, Vertex
+from ..identifiers import GradoopIdFactory
+from ..logical_graph import LogicalGraph
+
+
+class GDLError(ValueError):
+    """The GDL text is not a valid graph definition."""
+
+
+def parse_gdl(environment, text, id_factory=None):
+    """Materialize a GDL graph definition as a :class:`LogicalGraph`."""
+    factory = id_factory if id_factory is not None else GradoopIdFactory(start=1)
+    parser = _Parser(tokenize(text))
+
+    label, properties = _parse_graph_header(parser)
+    head = GraphHead(factory.next_id(), label=label, properties=properties)
+
+    paths = _parse_paths(parser)
+
+    vertices_by_variable = {}
+    vertices = []
+    edges = []
+
+    def materialize_vertex(node):
+        if node.variable and node.variable in vertices_by_variable:
+            vertex = vertices_by_variable[node.variable]
+            if node.labels or node.properties:
+                raise GDLError(
+                    "vertex %r redefined with labels/properties" % node.variable
+                )
+            return vertex
+        if len(node.labels) > 1:
+            raise GDLError("data vertices have exactly one label")
+        vertex = Vertex(
+            factory.next_id(),
+            label=node.labels[0] if node.labels else "",
+            properties=_literal_properties(node.properties),
+        )
+        vertices.append(vertex)
+        if node.variable:
+            vertices_by_variable[node.variable] = vertex
+        return vertex
+
+    for path in paths:
+        materialized = [materialize_vertex(node) for node in path.nodes]
+        for index, rel in enumerate(path.relationships):
+            if rel.is_variable_length:
+                raise GDLError("variable-length edges are queries, not data")
+            if rel.direction is Direction.UNDIRECTED:
+                raise GDLError("data edges must be directed")
+            if len(rel.types) > 1:
+                raise GDLError("data edges have exactly one type")
+            left, right = materialized[index], materialized[index + 1]
+            if rel.direction is Direction.INCOMING:
+                source, target = right, left
+            else:
+                source, target = left, right
+            edges.append(
+                Edge(
+                    factory.next_id(),
+                    label=rel.types[0] if rel.types else "",
+                    source_id=source.id,
+                    target_id=target.id,
+                    properties=_literal_properties(rel.properties),
+                )
+            )
+
+    return LogicalGraph.from_collections(
+        environment, vertices, edges, graph_head=head, id_factory=factory
+    )
+
+
+def _parse_graph_header(parser):
+    """Optional ``name:Label {props} [`` prefix; returns (label, props)."""
+    label = ""
+    properties = None
+    if parser._check("ident") or parser._check("symbol", ":"):
+        parser._accept("ident")  # the graph variable name is decorative
+        if parser._accept("symbol", ":"):
+            label = parser._expect("ident").text
+        if parser._check("symbol", "{"):
+            properties = _literal_properties(parser._parse_property_map())
+        parser._expect("symbol", "[")
+        return label, properties
+    if parser._accept("symbol", "["):
+        return label, properties
+    return label, properties  # bare pattern text without brackets
+
+
+def _parse_paths(parser):
+    paths = []
+    while True:
+        if parser._accept("symbol", "]"):
+            break
+        if parser._check("eof"):
+            break
+        try:
+            paths.append(parser._parse_path_pattern())
+        except CypherSyntaxError as exc:
+            raise GDLError("invalid GDL pattern: %s" % exc) from exc
+        parser._accept("symbol", ",")  # separators are optional
+    if not parser._check("eof"):
+        token = parser._current
+        raise GDLError("unexpected %r after graph definition" % token.text)
+    return paths
+
+
+def _literal_properties(entries):
+    if not entries:
+        return None
+    return {key: literal.value for key, literal in entries}

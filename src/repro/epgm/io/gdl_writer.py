@@ -1,0 +1,53 @@
+"""Render a logical graph back to GDL text.
+
+The inverse of :func:`repro.epgm.io.gdl.parse_gdl`: useful for dumping
+small graphs into test fixtures and documentation.  Round-trip property:
+``parse_gdl(env, to_gdl(g))`` is isomorphic to ``g`` (ids are
+regenerated; labels, properties and structure are preserved).
+"""
+
+from repro.cypher.ast import _render_literal
+
+
+def _render_properties(properties):
+    if not len(properties):
+        return ""
+    entries = ", ".join(
+        "%s: %s" % (key, _render_literal(value.raw()))
+        for key, value in properties.items()
+    )
+    return " {%s}" % entries
+
+
+def to_gdl(graph, name="g"):
+    """GDL text for a :class:`~repro.epgm.LogicalGraph`."""
+    head = graph.graph_head
+    header = name
+    if head.label:
+        header += ":" + head.label
+    header += _render_properties(head.properties)
+
+    lines = ["%s [" % header]
+    variables = {}
+    for index, vertex in enumerate(
+        sorted(graph.collect_vertices(), key=lambda v: v.id)
+    ):
+        variable = "v%d" % index
+        variables[vertex.id] = variable
+        label = ":" + vertex.label if vertex.label else ""
+        lines.append(
+            "    (%s%s%s)" % (variable, label, _render_properties(vertex.properties))
+        )
+    for edge in sorted(graph.collect_edges(), key=lambda e: e.id):
+        label = ":" + edge.label if edge.label else ""
+        lines.append(
+            "    (%s)-[%s%s]->(%s)"
+            % (
+                variables[edge.source_id],
+                label,
+                _render_properties(edge.properties),
+                variables[edge.target_id],
+            )
+        )
+    lines.append("]")
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""The :class:`LogicalGraph` abstraction (paper §2.4).
+
+A logical graph is a graph head plus vertex and edge datasets.  All EPGM
+operators — including the Cypher pattern-matching operator this project
+reproduces — consume and produce logical graphs or graph collections.
+"""
+
+from .elements import Edge, GraphHead, Vertex
+from .identifiers import GradoopId, GradoopIdFactory
+
+
+class LogicalGraph:
+    """A single property graph distributed over the simulated cluster."""
+
+    def __init__(self, environment, graph_head, vertices, edges, id_factory=None):
+        """Wrap existing datasets; prefer :meth:`from_collections`.
+
+        Args:
+            environment: The owning dataflow environment.
+            graph_head: :class:`GraphHead` describing this graph.
+            vertices: DataSet of :class:`Vertex`.
+            edges: DataSet of :class:`Edge`.
+            id_factory: Source of fresh ids for derived graphs.
+        """
+        self.environment = environment
+        self.graph_head = graph_head
+        self._vertices = vertices
+        self._edges = edges
+        self.id_factory = (
+            id_factory if id_factory is not None else GradoopIdFactory.derived()
+        )
+
+    @classmethod
+    def from_collections(
+        cls,
+        environment,
+        vertices,
+        edges,
+        graph_head=None,
+        id_factory=None,
+        partitioning=None,
+    ):
+        """Build a logical graph from in-memory element lists.
+
+        Every element is stamped with the graph head's id so Definition 2.1's
+        containment mapping ``l`` holds.  ``partitioning`` selects the data
+        placement (:class:`~repro.epgm.partitioning.GraphPartitioning`);
+        the default is Flink-style balanced round-robin blocks.
+        """
+        from .partitioning import GraphPartitioning, edge_dataset, vertex_dataset
+
+        factory = (
+            id_factory if id_factory is not None else GradoopIdFactory.derived()
+        )
+        if graph_head is None:
+            graph_head = GraphHead(factory.next_id(), label="")
+        for element in list(vertices) + list(edges):
+            element.add_graph_id(graph_head.id)
+        if partitioning is None:
+            partitioning = GraphPartitioning.ROUND_ROBIN
+        return cls(
+            environment,
+            graph_head,
+            vertex_dataset(environment, vertices, partitioning),
+            edge_dataset(environment, edges, partitioning),
+            id_factory=factory,
+        )
+
+    # Accessors ----------------------------------------------------------------
+
+    @property
+    def vertices(self):
+        """DataSet of this graph's vertices."""
+        return self._vertices
+
+    @property
+    def edges(self):
+        """DataSet of this graph's edges."""
+        return self._edges
+
+    def vertices_by_label(self, label):
+        """Vertices with the given label.
+
+        On a plain logical graph this is a filter over the full vertex
+        dataset; :class:`~repro.epgm.indexed.IndexedLogicalGraph` overrides
+        it to read only the per-label dataset (paper §3.4).
+        """
+        return self._vertices.filter(
+            lambda v, _label=label: v.label == _label,
+            name="vertices[:%s]" % label,
+        )
+
+    def edges_by_label(self, label):
+        """Edges with the given label (see :meth:`vertices_by_label`)."""
+        return self._edges.filter(
+            lambda e, _label=label: e.label == _label,
+            name="edges[:%s]" % label,
+        )
+
+    def vertex_count(self):
+        return self._vertices.count()
+
+    def edge_count(self):
+        return self._edges.count()
+
+    def collect_vertices(self):
+        return self._vertices.collect()
+
+    def collect_edges(self):
+        return self._edges.collect()
+
+    # Cypher -------------------------------------------------------------------
+
+    def cypher(
+        self,
+        query,
+        vertex_strategy=None,
+        edge_strategy=None,
+        statistics=None,
+        attach_bindings=True,
+        parameters=None,
+    ):
+        """Evaluate a Cypher pattern-matching query (Definition 2.4).
+
+        Args:
+            query: Cypher query string (MATCH/WHERE/RETURN subset).
+            vertex_strategy: :class:`~repro.engine.morphism.MatchStrategy`
+                for vertices (default HOMOMORPHISM, like Neo4j).
+            edge_strategy: Match strategy for edges (default ISOMORPHISM).
+            statistics: Pre-computed
+                :class:`~repro.engine.statistics.GraphStatistics`; computed
+                on the fly when omitted.
+            attach_bindings: Store variable bindings as properties on the
+                result graph heads (paper §2.3).
+
+        Returns:
+            A :class:`~repro.epgm.graph_collection.GraphCollection` with one
+            logical graph per embedding.
+        """
+        from repro.engine import CypherRunner
+
+        runner = CypherRunner(
+            self,
+            vertex_strategy=vertex_strategy,
+            edge_strategy=edge_strategy,
+            statistics=statistics,
+        )
+        return runner.execute(
+            query, attach_bindings=attach_bindings, parameters=parameters
+        )
+
+    # EPGM operators -------------------------------------------------------------
+
+    def subgraph(self, vertex_predicate=None, edge_predicate=None):
+        """Extract the subgraph of elements satisfying both predicates."""
+        from .operators.subgraph import subgraph
+
+        return subgraph(self, vertex_predicate, edge_predicate)
+
+    def vertex_induced_subgraph(self, vertex_predicate):
+        """Subgraph induced by the vertices satisfying the predicate."""
+        from .operators.subgraph import vertex_induced_subgraph
+
+        return vertex_induced_subgraph(self, vertex_predicate)
+
+    def edge_induced_subgraph(self, edge_predicate):
+        """Subgraph induced by the edges satisfying the predicate."""
+        from .operators.subgraph import edge_induced_subgraph
+
+        return edge_induced_subgraph(self, edge_predicate)
+
+    def transform_vertices(self, fn):
+        """Apply ``fn(vertex) -> vertex`` to every vertex."""
+        from .operators.transformation import transform_vertices
+
+        return transform_vertices(self, fn)
+
+    def transform_edges(self, fn):
+        """Apply ``fn(edge) -> edge`` to every edge."""
+        from .operators.transformation import transform_edges
+
+        return transform_edges(self, fn)
+
+    def aggregate(self, property_key, aggregate_fn):
+        """Attach an aggregate over the graph to the graph head."""
+        from .operators.aggregation import aggregate
+
+        return aggregate(self, property_key, aggregate_fn)
+
+    def combine(self, other):
+        """Union of two logical graphs (vertices and edges, deduplicated)."""
+        from .operators.set_operators import combine
+
+        return combine(self, other)
+
+    def overlap(self, other):
+        """Intersection of two logical graphs."""
+        from .operators.set_operators import overlap
+
+        return overlap(self, other)
+
+    def exclude(self, other):
+        """Elements of this graph that are not in ``other``."""
+        from .operators.set_operators import exclude
+
+        return exclude(self, other)
+
+    def group_by(self, vertex_keys=None, edge_keys=None):
+        """Structural grouping (summary graph) by label and property keys."""
+        from .operators.grouping import group_by
+
+        return group_by(self, vertex_keys, edge_keys)
+
+    def sample_vertices(self, fraction, seed=0):
+        """Random vertex sample with induced edges (deterministic per seed)."""
+        from .operators.sampling import random_vertex_sample
+
+        return random_vertex_sample(self, fraction, seed)
+
+    def sample_edges(self, fraction, seed=0):
+        """Random edge sample with endpoint vertices (deterministic per seed)."""
+        from .operators.sampling import random_edge_sample
+
+        return random_edge_sample(self, fraction, seed)
+
+    # Helpers --------------------------------------------------------------------
+
+    def _derive(self, vertices, edges, label=None, properties=None):
+        """A new logical graph over derived datasets with a fresh head.
+
+        Elements are stamped with the new head's id on materialization —
+        Definition 2.1's containment mapping must include every graph an
+        operator produces.
+        """
+        head = GraphHead(
+            self.id_factory.next_id(),
+            label=label if label is not None else self.graph_head.label,
+            properties=properties,
+        )
+
+        def stamp(element, _head_id=head.id):
+            element.add_graph_id(_head_id)
+            return element
+
+        return LogicalGraph(
+            self.environment,
+            head,
+            vertices.map(stamp, name="stamp-membership"),
+            edges.map(stamp, name="stamp-membership"),
+            id_factory=self.id_factory,
+        )
+
+    def __repr__(self):
+        return "LogicalGraph(head=%s)" % (self.graph_head,)
+
+
+def consistent_edges(environment, vertices, edges):
+    """Keep only edges whose endpoints are both present in ``vertices``.
+
+    Implemented as two dataflow joins against the surviving vertex ids so
+    the filtering shows up in shuffle metrics like any other operation.
+    """
+    vertex_ids = vertices.map(lambda v: v.id, name="vertex-ids")
+    with_source = edges.join(
+        vertex_ids,
+        lambda e: e.source_id,
+        lambda vid: vid,
+        join_fn=lambda e, vid: [e],
+        name="edges-with-source",
+    )
+    return with_source.join(
+        vertex_ids,
+        lambda e: e.target_id,
+        lambda vid: vid,
+        join_fn=lambda e, vid: [e],
+        name="edges-with-target",
+    )

@@ -1,0 +1,1 @@
+"""EPGM analytical operators on logical graphs and collections."""

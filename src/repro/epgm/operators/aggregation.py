@@ -1,0 +1,70 @@
+"""Property-based aggregation: graph-wide values attached to the head."""
+
+from ..property_value import PropertyValue
+
+
+class AggregateFunction:
+    """Base class for aggregates over a logical graph's elements."""
+
+    #: which element dataset feeds the aggregate: "vertices" or "edges"
+    scope = "vertices"
+
+    def extract(self, element):
+        """Map an element to a partial value (``None`` values are skipped)."""
+        raise NotImplementedError
+
+    def combine(self, values):
+        """Reduce the extracted values to the final aggregate."""
+        raise NotImplementedError
+
+
+class Count(AggregateFunction):
+    def __init__(self, scope="vertices"):
+        self.scope = scope
+
+    def extract(self, element):
+        return 1
+
+    def combine(self, values):
+        return sum(values)
+
+
+class SumProperty(AggregateFunction):
+    def __init__(self, key, scope="vertices"):
+        self.key = key
+        self.scope = scope
+
+    def extract(self, element):
+        value = element.get_property(self.key)
+        return None if value.is_null else value.raw()
+
+    def combine(self, values):
+        return sum(values)
+
+
+class MinProperty(SumProperty):
+    def combine(self, values):
+        return min(values) if values else None
+
+
+class MaxProperty(SumProperty):
+    def combine(self, values):
+        return max(values) if values else None
+
+
+def aggregate(graph, property_key, aggregate_fn):
+    """Attach ``aggregate_fn``'s result to the graph head as a property."""
+    source = graph.vertices if aggregate_fn.scope == "vertices" else graph.edges
+    extracted = [
+        value
+        for value in (aggregate_fn.extract(e) for e in source.collect())
+        if value is not None
+    ]
+    result = aggregate_fn.combine(extracted)
+    derived = graph._derive(
+        graph.vertices,
+        graph.edges,
+        properties=graph.graph_head.properties.copy(),
+    )
+    derived.graph_head.properties.set(property_key, PropertyValue(result))
+    return derived

@@ -1,0 +1,31 @@
+"""Graph sampling operators (Gradoop's sampling family)."""
+
+import random
+
+
+def random_vertex_sample(graph, fraction, seed=0):
+    """Keep each vertex with probability ``fraction`` (deterministic per
+    seed), plus all edges between kept vertices — Gradoop's
+    RandomVertexSampling.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1], got %r" % fraction)
+    rng = random.Random("vertex-sample|%r" % seed)
+    kept = {
+        vertex.id
+        for vertex in graph.collect_vertices()
+        if rng.random() < fraction
+    }
+    return graph.vertex_induced_subgraph(lambda v, _kept=kept: v.id in _kept)
+
+
+def random_edge_sample(graph, fraction, seed=0):
+    """Keep each edge with probability ``fraction`` plus its endpoints —
+    Gradoop's RandomEdgeSampling."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1], got %r" % fraction)
+    rng = random.Random("edge-sample|%r" % seed)
+    kept = {
+        edge.id for edge in graph.collect_edges() if rng.random() < fraction
+    }
+    return graph.edge_induced_subgraph(lambda e, _kept=kept: e.id in _kept)

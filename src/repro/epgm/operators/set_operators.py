@@ -1,0 +1,48 @@
+"""Binary set operators on logical graphs (combine/overlap/exclude)."""
+
+
+def combine(left, right):
+    """Union of both graphs' vertices and edges (id-deduplicated)."""
+    vertices = left.vertices.union(right.vertices).distinct(key=lambda v: v.id)
+    edges = left.edges.union(right.edges).distinct(key=lambda e: e.id)
+    return left._derive(vertices, edges)
+
+
+def overlap(left, right):
+    """Elements present in both graphs (by element id)."""
+    vertices = left.vertices.join(
+        right.vertices,
+        lambda v: v.id,
+        lambda v: v.id,
+        join_fn=lambda a, b: [a],
+        name="overlap-vertices",
+    )
+    edges = left.edges.join(
+        right.edges,
+        lambda e: e.id,
+        lambda e: e.id,
+        join_fn=lambda a, b: [a],
+        name="overlap-edges",
+    )
+    return left._derive(vertices, edges)
+
+
+def exclude(left, right):
+    """Elements of ``left`` that do not appear in ``right``.
+
+    Dangling edges (edges whose endpoint was excluded) are removed to keep
+    the result a valid graph.
+    """
+    right_vertex_ids = set(v.id for v in right.vertices.collect())
+    right_edge_ids = set(e.id for e in right.edges.collect())
+    vertices = left.vertices.filter(
+        lambda v, ids=right_vertex_ids: v.id not in ids, name="exclude-vertices"
+    )
+    edges = left.edges.filter(
+        lambda e, ids=right_edge_ids: e.id not in ids, name="exclude-edges"
+    )
+    from ..logical_graph import consistent_edges
+
+    return left._derive(
+        vertices, consistent_edges(left.environment, vertices, edges)
+    )

@@ -1,0 +1,43 @@
+"""Subgraph extraction operators."""
+
+from ..logical_graph import consistent_edges
+
+
+def subgraph(graph, vertex_predicate=None, edge_predicate=None):
+    """Elements satisfying both predicates, with dangling edges removed.
+
+    A ``None`` predicate keeps everything of that element kind.
+    """
+    vertices = graph.vertices
+    if vertex_predicate is not None:
+        vertices = vertices.filter(vertex_predicate, name="subgraph-vertices")
+    edges = graph.edges
+    if edge_predicate is not None:
+        edges = edges.filter(edge_predicate, name="subgraph-edges")
+    edges = consistent_edges(graph.environment, vertices, edges)
+    return graph._derive(vertices, edges)
+
+
+def vertex_induced_subgraph(graph, vertex_predicate):
+    """All surviving vertices plus every edge between two of them."""
+    if vertex_predicate is None:
+        raise ValueError("vertex_induced_subgraph requires a predicate")
+    return subgraph(graph, vertex_predicate, None)
+
+
+def edge_induced_subgraph(graph, edge_predicate):
+    """All surviving edges plus exactly their endpoint vertices."""
+    if edge_predicate is None:
+        raise ValueError("edge_induced_subgraph requires a predicate")
+    edges = graph.edges.filter(edge_predicate, name="subgraph-edges")
+    endpoint_ids = edges.flat_map(
+        lambda e: [e.source_id, e.target_id], name="edge-endpoints"
+    ).distinct()
+    vertices = graph.vertices.join(
+        endpoint_ids,
+        lambda v: v.id,
+        lambda vid: vid,
+        join_fn=lambda v, vid: [v],
+        name="induced-vertices",
+    )
+    return graph._derive(vertices, edges)

@@ -1,0 +1,31 @@
+"""Structure-preserving element transformation."""
+
+
+def transform_vertices(graph, fn):
+    """Apply ``fn(vertex) -> vertex`` to every vertex.
+
+    The function must return a vertex with the same id — transformation
+    changes data, never structure.
+    """
+    def checked(vertex):
+        result = fn(vertex)
+        if result.id != vertex.id:
+            raise ValueError("transformation must preserve element ids")
+        return result
+
+    return graph._derive(
+        graph.vertices.map(checked, name="transform-vertices"), graph.edges
+    )
+
+
+def transform_edges(graph, fn):
+    """Apply ``fn(edge) -> edge`` to every edge (id-preserving)."""
+    def checked(edge):
+        result = fn(edge)
+        if result.id != edge.id:
+            raise ValueError("transformation must preserve element ids")
+        return result
+
+    return graph._derive(
+        graph.vertices, graph.edges.map(checked, name="transform-edges")
+    )

@@ -1,0 +1,88 @@
+"""Key → :class:`PropertyValue` maps attached to EPGM elements."""
+
+from .property_value import NULL_VALUE, PropertyValue
+
+
+class Properties:
+    """An insertion-ordered property map.
+
+    Values are normalized to :class:`PropertyValue` on insertion; lookups of
+    absent keys return the NULL value (the ``ε`` of Definition 2.1), never
+    raise.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries=None):
+        self._entries = {}
+        if entries:
+            items = entries.items() if isinstance(entries, dict) else entries
+            for key, value in items:
+                self.set(key, value)
+
+    @classmethod
+    def create(cls, **kwargs):
+        """Convenience constructor: ``Properties.create(name="Alice")``."""
+        return cls(kwargs)
+
+    def set(self, key, value):
+        if not isinstance(key, str) or not key:
+            raise ValueError("property key must be a non-empty string")
+        self._entries[key] = (
+            value if isinstance(value, PropertyValue) else PropertyValue(value)
+        )
+
+    def get(self, key):
+        """The value for ``key``, or NULL if absent (never raises)."""
+        return self._entries.get(key, NULL_VALUE)
+
+    def has(self, key):
+        return key in self._entries
+
+    def remove(self, key):
+        """Remove ``key`` if present; returns the removed value or NULL."""
+        return self._entries.pop(key, NULL_VALUE)
+
+    def keys(self):
+        return list(self._entries.keys())
+
+    def items(self):
+        return list(self._entries.items())
+
+    def retain(self, keys):
+        """A copy containing only ``keys`` (projection, paper §3.1)."""
+        kept = Properties()
+        for key in keys:
+            if key in self._entries:
+                kept._entries[key] = self._entries[key]
+        return kept
+
+    def copy(self):
+        duplicate = Properties()
+        duplicate._entries = dict(self._entries)
+        return duplicate
+
+    def to_dict(self):
+        """Plain-Python view, e.g. for display or CSV export."""
+        return {key: value.raw() for key, value in self._entries.items()}
+
+    def serialized_size(self):
+        return sum(
+            len(key.encode("utf-8")) + value.serialized_size()
+            for key, value in self._entries.items()
+        )
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __eq__(self, other):
+        return isinstance(other, Properties) and self._entries == other._entries
+
+    def __repr__(self):
+        return "Properties(%r)" % self.to_dict()

@@ -1,0 +1,227 @@
+"""Typed, byte-serializable property values.
+
+Mirrors Gradoop's ``PropertyValue``: a tagged union with a compact binary
+representation.  The embedding data structure (paper §3.3) stores property
+values as ``(byte-length, value)`` pairs, so every value must round-trip
+through bytes; the byte length genuinely varies by type, which the tests
+assert.
+
+Comparison semantics follow Cypher: numbers compare across int/float,
+strings compare with strings, everything else is *incomparable* and
+ordering predicates on incomparable values evaluate to false (the engine
+maps :class:`IncomparableError` to a failed predicate).
+"""
+
+import struct
+
+from .identifiers import GradoopId
+
+
+class IncomparableError(TypeError):
+    """Raised when two property values have no defined ordering."""
+
+
+_TYPE_NULL = 0x00
+_TYPE_BOOL = 0x01
+_TYPE_INT = 0x02
+_TYPE_FLOAT = 0x03
+_TYPE_STRING = 0x04
+_TYPE_LIST = 0x05
+_TYPE_ID = 0x06
+
+_INT_STRUCT = struct.Struct(">q")
+_FLOAT_STRUCT = struct.Struct(">d")
+_LEN_STRUCT = struct.Struct(">I")
+
+_TYPE_NAMES = {
+    _TYPE_NULL: "null",
+    _TYPE_BOOL: "boolean",
+    _TYPE_INT: "integer",
+    _TYPE_FLOAT: "float",
+    _TYPE_STRING: "string",
+    _TYPE_LIST: "list",
+    _TYPE_ID: "gradoop_id",
+}
+
+
+class PropertyValue:
+    """An immutable, typed property value."""
+
+    __slots__ = ("_type", "_value")
+
+    def __init__(self, value):
+        """Wrap a raw Python value; use ``PropertyValue(None)`` for NULL."""
+        if isinstance(value, PropertyValue):
+            self._type = value._type
+            self._value = value._value
+        elif value is None:
+            self._type, self._value = _TYPE_NULL, None
+        elif isinstance(value, bool):
+            self._type, self._value = _TYPE_BOOL, value
+        elif isinstance(value, int):
+            if not -(1 << 63) <= value < (1 << 63):
+                raise ValueError("integer property out of int64 range: %d" % value)
+            self._type, self._value = _TYPE_INT, value
+        elif isinstance(value, float):
+            self._type, self._value = _TYPE_FLOAT, value
+        elif isinstance(value, str):
+            self._type, self._value = _TYPE_STRING, value
+        elif isinstance(value, GradoopId):
+            self._type, self._value = _TYPE_ID, value
+        elif isinstance(value, (list, tuple)):
+            self._type = _TYPE_LIST
+            self._value = tuple(PropertyValue(item) for item in value)
+        else:
+            raise TypeError(
+                "unsupported property type: %r" % type(value).__name__
+            )
+
+    # Introspection ----------------------------------------------------------
+
+    @property
+    def type_name(self):
+        return _TYPE_NAMES[self._type]
+
+    @property
+    def is_null(self):
+        return self._type == _TYPE_NULL
+
+    @property
+    def is_number(self):
+        return self._type in (_TYPE_INT, _TYPE_FLOAT)
+
+    @property
+    def is_string(self):
+        return self._type == _TYPE_STRING
+
+    @property
+    def is_boolean(self):
+        return self._type == _TYPE_BOOL
+
+    @property
+    def is_list(self):
+        return self._type == _TYPE_LIST
+
+    def raw(self):
+        """The underlying Python value (lists come back as plain lists)."""
+        if self._type == _TYPE_LIST:
+            return [item.raw() for item in self._value]
+        return self._value
+
+    # Serialization ------------------------------------------------------------
+
+    def to_bytes(self):
+        """Serialize as one type byte plus a type-specific payload."""
+        t = self._type
+        if t == _TYPE_NULL:
+            return bytes([t])
+        if t == _TYPE_BOOL:
+            return bytes([t, 1 if self._value else 0])
+        if t == _TYPE_INT:
+            return bytes([t]) + _INT_STRUCT.pack(self._value)
+        if t == _TYPE_FLOAT:
+            return bytes([t]) + _FLOAT_STRUCT.pack(self._value)
+        if t == _TYPE_STRING:
+            encoded = self._value.encode("utf-8")
+            return bytes([t]) + _LEN_STRUCT.pack(len(encoded)) + encoded
+        if t == _TYPE_ID:
+            return bytes([t]) + self._value.to_bytes()
+        if t == _TYPE_LIST:
+            payload = b"".join(item.to_bytes() for item in self._value)
+            return bytes([t]) + _LEN_STRUCT.pack(len(self._value)) + payload
+        raise AssertionError("unreachable type %d" % t)
+
+    @classmethod
+    def from_bytes(cls, data, offset=0):
+        """Deserialize; returns ``(value, bytes_consumed)``."""
+        t = data[offset]
+        if t == _TYPE_NULL:
+            return cls(None), 1
+        if t == _TYPE_BOOL:
+            return cls(bool(data[offset + 1])), 2
+        if t == _TYPE_INT:
+            return cls(_INT_STRUCT.unpack_from(data, offset + 1)[0]), 9
+        if t == _TYPE_FLOAT:
+            return cls(_FLOAT_STRUCT.unpack_from(data, offset + 1)[0]), 9
+        if t == _TYPE_STRING:
+            (length,) = _LEN_STRUCT.unpack_from(data, offset + 1)
+            start = offset + 5
+            text = bytes(data[start : start + length]).decode("utf-8")
+            return cls(text), 5 + length
+        if t == _TYPE_ID:
+            return cls(GradoopId.from_bytes(data, offset + 1)), 9
+        if t == _TYPE_LIST:
+            (count,) = _LEN_STRUCT.unpack_from(data, offset + 1)
+            cursor = offset + 5
+            items = []
+            for _ in range(count):
+                item, consumed = cls.from_bytes(data, cursor)
+                items.append(item)
+                cursor += consumed
+            return cls([item.raw() for item in items]), cursor - offset
+        raise ValueError("unknown property type byte: 0x%02x" % t)
+
+    def serialized_size(self):
+        """Byte length of :meth:`to_bytes` (used for shuffle accounting)."""
+        return len(self.to_bytes())
+
+    # Comparison ---------------------------------------------------------------
+
+    def _comparable_with(self, other):
+        if self.is_number and other.is_number:
+            return True
+        return self._type == other._type and not self.is_null
+
+    def compare(self, other):
+        """Three-way comparison; raises :class:`IncomparableError` when the
+        Cypher ordering is undefined (e.g. string vs. int, anything vs. null).
+        """
+        if not isinstance(other, PropertyValue):
+            other = PropertyValue(other)
+        if not self._comparable_with(other):
+            raise IncomparableError(
+                "cannot compare %s with %s" % (self.type_name, other.type_name)
+            )
+        left, right = self._value, other._value
+        if self._type == _TYPE_LIST:
+            left = [item.raw() for item in self._value]
+            right = [item.raw() for item in other._value]
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+
+    def __eq__(self, other):
+        if not isinstance(other, PropertyValue):
+            if isinstance(other, (type(None), bool, int, float, str, GradoopId, list, tuple)):
+                other = PropertyValue(other)
+            else:
+                return NotImplemented
+        if self.is_number and other.is_number:
+            return self._value == other._value
+        return self._type == other._type and self._value == other._value
+
+    def __lt__(self, other):
+        return self.compare(other) < 0
+
+    def __le__(self, other):
+        return self.compare(other) <= 0
+
+    def __gt__(self, other):
+        return self.compare(other) > 0
+
+    def __ge__(self, other):
+        return self.compare(other) >= 0
+
+    def __hash__(self):
+        if self.is_number:
+            return hash(("num", float(self._value)))
+        return hash((self._type, self._value))
+
+    def __repr__(self):
+        return "PropertyValue(%r)" % (self.raw(),)
+
+
+#: Reusable NULL singleton, mirroring Gradoop's ``PropertyValue.NULL_VALUE``.
+NULL_VALUE = PropertyValue(None)

@@ -1,0 +1,70 @@
+"""The paper's published evaluation numbers (GRADES'17, Table 4 and the
+appendix cardinality tables), for side-by-side shape comparison.
+
+Runtimes are seconds on the authors' 16-node cluster; speedups are
+relative to one worker.  ``None`` marks cells the paper leaves blank
+(SF 100 analytical queries were only run on 16 workers).
+"""
+
+#: Table 4 — {(query, selectivity, sf): {workers: (seconds, speedup)}}
+#: sf is "small" (paper SF 10) or "large" (paper SF 100).
+TABLE4 = {
+    ("Q1", "low", "small"): {1: (89, 1.0), 2: (46, 1.9), 4: (25, 3.6), 8: (15, 5.9), 16: (12, 7.4)},
+    ("Q1", "low", "large"): {1: (915, 1.0), 2: (445, 2.1), 4: (237, 3.9), 8: (123, 7.4), 16: (91, 10.1)},
+    ("Q1", "medium", "small"): {1: (88, 1.0), 2: (46, 1.9), 4: (26, 3.4), 8: (15, 5.9), 16: (11, 8.0)},
+    ("Q1", "medium", "large"): {1: (866, 1.0), 2: (447, 1.9), 4: (230, 3.8), 8: (116, 7.5), 16: (87, 10.0)},
+    ("Q1", "high", "small"): {1: (88, 1.0), 2: (45, 2.0), 4: (26, 3.4), 8: (15, 5.9), 16: (12, 7.3)},
+    ("Q1", "high", "large"): {1: (866, 1.0), 2: (441, 2.0), 4: (238, 3.6), 8: (116, 7.5), 16: (87, 10.0)},
+    ("Q2", "low", "small"): {1: (130, 1.0), 2: (69, 1.9), 4: (38, 3.4), 8: (22, 5.9), 16: (17, 7.7)},
+    ("Q2", "low", "large"): {1: (1602, 1.0), 2: (757, 2.1), 4: (359, 4.5), 8: (180, 8.9), 16: (115, 13.9)},
+    ("Q2", "medium", "small"): {1: (123, 1.0), 2: (64, 1.9), 4: (33, 3.7), 8: (19, 6.6), 16: (14, 8.8)},
+    ("Q2", "medium", "large"): {1: (1444, 1.0), 2: (701, 2.1), 4: (327, 4.4), 8: (167, 8.7), 16: (121, 11.9)},
+    ("Q2", "high", "small"): {1: (123, 1.0), 2: (64, 1.9), 4: (34, 3.6), 8: (18, 6.8), 16: (14, 8.8)},
+    ("Q2", "high", "large"): {1: (1439, 1.0), 2: (701, 2.1), 4: (234, 6.1), 8: (167, 8.6), 16: (115, 12.5)},
+    ("Q3", "low", "small"): {1: (178, 1.0), 2: (87, 2.1), 4: (54, 3.3), 8: (30, 5.9), 16: (25, 7.1)},
+    ("Q3", "low", "large"): {1: (3012, 1.0), 2: (1554, 1.9), 4: (706, 4.3), 8: (374, 8.1), 16: (294, 10.2)},
+    ("Q3", "medium", "small"): {1: (105, 1.0), 2: (54, 1.9), 4: (28, 3.8), 8: (15, 7.0), 16: (11, 9.6)},
+    ("Q3", "medium", "large"): {1: (1330, 1.0), 2: (616, 2.2), 4: (289, 4.6), 8: (143, 9.3), 16: (90, 14.8)},
+    ("Q3", "high", "small"): {1: (104, 1.0), 2: (52, 2.0), 4: (27, 3.9), 8: (15, 6.9), 16: (11, 9.5)},
+    ("Q3", "high", "large"): {1: (1314, 1.0), 2: (609, 2.2), 4: (276, 4.8), 8: (138, 9.5), 16: (84, 15.6)},
+    ("Q4", None, "small"): {1: (854, 1.0), 2: (380, 2.3), 4: (250, 3.4), 8: (142, 6.0), 16: (131, 6.5)},
+    ("Q4", None, "large"): {16: (1488, None)},
+    ("Q5", None, "small"): {1: (315, 1.0), 2: (168, 1.9), 4: (115, 2.7), 8: (66, 4.8), 16: (71, 4.4)},
+    ("Q5", None, "large"): {16: (1039, None)},
+    ("Q6", None, "small"): {1: (193, 1.0), 2: (104, 1.9), 4: (73, 2.6), 8: (45, 4.3), 16: (42, 4.6)},
+    ("Q6", None, "large"): {16: (411, None)},
+}
+
+#: Appendix — result cardinalities {(query, sf): {selectivity: count} | count}
+CARDINALITIES = {
+    ("Q1", "small"): {"high": 63, "medium": 2_704, "low": 784_051},
+    ("Q1", "large"): {"high": 6, "medium": 41_634, "low": 7_594_399},
+    ("Q2", "small"): {"high": 31, "medium": 4_465, "low": 818_869},
+    ("Q2", "large"): {"high": 6, "medium": 32_929, "low": 7_249_529},
+    ("Q3", "small"): {"high": 71, "medium": 4_876, "low": 252_344},
+    ("Q3", "large"): {"high": 5_138, "medium": 52_404, "low": 2_579_714},
+    ("Q4", "small"): 343_871_500,
+    ("Q4", "large"): 3_566_155_862,
+    ("Q5", "small"): 4_940_388,
+    ("Q5", "large"): 66_191_525,
+    ("Q6", "small"): 87_382_672,
+    ("Q6", "large"): 863_732_154,
+}
+
+#: Table 3 — intermediate result sizes at SF 10.
+TABLE3 = {
+    "(:Person)": {"high": 2, "medium": 39, "low": 1_757},
+    "(:Person)<-[:hasCreator]-(:Comment|Post)": {
+        "high": 31, "medium": 4_465, "low": 818_869,
+    },
+    "(:Person)-[:knows]->(:Person)": {"high": 19, "medium": 947, "low": 51_114},
+    "(:Person)-[:knows]->(:Person)<-[:hasCreator]-(:Comment)": {
+        "high": 18_129, "medium": 636_678, "low": 38_122_006,
+    },
+}
+
+
+def paper_speedup(query, selectivity, size, workers):
+    """The paper's reported speedup, or ``None`` where not published."""
+    cell = TABLE4.get((query, selectivity, size), {}).get(workers)
+    return cell[1] if cell else None

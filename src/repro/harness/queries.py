@@ -1,0 +1,97 @@
+"""The six evaluation queries (paper appendix), verbatim modulo whitespace.
+
+Queries 1-3 are *operational*: parameterized by ``firstName`` so their
+selectivity can be controlled (high = rare name, low = very common name).
+Queries 4-6 are *analytical*: they touch large parts of the graph and
+produce large result sets.
+"""
+
+#: Query 1 — All messages of a person.
+QUERY_1 = """
+MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post)
+WHERE person.firstName = '{firstName}'
+RETURN message.creationDate, message.content
+"""
+
+#: Query 2 — Posts to a person's comments.
+QUERY_2 = """
+MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post),
+      (message)-[:replyOf*0..10]->(post:Post)
+WHERE person.firstName = '{firstName}'
+RETURN message.creationDate, message.content,
+       post.creationDate, post.content
+"""
+
+#: Query 3 — Friends that replied to a post.
+QUERY_3 = """
+MATCH (p1:Person)-[:knows]->(p2:Person),
+      (p2)<-[:hasCreator]-(comment:Comment),
+      (comment)-[:replyOf*1..10]->(post:Post),
+      (post)-[:hasCreator]->(p1)
+WHERE p1.firstName = '{firstName}'
+RETURN p1.firstName, p1.lastName,
+       p2.firstName, p2.lastName,
+       post.content
+"""
+
+#: Query 4 — Person profile.
+QUERY_4 = """
+MATCH (person:Person)-[:isLocatedIn]->(city:City),
+      (person)-[:hasInterest]->(tag:Tag),
+      (person)-[:studyAt]->(uni:University),
+      (person)<-[:hasMember|hasModerator]-(forum:Forum)
+RETURN person.firstName, person.lastName,
+       city.name, tag.name, uni.name, forum.title
+"""
+
+#: Query 5 — Close friends (triangles).
+QUERY_5 = """
+MATCH (p1:Person)-[:knows]->(p2:Person),
+      (p2)-[:knows]->(p3:Person),
+      (p1)-[:knows]->(p3)
+RETURN p1.firstName, p1.lastName,
+       p2.firstName, p2.lastName,
+       p3.firstName, p3.lastName
+"""
+
+#: Query 6 — Recommendation (shared interests).
+QUERY_6 = """
+MATCH (p1:Person)-[:knows]->(p2:Person),
+      (p1)-[:hasInterest]->(t1:Tag),
+      (p2)-[:hasInterest]->(t1),
+      (p2)-[:hasInterest]->(t2:Tag)
+RETURN p1.firstName, p1.lastName, t2.name
+"""
+
+OPERATIONAL_QUERIES = {"Q1": QUERY_1, "Q2": QUERY_2, "Q3": QUERY_3}
+ANALYTICAL_QUERIES = {"Q4": QUERY_4, "Q5": QUERY_5, "Q6": QUERY_6}
+ALL_QUERIES = {**OPERATIONAL_QUERIES, **ANALYTICAL_QUERIES}
+
+#: The four sub-patterns of Table 3 (intermediate result sizes), the first
+#: three parameterized by firstName like the operational queries.
+TABLE3_PATTERNS = {
+    "(:Person)": """
+        MATCH (p:Person) WHERE p.firstName = '{firstName}' RETURN *
+    """,
+    "(:Person)<-[:hasCreator]-(:Comment|Post)": """
+        MATCH (p:Person)<-[:hasCreator]-(m:Comment|Post)
+        WHERE p.firstName = '{firstName}' RETURN *
+    """,
+    "(:Person)-[:knows]->(:Person)": """
+        MATCH (p:Person)-[:knows]->(q:Person)
+        WHERE p.firstName = '{firstName}' RETURN *
+    """,
+    "(:Person)-[:knows]->(:Person)<-[:hasCreator]-(:Comment)": """
+        MATCH (p:Person)-[:knows]->(q:Person)<-[:hasCreator]-(c:Comment)
+        WHERE p.firstName = '{firstName}' RETURN *
+    """,
+}
+
+
+def instantiate(query_template, first_name=None):
+    """Fill the ``{firstName}`` parameter if the template has one."""
+    if "{firstName}" in query_template:
+        if first_name is None:
+            raise ValueError("query requires a firstName parameter")
+        return query_template.replace("{firstName}", first_name)
+    return query_template

@@ -1,0 +1,22 @@
+"""Synthetic LDBC-SNB-like social network (DESIGN.md substitution table)."""
+
+from . import schema
+from .distributions import Zipf, poisson, power_law_degree, preferential_targets
+from .generator import (
+    LDBCDataset,
+    LDBCGenerator,
+    PERSONS_PER_SCALE_FACTOR,
+    generate_graph,
+)
+
+__all__ = [
+    "LDBCDataset",
+    "LDBCGenerator",
+    "PERSONS_PER_SCALE_FACTOR",
+    "Zipf",
+    "generate_graph",
+    "poisson",
+    "power_law_degree",
+    "preferential_targets",
+    "schema",
+]

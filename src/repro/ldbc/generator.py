@@ -1,0 +1,393 @@
+"""Deterministic LDBC-SNB-like social network generator.
+
+Substitute for the LDBC DATAGEN (see DESIGN.md §2): scale factor is a
+linear multiplier on person count, `knows` out-degrees follow a power law
+with preferential attachment (skewed in-degrees → the load imbalance of
+paper §4.1), reply trees give Comment→…→Post chains for the ``replyOf``
+variable-length queries, and ``firstName`` values are Zipf-distributed so
+the selectivity classes of Figure 5 exist by construction.
+"""
+
+from repro.epgm import Edge, GradoopIdFactory, GraphHead, Vertex
+from repro.epgm.indexed import IndexedLogicalGraph
+from repro.epgm.logical_graph import LogicalGraph
+
+from . import schema
+from .distributions import (
+    Zipf,
+    make_rng,
+    poisson,
+    power_law_degree,
+    preferential_targets,
+)
+
+#: Persons at scale factor 1.  LDBC's absolute sizes are cluster-scale;
+#: ours are laptop-scale with the same *relative* growth per SF.
+PERSONS_PER_SCALE_FACTOR = 600
+
+
+class LDBCDataset:
+    """The generated elements plus convenience accessors."""
+
+    def __init__(self, graph_head, vertices, edges, first_name_ranks):
+        self.graph_head = graph_head
+        self.vertices = vertices
+        self.edges = edges
+        self.first_name_ranks = first_name_ranks
+
+    def counts_by_label(self):
+        counts = {}
+        for vertex in self.vertices:
+            counts[vertex.label] = counts.get(vertex.label, 0) + 1
+        for edge in self.edges:
+            counts[edge.label] = counts.get(edge.label, 0) + 1
+        return counts
+
+    def first_name(self, selectivity):
+        """A firstName whose frequency class matches the paper's classes.
+
+        ``'low'`` selectivity → the most common name (largest result set),
+        ``'medium'`` → a mid-rank name, ``'high'`` → a rare name.
+        """
+        ranked = sorted(
+            self.first_name_ranks.items(), key=lambda item: -item[1]
+        )
+        if not ranked:
+            raise ValueError("no persons generated")
+        if selectivity == "low":
+            return ranked[0][0]
+        if selectivity == "medium":
+            return ranked[min(len(ranked) // 6 + 1, len(ranked) - 1)][0]
+        if selectivity == "high":
+            return ranked[-1][0]
+        raise ValueError("selectivity must be 'high', 'medium' or 'low'")
+
+    def to_logical_graph(self, environment, indexed=False, partitioning=None):
+        if indexed:
+            return IndexedLogicalGraph.from_collections(
+                environment, self.vertices, self.edges, graph_head=self.graph_head
+            )
+        return LogicalGraph.from_collections(
+            environment,
+            self.vertices,
+            self.edges,
+            graph_head=self.graph_head,
+            partitioning=partitioning,
+        )
+
+
+class LDBCGenerator:
+    """Generates one dataset; fully determined by (scale_factor, seed)."""
+
+    def __init__(self, scale_factor=0.1, seed=42):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.person_count = max(int(PERSONS_PER_SCALE_FACTOR * scale_factor), 10)
+
+    # Element counts derived from the person count -----------------------------
+
+    @property
+    def city_count(self):
+        return min(max(self.person_count // 40, 3), len(schema.CITY_NAMES))
+
+    @property
+    def university_count(self):
+        return min(max(self.person_count // 80, 2), len(schema.UNIVERSITY_NAMES))
+
+    @property
+    def tag_count(self):
+        return min(max(self.person_count // 12, 5), len(schema.TAG_NAMES))
+
+    @property
+    def forum_count(self):
+        return max(self.person_count // 6, 2)
+
+    # ----------------------------------------------------------------------------
+
+    def generate(self):
+        ids = GradoopIdFactory(start=1)
+        head = GraphHead(
+            ids.next_id(),
+            label="social_network",
+            properties={"scaleFactor": float(self.scale_factor), "seed": self.seed},
+        )
+        vertices = []
+        edges = []
+
+        cities = self._make_simple(ids, schema.CITY, schema.CITY_NAMES, self.city_count)
+        universities = self._make_simple(
+            ids, schema.UNIVERSITY, schema.UNIVERSITY_NAMES, self.university_count
+        )
+        tags = self._make_simple(ids, schema.TAG, schema.TAG_NAMES, self.tag_count)
+        vertices.extend(cities + universities + tags)
+
+        persons, first_name_ranks = self._make_persons(ids)
+        vertices.extend(persons)
+
+        forums = self._make_forums(ids)
+        vertices.extend(forums)
+
+        knows_edges = self._make_knows(ids, persons)
+        edges.extend(knows_edges)
+        edges.extend(self._make_person_city(ids, persons, cities))
+        edges.extend(self._make_study_at(ids, persons, universities))
+        edges.extend(self._make_interests(ids, persons, tags))
+        edges.extend(self._make_forum_membership(ids, persons, forums))
+
+        messages, message_edges = self._make_messages(ids, persons, knows_edges)
+        vertices.extend(messages)
+        edges.extend(message_edges)
+
+        return LDBCDataset(head, vertices, edges, first_name_ranks)
+
+    # Vertices --------------------------------------------------------------------
+
+    def _make_simple(self, ids, label, names, count):
+        return [
+            Vertex(ids.next_id(), label=label, properties={"name": names[index]})
+            for index in range(count)
+        ]
+
+    def _make_persons(self, ids):
+        rng = make_rng(self.seed, "persons")
+        name_zipf = Zipf(len(schema.FIRST_NAMES), exponent=1.1)
+        persons = []
+        ranks = {}
+        for index in range(self.person_count):
+            first_name = schema.FIRST_NAMES[name_zipf.sample(rng)]
+            ranks[first_name] = ranks.get(first_name, 0) + 1
+            persons.append(
+                Vertex(
+                    ids.next_id(),
+                    label=schema.PERSON,
+                    properties={
+                        "firstName": first_name,
+                        "lastName": rng.choice(schema.LAST_NAMES),
+                        "gender": schema.GENDERS[index % 2],
+                        "creationDate": rng.randint(
+                            schema.CREATION_DATE_MIN, schema.CREATION_DATE_MAX
+                        ),
+                    },
+                )
+            )
+        return persons, ranks
+
+    def _make_forums(self, ids):
+        rng = make_rng(self.seed, "forums")
+        return [
+            Vertex(
+                ids.next_id(),
+                label=schema.FORUM,
+                properties={
+                    "title": "Forum %d" % index,
+                    "creationDate": rng.randint(
+                        schema.CREATION_DATE_MIN, schema.CREATION_DATE_MAX
+                    ),
+                },
+            )
+            for index in range(self.forum_count)
+        ]
+
+    # Edges -----------------------------------------------------------------------
+
+    def _make_knows(self, ids, persons):
+        """Power-law out-degrees, preferential-attachment targets."""
+        rng = make_rng(self.seed, "knows")
+        edges = []
+        n = len(persons)
+        for index, person in enumerate(persons):
+            degree = power_law_degree(rng, average=5.0, maximum=max(n // 2, 1))
+            for target_index in preferential_targets(rng, degree, n):
+                if target_index == index:
+                    continue
+                edges.append(
+                    Edge(
+                        ids.next_id(),
+                        label=schema.KNOWS,
+                        source_id=person.id,
+                        target_id=persons[target_index].id,
+                        properties={
+                            "creationDate": rng.randint(
+                                schema.CREATION_DATE_MIN, schema.CREATION_DATE_MAX
+                            )
+                        },
+                    )
+                )
+        return edges
+
+    def _make_person_city(self, ids, persons, cities):
+        rng = make_rng(self.seed, "cities")
+        city_zipf = Zipf(len(cities), exponent=0.8)
+        return [
+            Edge(
+                ids.next_id(),
+                label=schema.IS_LOCATED_IN,
+                source_id=person.id,
+                target_id=cities[city_zipf.sample(rng)].id,
+            )
+            for person in persons
+        ]
+
+    def _make_study_at(self, ids, persons, universities):
+        rng = make_rng(self.seed, "study")
+        uni_zipf = Zipf(len(universities), exponent=0.8)
+        edges = []
+        for person in persons:
+            if rng.random() >= 0.45:
+                continue
+            edges.append(
+                Edge(
+                    ids.next_id(),
+                    label=schema.STUDY_AT,
+                    source_id=person.id,
+                    target_id=universities[uni_zipf.sample(rng)].id,
+                    properties={
+                        "classYear": rng.randint(
+                            schema.CLASS_YEAR_MIN, schema.CLASS_YEAR_MAX
+                        )
+                    },
+                )
+            )
+        return edges
+
+    def _make_interests(self, ids, persons, tags):
+        rng = make_rng(self.seed, "interests")
+        tag_zipf = Zipf(len(tags), exponent=1.0)
+        edges = []
+        for person in persons:
+            interest_count = poisson(rng, 2.5)
+            chosen = set()
+            for _ in range(interest_count):
+                chosen.add(tag_zipf.sample(rng))
+            for tag_index in sorted(chosen):
+                edges.append(
+                    Edge(
+                        ids.next_id(),
+                        label=schema.HAS_INTEREST,
+                        source_id=person.id,
+                        target_id=tags[tag_index].id,
+                    )
+                )
+        return edges
+
+    def _make_forum_membership(self, ids, persons, forums):
+        rng = make_rng(self.seed, "forums-members")
+        edges = []
+        n = len(persons)
+        for forum in forums:
+            moderator = persons[rng.randrange(n)]
+            edges.append(
+                Edge(
+                    ids.next_id(),
+                    label=schema.HAS_MODERATOR,
+                    source_id=forum.id,
+                    target_id=moderator.id,
+                )
+            )
+            member_count = max(poisson(rng, 6.0), 1)
+            for member_index in preferential_targets(rng, member_count, n):
+                edges.append(
+                    Edge(
+                        ids.next_id(),
+                        label=schema.HAS_MEMBER,
+                        source_id=forum.id,
+                        target_id=persons[member_index].id,
+                    )
+                )
+        return edges
+
+    def _make_messages(self, ids, persons, knows_edges):
+        """Posts with reply trees of Comments (``replyOf`` chains).
+
+        Commenters are biased toward friends of the thread's creator —
+        replies in a social network come mostly from one's neighbourhood,
+        and query 3 (friends that replied to a post) depends on it.
+        """
+        rng = make_rng(self.seed, "messages")
+        vertices = []
+        edges = []
+        n = len(persons)
+        person_by_id = {person.id: person for person in persons}
+        friends = {}
+        for edge in knows_edges:
+            friends.setdefault(edge.source_id, []).append(
+                person_by_id[edge.target_id]
+            )
+        for person in persons:
+            for _ in range(poisson(rng, 1.2)):
+                post = Vertex(
+                    ids.next_id(),
+                    label=schema.POST,
+                    properties={
+                        "content": "post by %s"
+                        % person.get_property("firstName").raw(),
+                        "creationDate": rng.randint(
+                            schema.CREATION_DATE_MIN, schema.CREATION_DATE_MAX
+                        ),
+                        "length": rng.randint(10, 500),
+                    },
+                )
+                vertices.append(post)
+                edges.append(
+                    Edge(
+                        ids.next_id(),
+                        label=schema.HAS_CREATOR,
+                        source_id=post.id,
+                        target_id=person.id,
+                    )
+                )
+                # reply tree rooted at the post
+                frontier = [(post, 0)]
+                while frontier:
+                    parent, depth = frontier.pop()
+                    if depth >= 6:
+                        continue
+                    replies = poisson(rng, 0.8 if depth == 0 else 0.5)
+                    for _ in range(replies):
+                        creator_friends = friends.get(person.id)
+                        if creator_friends and rng.random() < 0.7:
+                            commenter = creator_friends[
+                                rng.randrange(len(creator_friends))
+                            ]
+                        else:
+                            commenter = persons[rng.randrange(n)]
+                        comment = Vertex(
+                            ids.next_id(),
+                            label=schema.COMMENT,
+                            properties={
+                                "content": "reply by %s"
+                                % commenter.get_property("firstName").raw(),
+                                "creationDate": rng.randint(
+                                    schema.CREATION_DATE_MIN,
+                                    schema.CREATION_DATE_MAX,
+                                ),
+                                "length": rng.randint(5, 200),
+                            },
+                        )
+                        vertices.append(comment)
+                        edges.append(
+                            Edge(
+                                ids.next_id(),
+                                label=schema.HAS_CREATOR,
+                                source_id=comment.id,
+                                target_id=commenter.id,
+                            )
+                        )
+                        edges.append(
+                            Edge(
+                                ids.next_id(),
+                                label=schema.REPLY_OF,
+                                source_id=comment.id,
+                                target_id=parent.id,
+                            )
+                        )
+                        frontier.append((comment, depth + 1))
+        return vertices, edges
+
+
+def generate_graph(environment, scale_factor=0.1, seed=42, indexed=False):
+    """One-call convenience: generate and wrap as a logical graph."""
+    dataset = LDBCGenerator(scale_factor, seed).generate()
+    return dataset.to_logical_graph(environment, indexed=indexed)

@@ -1,0 +1,78 @@
+"""Value pools and schema constants for the synthetic LDBC-like network.
+
+Covers exactly the SNB sub-schema the paper's six queries touch:
+
+Vertices: Person, City, University, Tag, Forum, Post, Comment.
+Edges: knows, hasCreator, replyOf, isLocatedIn, hasInterest, studyAt,
+hasMember, hasModerator.
+"""
+
+# Vertex labels
+PERSON = "Person"
+CITY = "City"
+UNIVERSITY = "University"
+TAG = "Tag"
+FORUM = "Forum"
+POST = "Post"
+COMMENT = "Comment"
+
+# Edge labels
+KNOWS = "knows"
+HAS_CREATOR = "hasCreator"
+REPLY_OF = "replyOf"
+IS_LOCATED_IN = "isLocatedIn"
+HAS_INTEREST = "hasInterest"
+STUDY_AT = "studyAt"
+HAS_MEMBER = "hasMember"
+HAS_MODERATOR = "hasModerator"
+
+#: First names drawn Zipf-distributed: rank 0 dominates (the "low
+#: selectivity" predicate of the paper's Figure 5), the tail is rare.
+FIRST_NAMES = [
+    "Jan", "Maria", "Chen", "Ali", "Ivan", "Anna", "John", "Lena", "Omar",
+    "Eva", "Luis", "Nina", "Karl", "Sara", "Max", "Ida", "Leo", "Mia",
+    "Tom", "Zoe", "Ben", "Amy", "Kim", "Raj", "Liu", "Ana", "Per", "Uma",
+    "Tim", "Fay", "Gus", "Lea", "Rex", "Kai", "Ash", "Ela", "Jon", "Isa",
+    "Abe", "Noa", "Eli", "Ira", "Ole", "Sam", "Vi", "Lou", "Ava", "Gil",
+    "Hal", "Joy", "Ned", "Pam", "Ron", "Sue", "Ty", "Val", "Wes", "Xan",
+    "Yan", "Zed", "Bao", "Cyd", "Dov", "Edo", "Fen", "Gro", "Hux", "Ingo",
+    "Jed", "Kip", "Lars", "Moe", "Nell", "Otis", "Pia", "Quin", "Rolf",
+    "Sten", "Tova", "Ursa", "Vito", "Wim", "Xiu", "Ylva", "Zora", "Arlo",
+    "Britt", "Cato", "Dag", "Ebba", "Frode", "Gerd", "Hild", "Inka",
+    "Jorn", "Knut", "Liv", "Mads", "Nanna", "Odd",
+]
+
+LAST_NAMES = [
+    "Smith", "Mueller", "Wang", "Khan", "Petrov", "Schmidt", "Garcia",
+    "Kumar", "Sato", "Nielsen", "Rossi", "Novak", "Silva", "Kowalski",
+    "Andersen", "Costa", "Haas", "Berg", "Vogel", "Lang",
+]
+
+CITY_NAMES = [
+    "Leipzig", "Dresden", "Berlin", "Hamburg", "Munich", "Cologne",
+    "Frankfurt", "Stuttgart", "Halle", "Erfurt", "Jena", "Chemnitz",
+    "Magdeburg", "Rostock", "Kiel", "Kassel",
+]
+
+UNIVERSITY_NAMES = [
+    "Uni Leipzig", "TU Dresden", "HU Berlin", "Uni Hamburg", "LMU Munich",
+    "Uni Cologne", "Goethe Uni", "Uni Stuttgart", "MLU Halle", "Uni Erfurt",
+]
+
+TAG_NAMES = [
+    "music", "sports", "politics", "movies", "science", "travel", "food",
+    "art", "history", "books", "gaming", "photography", "fashion", "tech",
+    "nature", "theatre", "cycling", "running", "chess", "coding", "space",
+    "cars", "hiking", "sailing", "poetry", "jazz", "opera", "rock", "folk",
+    "metal", "soul", "rap", "blues", "dance", "film", "anime", "comics",
+    "design", "craft", "garden",
+]
+
+GENDERS = ["female", "male"]
+
+#: creationDate values are epoch days; the range spans 2010..2015 like SNB.
+CREATION_DATE_MIN = 14610  # 2010-01-01
+CREATION_DATE_MAX = 16800  # 2015-12-31
+
+CLASS_YEAR_MIN = 2000
+CLASS_YEAR_MAX = 2020

@@ -1,0 +1,93 @@
+"""Tests for Pregel message combiners."""
+
+from repro.bsp import PageRank, PregelRuntime, VertexProgram
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
+
+
+def fan_in_graph(env, spokes):
+    """All spokes point at hub vertex 1."""
+    vertices = [Vertex(GradoopId(i), label="N") for i in range(1, spokes + 2)]
+    edges = [
+        Edge(GradoopId(100 + i), "e", GradoopId(i + 2), GradoopId(1))
+        for i in range(spokes)
+    ]
+    return LogicalGraph.from_collections(env, vertices, edges)
+
+
+class _SumProgram(VertexProgram):
+    def initial_state(self, vertex, adjacency):
+        return 0
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        if ctx.superstep == 0:
+            for _, neighbour, outgoing in adjacency:
+                if outgoing:
+                    ctx.send(neighbour, 1)
+            return state
+        return state + sum(messages)
+
+
+class _CombinedSumProgram(_SumProgram):
+    combiner = staticmethod(lambda payloads: [sum(payloads)])
+
+
+def _delivered_records(env):
+    return sum(
+        run.records_out
+        for run in env.metrics.runs
+        if run.name == "pregel-deliver"
+    )
+
+
+def test_combiner_preserves_result():
+    env_a = ExecutionEnvironment(parallelism=4)
+    states_plain, _ = PregelRuntime(fan_in_graph(env_a, 10)).run(_SumProgram())
+    env_b = ExecutionEnvironment(parallelism=4)
+    states_combined, _ = PregelRuntime(fan_in_graph(env_b, 10)).run(
+        _CombinedSumProgram()
+    )
+    assert states_plain == states_combined
+    assert states_plain[1] == 10
+
+
+def test_combiner_reduces_delivered_payloads():
+    env = ExecutionEnvironment(parallelism=4)
+    graph = fan_in_graph(env, 20)
+    runtime = PregelRuntime(graph)
+    env.reset_metrics()
+    _, _ = runtime.run(_CombinedSumProgram())
+    # the hub's 20 messages collapse into one combined payload per round;
+    # verify by re-running without the combiner and comparing hub inbox size
+    env2 = ExecutionEnvironment(parallelism=4)
+    runtime2 = PregelRuntime(fan_in_graph(env2, 20))
+    env2.reset_metrics()
+    runtime2.run(_SumProgram())
+
+    # same number of compute invocations either way — the difference is in
+    # payload volume, which estimate_size-based shuffle bytes capture
+    combined_bytes = sum(
+        run.shuffled_bytes for run in env.metrics.runs if run.name == "pregel-deliver"
+    )
+    plain_bytes = sum(
+        run.shuffled_bytes
+        for run in env2.metrics.runs
+        if run.name == "pregel-deliver"
+    )
+    assert combined_bytes <= plain_bytes
+
+
+def test_pagerank_combiner_matches_uncombined():
+    class UncombinedPageRank(PageRank):
+        combiner = None
+
+    env_a = ExecutionEnvironment(parallelism=3)
+    ranks_combined, _ = PregelRuntime(
+        fan_in_graph(env_a, 6), max_supersteps=10
+    ).run(PageRank())
+    env_b = ExecutionEnvironment(parallelism=3)
+    ranks_plain, _ = PregelRuntime(
+        fan_in_graph(env_b, 6), max_supersteps=10
+    ).run(UncombinedPageRank())
+    for vid, rank in ranks_plain.items():
+        assert abs(rank - ranks_combined[vid]) < 1e-9

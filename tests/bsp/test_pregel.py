@@ -1,0 +1,137 @@
+"""Tests for the Pregel runtime and the classic vertex programs."""
+
+import pytest
+
+from repro.bsp import BSPConnectedComponents, PageRank, PregelRuntime, VertexProgram
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
+
+
+def star_graph(env, spokes):
+    """Vertex 1 points at vertices 2..spokes+1."""
+    vertices = [Vertex(GradoopId(i), label="N") for i in range(1, spokes + 2)]
+    edges = [
+        Edge(GradoopId(100 + i), "e", GradoopId(1), GradoopId(i + 2))
+        for i in range(spokes)
+    ]
+    return LogicalGraph.from_collections(env, vertices, edges)
+
+
+class _EchoProgram(VertexProgram):
+    """Superstep 0: send own id to all neighbours; then stop."""
+
+    def initial_state(self, vertex, adjacency):
+        return []
+
+    def compute(self, ctx, vertex, adjacency, state, messages):
+        if ctx.superstep == 0:
+            for _, neighbour, outgoing in adjacency:
+                if outgoing:
+                    ctx.send(neighbour, vertex.id.value)
+            return state
+        return state + sorted(messages)
+
+
+class TestRuntime:
+    def test_message_delivery(self, env):
+        graph = star_graph(env, 3)
+        states, _ = PregelRuntime(graph).run(_EchoProgram())
+        assert states[1] == []
+        for spoke in (2, 3, 4):
+            assert states[spoke] == [1]
+
+    def test_terminates_when_no_messages(self, env):
+        graph = star_graph(env, 2)
+        runtime = PregelRuntime(graph, max_supersteps=100)
+        env.reset_metrics()
+        runtime.run(_EchoProgram())
+        supersteps = len(
+            [r for r in env.metrics.runs if r.name == "pregel-compute"]
+        )
+        assert supersteps == 2  # step 0 sends, step 1 receives, then quiet
+
+    def test_message_to_unknown_vertex_rejected(self, env):
+        class Rogue(VertexProgram):
+            def initial_state(self, vertex, adjacency):
+                return None
+
+            def compute(self, ctx, vertex, adjacency, state, messages):
+                ctx.send(424242, "hello")
+                return state
+
+        graph = star_graph(env, 1)
+        with pytest.raises(KeyError):
+            PregelRuntime(graph).run(Rogue())
+
+    def test_emitted_results_collected(self, env):
+        class Emitter(VertexProgram):
+            def initial_state(self, vertex, adjacency):
+                return None
+
+            def compute(self, ctx, vertex, adjacency, state, messages):
+                ctx.emit(vertex.id.value)
+                return state
+
+        graph = star_graph(env, 2)
+        _, results = PregelRuntime(graph).run(Emitter())
+        assert sorted(results) == [1, 2, 3]
+
+    def test_messages_travel_through_dataflow(self, env):
+        """Message grouping shows up in the shuffle metrics."""
+        graph = star_graph(env, 5)
+        env.reset_metrics()
+        PregelRuntime(graph).run(_EchoProgram())
+        deliveries = [r for r in env.metrics.runs if r.name == "pregel-deliver"]
+        assert deliveries
+        assert any(r.shuffled_records > 0 for r in deliveries)
+
+
+class TestConnectedComponents:
+    def test_matches_dataflow_wcc(self, figure1_graph):
+        from repro.epgm.algorithms import weakly_connected_components
+
+        states, _ = PregelRuntime(figure1_graph, max_supersteps=50).run(
+            BSPConnectedComponents()
+        )
+        reference = weakly_connected_components(figure1_graph)
+        bsp_groups = {}
+        for vid, label in states.items():
+            bsp_groups.setdefault(label, set()).add(vid)
+        ref_groups = {}
+        for vid, label in reference.items():
+            ref_groups.setdefault(label, set()).add(vid.value)
+        assert sorted(map(sorted, bsp_groups.values())) == sorted(
+            map(sorted, ref_groups.values())
+        )
+
+    def test_two_islands(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in (1, 2, 3, 4)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(1), GradoopId(2)),
+            Edge(GradoopId(11), "e", GradoopId(3), GradoopId(4)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        states, _ = PregelRuntime(graph, max_supersteps=20).run(
+            BSPConnectedComponents()
+        )
+        assert states[1] == states[2] == 1
+        assert states[3] == states[4] == 3
+
+
+class TestPageRank:
+    def test_ranks_sum_is_stable(self, env):
+        graph = star_graph(env, 4)
+        states, _ = PregelRuntime(graph, max_supersteps=15).run(PageRank())
+        assert all(rank > 0 for rank in states.values())
+
+    def test_sink_heavy_graph(self, env):
+        """All spokes point at the hub: the hub outranks the spokes."""
+        vertices = [Vertex(GradoopId(i), label="N") for i in range(1, 6)]
+        edges = [
+            Edge(GradoopId(100 + i), "e", GradoopId(i + 2), GradoopId(1))
+            for i in range(4)
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        states, _ = PregelRuntime(graph, max_supersteps=15).run(PageRank())
+        hub = states[1]
+        assert all(hub > states[spoke] for spoke in (2, 3, 4, 5))

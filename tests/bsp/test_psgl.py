@@ -1,0 +1,84 @@
+"""PSgL matcher cross-validation against the naive matcher."""
+
+import pytest
+
+from repro.bsp import PSgLMatcher
+from repro.bsp.psgl import PSgLError
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import MatchStrategy, NaiveMatcher
+from tests.integration.test_engine_vs_naive import build_graph
+
+HOMO = MatchStrategy.HOMOMORPHISM
+ISO = MatchStrategy.ISOMORPHISM
+
+# fixed-length, connected patterns (PSgL's supported fragment)
+QUERIES = [
+    "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *",
+    "MATCH (a:Person)-[e:knows]->(b:Person) WHERE a.age > b.age RETURN *",
+    "MATCH (a)-[e1:knows]->(b), (b)-[e2:knows]->(c) RETURN *",
+    "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(a) RETURN *",
+    "MATCH (a)-[e:knows]-(b) RETURN *",
+    "MATCH (x)-[e:likes]->(t:Tag {name: 'music'}) RETURN *",
+    "MATCH (a)-[e1:knows]->(b), (a)-[e2:knows]->(c) WHERE b.age < c.age RETURN *",
+    "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:likes]->(t:Tag) RETURN *",
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    env = ExecutionEnvironment(parallelism=4)
+    seed_edges = [
+        (0, 1, 0), (1, 0, 0), (1, 3, 0), (3, 4, 0), (4, 0, 0),
+        (0, 3, 0), (3, 0, 0), (4, 4, 0), (1, 2, 1), (4, 2, 1),
+        (0, 5, 1), (3, 5, 1), (6, 0, 0), (6, 1, 0), (0, 6, 0),
+    ]
+    return build_graph(seed_edges, 7, env)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize(
+    "strategies", [(HOMO, ISO), (ISO, ISO), (HOMO, HOMO)]
+)
+def test_psgl_matches_naive(graph, query, strategies):
+    vertex_strategy, edge_strategy = strategies
+    psgl = PSgLMatcher(
+        graph, vertex_strategy=vertex_strategy, edge_strategy=edge_strategy
+    )
+    naive = NaiveMatcher(
+        graph, vertex_strategy=vertex_strategy, edge_strategy=edge_strategy
+    )
+    assert sorted(psgl.match(query)) == sorted(naive.match(query)), query
+
+
+def test_triangle_on_figure1(figure1_graph):
+    query = (
+        "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person),"
+        " (a)-[e3:knows]->(c) RETURN *"
+    )
+    psgl = PSgLMatcher(figure1_graph).match(query)
+    naive = NaiveMatcher(figure1_graph).match(query)
+    assert sorted(psgl) == sorted(naive)
+
+
+def test_count_helper(figure1_graph):
+    matcher = PSgLMatcher(figure1_graph)
+    query = "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *"
+    assert matcher.count(query) == len(matcher.match(query))
+
+
+class TestUnsupported:
+    def test_variable_length_rejected(self, figure1_graph):
+        with pytest.raises(PSgLError):
+            PSgLMatcher(figure1_graph).match(
+                "MATCH (a)-[e:knows*1..3]->(b) RETURN *"
+            )
+
+    def test_disconnected_pattern_rejected(self, figure1_graph):
+        with pytest.raises(PSgLError):
+            PSgLMatcher(figure1_graph).match(
+                "MATCH (a)-[e1:knows]->(b), (c)-[e2:studyAt]->(d) RETURN *"
+            )
+
+    def test_edgeless_pattern_rejected(self, figure1_graph):
+        with pytest.raises(PSgLError):
+            PSgLMatcher(figure1_graph).match("MATCH (a:Person) RETURN *")

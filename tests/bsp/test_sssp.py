@@ -1,0 +1,47 @@
+"""SSSP on the Pregel runtime, cross-checked against the BFS algorithm."""
+
+import pytest
+
+from repro.bsp import PregelRuntime, SingleSourceShortestPaths
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm import GradoopId
+from repro.epgm.algorithms import bfs_distances
+from repro.ldbc import generate_graph
+from tests.bsp.test_pregel import star_graph
+
+
+def test_star_distances(env):
+    graph = star_graph(env, 3)
+    states, _ = PregelRuntime(graph, max_supersteps=10).run(
+        SingleSourceShortestPaths(GradoopId(1))
+    )
+    assert states[1] == 0
+    assert states[2] == states[3] == states[4] == 1
+
+
+def test_unreachable_stays_none(env):
+    graph = star_graph(env, 2)
+    states, _ = PregelRuntime(graph, max_supersteps=10).run(
+        SingleSourceShortestPaths(GradoopId(2))  # a spoke: no out-edges
+    )
+    assert states[2] == 0
+    assert states[1] is None
+    assert states[3] is None
+
+
+@pytest.mark.parametrize("seed", [1, 7])
+def test_matches_bfs_on_generated_graphs(seed):
+    env = ExecutionEnvironment(parallelism=3)
+    graph = generate_graph(env, scale_factor=0.03, seed=seed)
+    persons = [v for v in graph.collect_vertices() if v.label == "Person"]
+    source = persons[0].id
+    reference = bfs_distances(graph, source, directed=True)
+    states, _ = PregelRuntime(graph, max_supersteps=40).run(
+        SingleSourceShortestPaths(source)
+    )
+    bsp_distances = {
+        GradoopId(vid): distance
+        for vid, distance in states.items()
+        if distance is not None
+    }
+    assert bsp_distances == reference

@@ -1,0 +1,106 @@
+"""Shared fixtures: the paper's Figure 1 social network.
+
+Element ids follow the paper exactly where it pins them: persons 10/20/30,
+university 40, city 50; edge 5 is ``knows`` Alice→Eve, edge 7 ``knows``
+Eve→Bob (Table 2b), edges 3/4 are ``studyAt`` with classYear 2015
+(Table 2a).  Bob's studyAt (edge 1) has classYear 2014 so the paper's
+``s.classYear > 2014`` predicate excludes him.
+"""
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm import Edge, GradoopId, GraphHead, LogicalGraph, Vertex
+
+
+def build_figure1_elements():
+    """Return (graph_head, vertices, edges) of the Figure 1 graph."""
+    head = GraphHead(
+        GradoopId(100), label="Community", properties={"area": "Leipzig"}
+    )
+    vertices = [
+        Vertex(
+            GradoopId(10),
+            label="Person",
+            properties={"name": "Alice", "gender": "female"},
+        ),
+        Vertex(
+            GradoopId(20),
+            label="Person",
+            properties={"name": "Eve", "gender": "female", "yob": 1984},
+        ),
+        Vertex(
+            GradoopId(30),
+            label="Person",
+            properties={"name": "Bob", "gender": "male"},
+        ),
+        Vertex(
+            GradoopId(40), label="University", properties={"name": "Uni Leipzig"}
+        ),
+        Vertex(GradoopId(50), label="City", properties={"name": "Leipzig"}),
+    ]
+    edges = [
+        Edge(
+            GradoopId(1),
+            label="studyAt",
+            source_id=GradoopId(30),
+            target_id=GradoopId(40),
+            properties={"classYear": 2014},
+        ),
+        Edge(
+            GradoopId(2),
+            label="isLocatedIn",
+            source_id=GradoopId(40),
+            target_id=GradoopId(50),
+        ),
+        Edge(
+            GradoopId(3),
+            label="studyAt",
+            source_id=GradoopId(10),
+            target_id=GradoopId(40),
+            properties={"classYear": 2015},
+        ),
+        Edge(
+            GradoopId(4),
+            label="studyAt",
+            source_id=GradoopId(20),
+            target_id=GradoopId(40),
+            properties={"classYear": 2015},
+        ),
+        Edge(
+            GradoopId(5),
+            label="knows",
+            source_id=GradoopId(10),
+            target_id=GradoopId(20),
+        ),
+        Edge(
+            GradoopId(6),
+            label="knows",
+            source_id=GradoopId(20),
+            target_id=GradoopId(10),
+        ),
+        Edge(
+            GradoopId(7),
+            label="knows",
+            source_id=GradoopId(20),
+            target_id=GradoopId(30),
+        ),
+        Edge(
+            GradoopId(8),
+            label="knows",
+            source_id=GradoopId(30),
+            target_id=GradoopId(20),
+        ),
+    ]
+    return head, vertices, edges
+
+
+@pytest.fixture
+def env():
+    return ExecutionEnvironment(parallelism=4)
+
+
+@pytest.fixture
+def figure1_graph(env):
+    head, vertices, edges = build_figure1_elements()
+    return LogicalGraph.from_collections(env, vertices, edges, graph_head=head)

@@ -1,0 +1,129 @@
+"""Property-based check: CNF conversion preserves Kleene 3-valued logic.
+
+We generate random boolean expressions over a pool of comparisons, random
+bindings (including NULLs and incomparable types), and require that
+``evaluate_cnf(to_cnf(e))`` answers "definitely true" exactly when the
+direct three-valued evaluation of ``e`` yields True.  All the CNF rewrite
+rules used (De Morgan, distribution, XOR elimination, operator negation)
+are valid in Kleene logic, so any disagreement is a bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import evaluate_cnf, to_cnf
+from repro.cypher.ast import (
+    And,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    PropertyAccess,
+    Xor,
+)
+from repro.cypher.predicates import evaluate_comparison
+from repro.epgm import PropertyValue
+
+_KEYS = ["a", "b", "c"]
+_VALUES = [None, 0, 1, 2, "x", "y", True]
+_OPERATORS = ["=", "<>", "<", "<=", ">", ">=", "IN", "STARTS WITH"]
+
+
+class Bindings:
+    def __init__(self, assignment):
+        self.assignment = assignment
+
+    def property_value(self, variable, key):
+        return PropertyValue(self.assignment.get(key))
+
+    def label(self, variable):
+        return "Person"
+
+    def element_id(self, variable):
+        raise KeyError(variable)
+
+
+def _comparisons():
+    def build(operator, key, value):
+        left = PropertyAccess("v", key)
+        if operator == "IN":
+            right = Literal([value] if not isinstance(value, bool) else [value])
+        elif operator == "STARTS WITH":
+            right = Literal(str(value) if value is not None else "x")
+        else:
+            right = Literal(value)
+        return Comparison(operator, left, right)
+
+    return st.builds(
+        build,
+        st.sampled_from(_OPERATORS),
+        st.sampled_from(_KEYS),
+        st.sampled_from(_VALUES),
+    )
+
+
+_expressions = st.recursive(
+    _comparisons(),
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Xor, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=8,
+)
+
+_bindings = st.fixed_dictionaries(
+    {key: st.sampled_from(_VALUES) for key in _KEYS}
+).map(Bindings)
+
+
+def kleene_eval(node, bindings):
+    """Direct three-valued evaluation of the expression tree."""
+    if isinstance(node, Comparison):
+        return evaluate_comparison(node, bindings)
+    if isinstance(node, Not):
+        inner = kleene_eval(node.operand, bindings)
+        return None if inner is None else not inner
+    if isinstance(node, And):
+        left = kleene_eval(node.left, bindings)
+        right = kleene_eval(node.right, bindings)
+        if left is False or right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if isinstance(node, Or):
+        left = kleene_eval(node.left, bindings)
+        right = kleene_eval(node.right, bindings)
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    if isinstance(node, Xor):
+        left = kleene_eval(node.left, bindings)
+        right = kleene_eval(node.right, bindings)
+        if left is None or right is None:
+            return None
+        return left != right
+    raise AssertionError(node)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expression=_expressions, bindings=_bindings)
+def test_cnf_preserves_filter_semantics(expression, bindings):
+    direct = kleene_eval(expression, bindings)
+    via_cnf = evaluate_cnf(to_cnf(expression), bindings)
+    assert via_cnf == (direct is True), (
+        "CNF filter disagrees with direct evaluation:\nexpr=%s\ncnf=%s\n"
+        "direct=%r via_cnf=%r" % (expression, to_cnf(expression), direct, via_cnf)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(expression=_expressions, bindings=_bindings)
+def test_double_negation_stable(expression, bindings):
+    direct = kleene_eval(expression, bindings)
+    double_negated = kleene_eval(Not(Not(expression)), bindings)
+    assert direct == double_negated

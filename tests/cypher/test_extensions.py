@@ -1,0 +1,192 @@
+"""Tests for the openCypher extension features: string predicates,
+aggregates with implicit grouping, ORDER BY / SKIP."""
+
+import pytest
+
+from repro.cypher import CypherSemanticError, CypherSyntaxError, parse
+from repro.cypher.ast import FunctionCall, OrderItem, PropertyAccess
+from repro.engine import CypherRunner
+
+
+class TestParsing:
+    def test_starts_with(self):
+        where = parse("MATCH (a) WHERE a.name STARTS WITH 'Al'").where
+        assert where.operator == "STARTS WITH"
+
+    def test_ends_with(self):
+        where = parse("MATCH (a) WHERE a.name ENDS WITH 'ce'").where
+        assert where.operator == "ENDS WITH"
+
+    def test_contains(self):
+        where = parse("MATCH (a) WHERE a.name CONTAINS 'li'").where
+        assert where.operator == "CONTAINS"
+
+    def test_count_star(self):
+        returns = parse("MATCH (a) RETURN count(*)").returns
+        assert returns.items[0].expression == FunctionCall("count", None)
+        assert returns.has_aggregates
+
+    def test_aggregate_with_argument(self):
+        returns = parse("MATCH (a) RETURN min(a.age) AS youngest").returns
+        expression = returns.items[0].expression
+        assert expression == FunctionCall("min", PropertyAccess("a", "age"))
+
+    def test_star_only_for_count(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a) RETURN sum(*)")
+
+    def test_non_aggregate_function_is_unknown(self):
+        """An identifier followed by '(' that is not an aggregate fails."""
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a) RETURN shenanigans(a.x)")
+
+    def test_order_by(self):
+        returns = parse("MATCH (a) RETURN a.name ORDER BY a.name DESC, a.age").returns
+        assert returns.order_by == [
+            OrderItem(PropertyAccess("a", "name"), True),
+            OrderItem(PropertyAccess("a", "age"), False),
+        ]
+
+    def test_order_by_asc_explicit(self):
+        returns = parse("MATCH (a) RETURN a.x ORDER BY a.x ASC").returns
+        assert not returns.order_by[0].descending
+
+    def test_skip_and_limit(self):
+        returns = parse("MATCH (a) RETURN a.x SKIP 5 LIMIT 3").returns
+        assert returns.skip == 5
+        assert returns.limit == 3
+
+    def test_order_by_unbound_variable_rejected(self):
+        from repro.cypher import QueryHandler
+
+        with pytest.raises(CypherSemanticError):
+            QueryHandler("MATCH (a) RETURN a.x ORDER BY ghost.y")
+
+
+class TestStringPredicateExecution:
+    def test_starts_with(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) WHERE p.name STARTS WITH 'A' RETURN p.name"
+        )
+        assert [row["p.name"] for row in rows] == ["Alice"]
+
+    def test_ends_with(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) WHERE p.name ENDS WITH 'e' RETURN p.name"
+        )
+        assert sorted(row["p.name"] for row in rows) == ["Alice", "Eve"]
+
+    def test_contains(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) WHERE p.name CONTAINS 'o' RETURN p.name"
+        )
+        assert [row["p.name"] for row in rows] == ["Bob"]
+
+    def test_string_predicate_on_non_string_is_unknown(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) WHERE p.yob STARTS WITH '19' RETURN p.name"
+        )
+        assert rows == []  # yob is an int: unknown, filtered
+
+    def test_negated_contains(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) WHERE NOT p.name CONTAINS 'o' RETURN p.name"
+        )
+        assert sorted(row["p.name"] for row in rows) == ["Alice", "Eve"]
+
+
+class TestAggregation:
+    def test_count_star(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN count(*) AS n"
+        )
+        assert rows == [{"n": 3}]
+
+    def test_count_skips_nulls(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN count(p.yob) AS n"
+        )
+        assert rows == [{"n": 1}]  # only Eve has yob
+
+    def test_implicit_grouping(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person)-[s:studyAt]->(u:University) "
+            "RETURN u.name, count(*) AS students"
+        )
+        assert rows == [{"u.name": "Uni Leipzig", "students": 3}]
+
+    def test_grouping_by_property(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN p.gender, count(*) AS n ORDER BY p.gender"
+        )
+        assert rows == [
+            {"p.gender": "female", "n": 2},
+            {"p.gender": "male", "n": 1},
+        ]
+
+    def test_min_max_sum_avg(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person)-[s:studyAt]->(u) "
+            "RETURN min(s.classYear) AS lo, max(s.classYear) AS hi, "
+            "sum(s.classYear) AS total, avg(s.classYear) AS mean"
+        )
+        assert rows == [
+            {"lo": 2014, "hi": 2015, "total": 6044, "mean": pytest.approx(6044 / 3)}
+        ]
+
+    def test_collect(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person {name: 'Eve'})-[:knows]->(q:Person) "
+            "RETURN p.name, collect(q.name) AS friends"
+        )
+        assert sorted(rows[0]["friends"]) == ["Alice", "Bob"]
+
+    def test_aggregates_over_empty_input(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person {name: 'Nobody'}) RETURN count(*) AS n, min(p.yob) AS m"
+        )
+        assert rows == []  # no groups at all (Cypher would return one row
+        # for a global aggregate; grouping over zero embeddings yields none)
+
+
+class TestOrderSkipLimit:
+    def test_order_ascending(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name"
+        )
+        assert [row["p.name"] for row in rows] == ["Alice", "Bob", "Eve"]
+
+    def test_order_descending(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name DESC"
+        )
+        assert [row["p.name"] for row in rows] == ["Eve", "Bob", "Alice"]
+
+    def test_nulls_sort_last(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN p.yob ORDER BY p.yob"
+        )
+        assert rows[0]["p.yob"] == 1984
+        assert rows[1]["p.yob"] is None
+
+    def test_skip_then_limit(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person) RETURN p.name ORDER BY p.name SKIP 1 LIMIT 1"
+        )
+        assert rows == [{"p.name": "Bob"}]
+
+    def test_order_by_aggregate_alias_column(self, figure1_graph):
+        rows = CypherRunner(figure1_graph).execute_table(
+            "MATCH (p:Person)-[:knows]->(q:Person) "
+            "RETURN p.name, count(*) AS degree ORDER BY p.name"
+        )
+        assert [row["p.name"] for row in rows] == ["Alice", "Bob", "Eve"]
+        assert [row["degree"] for row in rows] == [1, 1, 2]
+
+    def test_order_by_unreturned_column_rejected(self, figure1_graph):
+        from repro.cypher.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError):
+            CypherRunner(figure1_graph).execute_table(
+                "MATCH (p:Person) RETURN p.name ORDER BY p.gender"
+            )

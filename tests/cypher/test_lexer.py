@@ -1,0 +1,85 @@
+"""Tests for the Cypher tokenizer."""
+
+import pytest
+
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.lexer import tokenize
+
+
+def kinds(query):
+    return [t.kind for t in tokenize(query)]
+
+
+def texts(query):
+    return [t.text for t in tokenize(query)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("match WHERE Return")
+        assert [t.text for t in tokens[:-1]] == ["MATCH", "WHERE", "RETURN"]
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("p1 classYear _x")
+        assert [t.text for t in tokens[:-1]] == ["p1", "classYear", "_x"]
+        assert all(t.kind == "ident" for t in tokens[:-1])
+
+    def test_keyword_prefix_is_identifier(self):
+        (token, _) = tokenize("matcher")
+        assert token.kind == "ident"
+
+    def test_integers_and_floats(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].kind == "int" and tokens[0].value == 42
+        assert tokens[1].kind == "float" and tokens[1].value == 3.14
+
+    def test_range_is_not_a_float(self):
+        """``*1..3``: '1..3' must lex as int, '..', int."""
+        tokens = tokenize("1..3")
+        assert [t.kind for t in tokens[:-1]] == ["int", "symbol", "int"]
+        assert tokens[1].text == ".."
+
+    def test_single_and_double_quoted_strings(self):
+        tokens = tokenize("'Uni Leipzig' \"Alice\"")
+        assert tokens[0].value == "Uni Leipzig"
+        assert tokens[1].value == "Alice"
+
+    def test_string_escapes(self):
+        (token, _) = tokenize(r"'it\'s\n'")
+        assert token.value == "it's\n"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+    def test_backtick_identifier(self):
+        (token, _) = tokenize("`weird name`")
+        assert token.kind == "ident"
+        assert token.text == "weird name"
+
+    def test_two_char_symbols(self):
+        assert texts("<= >= <>") == ["<=", ">=", "<>"]
+
+    def test_arrow_parts(self):
+        assert texts("-[e]->") == ["-", "[", "e", "]", "-", ">"]
+        assert texts("<-[e]-") == ["<", "-", "[", "e", "]", "-"]
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("MATCH // comment\n(p)")
+        assert [t.text for t in tokens[:-1]] == ["MATCH", "(", "p", ")"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError) as excinfo:
+            tokenize("MATCH @")
+        assert excinfo.value.position == 6
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_full_query_token_stream(self):
+        query = "MATCH (p:Person)-[e:knows*1..3]->(q) WHERE p.age > 30 RETURN *"
+        token_texts = texts(query)
+        assert "knows" in token_texts
+        assert ".." in token_texts
+        assert "*" in token_texts

@@ -1,0 +1,48 @@
+"""Round-trip tests for the query renderer: parse ∘ render ∘ parse = parse."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cypher import parse
+from repro.cypher.pretty import render_query
+from repro.harness import ALL_QUERIES, instantiate
+from tests.integration.test_random_queries import queries
+
+PAPER_QUERIES = [instantiate(q, "Jan") for q in ALL_QUERIES.values()]
+
+EXTRA_QUERIES = [
+    "MATCH (a:Person {name: 'Al\\'ice', age: 3})-[e:knows {w: 1.5}]->(b) RETURN *",
+    "MATCH (a)-[e*0..3]->(b) WHERE a.x IS NULL OR NOT b.y IN [1, 2] RETURN a.x",
+    "MATCH (a)-[e]-(b) RETURN DISTINCT a.x AS x ORDER BY a.x DESC SKIP 2 LIMIT 5",
+    "MATCH (a) RETURN count(*) AS n, collect(a.name) AS names",
+    "MATCH (a) WHERE a.name STARTS WITH 'A' AND a.x >= -3 RETURN a",
+    "MATCH (m:Comment|Post)-[:replyOf*2..]->(p:Post) RETURN *",
+]
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES + EXTRA_QUERIES)
+def test_roundtrip_fixed_queries(query):
+    first = parse(query)
+    rendered = render_query(first)
+    assert parse(rendered) == first, rendered
+
+
+@settings(max_examples=150, deadline=None)
+@given(query=queries())
+def test_roundtrip_random_queries(query):
+    first = parse(query)
+    assert parse(render_query(first)) == first
+
+
+def test_render_requires_parsed_query():
+    with pytest.raises(TypeError):
+        render_query("MATCH (a) RETURN *")
+
+
+def test_rendered_text_is_readable():
+    text = render_query(parse("MATCH (a:Person) WHERE a.x = 1 RETURN a.x"))
+    assert text.splitlines() == [
+        "MATCH (a:Person)",
+        "WHERE a.x = 1",
+        "RETURN a.x",
+    ]

@@ -1,0 +1,102 @@
+"""Property-based tests for the cluster cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import ClusterCostModel, JobMetrics, OperatorRun
+
+
+def balanced_run(records, workers):
+    per_worker = records // workers
+    return OperatorRun(
+        "op",
+        records_in=per_worker * workers,
+        worker_records_in=[per_worker] * workers,
+    )
+
+
+class TestMonotonicity:
+    @given(
+        records=st.integers(1000, 10**6),
+        small=st.integers(1, 8),
+        factor=st.integers(2, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_more_workers_never_slower_on_balanced_load(
+        self, records, small, factor
+    ):
+        large = small * factor
+        base = ClusterCostModel(
+            workers=small, job_overhead_seconds=0.0, barrier_overhead_seconds=0.0
+        )
+        metrics_small = JobMetrics()
+        metrics_small.add(balanced_run(records, small))
+        metrics_large = JobMetrics()
+        metrics_large.add(balanced_run(records, large))
+        assert base.with_workers(large).job_seconds(metrics_large) <= (
+            base.job_seconds(metrics_small)
+        )
+
+    @given(records=st.integers(0, 10**6), extra=st.integers(1, 10**5))
+    @settings(max_examples=60, deadline=None)
+    def test_more_work_costs_more(self, records, extra):
+        model = ClusterCostModel(workers=4)
+        low = JobMetrics()
+        low.add(balanced_run(records, 4))
+        high = JobMetrics()
+        high.add(balanced_run(records + extra * 4, 4))
+        assert model.job_seconds(high) >= model.job_seconds(low)
+
+    @given(
+        worker_records=st.lists(st.integers(0, 10**5), min_size=2, max_size=8)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_skew_never_cheaper_than_balanced(self, worker_records):
+        """Any distribution of the same total work costs at least the
+        perfectly balanced one."""
+        workers = len(worker_records)
+        total = sum(worker_records)
+        model = ClusterCostModel(
+            workers=workers,
+            job_overhead_seconds=0.0,
+            barrier_overhead_seconds=0.0,
+        )
+        skewed = JobMetrics()
+        skewed.add(OperatorRun("op", worker_records_in=list(worker_records)))
+        balanced = JobMetrics()
+        base, remainder = divmod(total, workers)
+        balanced.add(
+            OperatorRun(
+                "op",
+                worker_records_in=[
+                    base + (1 if i < remainder else 0) for i in range(workers)
+                ],
+            )
+        )
+        assert model.job_seconds(skewed) >= model.job_seconds(balanced) - 1e-12
+
+    @given(spilled=st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_spilling_never_speeds_up(self, spilled):
+        model = ClusterCostModel(workers=4)
+        clean = JobMetrics()
+        clean.add(OperatorRun("op", worker_records_in=[1000] * 4))
+        dirty = JobMetrics()
+        dirty.add(
+            OperatorRun(
+                "op", worker_records_in=[1000] * 4, spilled_workers=spilled
+            )
+        )
+        assert model.job_seconds(dirty) >= model.job_seconds(clean)
+
+    @given(bytes_in=st.lists(st.integers(0, 10**8), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_network_term_nonnegative_and_monotone(self, bytes_in):
+        model = ClusterCostModel(workers=len(bytes_in))
+        quiet = OperatorRun("op", worker_records_in=[0] * len(bytes_in))
+        chatty = OperatorRun(
+            "op",
+            worker_records_in=[0] * len(bytes_in),
+            worker_shuffle_bytes_in=list(bytes_in),
+        )
+        assert model.operator_seconds(chatty) >= model.operator_seconds(quiet)

@@ -1,0 +1,118 @@
+"""Tests for the delta iteration."""
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment, IterationError
+
+
+@pytest.fixture
+def env():
+    return ExecutionEnvironment(parallelism=4)
+
+
+def test_converges_to_fixpoint(env):
+    """Min-propagation along a chain: 0 spreads to everyone."""
+    n = 6
+    chain = env.from_collection([(i, i + 1) for i in range(n - 1)])
+    initial = env.from_collection([(i, i) for i in range(n)])
+
+    def step(solution, workset, iteration):
+        candidates = workset.join(
+            chain,
+            lambda s: s[0],
+            lambda e: e[0],
+            join_fn=lambda s, e: [(e[1], s[1])],
+        )
+        return (
+            solution.union(candidates)
+            .group_by(lambda r: r[0])
+            .reduce_group(lambda key, rows: [(key, min(v for _, v in rows))])
+        )
+
+    result = dict(
+        env.delta_iterate(initial, lambda r: r[0], step, 50).collect()
+    )
+    assert result == {i: 0 for i in range(n)}
+
+
+def test_workset_shrinks_to_frontier(env):
+    """Only changed records re-enter the workset: the propagate join's
+    input shrinks each superstep on a chain."""
+    n = 8
+    chain = env.from_collection([(i, i + 1) for i in range(n - 1)])
+    initial = env.from_collection([(i, i) for i in range(n)])
+
+    def step(solution, workset, iteration):
+        candidates = workset.join(
+            chain,
+            lambda s: s[0],
+            lambda e: e[0],
+            join_fn=lambda s, e: [(e[1], s[1])],
+            name="delta-propagate",
+        )
+        return (
+            solution.union(candidates)
+            .group_by(lambda r: r[0])
+            .reduce_group(lambda key, rows: [(key, min(v for _, v in rows))])
+        )
+
+    env.reset_metrics()
+    env.delta_iterate(initial, lambda r: r[0], step, 50).collect()
+    propagate_inputs = [
+        run.records_in
+        for run in env.metrics.runs
+        if run.name.startswith("delta-propagate") and run.iteration is not None
+    ]
+    assert len(propagate_inputs) >= 3
+    # chain min-propagation: after the first full round, only one record
+    # changes per superstep, so the workset contribution shrinks
+    assert propagate_inputs[-1] < propagate_inputs[0]
+
+
+def test_stops_when_nothing_changes(env):
+    initial = env.from_collection([(i, 0) for i in range(5)])
+
+    def step(solution, workset, iteration):
+        return solution  # no changes ever
+
+    env.reset_metrics()
+    env.delta_iterate(initial, lambda r: r[0], step, 50).collect()
+    iterations = {
+        run.iteration for run in env.metrics.runs if run.iteration is not None
+    }
+    assert iterations == {1}  # one superstep to discover the fixpoint
+
+
+def test_initial_workset_override(env):
+    initial = env.from_collection([(i, i) for i in range(4)])
+    workset = env.from_collection([])  # empty: no work at all
+
+    def step(solution, workset_ds, iteration):
+        raise AssertionError("step must not run with an empty workset")
+
+    result = env.delta_iterate(
+        initial, lambda r: r[0], step, 10, workset=workset
+    )
+    assert sorted(result.collect()) == [(i, i) for i in range(4)]
+
+
+def test_unknown_key_rejected(env):
+    initial = env.from_collection([(1, 1)])
+
+    def step(solution, workset, iteration):
+        return solution.map(lambda r: (999, 0))
+
+    with pytest.raises(IterationError):
+        env.delta_iterate(initial, lambda r: r[0], step, 5)
+
+
+def test_none_step_rejected(env):
+    initial = env.from_collection([(1, 1)])
+    with pytest.raises(IterationError):
+        env.delta_iterate(initial, lambda r: r[0], lambda *a: None, 5)
+
+
+def test_negative_iterations_rejected(env):
+    initial = env.from_collection([(1, 1)])
+    with pytest.raises(IterationError):
+        env.delta_iterate(initial, lambda r: r[0], lambda *a: initial, -1)

@@ -1,0 +1,233 @@
+"""Tests for the embedding byte structure and its meta data (paper §3.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine import Embedding, EmbeddingMetaData
+from repro.engine.embedding import ENTRY_WIDTH, FLAG_ID, FLAG_PATH
+from repro.epgm import GradoopId, PropertyValue
+
+
+class TestIdEntries:
+    def test_append_and_read_ids(self):
+        embedding = Embedding.of_ids(GradoopId(10), GradoopId(5), GradoopId(40))
+        assert embedding.column_count == 3
+        assert embedding.id_at(0) == GradoopId(10)
+        assert embedding.id_at(2) == GradoopId(40)
+
+    def test_fixed_entry_width(self):
+        embedding = Embedding.of_ids(GradoopId(1), GradoopId(2))
+        assert len(embedding.id_data) == 2 * ENTRY_WIDTH
+
+    def test_flags(self):
+        embedding = Embedding.of_ids(GradoopId(1)).append_path([GradoopId(2)])
+        assert embedding.flag_at(0) == FLAG_ID
+        assert embedding.flag_at(1) == FLAG_PATH
+
+    def test_id_at_on_path_column_raises(self):
+        embedding = Embedding().append_path([GradoopId(1)])
+        with pytest.raises(ValueError):
+            embedding.id_at(0)
+
+    def test_path_at_on_id_column_raises(self):
+        embedding = Embedding.of_ids(GradoopId(1))
+        with pytest.raises(ValueError):
+            embedding.path_at(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**63), max_size=10))
+    def test_roundtrip_many_ids(self, values):
+        embedding = Embedding.of_ids(*[GradoopId(v) for v in values])
+        assert [embedding.raw_id_at(i) for i in range(len(values))] == values
+
+
+class TestPathEntries:
+    def test_paper_example_physical_layout(self):
+        """The §3.3 worked example: idData={ID,10,PATH,0,ID,30},
+        pathData={3,5,20,7}, propData={5,Alice,3,Bob}."""
+        embedding = (
+            Embedding.of_ids(GradoopId(10))
+            .append_path([GradoopId(5), GradoopId(20), GradoopId(7)])
+            .append_id(GradoopId(30))
+            .append_properties([PropertyValue("Alice"), PropertyValue("Bob")])
+        )
+        assert embedding.raw_id_at(0) == 10
+        assert [g.value for g in embedding.path_at(1)] == [5, 20, 7]
+        assert embedding.raw_id_at(2) == 30
+        assert embedding.property_at(0).raw() == "Alice"
+        assert embedding.property_at(1).raw() == "Bob"
+
+    def test_empty_path(self):
+        embedding = Embedding().append_path([])
+        assert embedding.path_at(0) == []
+
+    def test_multiple_paths_have_distinct_offsets(self):
+        embedding = (
+            Embedding()
+            .append_path([GradoopId(1), GradoopId(2), GradoopId(3)])
+            .append_path([GradoopId(9)])
+        )
+        assert [g.value for g in embedding.path_at(0)] == [1, 2, 3]
+        assert [g.value for g in embedding.path_at(1)] == [9]
+
+    def test_append_path_accepts_raw_ints(self):
+        embedding = Embedding().append_path([5, 20, 7])
+        assert [g.value for g in embedding.path_at(0)] == [5, 20, 7]
+
+
+class TestProperties:
+    def test_property_walk(self):
+        embedding = Embedding().append_properties(
+            [PropertyValue(v) for v in ["Alice", 1984, None, True]]
+        )
+        assert embedding.property_count == 4
+        assert embedding.property_at(1).raw() == 1984
+        assert embedding.property_at(2).is_null
+
+    def test_out_of_range_raises(self):
+        embedding = Embedding().append_properties([PropertyValue(1)])
+        with pytest.raises(IndexError):
+            embedding.property_at(5)
+
+    def test_properties_list(self):
+        values = [PropertyValue("x"), PropertyValue(2.5)]
+        embedding = Embedding().append_properties(values)
+        assert embedding.properties() == values
+
+    def test_project_properties(self):
+        embedding = Embedding().append_properties(
+            [PropertyValue(v) for v in ["a", "b", "c"]]
+        )
+        projected = embedding.project_properties([2, 0])
+        assert [p.raw() for p in projected.properties()] == ["c", "a"]
+
+    @given(st.lists(st.one_of(st.text(max_size=20), st.integers(-100, 100)), max_size=8))
+    def test_roundtrip_many_properties(self, values):
+        embedding = Embedding().append_properties([PropertyValue(v) for v in values])
+        assert [p.raw() for p in embedding.properties()] == values
+
+
+class TestMerge:
+    def test_merge_appends_columns(self):
+        left = Embedding.of_ids(GradoopId(1))
+        right = Embedding.of_ids(GradoopId(2), GradoopId(3))
+        merged = left.merge(right)
+        assert merged.column_count == 3
+        assert merged.raw_id_at(2) == 3
+
+    def test_merge_drops_join_columns(self):
+        left = Embedding.of_ids(GradoopId(1))
+        right = Embedding.of_ids(GradoopId(1), GradoopId(5), GradoopId(2))
+        merged = left.merge(right, drop_columns={0})
+        assert merged.column_count == 3
+        assert [merged.raw_id_at(i) for i in range(3)] == [1, 5, 2]
+
+    def test_merge_rewrites_path_offsets(self):
+        """The key §3.3 invariant: the right side's PATH offsets shift by
+        the left side's path_data length."""
+        left = Embedding.of_ids(GradoopId(1)).append_path([GradoopId(7), GradoopId(8)])
+        right = Embedding.of_ids(GradoopId(2)).append_path([GradoopId(9)])
+        merged = left.merge(right)
+        assert [g.value for g in merged.path_at(1)] == [7, 8]
+        assert [g.value for g in merged.path_at(3)] == [9]
+
+    def test_merge_appends_properties(self):
+        left = Embedding().append_properties([PropertyValue("l")])
+        right = Embedding().append_properties([PropertyValue("r")])
+        merged = left.merge(right)
+        assert [p.raw() for p in merged.properties()] == ["l", "r"]
+
+    def test_merge_is_append_only_for_left(self):
+        left = Embedding.of_ids(GradoopId(1)).append_properties([PropertyValue("x")])
+        merged = left.merge(Embedding.of_ids(GradoopId(2)))
+        assert merged.id_data.startswith(left.id_data)
+        assert merged.prop_data.startswith(left.prop_data)
+
+
+class TestInfrastructure:
+    def test_equality_and_hash(self):
+        a = Embedding.of_ids(GradoopId(1)).append_properties([PropertyValue(2)])
+        b = Embedding.of_ids(GradoopId(1)).append_properties([PropertyValue(2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_serialized_size(self):
+        embedding = (
+            Embedding.of_ids(GradoopId(1))
+            .append_path([GradoopId(2)])
+            .append_properties([PropertyValue("abc")])
+        )
+        assert embedding.serialized_size() == len(embedding.id_data) + len(
+            embedding.path_data
+        ) + len(embedding.prop_data)
+
+    def test_repr_readable(self):
+        embedding = Embedding.of_ids(GradoopId(10)).append_path([GradoopId(5)])
+        assert "10" in repr(embedding)
+        assert "path" in repr(embedding)
+
+
+class TestEmbeddingMetaData:
+    def test_entry_mapping(self):
+        meta = EmbeddingMetaData().with_entry("p1", "v").with_entry("e", "e")
+        assert meta.entry_column("p1") == 0
+        assert meta.entry_kind("e") == "e"
+        assert meta.variables == ["p1", "e"]
+
+    def test_duplicate_entry_rejected(self):
+        meta = EmbeddingMetaData().with_entry("p1", "v")
+        with pytest.raises(ValueError):
+            meta.with_entry("p1", "v")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingMetaData().with_entry("x", "q")
+
+    def test_property_mapping(self):
+        meta = (
+            EmbeddingMetaData()
+            .with_entry("p1", "v")
+            .with_property("p1", "name")
+            .with_property("p1", "age")
+        )
+        assert meta.property_index("p1", "name") == 0
+        assert meta.property_index("p1", "age") == 1
+        assert meta.property_keys_of("p1") == ["name", "age"]
+
+    def test_missing_lookups_raise(self):
+        meta = EmbeddingMetaData()
+        with pytest.raises(KeyError):
+            meta.entry_column("ghost")
+        with pytest.raises(KeyError):
+            meta.property_index("ghost", "x")
+
+    def test_combine_drops_join_columns(self):
+        left = EmbeddingMetaData().with_entry("a", "v").with_entry("e1", "e")
+        right = (
+            EmbeddingMetaData()
+            .with_entry("a", "v")
+            .with_entry("e2", "e")
+            .with_entry("b", "v")
+        )
+        meta, drop = EmbeddingMetaData.combine(left, right, ["a"])
+        assert drop == {0}
+        assert meta.variables == ["a", "e1", "e2", "b"]
+        assert meta.entry_column("b") == 3
+
+    def test_combine_shifts_property_indices(self):
+        left = EmbeddingMetaData().with_entry("a", "v").with_property("a", "x")
+        right = EmbeddingMetaData().with_entry("b", "v").with_property("b", "y")
+        meta, _ = EmbeddingMetaData.combine(left, right, [])
+        assert meta.property_index("a", "x") == 0
+        assert meta.property_index("b", "y") == 1
+
+    def test_combine_conflicting_unjoined_variable_rejected(self):
+        left = EmbeddingMetaData().with_entry("a", "v")
+        right = EmbeddingMetaData().with_entry("a", "v")
+        with pytest.raises(ValueError):
+            EmbeddingMetaData.combine(left, right, [])
+
+    def test_meta_is_not_part_of_embedding(self):
+        """§3.3: meta data lives outside the embedding byte arrays."""
+        embedding = Embedding.of_ids(GradoopId(1))
+        assert not hasattr(embedding, "meta")

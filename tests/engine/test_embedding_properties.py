@@ -1,0 +1,115 @@
+"""Property-based tests for the embedding structure (paper §3.3).
+
+A model-based check: we mirror every embedding operation on a plain
+Python model (lists of ids/paths/properties) and require the byte-level
+structure to agree after arbitrary operation sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Embedding
+from repro.epgm import GradoopId, PropertyValue
+
+_ids = st.integers(min_value=0, max_value=2**40)
+_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-1000, 1000),
+    st.text(max_size=12),
+)
+_paths = st.lists(_ids, max_size=6)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("id"), _ids),
+        st.tuples(st.just("path"), _paths),
+        st.tuples(st.just("props"), st.lists(_values, max_size=3)),
+    ),
+    max_size=8,
+)
+
+
+def _apply(operations):
+    """Build both the embedding and its reference model."""
+    embedding = Embedding()
+    columns = []  # model: ('id', v) or ('path', [ids])
+    props = []
+    for kind, payload in operations:
+        if kind == "id":
+            embedding = embedding.append_id(GradoopId(payload))
+            columns.append(("id", payload))
+        elif kind == "path":
+            embedding = embedding.append_path([GradoopId(v) for v in payload])
+            columns.append(("path", list(payload)))
+        else:
+            embedding = embedding.append_properties(
+                [PropertyValue(v) for v in payload]
+            )
+            props.extend(payload)
+    return embedding, columns, props
+
+
+def _check(embedding, columns, props):
+    assert embedding.column_count == len(columns)
+    for index, (kind, payload) in enumerate(columns):
+        if kind == "id":
+            assert embedding.raw_id_at(index) == payload
+        else:
+            assert [g.value for g in embedding.path_at(index)] == payload
+    assert embedding.property_count == len(props)
+    assert [p.raw() for p in embedding.properties()] == props
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations=_operations)
+def test_operation_sequences_match_model(operations):
+    _check(*_apply(operations))
+
+
+@settings(max_examples=150, deadline=None)
+@given(left_ops=_operations, right_ops=_operations)
+def test_merge_matches_model(left_ops, right_ops):
+    left, left_columns, left_props = _apply(left_ops)
+    right, right_columns, right_props = _apply(right_ops)
+    merged = left.merge(right)
+    _check(merged, left_columns + right_columns, left_props + right_props)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    left_ops=_operations,
+    right_ops=_operations,
+    drop_seed=st.integers(0, 2**16),
+)
+def test_merge_with_drops_matches_model(left_ops, right_ops, drop_seed):
+    left, left_columns, left_props = _apply(left_ops)
+    right, right_columns, right_props = _apply(right_ops)
+    drop = {
+        column
+        for column in range(len(right_columns))
+        if (drop_seed >> column) & 1
+    }
+    merged = left.merge(right, drop_columns=drop)
+    kept = [c for i, c in enumerate(right_columns) if i not in drop]
+    _check(merged, left_columns + kept, left_props + right_props)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations=_operations)
+def test_serialized_size_is_total_bytes(operations):
+    embedding, _, _ = _apply(operations)
+    assert embedding.serialized_size() == (
+        len(embedding.id_data)
+        + len(embedding.path_data)
+        + len(embedding.prop_data)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(left_ops=_operations, mid_ops=_operations, right_ops=_operations)
+def test_merge_is_associative_without_drops(left_ops, mid_ops, right_ops):
+    a, _, _ = _apply(left_ops)
+    b, _, _ = _apply(mid_ops)
+    c, _, _ = _apply(right_ops)
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))

@@ -1,0 +1,151 @@
+"""Edge-case coverage for variable-length path expansion.
+
+Exercises the planner paths that pick reverse and closing expansions, and
+undirected variable-length edges — each cross-checked against the naive
+matcher.
+"""
+
+import pytest
+
+from repro.engine import (
+    CypherRunner,
+    MatchStrategy,
+    NaiveMatcher,
+    canonical_rows_from_embeddings,
+)
+
+
+def _check(graph, query, vertex_strategy=None, edge_strategy=None):
+    kwargs = {}
+    if vertex_strategy:
+        kwargs["vertex_strategy"] = vertex_strategy
+    if edge_strategy:
+        kwargs["edge_strategy"] = edge_strategy
+    runner = CypherRunner(graph, **kwargs)
+    embeddings, meta = runner.execute_embeddings(query)
+    engine_rows = sorted(canonical_rows_from_embeddings(embeddings, meta))
+    naive_rows = sorted(NaiveMatcher(graph, **kwargs).match(query))
+    assert engine_rows == naive_rows, query
+    return engine_rows, runner
+
+
+class TestReverseExpansion:
+    def test_selective_target_triggers_reverse(self, figure1_graph):
+        """Only the path target has predicates: the planner must expand
+        backwards from it."""
+        query = "MATCH (p1)-[e:knows*1..3]->(p2:Person {name: 'Bob'}) RETURN *"
+        rows, runner = _check(figure1_graph, query)
+        assert rows  # Alice and Eve can reach Bob
+        assert "reverse" in runner.explain(query)
+
+    def test_reverse_path_order_is_source_to_target(self, figure1_graph):
+        query = "MATCH (p1)-[e:knows*2..2]->(p2:Person {name: 'Bob'}) RETURN *"
+        runner = CypherRunner(
+            figure1_graph, vertex_strategy=MatchStrategy.ISOMORPHISM
+        )
+        embeddings, meta = runner.execute_embeddings(query)
+        paths = {
+            tuple(g.value for g in e.path_at(meta.entry_column("e")))
+            for e in embeddings
+        }
+        # Alice -> Eve -> Bob must read [5, 20, 7], not reversed
+        assert (5, 20, 7) in paths
+
+    def test_reverse_with_hop_predicates(self, figure1_graph):
+        query = (
+            "MATCH (p1)-[e:studyAt*1..1]->(u:University {name: 'Uni Leipzig'}) "
+            "WHERE e.classYear > 2014 RETURN *"
+        )
+        rows, _ = _check(figure1_graph, query)
+        assert len(rows) == 2  # Alice and Eve; Bob's 2014 hop filtered
+
+
+class TestClosingExpansion:
+    def test_cycle_through_fixed_edge(self, figure1_graph):
+        """(a)-[e1]->(b) then b ~~> a by a variable-length path."""
+        query = (
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows*1..2]->(a) "
+            "RETURN *"
+        )
+        rows, runner = _check(figure1_graph, query)
+        assert rows
+        assert "closing" in runner.explain(query)
+
+    def test_self_loop_variable_length(self, figure1_graph):
+        """(a) back to itself within two hops (homomorphism)."""
+        query = "MATCH (a:Person)-[e:knows*2..2]->(a) RETURN *"
+        rows, _ = _check(figure1_graph, query)
+        # 10->20->10, 20->10->20, 20->30->20, 30->20->30
+        assert len(rows) == 4
+
+    def test_closing_respects_edge_iso(self, figure1_graph):
+        query = "MATCH (a:Person)-[e:knows*2..2]->(a) RETURN *"
+        rows, _ = _check(
+            figure1_graph,
+            query,
+            edge_strategy=MatchStrategy.ISOMORPHISM,
+        )
+        # the out-and-back pairs use two distinct edges: still 4
+        assert len(rows) == 4
+
+
+class TestUndirectedVariableLength:
+    def test_undirected_expansion(self, figure1_graph):
+        query = "MATCH (a:Person {name: 'Alice'})-[e:knows*1..1]-(b) RETURN *"
+        rows, _ = _check(figure1_graph, query)
+        # edges 5 (out) and 6 (in) both connect Alice and Eve
+        assert len(rows) == 2
+
+    def test_undirected_two_hops(self, figure1_graph):
+        query = "MATCH (a:City)-[e:isLocatedIn*2..2]-(b) RETURN *"
+        rows, _ = _check(figure1_graph, query)
+        # city -(isLocatedIn)- university: only one such edge, so no 2-hop
+        # path under edge iso
+        assert rows == []
+
+
+class TestBounds:
+    @pytest.mark.parametrize("lower,upper", [(0, 0), (0, 3), (2, 2), (3, 3)])
+    def test_various_bounds_vs_naive(self, figure1_graph, lower, upper):
+        query = (
+            "MATCH (a:Person {name: 'Alice'})-[e:knows*%d..%d]->(b) RETURN *"
+            % (lower, upper)
+        )
+        _check(figure1_graph, query)
+
+    def test_zero_zero_binds_target_to_source(self, figure1_graph):
+        query = "MATCH (a:Person {name: 'Alice'})-[e:knows*0..0]->(b) RETURN *"
+        rows, _ = _check(figure1_graph, query)
+        assert len(rows) == 1
+        row = dict(rows[0])
+        assert row["a"] == row["b"] == 10
+
+    def test_unbounded_defaults_applied(self, figure1_graph):
+        from repro.cypher import DEFAULT_UPPER_BOUND
+
+        query = "MATCH (a:Person {name: 'Alice'})-[e:knows*]->(b) RETURN *"
+        runner = CypherRunner(figure1_graph)
+        handler, _ = runner.compile(query)
+        assert handler.edges["e"].upper == DEFAULT_UPPER_BOUND
+
+
+class TestTwoVariableLengthEdges:
+    def test_chained_expansions(self, figure1_graph):
+        query = (
+            "MATCH (a:Person {name: 'Alice'})-[e1:knows*1..1]->(b:Person),"
+            " (b)-[e2:knows*1..2]->(c:Person) RETURN *"
+        )
+        _check(figure1_graph, query)
+
+    def test_edge_iso_across_paths(self, figure1_graph):
+        query = (
+            "MATCH (a:Person)-[e1:knows*1..1]->(b:Person),"
+            " (b)-[e2:knows*1..1]->(a) RETURN *"
+        )
+        homo_rows, _ = _check(
+            figure1_graph, query, edge_strategy=MatchStrategy.HOMOMORPHISM
+        )
+        iso_rows, _ = _check(
+            figure1_graph, query, edge_strategy=MatchStrategy.ISOMORPHISM
+        )
+        assert len(iso_rows) <= len(homo_rows)

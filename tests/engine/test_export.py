@@ -1,0 +1,64 @@
+"""Tests for the numpy export helpers."""
+
+import numpy
+import pytest
+
+from repro.engine import CypherRunner
+from repro.engine.export import embeddings_to_arrays, result_table
+
+
+@pytest.fixture
+def runner(figure1_graph):
+    return CypherRunner(figure1_graph)
+
+
+def test_id_columns_are_uint64(runner):
+    columns = result_table(
+        runner, "MATCH (p:Person)-[s:studyAt]->(u) RETURN *"
+    )
+    assert columns["p"].dtype == numpy.uint64
+    assert set(columns) == {"p", "s", "u"}
+    assert len(columns["p"]) == 3
+
+
+def test_property_columns(runner):
+    columns = result_table(runner, "MATCH (p:Person) RETURN p.name")
+    assert sorted(columns["p.name"]) == ["Alice", "Bob", "Eve"]
+
+
+def test_null_properties_are_none(runner):
+    columns = result_table(runner, "MATCH (p:Person) RETURN p.yob")
+    values = sorted(columns["p.yob"], key=lambda v: (v is None, v))
+    assert values[0] == 1984
+    assert values[1] is None
+
+
+def test_path_columns_are_id_lists(runner):
+    columns = result_table(
+        runner,
+        "MATCH (a:Person {name: 'Alice'})-[e:knows*2..2]->(b:Person) RETURN *",
+    )
+    assert all(isinstance(path, list) for path in columns["e"])
+    assert [5, 20, 7] in list(columns["e"])
+
+
+def test_empty_result(runner):
+    columns = result_table(runner, "MATCH (x:Robot) RETURN *")
+    assert len(columns["x"]) == 0
+
+
+def test_arrays_usable_for_analytics(runner):
+    """The point of the export: vectorized post-processing."""
+    columns = result_table(
+        runner, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *"
+    )
+    unique_sources = numpy.unique(columns["a"])
+    assert unique_sources.tolist() == [10, 20, 30]
+
+
+def test_direct_function_matches_helper(runner):
+    query = "MATCH (p:Person) RETURN p.name"
+    embeddings, meta = runner.execute_embeddings(query)
+    direct = embeddings_to_arrays(embeddings, meta)
+    helper = result_table(runner, query)
+    assert sorted(direct["p.name"]) == sorted(helper["p.name"])

@@ -1,0 +1,102 @@
+"""Tests for shared leaf scans (recurring-subquery reuse, paper §5)."""
+
+import pytest
+
+from repro.cypher import QueryHandler
+from repro.engine import (
+    CypherRunner,
+    GraphStatistics,
+    GreedyPlanner,
+    canonical_rows_from_embeddings,
+)
+
+TRIANGLE = (
+    "MATCH (p1:Person)-[:knows]->(p2:Person),"
+    " (p2)-[:knows]->(p3:Person), (p1)-[:knows]->(p3) RETURN *"
+)
+
+
+class _NoReusePlanner(GreedyPlanner):
+    def __init__(self, *args, **kwargs):
+        kwargs["reuse_leaf_scans"] = False
+        super().__init__(*args, **kwargs)
+
+
+def _run(figure1_graph, planner_cls):
+    env = figure1_graph.environment
+    runner = CypherRunner(figure1_graph, planner_cls=planner_cls)
+    env.reset_metrics("triangle")
+    embeddings, meta = runner.execute_embeddings(TRIANGLE)
+    scans = [
+        run
+        for run in env.metrics.runs
+        if run.name.startswith("SelectAndProjectEdges")
+    ]
+    return embeddings, meta, scans
+
+
+def test_triangle_scans_knows_once_with_reuse(figure1_graph):
+    _, _, scans = _run(figure1_graph, GreedyPlanner)
+    assert len(scans) == 1  # three query edges, one shared scan
+
+
+def test_triangle_scans_three_times_without_reuse(figure1_graph):
+    _, _, scans = _run(figure1_graph, _NoReusePlanner)
+    assert len(scans) == 3
+
+
+def test_reuse_does_not_change_results(figure1_graph):
+    shared, shared_meta, _ = _run(figure1_graph, GreedyPlanner)
+    separate, separate_meta, _ = _run(figure1_graph, _NoReusePlanner)
+    assert sorted(canonical_rows_from_embeddings(shared, shared_meta)) == sorted(
+        canonical_rows_from_embeddings(separate, separate_meta)
+    )
+
+
+def test_different_predicates_not_shared(figure1_graph):
+    """Edges with different pushed-down predicates keep separate scans."""
+    query = (
+        "MATCH (a:Person)-[s1:studyAt]->(u), (b:Person)-[s2:studyAt]->(u) "
+        "WHERE s1.classYear > 2014 RETURN *"
+    )
+    env = figure1_graph.environment
+    runner = CypherRunner(figure1_graph)
+    env.reset_metrics("q")
+    runner.execute_embeddings(query)
+    scans = [
+        run
+        for run in env.metrics.runs
+        if run.name.startswith("SelectAndProjectEdges")
+    ]
+    assert len(scans) == 2
+
+
+def test_vertex_leaves_shared(figure1_graph):
+    """Two identically-predicated Person leaves share one scan."""
+    query = (
+        "MATCH (a:Person), (b:Person) WHERE a.gender <> b.gender RETURN *"
+    )
+    env = figure1_graph.environment
+    runner = CypherRunner(figure1_graph)
+    env.reset_metrics("q")
+    rows = runner.execute_table(query)
+    scans = [
+        run
+        for run in env.metrics.runs
+        if run.name.startswith("SelectAndProjectVertices")
+    ]
+    assert len(scans) == 1
+    assert len(rows) == 4  # (Alice,Bob), (Eve,Bob) and the two reverses
+
+
+def test_signature_distinguishes_property_keys(figure1_graph):
+    """Same labels but different projected keys -> separate datasets."""
+    handler = QueryHandler(
+        "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.name, b.gender"
+    )
+    stats = GraphStatistics.from_graph(figure1_graph)
+    planner = GreedyPlanner(figure1_graph, handler, stats)
+    planner.plan()
+    signatures = list(planner._leaf_dataset_cache)
+    vertex_signatures = [s for s in signatures if s[0] == "v"]
+    assert len(vertex_signatures) == 2

@@ -1,0 +1,120 @@
+"""Tests for morphism enforcement and graph statistics."""
+
+import pytest
+
+from repro.engine import (
+    Embedding,
+    EmbeddingMetaData,
+    GraphStatistics,
+    MatchStrategy,
+    embedding_satisfies_morphism,
+)
+from repro.epgm import GradoopId
+
+HOMO = MatchStrategy.HOMOMORPHISM
+ISO = MatchStrategy.ISOMORPHISM
+
+
+def meta_ve():
+    return (
+        EmbeddingMetaData()
+        .with_entry("a", "v")
+        .with_entry("e", "e")
+        .with_entry("b", "v")
+    )
+
+
+class TestMorphism:
+    def test_homo_allows_repeated_vertices(self):
+        embedding = Embedding.of_ids(GradoopId(1), GradoopId(9), GradoopId(1))
+        assert embedding_satisfies_morphism(embedding, meta_ve(), HOMO, ISO)
+
+    def test_vertex_iso_rejects_repeated_vertices(self):
+        embedding = Embedding.of_ids(GradoopId(1), GradoopId(9), GradoopId(1))
+        assert not embedding_satisfies_morphism(embedding, meta_ve(), ISO, ISO)
+
+    def test_vertex_iso_accepts_distinct(self):
+        embedding = Embedding.of_ids(GradoopId(1), GradoopId(9), GradoopId(2))
+        assert embedding_satisfies_morphism(embedding, meta_ve(), ISO, ISO)
+
+    def test_edge_iso_rejects_repeated_edges(self):
+        meta = (
+            EmbeddingMetaData()
+            .with_entry("e1", "e")
+            .with_entry("e2", "e")
+        )
+        embedding = Embedding.of_ids(GradoopId(5), GradoopId(5))
+        assert not embedding_satisfies_morphism(embedding, meta, HOMO, ISO)
+        assert embedding_satisfies_morphism(embedding, meta, HOMO, HOMO)
+
+    def test_path_vertices_count_for_vertex_iso(self):
+        meta = EmbeddingMetaData().with_entry("a", "v").with_entry("p", "p")
+        # via = [e=7, v=1, e=8]: internal vertex 1 duplicates column a
+        embedding = Embedding.of_ids(GradoopId(1)).append_path(
+            [GradoopId(7), GradoopId(1), GradoopId(8)]
+        )
+        assert not embedding_satisfies_morphism(embedding, meta, ISO, HOMO)
+        assert embedding_satisfies_morphism(embedding, meta, HOMO, HOMO)
+
+    def test_path_edges_count_for_edge_iso(self):
+        meta = EmbeddingMetaData().with_entry("e", "e").with_entry("p", "p")
+        embedding = Embedding.of_ids(GradoopId(7)).append_path(
+            [GradoopId(7)]  # the path reuses edge 7
+        )
+        assert not embedding_satisfies_morphism(embedding, meta, HOMO, ISO)
+
+    def test_two_paths_checked_against_each_other(self):
+        meta = EmbeddingMetaData().with_entry("p1", "p").with_entry("p2", "p")
+        embedding = (
+            Embedding()
+            .append_path([GradoopId(7)])
+            .append_path([GradoopId(7)])
+        )
+        assert not embedding_satisfies_morphism(embedding, meta, HOMO, ISO)
+
+    def test_homo_homo_always_true(self):
+        embedding = Embedding.of_ids(GradoopId(1), GradoopId(1), GradoopId(1))
+        assert embedding_satisfies_morphism(embedding, meta_ve(), HOMO, HOMO)
+
+
+class TestStatistics:
+    def test_counts(self, figure1_graph):
+        stats = GraphStatistics.from_graph(figure1_graph)
+        assert stats.vertex_count == 5
+        assert stats.edge_count == 8
+        assert stats.vertex_count_by_label == {
+            "Person": 3,
+            "University": 1,
+            "City": 1,
+        }
+        assert stats.edge_count_by_label == {
+            "knows": 4,
+            "studyAt": 3,
+            "isLocatedIn": 1,
+        }
+
+    def test_distinct_endpoints(self, figure1_graph):
+        stats = GraphStatistics.from_graph(figure1_graph)
+        # knows edges: 10->20, 20->10, 20->30, 30->20
+        assert stats.distinct_source_by_label["knows"] == 3
+        assert stats.distinct_target_by_label["knows"] == 3
+        assert stats.distinct_source_by_label["studyAt"] == 3
+        assert stats.distinct_target_by_label["studyAt"] == 1
+
+    def test_label_alternation_sums(self, figure1_graph):
+        stats = GraphStatistics.from_graph(figure1_graph)
+        assert stats.vertices_with_labels(["Person", "City"]) == 4
+        assert stats.vertices_with_labels([]) == 5
+        assert stats.edges_with_labels(["knows", "studyAt"]) == 7
+
+    def test_unknown_label_is_zero(self, figure1_graph):
+        stats = GraphStatistics.from_graph(figure1_graph)
+        assert stats.vertices_with_labels(["Robot"]) == 0
+        assert stats.distinct_sources(["Robot"]) == 1  # floor of 1 for division
+
+    def test_empty_graph(self, env):
+        from repro.epgm import LogicalGraph
+
+        stats = GraphStatistics.from_graph(LogicalGraph.from_collections(env, [], []))
+        assert stats.vertex_count == 0
+        assert stats.distinct_sources([]) == 1

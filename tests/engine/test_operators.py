@@ -1,0 +1,293 @@
+"""Unit tests for the physical query operators against Figure 1."""
+
+import pytest
+
+from repro.cypher import QueryHandler
+from repro.engine import (
+    ExpandEmbeddings,
+    JoinEmbeddings,
+    MatchStrategy,
+    ProjectEmbeddings,
+    SelectAndProjectEdges,
+    SelectAndProjectVertices,
+    SelectEmbeddings,
+)
+
+HOMO = MatchStrategy.HOMOMORPHISM
+ISO = MatchStrategy.ISOMORPHISM
+
+
+def vertex_leaf(graph, handler, variable):
+    return SelectAndProjectVertices(
+        graph, handler.vertices[variable], handler.property_keys(variable)
+    )
+
+
+def edge_leaf(graph, handler, variable):
+    return SelectAndProjectEdges(
+        graph, handler.edges[variable], handler.property_keys(variable)
+    )
+
+
+class TestSelectAndProjectVertices:
+    def test_label_filter(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person) RETURN *")
+        embeddings = vertex_leaf(figure1_graph, handler, "p").evaluate().collect()
+        assert len(embeddings) == 3
+
+    def test_property_predicate(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person {name: 'Alice'}) RETURN *")
+        embeddings = vertex_leaf(figure1_graph, handler, "p").evaluate().collect()
+        assert len(embeddings) == 1
+        assert embeddings[0].raw_id_at(0) == 10
+
+    def test_projection_keeps_needed_keys(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person) RETURN p.name")
+        op = vertex_leaf(figure1_graph, handler, "p")
+        assert op.meta.property_keys_of("p") == ["name"]
+        embeddings = op.evaluate().collect()
+        names = {e.property_at(0).raw() for e in embeddings}
+        assert names == {"Alice", "Eve", "Bob"}
+
+    def test_missing_property_projected_as_null(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person) RETURN p.yob")
+        embeddings = vertex_leaf(figure1_graph, handler, "p").evaluate().collect()
+        values = sorted(
+            (e.property_at(0).raw() for e in embeddings),
+            key=lambda v: (v is None, v),
+        )
+        assert values == [1984, None, None]
+
+    def test_label_alternation(self, figure1_graph):
+        handler = QueryHandler("MATCH (x:Person|City) RETURN *")
+        embeddings = vertex_leaf(figure1_graph, handler, "x").evaluate().collect()
+        assert len(embeddings) == 4
+
+    def test_no_label_scans_everything(self, figure1_graph):
+        handler = QueryHandler("MATCH (x) RETURN *")
+        embeddings = vertex_leaf(figure1_graph, handler, "x").evaluate().collect()
+        assert len(embeddings) == 5
+
+
+class TestSelectAndProjectEdges:
+    def test_type_filter_and_columns(self, figure1_graph):
+        handler = QueryHandler("MATCH (a)-[s:studyAt]->(b) RETURN *")
+        embeddings = edge_leaf(figure1_graph, handler, "s").evaluate().collect()
+        assert len(embeddings) == 3
+        for embedding in embeddings:
+            assert embedding.column_count == 3
+
+    def test_edge_property_predicate(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (a)-[s:studyAt]->(b) WHERE s.classYear > 2014 RETURN *"
+        )
+        embeddings = edge_leaf(figure1_graph, handler, "s").evaluate().collect()
+        assert len(embeddings) == 2  # Bob's 2014 studyAt is filtered
+
+    def test_undirected_emits_both_orientations(self, figure1_graph):
+        handler = QueryHandler("MATCH (a)-[e:isLocatedIn]-(b) RETURN *")
+        embeddings = edge_leaf(figure1_graph, handler, "e").evaluate().collect()
+        sources = sorted(e.raw_id_at(0) for e in embeddings)
+        assert sources == [40, 50]
+
+    def test_variable_length_edge_rejected(self, figure1_graph):
+        handler = QueryHandler("MATCH (a)-[e:knows*1..2]->(b) RETURN *")
+        with pytest.raises(ValueError):
+            edge_leaf(figure1_graph, handler, "e")
+
+    def test_loop_query_edge(self, env):
+        from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
+
+        graph = LogicalGraph.from_collections(
+            env,
+            [Vertex(GradoopId(1), label="N")],
+            [
+                Edge(GradoopId(10), label="self", source_id=GradoopId(1),
+                     target_id=GradoopId(1)),
+            ],
+        )
+        handler = QueryHandler("MATCH (a)-[e:self]->(a) RETURN *")
+        op = edge_leaf(graph, handler, "e")
+        embeddings = op.evaluate().collect()
+        assert len(embeddings) == 1
+        assert embeddings[0].column_count == 2  # [a, e] — no duplicate column
+
+
+class TestJoinEmbeddings:
+    def test_join_vertex_with_edges(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (p:Person {name: 'Alice'})-[s:studyAt]->(u) RETURN *"
+        )
+        left = vertex_leaf(figure1_graph, handler, "p")
+        right = edge_leaf(figure1_graph, handler, "s")
+        join = JoinEmbeddings(left, right, ["p"], HOMO, ISO)
+        embeddings = join.evaluate().collect()
+        assert len(embeddings) == 1
+        assert join.meta.variables == ["p", "s", "u"]
+
+    def test_join_requires_shared_variable(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person)-[s:studyAt]->(u) RETURN *")
+        left = vertex_leaf(figure1_graph, handler, "p")
+        right = edge_leaf(figure1_graph, handler, "s")
+        with pytest.raises(ValueError):
+            JoinEmbeddings(left, right, ["ghost"], HOMO, ISO)
+        with pytest.raises(ValueError):
+            JoinEmbeddings(left, right, [], HOMO, ISO)
+
+    def test_vertex_iso_enforced_in_join(self, figure1_graph):
+        """(a)-[e1:knows]->(b), (b)-[e2:knows]->(c): with vertex ISO, c != a."""
+        handler = QueryHandler(
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) RETURN *"
+        )
+        e1 = edge_leaf(figure1_graph, handler, "e1")
+        e2 = edge_leaf(figure1_graph, handler, "e2")
+
+        homo_join = JoinEmbeddings(e1, e2, ["b"], HOMO, ISO)
+        homo_count = len(homo_join.evaluate().collect())
+
+        iso_join = JoinEmbeddings(e1, e2, ["b"], ISO, ISO)
+        iso_count = len(iso_join.evaluate().collect())
+
+        assert homo_count > iso_count
+        # homo: 10->20->10, 10->20->30, 20->10->20, 30->20->10, 30->20->30, 20->30->20
+        assert homo_count == 6
+        # iso keeps only 10->20->30 and 30->20->10
+        assert iso_count == 2
+
+
+class TestSelectAndProject:
+    def test_select_embeddings_cross_predicate(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (a:Person)-[e:knows]->(b:Person) WHERE a.gender <> b.gender RETURN *"
+        )
+        # build a plan manually: edges joined with both vertex leaves
+        edge_op = edge_leaf(figure1_graph, handler, "e")
+        a_op = vertex_leaf(figure1_graph, handler, "a")
+        b_op = vertex_leaf(figure1_graph, handler, "b")
+        joined = JoinEmbeddings(
+            JoinEmbeddings(a_op, edge_op, ["a"], HOMO, ISO), b_op, ["b"], HOMO, ISO
+        )
+        selected = SelectEmbeddings(joined, handler.global_predicates)
+        embeddings = selected.evaluate().collect()
+        # Eve->Bob, Bob->Eve (female<->male); Alice<->Eve are both female
+        assert len(embeddings) == 2
+
+    def test_select_embeddings_unbound_variable_rejected(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (a:Person)-[e:knows]->(b:Person) WHERE a.gender <> b.gender RETURN *"
+        )
+        a_op = vertex_leaf(figure1_graph, handler, "a")
+        with pytest.raises(ValueError):
+            SelectEmbeddings(a_op, handler.global_predicates)
+
+    def test_project_embeddings(self, figure1_graph):
+        handler = QueryHandler("MATCH (p:Person) RETURN p.name")
+        op = vertex_leaf(figure1_graph, handler, "p")
+        projected = ProjectEmbeddings(op, [("p", "name")])
+        embeddings = projected.evaluate().collect()
+        assert all(e.property_count == 1 for e in embeddings)
+        assert projected.meta.property_index("p", "name") == 0
+
+
+class TestExpandEmbeddings:
+    def _expand(self, graph, query, strategies=(HOMO, ISO), closing=False):
+        handler = QueryHandler(query)
+        edge = list(handler.edges.values())[0]
+        source_op = SelectAndProjectVertices(
+            graph, handler.vertices[edge.source], handler.property_keys(edge.source)
+        )
+        if closing:
+            # bind the far end first via a join with all vertices
+            far_op = SelectAndProjectVertices(
+                graph, handler.vertices[edge.target], handler.property_keys(edge.target)
+            )
+            from repro.engine.operators.join import CartesianEmbeddings
+
+            source_op = CartesianEmbeddings(source_op, far_op, *strategies)
+        return ExpandEmbeddings(
+            source_op, graph, edge, strategies[0], strategies[1], closing=closing
+        )
+
+    def test_paper_table_2b(self, figure1_graph):
+        """knows*1..3 from Alice reaches Eve via [5] and Bob via [5,20,7]."""
+        handler = QueryHandler(
+            "MATCH (p1:Person {name: 'Alice'})-[e:knows*1..3]->(p2:Person) RETURN *"
+        )
+        edge = handler.edges["e"]
+        source = SelectAndProjectVertices(
+            figure1_graph, handler.vertices["p1"], set()
+        )
+        expand = ExpandEmbeddings(source, figure1_graph, edge, ISO, ISO, closing=False)
+        embeddings = expand.evaluate().collect()
+        rows = {
+            (e.raw_id_at(0), tuple(g.value for g in e.path_at(1)), e.raw_id_at(2))
+            for e in embeddings
+        }
+        assert (10, (5,), 20) in rows
+        assert (10, (5, 20, 7), 30) in rows
+        # under full ISO no other Alice-rooted paths of length <= 3 exist
+        assert len(rows) == 2
+
+    def test_homo_allows_revisits(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (p1:Person {name: 'Alice'})-[e:knows*1..3]->(p2:Person) RETURN *"
+        )
+        edge = handler.edges["e"]
+        source = SelectAndProjectVertices(figure1_graph, handler.vertices["p1"], set())
+        expand = ExpandEmbeddings(
+            source, figure1_graph, edge, HOMO, HOMO, closing=False
+        )
+        homo_count = len(expand.evaluate().collect())
+        # 10->20 (len1); 10->20->10, 10->20->30 (len2);
+        # 10->20->10->20, 10->20->30->20 (len3)
+        assert homo_count == 5
+
+    def test_lower_bound_zero(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (p1:Person {name: 'Alice'})-[e:knows*0..1]->(p2) RETURN *"
+        )
+        edge = handler.edges["e"]
+        source = SelectAndProjectVertices(figure1_graph, handler.vertices["p1"], set())
+        expand = ExpandEmbeddings(
+            source, figure1_graph, edge, HOMO, ISO, closing=False
+        )
+        rows = {
+            (e.raw_id_at(0), tuple(g.value for g in e.path_at(1)), e.raw_id_at(2))
+            for e in expand.evaluate().collect()
+        }
+        assert (10, (), 10) in rows  # zero-length path: p2 = p1
+        assert (10, (5,), 20) in rows
+        assert len(rows) == 2
+
+    def test_zero_length_rejected_under_vertex_iso(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (p1:Person {name: 'Alice'})-[e:knows*0..1]->(p2) RETURN *"
+        )
+        edge = handler.edges["e"]
+        source = SelectAndProjectVertices(figure1_graph, handler.vertices["p1"], set())
+        expand = ExpandEmbeddings(source, figure1_graph, edge, ISO, ISO, closing=False)
+        rows = {
+            tuple(g.value for g in e.path_at(1)) for e in expand.evaluate().collect()
+        }
+        assert () not in rows
+
+    def test_requires_variable_length_edge(self, figure1_graph):
+        handler = QueryHandler("MATCH (a:Person)-[e:knows]->(b) RETURN *")
+        source = SelectAndProjectVertices(figure1_graph, handler.vertices["a"], set())
+        with pytest.raises(ValueError):
+            ExpandEmbeddings(
+                source, figure1_graph, handler.edges["e"], HOMO, ISO, closing=False
+            )
+
+    def test_expand_metrics_record_supersteps(self, figure1_graph, env):
+        handler = QueryHandler("MATCH (a:Person)-[e:knows*1..3]->(b) RETURN *")
+        source = SelectAndProjectVertices(figure1_graph, handler.vertices["a"], set())
+        expand = ExpandEmbeddings(
+            source, figure1_graph, handler.edges["e"], HOMO, ISO, closing=False
+        )
+        env.reset_metrics()
+        expand.evaluate().collect()
+        iterations = {
+            run.iteration for run in env.metrics.runs if run.iteration is not None
+        }
+        assert iterations == {1, 2, 3}

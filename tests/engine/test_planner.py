@@ -1,0 +1,167 @@
+"""Tests for cardinality estimation and the greedy planner."""
+
+import pytest
+
+from repro.cypher import QueryHandler
+from repro.engine import (
+    CardinalityEstimator,
+    GraphStatistics,
+    GreedyPlanner,
+    LeftDeepPlanner,
+    MatchStrategy,
+)
+from repro.engine.planning.estimation import (
+    EQUALITY_SELECTIVITY,
+    predicate_selectivity,
+)
+
+
+@pytest.fixture
+def stats(figure1_graph):
+    return GraphStatistics.from_graph(figure1_graph)
+
+
+class TestEstimation:
+    def test_vertex_cardinality_uses_label_counts(self, stats):
+        estimator = CardinalityEstimator(stats)
+        handler = QueryHandler("MATCH (p:Person) RETURN *")
+        assert estimator.vertex_cardinality(handler.vertices["p"]) == 3
+
+    def test_equality_predicate_scales_down(self, stats):
+        estimator = CardinalityEstimator(stats)
+        handler = QueryHandler("MATCH (p:Person {name: 'Alice'}) RETURN *")
+        assert estimator.vertex_cardinality(handler.vertices["p"]) == pytest.approx(
+            3 * EQUALITY_SELECTIVITY
+        )
+
+    def test_edge_cardinality(self, stats):
+        estimator = CardinalityEstimator(stats)
+        handler = QueryHandler("MATCH (a)-[e:knows]->(b) RETURN *")
+        assert estimator.edge_cardinality(handler.edges["e"]) == 4
+
+    def test_undirected_doubles(self, stats):
+        estimator = CardinalityEstimator(stats)
+        handler = QueryHandler("MATCH (a)-[e:knows]-(b) RETURN *")
+        assert estimator.edge_cardinality(handler.edges["e"]) == 8
+
+    def test_join_cardinality_formula(self, stats):
+        estimator = CardinalityEstimator(stats)
+        assert estimator.join_cardinality(100, 50, 10, 25) == pytest.approx(200.0)
+
+    def test_expand_cardinality_grows_with_upper_bound(self, stats):
+        estimator = CardinalityEstimator(stats)
+        short = QueryHandler("MATCH (a)-[e:knows*1..1]->(b) RETURN *").edges["e"]
+        long = QueryHandler("MATCH (a)-[e:knows*1..5]->(b) RETURN *").edges["e"]
+        assert estimator.expand_cardinality(10, long, False) > (
+            estimator.expand_cardinality(10, short, False)
+        )
+
+    def test_closing_expand_is_cheaper(self, stats):
+        estimator = CardinalityEstimator(stats)
+        edge = QueryHandler("MATCH (a)-[e:knows*1..3]->(b) RETURN *").edges["e"]
+        assert estimator.expand_cardinality(10, edge, True) < (
+            estimator.expand_cardinality(10, edge, False)
+        )
+
+    def test_label_clauses_not_double_counted(self):
+        handler = QueryHandler("MATCH (p:Person) RETURN *")
+        assert predicate_selectivity(handler.vertices["p"].predicates) == 1.0
+
+
+class TestGreedyPlanner:
+    def _plan(self, graph, query, planner_cls=GreedyPlanner):
+        handler = QueryHandler(query)
+        stats = GraphStatistics.from_graph(graph)
+        planner = planner_cls(graph, handler, stats)
+        return planner.plan()
+
+    def test_single_vertex_query(self, figure1_graph):
+        root = self._plan(figure1_graph, "MATCH (p:Person) RETURN *")
+        assert len(root.evaluate().collect()) == 3
+
+    def test_single_edge_query(self, figure1_graph):
+        root = self._plan(figure1_graph, "MATCH (a:Person)-[e:knows]->(b) RETURN *")
+        assert len(root.evaluate().collect()) == 4
+
+    def test_selective_predicate_drives_join_order(self, figure1_graph):
+        """The plan containing the equality-filtered vertex is built first."""
+        root = self._plan(
+            figure1_graph,
+            "MATCH (p:Person {name: 'Alice'})-[s:studyAt]->(u:University) RETURN *",
+        )
+        text = root.explain()
+        # the Person leaf must appear in the plan (it has a predicate)
+        assert "p:Person" in text
+        assert len(root.evaluate().collect()) == 1
+
+    def test_trivial_vertices_bound_by_edge_columns(self, figure1_graph):
+        """A predicate-free vertex gets no leaf scan of its own."""
+        root = self._plan(figure1_graph, "MATCH (a)-[e:knows]->(b) RETURN *")
+        assert "SelectAndProjectVertices" not in root.explain()
+
+    def test_cycle_closes_with_two_column_join(self, figure1_graph):
+        root = self._plan(
+            figure1_graph,
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(a) RETURN *",
+        )
+        results = root.evaluate().collect()
+        # pairs (10,20), (20,10), (20,30), (30,20)
+        assert len(results) == 4
+
+    def test_disconnected_pattern_uses_cartesian(self, figure1_graph):
+        root = self._plan(
+            figure1_graph, "MATCH (p:Person), (c:City) RETURN *"
+        )
+        assert "Cartesian" in root.explain()
+        assert len(root.evaluate().collect()) == 3
+
+    def test_isolated_vertex_combined(self, figure1_graph):
+        root = self._plan(
+            figure1_graph,
+            "MATCH (a:Person)-[e:knows]->(b), (c:City) RETURN *",
+        )
+        assert len(root.evaluate().collect()) == 4  # 4 knows x 1 city
+
+    def test_variable_length_uses_expand(self, figure1_graph):
+        root = self._plan(
+            figure1_graph, "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN *"
+        )
+        assert "ExpandEmbeddings" in root.explain()
+
+    def test_global_predicate_applied(self, figure1_graph):
+        root = self._plan(
+            figure1_graph,
+            "MATCH (a:Person)-[e:knows]->(b:Person) WHERE a.gender <> b.gender RETURN *",
+        )
+        assert "SelectEmbeddings" in root.explain()
+        assert len(root.evaluate().collect()) == 2
+
+    def test_estimates_attached_for_explain(self, figure1_graph):
+        root = self._plan(figure1_graph, "MATCH (a:Person)-[e:knows]->(b) RETURN *")
+        assert "[est=" in root.explain()
+
+    def test_left_deep_planner_same_results(self, figure1_graph):
+        query = (
+            "MATCH (p1:Person)-[:knows]->(p2:Person), (p2)<-[:hasCreator]-(c) RETURN *"
+        )
+        greedy = self._plan(figure1_graph, query)
+        naive_order = self._plan(figure1_graph, query, planner_cls=LeftDeepPlanner)
+        greedy_rows = {e for e in greedy.evaluate().collect()}
+        assert len(greedy.evaluate().collect()) == len(
+            naive_order.evaluate().collect()
+        )
+
+    def test_strategies_forwarded(self, figure1_graph):
+        handler = QueryHandler(
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) RETURN *"
+        )
+        stats = GraphStatistics.from_graph(figure1_graph)
+        homo = GreedyPlanner(
+            figure1_graph, handler, stats,
+            vertex_strategy=MatchStrategy.HOMOMORPHISM,
+        ).plan()
+        iso = GreedyPlanner(
+            figure1_graph, handler, stats,
+            vertex_strategy=MatchStrategy.ISOMORPHISM,
+        ).plan()
+        assert len(homo.evaluate().collect()) > len(iso.evaluate().collect())

@@ -1,0 +1,178 @@
+"""Tests for the graph algorithms package."""
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
+from repro.epgm.algorithms import (
+    bfs_distances,
+    degree_distribution,
+    degrees,
+    triangle_count,
+    weakly_connected_components,
+)
+from repro.epgm.algorithms.wcc import component_sizes
+
+
+def chain_graph(env, n, extra_edges=()):
+    """0 -> 1 -> 2 -> ... -> n-1 plus extra (src, dst) pairs."""
+    vertices = [Vertex(GradoopId(i + 1), label="N") for i in range(n)]
+    edges = []
+    for i in range(n - 1):
+        edges.append(
+            Edge(
+                GradoopId(100 + i),
+                label="e",
+                source_id=GradoopId(i + 1),
+                target_id=GradoopId(i + 2),
+            )
+        )
+    for index, (src, dst) in enumerate(extra_edges):
+        edges.append(
+            Edge(
+                GradoopId(200 + index),
+                label="e",
+                source_id=GradoopId(src),
+                target_id=GradoopId(dst),
+            )
+        )
+    return LogicalGraph.from_collections(env, vertices, edges)
+
+
+class TestWCC:
+    def test_single_chain_is_one_component(self, env):
+        graph = chain_graph(env, 5)
+        components = weakly_connected_components(graph)
+        assert len(set(components.values())) == 1
+
+    def test_two_components(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in range(1, 5)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(1), GradoopId(2)),
+            Edge(GradoopId(11), "e", GradoopId(3), GradoopId(4)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        components = weakly_connected_components(graph)
+        assert len(set(components.values())) == 2
+        assert components[GradoopId(1)] == components[GradoopId(2)]
+        assert components[GradoopId(3)] == components[GradoopId(4)]
+        assert components[GradoopId(1)] != components[GradoopId(3)]
+
+    def test_direction_is_ignored(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in (1, 2, 3)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(2), GradoopId(1)),
+            Edge(GradoopId(11), "e", GradoopId(2), GradoopId(3)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        assert len(set(weakly_connected_components(graph).values())) == 1
+
+    def test_isolated_vertices_are_own_components(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in (1, 2, 3)]
+        graph = LogicalGraph.from_collections(env, vertices, [])
+        assert len(set(weakly_connected_components(graph).values())) == 3
+
+    def test_component_label_is_minimum_member(self, env):
+        graph = chain_graph(env, 4)
+        components = weakly_connected_components(graph)
+        assert set(components.values()) == {1}
+
+    def test_component_sizes(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in range(1, 6)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(1), GradoopId(2)),
+            Edge(GradoopId(11), "e", GradoopId(2), GradoopId(3)),
+            Edge(GradoopId(12), "e", GradoopId(4), GradoopId(5)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        assert component_sizes(graph) == [3, 2]
+
+    def test_on_figure1(self, figure1_graph):
+        components = weakly_connected_components(figure1_graph)
+        assert len(set(components.values())) == 1  # everything connected
+
+
+class TestBFS:
+    def test_chain_distances(self, env):
+        graph = chain_graph(env, 4)
+        distances = bfs_distances(graph, GradoopId(1))
+        assert distances == {
+            GradoopId(1): 0,
+            GradoopId(2): 1,
+            GradoopId(3): 2,
+            GradoopId(4): 3,
+        }
+
+    def test_directed_respects_direction(self, env):
+        graph = chain_graph(env, 3)
+        distances = bfs_distances(graph, GradoopId(3), directed=True)
+        assert distances == {GradoopId(3): 0}
+
+    def test_undirected_reaches_backwards(self, env):
+        graph = chain_graph(env, 3)
+        distances = bfs_distances(graph, GradoopId(3), directed=False)
+        assert distances[GradoopId(1)] == 2
+
+    def test_shortcut_wins(self, env):
+        graph = chain_graph(env, 5, extra_edges=[(1, 5)])
+        distances = bfs_distances(graph, GradoopId(1))
+        assert distances[GradoopId(5)] == 1
+
+    def test_unreachable_absent(self, env):
+        vertices = [Vertex(GradoopId(1), label="N"), Vertex(GradoopId(2), label="N")]
+        graph = LogicalGraph.from_collections(env, vertices, [])
+        assert bfs_distances(graph, GradoopId(1)) == {GradoopId(1): 0}
+
+
+class TestDegrees:
+    def test_out_degrees(self, figure1_graph):
+        out = degrees(figure1_graph, "out")
+        assert out[GradoopId(20)] == 3  # Eve: knows x2 + studyAt
+        assert out[GradoopId(50)] == 0  # the city has no outgoing edges
+
+    def test_in_degrees(self, figure1_graph):
+        incoming = degrees(figure1_graph, "in")
+        assert incoming[GradoopId(40)] == 3  # the university
+
+    def test_both(self, figure1_graph):
+        both = degrees(figure1_graph, "both")
+        assert both[GradoopId(40)] == 4  # 3 in + 1 out (isLocatedIn)
+
+    def test_distribution_sums_to_vertex_count(self, figure1_graph):
+        histogram = degree_distribution(figure1_graph, "both")
+        assert sum(histogram.values()) == 5
+
+    def test_invalid_mode(self, figure1_graph):
+        with pytest.raises(ValueError):
+            degrees(figure1_graph, "sideways")
+
+
+class TestTriangles:
+    def test_directed_cycle_is_one_triangle(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in (1, 2, 3)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(1), GradoopId(2)),
+            Edge(GradoopId(11), "e", GradoopId(2), GradoopId(3)),
+            Edge(GradoopId(12), "e", GradoopId(3), GradoopId(1)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        assert triangle_count(graph) == 1
+
+    def test_chain_has_no_triangles(self, env):
+        assert triangle_count(chain_graph(env, 4)) == 0
+
+    def test_label_filter(self, figure1_graph):
+        # knows edges alone form no triangle in Figure 1
+        assert triangle_count(figure1_graph, edge_label="knows") == 0
+
+    def test_two_triangles_sharing_an_edge(self, env):
+        vertices = [Vertex(GradoopId(i), label="N") for i in (1, 2, 3, 4)]
+        edges = [
+            Edge(GradoopId(10), "e", GradoopId(1), GradoopId(2)),
+            Edge(GradoopId(11), "e", GradoopId(2), GradoopId(3)),
+            Edge(GradoopId(12), "e", GradoopId(1), GradoopId(3)),
+            Edge(GradoopId(13), "e", GradoopId(2), GradoopId(4)),
+            Edge(GradoopId(14), "e", GradoopId(3), GradoopId(4)),
+        ]
+        graph = LogicalGraph.from_collections(env, vertices, edges)
+        assert triangle_count(graph) == 2

@@ -1,0 +1,65 @@
+"""Tests for GraphCollection.apply / reduce."""
+
+import pytest
+
+from repro.epgm.operators.aggregation import Count
+
+
+@pytest.fixture
+def matches(figure1_graph):
+    return figure1_graph.cypher(
+        "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *"
+    )
+
+
+class TestApply:
+    def test_apply_aggregation_to_each_match(self, matches):
+        annotated = matches.apply(
+            lambda graph: graph.aggregate("vertexCount", Count("vertices"))
+        )
+        assert annotated.graph_count() == matches.graph_count()
+        for head in annotated.collect_graph_heads():
+            assert head.get_property("vertexCount").raw() == 2  # person + uni
+
+    def test_apply_transformation(self, matches):
+        def upper_names(graph):
+            def fn(vertex):
+                name = vertex.get_property("name")
+                if not name.is_null:
+                    vertex.set_property("name", name.raw().upper())
+                return vertex
+
+            return graph.transform_vertices(fn)
+
+        transformed = matches.apply(upper_names)
+        names = {
+            v.get_property("name").raw()
+            for v in transformed.vertices.collect()
+            if not v.get_property("name").is_null
+        }
+        assert "UNI LEIPZIG" in names
+
+    def test_apply_on_empty_collection(self, figure1_graph):
+        empty = figure1_graph.cypher("MATCH (x:Robot) RETURN *")
+        result = empty.apply(lambda graph: graph)
+        assert result.graph_count() == 0
+
+
+class TestReduce:
+    def test_reduce_by_combination(self, matches):
+        combined = matches.reduce(lambda left, right: left.combine(right))
+        # three matches (Alice/Eve/Bob studyAt) combine to 4 vertices
+        names = {
+            v.get_property("name").raw() for v in combined.collect_vertices()
+        }
+        assert names == {"Alice", "Eve", "Bob", "Uni Leipzig"}
+
+    def test_reduce_single_graph(self, figure1_graph):
+        single = figure1_graph.cypher("MATCH (c:City) RETURN *")
+        result = single.reduce(lambda a, b: a.combine(b))
+        assert result.vertex_count() == 1
+
+    def test_reduce_empty_rejected(self, figure1_graph):
+        empty = figure1_graph.cypher("MATCH (x:Robot) RETURN *")
+        with pytest.raises(ValueError):
+            empty.reduce(lambda a, b: a.combine(b))

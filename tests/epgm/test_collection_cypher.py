@@ -1,0 +1,65 @@
+"""Tests for GraphCollection.cypher (per-member pattern matching)."""
+
+import pytest
+
+from repro.epgm import GraphCollection
+
+
+@pytest.fixture
+def two_communities(figure1_graph):
+    """Split Figure 1 into a persons subgraph and a places subgraph."""
+    people = figure1_graph.vertex_induced_subgraph(lambda v: v.label == "Person")
+    places = figure1_graph.vertex_induced_subgraph(
+        lambda v: v.label in ("University", "City")
+    )
+    heads = [people.graph_head, places.graph_head]
+    vertices = people.collect_vertices() + places.collect_vertices()
+    edges = people.collect_edges() + places.collect_edges()
+    return GraphCollection.from_collections(
+        figure1_graph.environment, heads, vertices, edges
+    )
+
+
+def test_matches_found_per_member(two_communities):
+    matches = two_communities.cypher("MATCH (a:Person)-[e:knows]->(b:Person) RETURN *")
+    assert matches.graph_count() == 4  # only the persons member has knows
+
+
+def test_source_graph_recorded(two_communities):
+    matches = two_communities.cypher("MATCH (v) RETURN *")
+    sources = {
+        head.get_property("__sourceGraph").raw()
+        for head in matches.collect_graph_heads()
+    }
+    assert len(sources) == 2  # matches came from both member graphs
+
+
+def test_empty_collection(figure1_graph):
+    empty = GraphCollection.empty(figure1_graph.environment)
+    matches = empty.cypher("MATCH (v) RETURN *")
+    assert matches.graph_count() == 0
+
+
+def test_member_scoping(two_communities):
+    """A pattern spanning both member graphs never matches: each member is
+    queried in isolation."""
+    matches = two_communities.cypher(
+        "MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *"
+    )
+    # studyAt edges connect persons to the university, but those edges are
+    # in neither induced member graph
+    assert matches.graph_count() == 0
+
+
+def test_kwargs_forwarded(two_communities):
+    from repro.engine import MatchStrategy
+
+    homo = two_communities.cypher(
+        "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) RETURN *",
+        vertex_strategy=MatchStrategy.HOMOMORPHISM,
+    )
+    iso = two_communities.cypher(
+        "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) RETURN *",
+        vertex_strategy=MatchStrategy.ISOMORPHISM,
+    )
+    assert homo.graph_count() > iso.graph_count()

@@ -1,0 +1,35 @@
+"""Tests for the DOT exporter."""
+
+from repro.epgm.io.dot import to_dot
+
+
+def test_contains_all_elements(figure1_graph):
+    dot = to_dot(figure1_graph)
+    assert dot.startswith("digraph G {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count(" -> ") == 8
+    assert dot.count("[label=") == 5 + 8  # one caption per vertex and edge
+
+
+def test_vertex_label_key(figure1_graph):
+    dot = to_dot(figure1_graph, vertex_label_key="name")
+    assert '"Alice:Person"' in dot
+    assert '"Uni Leipzig:University"' in dot
+
+
+def test_properties_included_when_asked(figure1_graph):
+    dot = to_dot(figure1_graph, include_properties=True)
+    assert "classYear" in dot
+
+
+def test_quotes_escaped(env):
+    from repro.epgm import GradoopId, LogicalGraph, Vertex
+
+    vertex = Vertex(GradoopId(1), label='Weird"Label')
+    graph = LogicalGraph.from_collections(env, [vertex], [])
+    dot = to_dot(graph)
+    assert '\\"' in dot
+
+
+def test_custom_name(figure1_graph):
+    assert to_dot(figure1_graph, name="Community").startswith("digraph Community")

@@ -1,0 +1,113 @@
+"""Tests for the GDL-style graph definition reader."""
+
+import pytest
+
+from repro.epgm.io import GDLError, parse_gdl
+
+
+class TestBasics:
+    def test_single_vertex(self, env):
+        graph = parse_gdl(env, "(alice:Person {name: 'Alice'})")
+        vertices = graph.collect_vertices()
+        assert len(vertices) == 1
+        assert vertices[0].label == "Person"
+        assert vertices[0].get_property("name").raw() == "Alice"
+
+    def test_edge(self, env):
+        graph = parse_gdl(env, "(a:Person)-[:knows]->(b:Person)")
+        assert graph.vertex_count() == 2
+        edges = graph.collect_edges()
+        assert len(edges) == 1
+        assert edges[0].label == "knows"
+
+    def test_repeated_variable_is_same_vertex(self, env):
+        graph = parse_gdl(
+            env, "(a:Person)-[:knows]->(b:Person) (b)-[:knows]->(a)"
+        )
+        assert graph.vertex_count() == 2
+        assert graph.edge_count() == 2
+
+    def test_anonymous_vertices_are_fresh(self, env):
+        graph = parse_gdl(env, "(:Tag) (:Tag)")
+        assert graph.vertex_count() == 2
+
+    def test_comma_separated_paths(self, env):
+        graph = parse_gdl(env, "(a)-[:x]->(b), (b)-[:y]->(c)")
+        assert graph.edge_count() == 2
+
+    def test_incoming_edge_direction(self, env):
+        graph = parse_gdl(env, "(a:Person)<-[:hasCreator]-(m:Post)")
+        edge = graph.collect_edges()[0]
+        vertices = {v.id: v.label for v in graph.collect_vertices()}
+        assert vertices[edge.source_id] == "Post"
+        assert vertices[edge.target_id] == "Person"
+
+    def test_edge_properties(self, env):
+        graph = parse_gdl(env, "(a)-[:knows {since: 2014}]->(b)")
+        assert graph.collect_edges()[0].get_property("since").raw() == 2014
+
+
+class TestGraphHeader:
+    def test_named_labeled_header(self, env):
+        graph = parse_gdl(
+            env,
+            "community:Community {area: 'Leipzig'} [ (a:Person) ]",
+        )
+        assert graph.graph_head.label == "Community"
+        assert graph.graph_head.get_property("area").raw() == "Leipzig"
+        assert graph.vertex_count() == 1
+
+    def test_bare_brackets(self, env):
+        graph = parse_gdl(env, "[ (a)-[:x]->(b) ]")
+        assert graph.edge_count() == 1
+
+    def test_membership_stamped(self, env):
+        graph = parse_gdl(env, "g [ (a:Person) ]")
+        vertex = graph.collect_vertices()[0]
+        assert vertex.in_graph(graph.graph_head.id)
+
+
+class TestErrors:
+    def test_variable_length_edge_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "(a)-[:knows*1..3]->(b)")
+
+    def test_undirected_edge_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "(a)-[:knows]-(b)")
+
+    def test_label_alternation_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "(a:Comment|Post)")
+
+    def test_redefined_vertex_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "(a:Person) (a:City)")
+
+    def test_trailing_garbage_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "g [ (a) ] nonsense")
+
+    def test_broken_pattern_rejected(self, env):
+        with pytest.raises(GDLError):
+            parse_gdl(env, "(a:Person")
+
+
+class TestIntegrationWithCypher:
+    def test_gdl_graph_queriable(self, env):
+        graph = parse_gdl(
+            env,
+            """
+            community:Community [
+                (alice:Person {name: 'Alice', gender: 'female'})
+                (bob:Person {name: 'Bob', gender: 'male'})
+                (alice)-[:knows]->(bob)
+                (bob)-[:knows]->(alice)
+            ]
+            """,
+        )
+        rows = graph.cypher(
+            "MATCH (a:Person)-[:knows]->(b:Person) "
+            "WHERE a.gender <> b.gender RETURN *"
+        )
+        assert rows.graph_count() == 2

@@ -1,0 +1,58 @@
+"""Tests for GradoopId."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.epgm import ID_BYTES, GradoopId, GradoopIdFactory
+
+
+class TestGradoopId:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_bytes_roundtrip(self, value):
+        gid = GradoopId(value)
+        assert GradoopId.from_bytes(gid.to_bytes()) == gid
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_fixed_width(self, value):
+        assert len(GradoopId(value).to_bytes()) == ID_BYTES
+
+    def test_from_bytes_with_offset(self):
+        data = b"\x00" * 3 + GradoopId(42).to_bytes()
+        assert GradoopId.from_bytes(data, offset=3) == GradoopId(42)
+
+    def test_ordering(self):
+        assert GradoopId(1) < GradoopId(2) <= GradoopId(2)
+
+    def test_equality_and_hash(self):
+        assert GradoopId(7) == GradoopId(7)
+        assert hash(GradoopId(7)) == hash(GradoopId(7))
+        assert GradoopId(7) != GradoopId(8)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            GradoopId("abc")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GradoopId(-1)
+        with pytest.raises(ValueError):
+            GradoopId(1 << 64)
+
+    def test_stable_hash_hook_used_by_dataflow(self):
+        from repro.dataflow import stable_hash
+
+        assert stable_hash(GradoopId(5)) == stable_hash(5)
+
+
+class TestFactory:
+    def test_ids_are_unique_and_monotonic(self):
+        factory = GradoopIdFactory()
+        ids = factory.next_ids(100)
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)
+
+    def test_factories_are_deterministic(self):
+        a = GradoopIdFactory(start=5)
+        b = GradoopIdFactory(start=5)
+        assert a.next_ids(10) == b.next_ids(10)

@@ -1,0 +1,236 @@
+"""Tests for LogicalGraph, GraphCollection and IndexedLogicalGraph."""
+
+import pytest
+
+from repro.epgm import (
+    GradoopId,
+    GraphCollection,
+    GraphHead,
+    IndexedLogicalGraph,
+    LogicalGraph,
+    Vertex,
+)
+from tests.conftest import build_figure1_elements
+
+
+class TestLogicalGraph:
+    def test_counts(self, figure1_graph):
+        assert figure1_graph.vertex_count() == 5
+        assert figure1_graph.edge_count() == 8
+
+    def test_elements_are_stamped_with_graph_id(self, figure1_graph):
+        head_id = figure1_graph.graph_head.id
+        assert all(v.in_graph(head_id) for v in figure1_graph.collect_vertices())
+        assert all(e.in_graph(head_id) for e in figure1_graph.collect_edges())
+
+    def test_vertices_by_label_filters(self, figure1_graph):
+        people = figure1_graph.vertices_by_label("Person").collect()
+        assert len(people) == 3
+        assert all(v.label == "Person" for v in people)
+
+    def test_edges_by_label_filters(self, figure1_graph):
+        knows = figure1_graph.edges_by_label("knows").collect()
+        assert len(knows) == 4
+
+    def test_from_collections_creates_default_head(self, env):
+        graph = LogicalGraph.from_collections(env, [Vertex(GradoopId(1))], [])
+        assert graph.graph_head is not None
+
+    def test_derive_produces_fresh_head(self, figure1_graph):
+        derived = figure1_graph._derive(figure1_graph.vertices, figure1_graph.edges)
+        assert derived.graph_head.id != figure1_graph.graph_head.id
+
+
+class TestSubgraphOperators:
+    def test_subgraph_removes_dangling_edges(self, figure1_graph):
+        only_people = figure1_graph.subgraph(
+            vertex_predicate=lambda v: v.label == "Person"
+        )
+        labels = {e.label for e in only_people.collect_edges()}
+        assert labels == {"knows"}  # studyAt/isLocatedIn endpoints were dropped
+        assert only_people.vertex_count() == 3
+
+    def test_vertex_induced_subgraph(self, figure1_graph):
+        sub = figure1_graph.vertex_induced_subgraph(
+            lambda v: v.get_property("name").raw() in ("Alice", "Eve")
+        )
+        assert sub.vertex_count() == 2
+        assert sub.edge_count() == 2  # knows 10->20 and 20->10
+
+    def test_edge_induced_subgraph(self, figure1_graph):
+        sub = figure1_graph.edge_induced_subgraph(lambda e: e.label == "studyAt")
+        assert sub.edge_count() == 3
+        names = {v.get_property("name").raw() for v in sub.collect_vertices()}
+        assert names == {"Alice", "Eve", "Bob", "Uni Leipzig"}
+
+    def test_induced_subgraph_requires_predicate(self, figure1_graph):
+        with pytest.raises(ValueError):
+            figure1_graph.vertex_induced_subgraph(None)
+
+
+class TestTransformation:
+    def test_transform_vertices(self, figure1_graph):
+        def upper(vertex):
+            name = vertex.get_property("name")
+            if not name.is_null:
+                vertex.set_property("name", name.raw().upper())
+            return vertex
+
+        transformed = figure1_graph.transform_vertices(upper)
+        names = {v.get_property("name").raw() for v in transformed.collect_vertices()}
+        assert "ALICE" in names
+
+    def test_transform_must_preserve_ids(self, figure1_graph):
+        def swap(vertex):
+            return Vertex(GradoopId(999_999), label=vertex.label)
+
+        with pytest.raises(Exception):
+            figure1_graph.transform_vertices(swap).collect_vertices()
+
+
+class TestAggregation:
+    def test_count_vertices(self, figure1_graph):
+        from repro.epgm.operators.aggregation import Count
+
+        result = figure1_graph.aggregate("vertexCount", Count("vertices"))
+        assert result.graph_head.get_property("vertexCount").raw() == 5
+
+    def test_min_max_property(self, figure1_graph):
+        from repro.epgm.operators.aggregation import MaxProperty, MinProperty
+
+        graph = figure1_graph.aggregate(
+            "minYear", MinProperty("classYear", scope="edges")
+        ).aggregate("maxYear", MaxProperty("classYear", scope="edges"))
+        assert graph.graph_head.get_property("minYear").raw() == 2014
+        assert graph.graph_head.get_property("maxYear").raw() == 2015
+
+
+class TestSetOperators:
+    def test_combine_overlap_exclude(self, env):
+        head, vertices, edges = build_figure1_elements()
+        graph = LogicalGraph.from_collections(env, vertices, edges, graph_head=head)
+        people = graph.subgraph(vertex_predicate=lambda v: v.label == "Person")
+        unis = graph.subgraph(vertex_predicate=lambda v: v.label == "University")
+
+        combined = people.combine(unis)
+        assert combined.vertex_count() == 4
+
+        assert people.overlap(unis).vertex_count() == 0
+        assert people.overlap(people).vertex_count() == 3
+
+        excluded = people.exclude(unis)
+        assert excluded.vertex_count() == 3
+
+    def test_exclude_drops_dangling_edges(self, figure1_graph):
+        alice_only = figure1_graph.vertex_induced_subgraph(
+            lambda v: v.get_property("name").raw() == "Alice"
+        )
+        rest = figure1_graph.exclude(alice_only)
+        edge_ids = {e.id.value for e in rest.collect_edges()}
+        # edges 3 (Alice studyAt), 5, 6 (knows with Alice) must be gone
+        assert edge_ids == {1, 2, 4, 7, 8}
+
+
+class TestGrouping:
+    def test_group_by_label(self, figure1_graph):
+        grouped = figure1_graph.group_by()
+        by_label = {
+            v.label: v.get_property("count").raw()
+            for v in grouped.collect_vertices()
+        }
+        assert by_label == {"Person": 3, "University": 1, "City": 1}
+
+    def test_group_edges_between_groups(self, figure1_graph):
+        grouped = figure1_graph.group_by()
+        edge_counts = {
+            e.label: e.get_property("count").raw() for e in grouped.collect_edges()
+        }
+        assert edge_counts["knows"] == 4
+        assert edge_counts["studyAt"] == 3
+
+    def test_group_by_property(self, figure1_graph):
+        grouped = figure1_graph.group_by(vertex_keys=["gender"])
+        person_groups = {
+            (v.label, v.get_property("gender").raw()): v.get_property("count").raw()
+            for v in grouped.collect_vertices()
+            if v.label == "Person"
+        }
+        assert person_groups == {("Person", "female"): 2, ("Person", "male"): 1}
+
+
+class TestGraphCollection:
+    @pytest.fixture
+    def collection(self, env, figure1_graph):
+        sub_a = figure1_graph.vertex_induced_subgraph(lambda v: v.label == "Person")
+        sub_b = figure1_graph.vertex_induced_subgraph(lambda v: v.label == "City")
+        heads = [sub_a.graph_head, sub_b.graph_head]
+        vertices = sub_a.collect_vertices() + sub_b.collect_vertices()
+        edges = sub_a.collect_edges() + sub_b.collect_edges()
+        for element, graph in [(v, sub_a) for v in sub_a.collect_vertices()]:
+            element.add_graph_id(graph.graph_head.id)
+        return GraphCollection.from_collections(env, heads, vertices, edges)
+
+    def test_graph_count(self, collection):
+        assert collection.graph_count() == 2
+
+    def test_get_graph_missing_raises(self, collection):
+        with pytest.raises(KeyError):
+            collection.get_graph(GradoopId(424242))
+
+    def test_select(self, collection):
+        everything = collection.select(lambda head: True)
+        assert everything.graph_count() == 2
+        nothing = collection.select(lambda head: False)
+        assert nothing.graph_count() == 0
+
+    def test_union_intersection_difference(self, collection, env):
+        empty = GraphCollection.empty(env)
+        assert collection.union(empty).graph_count() == 2
+        assert collection.intersection(empty).graph_count() == 0
+        assert collection.difference(empty).graph_count() == 2
+        assert collection.intersection(collection).graph_count() == 2
+
+    def test_from_graph_singleton(self, figure1_graph):
+        collection = GraphCollection.from_graph(figure1_graph)
+        assert collection.graph_count() == 1
+
+
+class TestIndexedLogicalGraph:
+    def test_index_partitions_by_label(self, env):
+        head, vertices, edges = build_figure1_elements()
+        graph = IndexedLogicalGraph.from_collections(
+            env, vertices, edges, graph_head=head
+        )
+        assert graph.vertex_labels == ["City", "Person", "University"]
+        assert graph.edges_by_label("knows").count() == 4
+
+    def test_unknown_label_is_empty(self, env):
+        head, vertices, edges = build_figure1_elements()
+        graph = IndexedLogicalGraph.from_collections(
+            env, vertices, edges, graph_head=head
+        )
+        assert graph.vertices_by_label("Robot").count() == 0
+
+    def test_label_access_scans_fewer_records(self, env):
+        """The point of §3.4: a label predicate reads only its dataset."""
+        head, vertices, edges = build_figure1_elements()
+        plain = LogicalGraph.from_collections(
+            env, list(vertices), list(edges), graph_head=head
+        )
+        env.reset_metrics()
+        plain.vertices_by_label("City").collect()
+        plain_scanned = env.metrics.total_records_processed
+
+        head2, vertices2, edges2 = build_figure1_elements()
+        indexed = IndexedLogicalGraph.from_collections(
+            env, vertices2, edges2, graph_head=head2
+        )
+        env.reset_metrics()
+        indexed.vertices_by_label("City").collect()
+        indexed_scanned = env.metrics.total_records_processed
+
+        assert indexed_scanned < plain_scanned
+
+    def test_from_logical_graph(self, figure1_graph):
+        indexed = IndexedLogicalGraph.from_logical_graph(figure1_graph)
+        assert indexed.vertices_by_label("Person").count() == 3

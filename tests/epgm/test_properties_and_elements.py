@@ -1,0 +1,108 @@
+"""Tests for Properties and the EPGM element classes."""
+
+import pytest
+
+from repro.epgm import (
+    Edge,
+    GradoopId,
+    GraphHead,
+    Properties,
+    PropertyValue,
+    Vertex,
+)
+
+
+class TestProperties:
+    def test_get_missing_returns_null(self):
+        assert Properties().get("nope").is_null
+
+    def test_set_get(self):
+        props = Properties()
+        props.set("name", "Alice")
+        assert props.get("name") == PropertyValue("Alice")
+
+    def test_create_kwargs(self):
+        props = Properties.create(name="Alice", yob=1984)
+        assert props.get("yob").raw() == 1984
+
+    def test_init_from_dict_and_pairs(self):
+        assert Properties({"a": 1}) == Properties([("a", 1)])
+
+    def test_contains_len_iter(self):
+        props = Properties.create(a=1, b=2)
+        assert "a" in props
+        assert len(props) == 2
+        assert sorted(props) == ["a", "b"]
+
+    def test_retain_projects(self):
+        props = Properties.create(a=1, b=2, c=3)
+        projected = props.retain(["a", "c", "missing"])
+        assert projected.keys() == ["a", "c"]
+
+    def test_remove(self):
+        props = Properties.create(a=1)
+        assert props.remove("a").raw() == 1
+        assert props.remove("a").is_null
+
+    def test_copy_is_independent(self):
+        props = Properties.create(a=1)
+        clone = props.copy()
+        clone.set("a", 2)
+        assert props.get("a").raw() == 1
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Properties.create().set("", 1)
+
+    def test_to_dict(self):
+        assert Properties.create(a=1, b="x").to_dict() == {"a": 1, "b": "x"}
+
+    def test_insertion_order_preserved(self):
+        props = Properties()
+        for key in ["z", "a", "m"]:
+            props.set(key, 1)
+        assert props.keys() == ["z", "a", "m"]
+
+
+class TestElements:
+    def test_vertex_basics(self):
+        vertex = Vertex(GradoopId(10), label="Person", properties={"name": "Alice"})
+        assert vertex.label == "Person"
+        assert vertex.get_property("name").raw() == "Alice"
+
+    def test_vertex_requires_gradoop_id(self):
+        with pytest.raises(TypeError):
+            Vertex(10, label="Person")
+
+    def test_graph_membership(self):
+        vertex = Vertex(GradoopId(1))
+        vertex.add_graph_id(GradoopId(100))
+        assert vertex.in_graph(GradoopId(100))
+        assert not vertex.in_graph(GradoopId(200))
+
+    def test_edge_endpoints(self):
+        edge = Edge(
+            GradoopId(5),
+            label="knows",
+            source_id=GradoopId(10),
+            target_id=GradoopId(20),
+        )
+        assert edge.source_id == GradoopId(10)
+        assert edge.target_id == GradoopId(20)
+
+    def test_edge_requires_endpoints(self):
+        with pytest.raises(TypeError):
+            Edge(GradoopId(5), label="knows", source_id=1, target_id=2)
+
+    def test_equality_is_by_id_and_kind(self):
+        assert Vertex(GradoopId(1)) == Vertex(GradoopId(1), label="Other")
+        assert Vertex(GradoopId(1)) != GraphHead(GradoopId(1))
+
+    def test_serialized_size_grows_with_properties(self):
+        small = Vertex(GradoopId(1), label="P")
+        big = Vertex(GradoopId(1), label="P", properties={"name": "A" * 100})
+        assert big.serialized_size() > small.serialized_size()
+
+    def test_graph_head(self):
+        head = GraphHead(GradoopId(100), label="Community", properties={"area": "L"})
+        assert head.get_property("area").raw() == "L"

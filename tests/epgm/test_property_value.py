@@ -1,0 +1,137 @@
+"""Tests for the typed property value, including serde round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.epgm import GradoopId, IncomparableError, NULL_VALUE, PropertyValue
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=50),
+)
+_values = st.one_of(_scalars, st.lists(_scalars, max_size=5))
+
+
+class TestConstruction:
+    def test_null(self):
+        assert PropertyValue(None).is_null
+        assert NULL_VALUE.is_null
+
+    def test_bool_is_not_int(self):
+        assert PropertyValue(True).is_boolean
+        assert not PropertyValue(True).is_number
+
+    def test_types(self):
+        assert PropertyValue(3).type_name == "integer"
+        assert PropertyValue(3.5).type_name == "float"
+        assert PropertyValue("x").type_name == "string"
+        assert PropertyValue([1, 2]).type_name == "list"
+        assert PropertyValue(GradoopId(1)).type_name == "gradoop_id"
+
+    def test_copy_constructor(self):
+        original = PropertyValue("abc")
+        assert PropertyValue(original) == original
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(TypeError):
+            PropertyValue(object())
+
+    def test_rejects_overflow_int(self):
+        with pytest.raises(ValueError):
+            PropertyValue(1 << 63)
+
+    def test_raw_roundtrip_for_lists(self):
+        assert PropertyValue([1, "a", None]).raw() == [1, "a", None]
+
+
+class TestSerde:
+    @given(_values)
+    def test_bytes_roundtrip(self, raw):
+        value = PropertyValue(raw)
+        restored, consumed = PropertyValue.from_bytes(value.to_bytes())
+        assert restored == value
+        assert consumed == len(value.to_bytes())
+
+    @given(_values)
+    def test_serialized_size_matches(self, raw):
+        value = PropertyValue(raw)
+        assert value.serialized_size() == len(value.to_bytes())
+
+    def test_byte_length_varies_by_type(self):
+        """Paper §3.3: propData entries need a byte-length field because
+        value width depends on the type."""
+        sizes = {
+            PropertyValue(None).serialized_size(),
+            PropertyValue(True).serialized_size(),
+            PropertyValue(1).serialized_size(),
+            PropertyValue("hello world").serialized_size(),
+        }
+        assert len(sizes) >= 3
+
+    def test_from_bytes_with_offset(self):
+        payload = b"xx" + PropertyValue(7).to_bytes()
+        restored, _ = PropertyValue.from_bytes(payload, offset=2)
+        assert restored.raw() == 7
+
+    def test_unknown_type_byte_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyValue.from_bytes(b"\xff")
+
+    def test_gradoop_id_roundtrip(self):
+        value = PropertyValue(GradoopId(99))
+        restored, _ = PropertyValue.from_bytes(value.to_bytes())
+        assert restored.raw() == GradoopId(99)
+
+    def test_nested_list_roundtrip(self):
+        value = PropertyValue([[1, 2], ["a"]])
+        restored, _ = PropertyValue.from_bytes(value.to_bytes())
+        assert restored.raw() == [[1, 2], ["a"]]
+
+
+class TestComparison:
+    def test_numbers_compare_across_types(self):
+        assert PropertyValue(1) < PropertyValue(1.5)
+        assert PropertyValue(2.0) == PropertyValue(2)
+
+    def test_strings_compare(self):
+        assert PropertyValue("a") < PropertyValue("b")
+
+    def test_string_int_incomparable(self):
+        with pytest.raises(IncomparableError):
+            PropertyValue("a").compare(PropertyValue(1))
+
+    def test_null_incomparable_even_with_null(self):
+        with pytest.raises(IncomparableError):
+            PropertyValue(None).compare(PropertyValue(None))
+
+    def test_equality_with_raw_python_values(self):
+        assert PropertyValue(3) == 3
+        assert PropertyValue("x") == "x"
+        assert PropertyValue(3) != "3"
+
+    def test_hash_consistent_with_cross_type_equality(self):
+        assert hash(PropertyValue(2)) == hash(PropertyValue(2.0))
+
+    @given(_scalars, _scalars)
+    def test_compare_antisymmetric(self, a, b):
+        left, right = PropertyValue(a), PropertyValue(b)
+        try:
+            forward = left.compare(right)
+        except IncomparableError:
+            with pytest.raises(IncomparableError):
+                right.compare(left)
+            return
+        assert right.compare(left) == -forward
+
+    def test_bool_not_number_comparable(self):
+        with pytest.raises(IncomparableError):
+            PropertyValue(True).compare(PropertyValue(1))
+
+    def test_operator_sugar(self):
+        assert PropertyValue(5) > PropertyValue(4)
+        assert PropertyValue(5) >= PropertyValue(5)
+        assert PropertyValue(4) <= PropertyValue(5)

@@ -1,0 +1,107 @@
+"""Tests for graph sampling and the GDL writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import ExecutionEnvironment
+from repro.epgm.io import parse_gdl, to_gdl
+from repro.epgm.operators.sampling import random_edge_sample, random_vertex_sample
+from repro.ldbc import generate_graph
+
+
+class TestSampling:
+    def test_fraction_one_keeps_everything(self, figure1_graph):
+        sampled = random_vertex_sample(figure1_graph, 1.0)
+        assert sampled.vertex_count() == 5
+        assert sampled.edge_count() == 8
+
+    def test_fraction_zero_keeps_nothing(self, figure1_graph):
+        sampled = random_vertex_sample(figure1_graph, 0.0)
+        assert sampled.vertex_count() == 0
+        assert sampled.edge_count() == 0
+
+    def test_deterministic_per_seed(self, env):
+        graph = generate_graph(env, scale_factor=0.05, seed=3)
+        a = random_vertex_sample(graph, 0.5, seed=9)
+        b = random_vertex_sample(graph, 0.5, seed=9)
+        assert {v.id for v in a.collect_vertices()} == {
+            v.id for v in b.collect_vertices()
+        }
+
+    def test_edges_consistent_with_sampled_vertices(self, env):
+        graph = generate_graph(env, scale_factor=0.05, seed=3)
+        sampled = random_vertex_sample(graph, 0.4, seed=1)
+        kept = {v.id for v in sampled.collect_vertices()}
+        for edge in sampled.collect_edges():
+            assert edge.source_id in kept and edge.target_id in kept
+
+    def test_edge_sample_keeps_endpoints(self, figure1_graph):
+        sampled = random_edge_sample(figure1_graph, 0.5, seed=2)
+        vertex_ids = {v.id for v in sampled.collect_vertices()}
+        for edge in sampled.collect_edges():
+            assert edge.source_id in vertex_ids
+            assert edge.target_id in vertex_ids
+
+    def test_invalid_fraction_rejected(self, figure1_graph):
+        with pytest.raises(ValueError):
+            random_vertex_sample(figure1_graph, 1.5)
+
+
+class TestGDLWriter:
+    def test_roundtrip_structure(self, env, figure1_graph):
+        text = to_gdl(figure1_graph, name="community")
+        restored = parse_gdl(env, text)
+        assert restored.vertex_count() == figure1_graph.vertex_count()
+        assert restored.edge_count() == figure1_graph.edge_count()
+        assert restored.graph_head.label == figure1_graph.graph_head.label
+
+    def test_roundtrip_properties(self, env, figure1_graph):
+        restored = parse_gdl(env, to_gdl(figure1_graph))
+        names = {
+            v.get_property("name").raw()
+            for v in restored.collect_vertices()
+            if not v.get_property("name").is_null
+        }
+        assert names == {"Alice", "Eve", "Bob", "Uni Leipzig", "Leipzig"}
+        years = sorted(
+            e.get_property("classYear").raw()
+            for e in restored.collect_edges()
+            if not e.get_property("classYear").is_null
+        )
+        assert years == [2014, 2015, 2015]
+
+    def test_roundtrip_degree_sequence(self, env, figure1_graph):
+        """Structure preserved: identical (label, out-degree, in-degree)
+        multisets even though ids change."""
+        from repro.epgm.algorithms import degrees
+
+        def signature(graph):
+            out = degrees(graph, "out")
+            incoming = degrees(graph, "in")
+            labels = {v.id: v.label for v in graph.collect_vertices()}
+            return sorted(
+                (labels[vid], out[vid], incoming[vid]) for vid in labels
+            )
+
+        restored = parse_gdl(env, to_gdl(figure1_graph))
+        assert signature(restored) == signature(figure1_graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_roundtrip_random_graphs(self, seed):
+        env = ExecutionEnvironment(parallelism=2)
+        graph = generate_graph(env, scale_factor=0.02, seed=seed)
+        restored = parse_gdl(env, to_gdl(graph))
+        assert restored.vertex_count() == graph.vertex_count()
+        assert restored.edge_count() == graph.edge_count()
+
+    def test_quotes_escaped(self, env):
+        from repro.epgm import GradoopId, LogicalGraph, Vertex
+
+        vertex = Vertex(GradoopId(1), "Note", {"text": "it's 'quoted'"})
+        graph = LogicalGraph.from_collections(env, [vertex], [])
+        restored = parse_gdl(env, to_gdl(graph))
+        assert restored.collect_vertices()[0].get_property("text").raw() == (
+            "it's 'quoted'"
+        )

@@ -1,0 +1,103 @@
+"""Tests for the benchmark harness (queries + experiment runners)."""
+
+import pytest
+
+from repro.cypher import QueryHandler
+from repro.harness import (
+    ALL_QUERIES,
+    DatasetCache,
+    SCALE_FACTOR_SMALL,
+    TABLE3_PATTERNS,
+    format_table,
+    instantiate,
+    run_query,
+    speedup_series,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return DatasetCache(seed=11)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_templates_compile(self, name):
+        query = instantiate(ALL_QUERIES[name], "Jan")
+        handler = QueryHandler(query)
+        assert handler.vertices
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_PATTERNS))
+    def test_table3_patterns_compile(self, name):
+        query = instantiate(TABLE3_PATTERNS[name], "Jan")
+        assert QueryHandler(query).vertices
+
+    def test_instantiate_requires_parameter(self):
+        with pytest.raises(ValueError):
+            instantiate(ALL_QUERIES["Q1"])
+
+    def test_instantiate_passthrough_for_unparameterized(self):
+        assert instantiate(ALL_QUERIES["Q5"]) == ALL_QUERIES["Q5"]
+
+
+class TestRunQuery:
+    def test_returns_run_record(self, cache):
+        run = run_query("Q1", SCALE_FACTOR_SMALL, 4, "low", cache)
+        assert run.result_count > 0
+        assert run.simulated_seconds > 0
+        assert run.metrics["records_processed"] > 0
+
+    def test_results_independent_of_workers(self, cache):
+        counts = {
+            workers: run_query(
+                "Q5", SCALE_FACTOR_SMALL, workers, cache=cache
+            ).result_count
+            for workers in (1, 4, 16)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_selectivity_changes_result_count(self, cache):
+        high = run_query("Q1", SCALE_FACTOR_SMALL, 4, "high", cache).result_count
+        low = run_query("Q1", SCALE_FACTOR_SMALL, 4, "low", cache).result_count
+        assert high < low
+
+    def test_more_workers_lower_simulated_runtime(self, cache):
+        slow = run_query("Q5", SCALE_FACTOR_SMALL, 1, cache=cache)
+        fast = run_query("Q5", SCALE_FACTOR_SMALL, 8, cache=cache)
+        assert fast.simulated_seconds < slow.simulated_seconds
+
+    def test_indexed_flag_runs(self, cache):
+        run = run_query("Q1", SCALE_FACTOR_SMALL, 4, "low", cache, indexed=True)
+        plain = run_query("Q1", SCALE_FACTOR_SMALL, 4, "low", cache)
+        assert run.result_count == plain.result_count
+
+
+class TestSeries:
+    def test_speedup_series_shape(self, cache):
+        series = speedup_series("Q1", SCALE_FACTOR_SMALL, [1, 4], "low", cache)
+        assert [point["workers"] for point in series] == [1, 4]
+        assert series[0]["speedup"] == pytest.approx(1.0)
+        assert series[1]["speedup"] > 1.0
+
+
+class TestDatasetCache:
+    def test_dataset_generated_once(self):
+        cache = DatasetCache(seed=3)
+        assert cache.dataset(0.05) is cache.dataset(0.05)
+
+    def test_first_name_lookup(self):
+        cache = DatasetCache(seed=3)
+        assert isinstance(cache.first_name(0.05, "low"), str)
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, "x")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5" in text
+        assert "30" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,45 @@
+"""Sanity checks over the transcribed paper numbers."""
+
+from repro.harness import CARDINALITIES, TABLE3, TABLE4, paper_speedup
+
+
+class TestTable4:
+    def test_every_published_row_has_baseline(self):
+        for key, by_workers in TABLE4.items():
+            if 1 in by_workers:
+                seconds, speedup = by_workers[1]
+                assert speedup == 1.0, key
+
+    def test_runtimes_decrease_with_workers(self):
+        for key, by_workers in TABLE4.items():
+            seconds = [by_workers[w][0] for w in sorted(by_workers)]
+            # Q5 SF10 famously regresses from 8 to 16 workers; allow one bump
+            regressions = sum(
+                1 for a, b in zip(seconds, seconds[1:]) if b > a
+            )
+            assert regressions <= 1, key
+
+    def test_paper_speedup_lookup(self):
+        assert paper_speedup("Q1", "low", "large", 16) == 10.1
+        assert paper_speedup("Q5", None, "small", 16) == 4.4
+        assert paper_speedup("Q5", None, "large", 1) is None
+        assert paper_speedup("Q9", None, "small", 1) is None
+
+    def test_analytical_large_sf_only_at_16(self):
+        for query in ("Q4", "Q5", "Q6"):
+            assert set(TABLE4[(query, None, "large")]) == {16}
+
+
+class TestCardinalitiesAndTable3:
+    def test_selectivity_ordering(self):
+        for key, value in CARDINALITIES.items():
+            if isinstance(value, dict):
+                assert value["high"] < value["medium"] < value["low"], key
+
+    def test_table3_ordering(self):
+        for pattern, counts in TABLE3.items():
+            assert counts["high"] < counts["medium"] < counts["low"], pattern
+
+    def test_analytical_counts_grow_with_sf(self):
+        for query in ("Q4", "Q5", "Q6"):
+            assert CARDINALITIES[(query, "large")] > CARDINALITIES[(query, "small")]

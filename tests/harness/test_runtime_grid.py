@@ -1,0 +1,40 @@
+"""Structural tests for the Table 4 grid runner (tiny configuration)."""
+
+import pytest
+
+from repro.harness import DatasetCache, runtime_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    cache = DatasetCache(seed=4)
+    return runtime_grid(
+        [1, 4],
+        selectivities=("low",),
+        cache=cache,
+        scale_factors=(0.05,),
+    )
+
+
+def test_grid_covers_all_queries(grid):
+    queries = {entry["query"] for entry in grid}
+    assert queries == {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+
+
+def test_series_structure(grid):
+    for entry in grid:
+        workers = [point["workers"] for point in entry["series"]]
+        assert workers == [1, 4]
+        assert entry["series"][0]["speedup"] == pytest.approx(1.0)
+
+
+def test_results_constant_across_workers(grid):
+    for entry in grid:
+        counts = {point["results"] for point in entry["series"]}
+        assert len(counts) == 1, entry["query"]
+
+
+def test_more_workers_never_slower(grid):
+    for entry in grid:
+        one, four = entry["series"]
+        assert four["seconds"] <= one["seconds"], entry["query"]

@@ -1,0 +1,59 @@
+"""Seed robustness: the paper's shape claims must not depend on one seed.
+
+Each generated dataset is random; the claims in EXPERIMENTS.md would be
+worthless if they only held for seed 42.  These tests verify the key
+orderings over several seeds at the small scale factor.
+"""
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics
+from repro.harness import ALL_QUERIES, instantiate
+from repro.ldbc import LDBCGenerator
+
+SEEDS = [1, 2, 3]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def dataset(request):
+    return LDBCGenerator(scale_factor=0.1, seed=request.param).generate()
+
+
+def _count(dataset, query_name, selectivity=None):
+    env = ExecutionEnvironment(parallelism=4)
+    graph = dataset.to_logical_graph(env)
+    template = ALL_QUERIES[query_name]
+    first_name = dataset.first_name(selectivity) if selectivity else None
+    runner = CypherRunner(graph, statistics=GraphStatistics.from_graph(graph))
+    embeddings, _ = runner.execute_embeddings(instantiate(template, first_name))
+    return len(embeddings)
+
+
+@pytest.mark.parametrize("query_name", ["Q1", "Q2"])
+def test_selectivity_ordering_holds_across_seeds(dataset, query_name):
+    high = _count(dataset, query_name, "high")
+    medium = _count(dataset, query_name, "medium")
+    low = _count(dataset, query_name, "low")
+    assert high <= medium <= low
+    assert low > high  # the classes genuinely differ
+
+
+def test_q3_low_selectivity_dominates_across_seeds(dataset):
+    """Q3's result depends on *which* persons carry the name, so at tiny
+    scale high/medium can invert per seed; the robust claim is that the
+    common-name class dominates both rare classes."""
+    high = _count(dataset, "Q3", "high")
+    medium = _count(dataset, "Q3", "medium")
+    low = _count(dataset, "Q3", "low")
+    assert low >= max(high, medium)
+
+
+def test_analytical_queries_nonempty_across_seeds(dataset):
+    for query_name in ("Q4", "Q5", "Q6"):
+        assert _count(dataset, query_name) > 0, query_name
+
+
+def test_name_skew_across_seeds(dataset):
+    ranks = sorted(dataset.first_name_ranks.values(), reverse=True)
+    assert ranks[0] >= 3 * ranks[-1]

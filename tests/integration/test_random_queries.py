@@ -1,0 +1,125 @@
+"""Randomized query sweep: generated patterns, engine vs naive matcher.
+
+Hypothesis generates arbitrary small query graphs — labels, inline
+property predicates, mixed directions, occasional variable-length or
+undirected edges, shared variables, cycles — renders them to Cypher, and
+requires the dataflow engine and the backtracking matcher to agree on a
+fixed data graph, under both default and full-isomorphism semantics.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import (
+    CypherRunner,
+    MatchStrategy,
+    NaiveMatcher,
+    canonical_rows_from_embeddings,
+)
+from tests.integration.test_engine_vs_naive import build_graph
+
+_VERTEX_VARS = ["v0", "v1", "v2", "v3"]
+_VERTEX_LABELS = [None, "Person", "Tag", "Person|Tag"]
+_EDGE_LABELS = [None, "knows", "likes"]
+
+
+@st.composite
+def node_pattern(draw, variable):
+    label = draw(st.sampled_from(_VERTEX_LABELS))
+    parts = [variable]
+    if label:
+        parts.append(":" + label)
+    predicate = draw(
+        st.sampled_from(
+            [None, None, None, "{age: 27}", "{name: 'music'}", "{age: 34}"]
+        )
+    )
+    if predicate:
+        parts.append(" " + predicate)
+    return "(%s)" % "".join(parts)
+
+
+@st.composite
+def edge_pattern(draw, index):
+    label = draw(st.sampled_from(_EDGE_LABELS))
+    body = "e%d" % index
+    if label:
+        body += ":" + label
+    kind = draw(
+        st.sampled_from(["out", "out", "out", "in", "undirected", "varlen"])
+    )
+    if kind == "varlen":
+        lower = draw(st.integers(0, 1))
+        upper = draw(st.integers(1, 2))
+        if label is None:
+            label = "knows"  # keep path fanout bounded
+        body = "e%d:%s*%d..%d" % (index, label, lower, max(lower, upper))
+        return "-[%s]->" % body
+    if kind == "in":
+        return "<-[%s]-" % body
+    if kind == "undirected":
+        return "-[%s]-" % body
+    return "-[%s]->" % body
+
+
+@st.composite
+def queries(draw):
+    edge_count = draw(st.integers(1, 3))
+    patterns = []
+    # keep the pattern connected: each edge starts from a used variable
+    used = [draw(st.sampled_from(_VERTEX_VARS))]
+    for index in range(edge_count):
+        source = draw(st.sampled_from(used))
+        target = draw(st.sampled_from(_VERTEX_VARS))
+        if target not in used:
+            used.append(target)
+        if source == target and draw(st.booleans()):
+            target = draw(st.sampled_from(_VERTEX_VARS))
+        left = draw(node_pattern(source))
+        right = draw(node_pattern(target))
+        arrow = draw(edge_pattern(index))
+        patterns.append("%s%s%s" % (left, arrow, right))
+    return "MATCH %s RETURN *" % ", ".join(patterns)
+
+
+def _data_graph():
+    env = ExecutionEnvironment(parallelism=3)
+    seed_edges = [
+        (0, 1, 0), (1, 2, 0), (2, 0, 0), (2, 3, 0), (3, 4, 0),
+        (4, 1, 0), (1, 5, 1), (4, 5, 1), (0, 5, 1), (3, 3, 0),
+    ]
+    return build_graph(seed_edges, 6, env)
+
+
+_GRAPH = _data_graph()
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(query=queries())
+def test_engine_agrees_with_naive_on_random_queries(query):
+    embeddings, meta = CypherRunner(_GRAPH).execute_embeddings(query)
+    engine_rows = sorted(canonical_rows_from_embeddings(embeddings, meta))
+    naive_rows = sorted(NaiveMatcher(_GRAPH).match(query))
+    assert engine_rows == naive_rows, query
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(query=queries())
+def test_engine_agrees_under_full_isomorphism(query):
+    kwargs = {
+        "vertex_strategy": MatchStrategy.ISOMORPHISM,
+        "edge_strategy": MatchStrategy.ISOMORPHISM,
+    }
+    embeddings, meta = CypherRunner(_GRAPH, **kwargs).execute_embeddings(query)
+    engine_rows = sorted(canonical_rows_from_embeddings(embeddings, meta))
+    naive_rows = sorted(NaiveMatcher(_GRAPH, **kwargs).match(query))
+    assert engine_rows == naive_rows, query

@@ -1,0 +1,213 @@
+"""Tests for the synthetic LDBC-SNB-like generator."""
+
+import pytest
+
+from repro.ldbc import LDBCGenerator, Zipf, generate_graph, schema
+from repro.ldbc.distributions import (
+    make_rng,
+    poisson,
+    power_law_degree,
+    preferential_targets,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return LDBCGenerator(scale_factor=0.2, seed=7).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = LDBCGenerator(scale_factor=0.1, seed=3).generate()
+        b = LDBCGenerator(scale_factor=0.1, seed=3).generate()
+        assert a.counts_by_label() == b.counts_by_label()
+        assert [v.id for v in a.vertices] == [v.id for v in b.vertices]
+        assert [
+            (e.source_id, e.target_id) for e in a.edges
+        ] == [(e.source_id, e.target_id) for e in b.edges]
+
+    def test_different_seed_differs(self):
+        a = LDBCGenerator(scale_factor=0.1, seed=3).generate()
+        b = LDBCGenerator(scale_factor=0.1, seed=4).generate()
+        assert [
+            (e.source_id, e.target_id) for e in a.edges
+        ] != [(e.source_id, e.target_id) for e in b.edges]
+
+
+class TestSchema:
+    def test_all_required_labels_present(self, dataset):
+        counts = dataset.counts_by_label()
+        for label in [
+            schema.PERSON, schema.CITY, schema.UNIVERSITY, schema.TAG,
+            schema.FORUM, schema.POST, schema.COMMENT, schema.KNOWS,
+            schema.HAS_CREATOR, schema.REPLY_OF, schema.IS_LOCATED_IN,
+            schema.HAS_INTEREST, schema.STUDY_AT, schema.HAS_MEMBER,
+            schema.HAS_MODERATOR,
+        ]:
+            assert counts.get(label, 0) > 0, "missing %s" % label
+
+    def test_edges_reference_existing_vertices(self, dataset):
+        vertex_ids = {v.id for v in dataset.vertices}
+        for edge in dataset.edges:
+            assert edge.source_id in vertex_ids
+            assert edge.target_id in vertex_ids
+
+    def test_edge_endpoint_labels(self, dataset):
+        labels = {v.id: v.label for v in dataset.vertices}
+        expectations = {
+            schema.KNOWS: (schema.PERSON, schema.PERSON),
+            schema.STUDY_AT: (schema.PERSON, schema.UNIVERSITY),
+            schema.IS_LOCATED_IN: (schema.PERSON, schema.CITY),
+            schema.HAS_INTEREST: (schema.PERSON, schema.TAG),
+            schema.HAS_MEMBER: (schema.FORUM, schema.PERSON),
+            schema.HAS_MODERATOR: (schema.FORUM, schema.PERSON),
+        }
+        for edge in dataset.edges:
+            if edge.label in expectations:
+                source_label, target_label = expectations[edge.label]
+                assert labels[edge.source_id] == source_label
+                assert labels[edge.target_id] == target_label
+
+    def test_has_creator_points_to_person(self, dataset):
+        labels = {v.id: v.label for v in dataset.vertices}
+        for edge in dataset.edges:
+            if edge.label == schema.HAS_CREATOR:
+                assert labels[edge.source_id] in (schema.POST, schema.COMMENT)
+                assert labels[edge.target_id] == schema.PERSON
+
+    def test_reply_chains_terminate_at_posts(self, dataset):
+        """Every comment reaches a Post by following replyOf (a tree)."""
+        labels = {v.id: v.label for v in dataset.vertices}
+        reply_parent = {}
+        for edge in dataset.edges:
+            if edge.label == schema.REPLY_OF:
+                reply_parent[edge.source_id] = edge.target_id
+        comments = [v for v in dataset.vertices if v.label == schema.COMMENT]
+        for comment in comments:
+            current, hops = comment.id, 0
+            while labels[current] != schema.POST:
+                assert current in reply_parent, "orphan comment"
+                current = reply_parent[current]
+                hops += 1
+                assert hops <= 10, "reply chain too deep"
+
+    def test_no_self_knows(self, dataset):
+        for edge in dataset.edges:
+            if edge.label == schema.KNOWS:
+                assert edge.source_id != edge.target_id
+
+    def test_study_at_has_class_year(self, dataset):
+        for edge in dataset.edges:
+            if edge.label == schema.STUDY_AT:
+                year = edge.get_property("classYear").raw()
+                assert schema.CLASS_YEAR_MIN <= year <= schema.CLASS_YEAR_MAX
+
+
+class TestDistributionsInData:
+    def test_first_names_are_zipf_skewed(self, dataset):
+        ranks = sorted(dataset.first_name_ranks.values(), reverse=True)
+        assert ranks[0] >= 4 * ranks[-1]  # strong head/tail asymmetry
+
+    def test_selectivity_classes_ordered(self, dataset):
+        low = dataset.first_name_ranks[dataset.first_name("low")]
+        medium = dataset.first_name_ranks[dataset.first_name("medium")]
+        high = dataset.first_name_ranks[dataset.first_name("high")]
+        assert low > medium > high
+
+    def test_unknown_selectivity_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.first_name("extreme")
+
+    def test_knows_in_degree_is_skewed(self, dataset):
+        in_degree = {}
+        for edge in dataset.edges:
+            if edge.label == schema.KNOWS:
+                in_degree[edge.target_id] = in_degree.get(edge.target_id, 0) + 1
+        degrees = sorted(in_degree.values(), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        assert degrees[0] > 3 * mean  # hubs exist
+
+    def test_scale_factor_scales_linearly(self):
+        small = LDBCGenerator(scale_factor=0.1, seed=5).generate()
+        large = LDBCGenerator(scale_factor=0.4, seed=5).generate()
+        small_persons = small.counts_by_label()[schema.PERSON]
+        large_persons = large.counts_by_label()[schema.PERSON]
+        assert large_persons == pytest.approx(4 * small_persons, rel=0.05)
+        assert len(large.edges) > 2.5 * len(small.edges)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            LDBCGenerator(scale_factor=0)
+
+
+class TestGraphIntegration:
+    def test_generate_graph(self, env):
+        graph = generate_graph(env, scale_factor=0.05, seed=1)
+        assert graph.vertex_count() > 0
+        assert graph.edge_count() > 0
+
+    def test_generate_indexed_graph(self, env):
+        from repro.epgm import IndexedLogicalGraph
+
+        graph = generate_graph(env, scale_factor=0.05, seed=1, indexed=True)
+        assert isinstance(graph, IndexedLogicalGraph)
+        assert schema.PERSON in graph.vertex_labels
+
+    def test_queries_run_on_generated_graph(self, env):
+        graph = generate_graph(env, scale_factor=0.05, seed=1)
+        rows = graph.cypher(
+            "MATCH (p:Person)-[:studyAt]->(u:University) RETURN *"
+        )
+        assert rows.graph_count() > 0
+
+
+class TestDistributionPrimitives:
+    def test_zipf_probabilities_sum_to_one(self):
+        zipf = Zipf(50, exponent=1.2)
+        total = sum(zipf.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_zipf_rank0_most_probable(self):
+        zipf = Zipf(10)
+        assert zipf.probability(0) > zipf.probability(5) > zipf.probability(9)
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Zipf(0)
+
+    def test_power_law_degree_mean(self):
+        rng = make_rng(0, "test")
+        samples = [power_law_degree(rng, average=5.0) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 2.0 < mean < 10.0
+
+    def test_power_law_has_heavy_tail(self):
+        rng = make_rng(0, "tail")
+        samples = [power_law_degree(rng, average=5.0) for _ in range(5000)]
+        assert max(samples) > 20 * (sum(samples) / len(samples))
+
+    def test_power_law_zero_average(self):
+        rng = make_rng(0, "zero")
+        assert power_law_degree(rng, average=0) == 0
+
+    def test_preferential_targets_bias_low_indices(self):
+        rng = make_rng(0, "pref")
+        picks = []
+        for _ in range(300):
+            picks.extend(preferential_targets(rng, 3, 100))
+        low = sum(1 for p in picks if p < 20)
+        assert low > len(picks) * 0.3  # far above the uniform 20%
+
+    def test_preferential_targets_distinct(self):
+        rng = make_rng(0, "distinct")
+        targets = preferential_targets(rng, 10, 50)
+        assert len(targets) == len(set(targets))
+
+    def test_poisson_mean(self):
+        rng = make_rng(0, "poisson")
+        samples = [poisson(rng, 3.0) for _ in range(3000)]
+        assert sum(samples) / len(samples) == pytest.approx(3.0, rel=0.15)
+
+    def test_poisson_zero(self):
+        rng = make_rng(0, "pz")
+        assert poisson(rng, 0) == 0

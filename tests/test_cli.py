@@ -1,0 +1,141 @@
+"""End-to-end tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=cwd,
+    )
+
+
+@pytest.fixture(scope="module")
+def graph_dir(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "sn")
+    result = run_cli("generate", "--scale-factor", "0.05", "--output", path)
+    assert result.returncode == 0, result.stderr
+    return path
+
+
+class TestGenerate:
+    def test_reports_label_counts(self, graph_dir):
+        result = run_cli(
+            "generate", "--scale-factor", "0.05", "--output", graph_dir + "-b"
+        )
+        assert result.returncode == 0
+        assert "Person" in result.stdout
+        assert "knows" in result.stdout
+
+    def test_deterministic_across_runs(self, tmp_path):
+        a = run_cli("generate", "--output", str(tmp_path / "a"), "--seed", "9")
+        b = run_cli("generate", "--output", str(tmp_path / "b"), "--seed", "9")
+        assert a.stdout.splitlines()[1:] == b.stdout.splitlines()[1:]
+
+
+class TestQuery:
+    def test_tabular_output(self, graph_dir):
+        result = run_cli(
+            "query", graph_dir, "MATCH (p:Person) RETURN count(*) AS n"
+        )
+        assert result.returncode == 0
+        lines = result.stdout.strip().splitlines()
+        assert lines[0] == "n"
+        assert lines[1] == "30"
+
+    def test_metrics_on_stderr(self, graph_dir):
+        result = run_cli("query", graph_dir, "MATCH (p:Person) RETURN p.firstName")
+        assert "simulated" in result.stderr
+        assert "row(s)" in result.stderr
+
+    def test_workers_flag(self, graph_dir):
+        result = run_cli(
+            "--workers", "8", "query", graph_dir,
+            "MATCH (p:Person) RETURN count(*) AS n",
+        )
+        assert "8 workers" in result.stderr
+
+    def test_strategy_flags_change_results(self, graph_dir):
+        query = (
+            "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) "
+            "RETURN count(*) AS n"
+        )
+        homo = run_cli("query", graph_dir, query, "--vertex-strategy", "homo")
+        iso = run_cli("query", graph_dir, query, "--vertex-strategy", "iso")
+        homo_count = int(homo.stdout.strip().splitlines()[1])
+        iso_count = int(iso.stdout.strip().splitlines()[1])
+        assert homo_count >= iso_count
+
+    def test_bad_query_fails(self, graph_dir):
+        result = run_cli("query", graph_dir, "MATCH (p:Person")
+        assert result.returncode != 0
+
+
+class TestExplainAndStats:
+    def test_explain_shows_plan(self, graph_dir):
+        result = run_cli(
+            "explain", graph_dir, "MATCH (a:Person)-[:knows]->(b) RETURN *"
+        )
+        assert result.returncode == 0
+        assert "SelectAndProjectEdges" in result.stdout
+        assert "[est=" in result.stdout
+
+    def test_stats(self, graph_dir):
+        result = run_cli("stats", graph_dir)
+        assert result.returncode == 0
+        assert "vertices:" in result.stdout
+        assert ":knows" in result.stdout
+
+
+class TestBench:
+    def test_table3(self):
+        result = run_cli("bench", "--experiment", "table3")
+        assert result.returncode == 0
+        assert "(:Person)" in result.stdout
+
+    def test_unknown_experiment_rejected(self):
+        result = run_cli("bench", "--experiment", "fig99")
+        assert result.returncode != 0
+
+
+class TestShell:
+    def test_shell_executes_queries(self, graph_dir):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "shell", graph_dir],
+            input="MATCH (p:Person) RETURN count(*) AS n\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "30" in result.stdout
+
+    def test_shell_explain_and_error_recovery(self, graph_dir):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "shell", graph_dir],
+            input=(
+                "MATCH (broken\n"
+                ":explain MATCH (p:Person) RETURN *\n"
+                "MATCH (t:Tag) RETURN count(*) AS n\n"
+                ":quit\n"
+            ),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "error:" in result.stdout  # the bad query reported
+        assert "SelectAndProjectVertices" in result.stdout  # explain worked
+        # the shell kept going after the error
+        assert result.stdout.count("row(s)") >= 1
+
+    def test_missing_graph_dir_fails_cleanly(self):
+        result = run_cli("query", "/nonexistent/graph", "MATCH (a) RETURN *")
+        assert result.returncode != 0
+        assert "not a graph directory" in result.stderr

@@ -1,0 +1,45 @@
+"""Package-wide health checks: imports, docstrings, public API."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    for module in pkgutil.walk_packages(repro.__path__, "repro."):
+        if module.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield module.name
+
+
+def test_every_module_imports():
+    for name in _walk_modules():
+        importlib.import_module(name)
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        name
+        for name in _walk_modules()
+        if not (importlib.import_module(name).__doc__ or "").strip()
+    ]
+    assert not undocumented, undocumented
+
+
+def test_all_exports_resolve():
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), "%s.%s" % (name, symbol)
+
+
+def test_top_level_convenience_imports():
+    from repro import (  # noqa: F401
+        CypherRunner,
+        ExecutionEnvironment,
+        LogicalGraph,
+        MatchStrategy,
+    )
+
+    assert repro.__version__
