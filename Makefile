@@ -1,10 +1,24 @@
-.PHONY: install test bench examples reports clean
+.PHONY: install test lint typecheck bench examples reports clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/analysis; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

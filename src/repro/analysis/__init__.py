@@ -1,0 +1,46 @@
+"""Static query analysis: linting and physical-plan verification.
+
+Two independent layers over the Cypher pipeline:
+
+* :func:`lint_query` / :class:`QueryLinter` — static diagnostics on the
+  parsed query (before planning): semantic errors, provably-empty
+  predicates, statistics-informed warnings, plan-shape warnings.
+* :func:`verify_plan` / :class:`PlanVerifier` — structural invariants of
+  a compiled physical operator tree, planner-independent.
+
+The invariant tying them together (property-tested): a query that lints
+without errors plans into a tree that verifies cleanly under every
+planner.
+"""
+
+from .diagnostics import (
+    BLOCKING_CODES,
+    CODES,
+    Diagnostic,
+    QueryLintError,
+    Severity,
+    sort_diagnostics,
+)
+from .linter import QueryLinter, lint_query
+from .verifier import (
+    PlanVerificationError,
+    PlanVerifier,
+    Violation,
+    verify_plan,
+)
+
+
+__all__ = [
+    "BLOCKING_CODES",
+    "CODES",
+    "Diagnostic",
+    "PlanVerificationError",
+    "PlanVerifier",
+    "QueryLintError",
+    "QueryLinter",
+    "Severity",
+    "Violation",
+    "lint_query",
+    "sort_diagnostics",
+    "verify_plan",
+]

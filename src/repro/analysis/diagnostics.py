@@ -1,0 +1,148 @@
+"""Structured diagnostics for the static query analyzer.
+
+Every finding the linter (or verifier) produces is a :class:`Diagnostic`
+with a **stable code** from the registry below, a severity, an optional
+source span and a human-readable message.  Codes are stable API: tools
+may filter or suppress on them, so existing codes never change meaning
+(new ones are appended).
+
+Code ranges:
+
+* ``E1xx`` — semantic errors: the query can never be executed correctly.
+* ``E2xx`` — satisfiability errors: the query executes but is provably
+  empty from its predicates alone.
+* ``W3xx`` — statistics warnings: empty or explosive against *this* data
+  graph (requires :class:`~repro.engine.statistics.GraphStatistics`).
+* ``W4xx`` — plan-shape warnings: legal but expensive or surprising.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cypher.errors import CypherSemanticError
+from repro.cypher.span import Span
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __lt__(self, other):
+        order = {"error": 0, "warning": 1, "info": 2}
+        return order[self.value] < order[other.value]
+
+
+#: code -> (severity, slug, summary). The authoritative registry; see
+#: docs/analysis.md for examples of each.
+CODES = {
+    "E101": (Severity.ERROR, "unbound-variable",
+             "WHERE references a variable not bound in MATCH"),
+    "E102": (Severity.ERROR, "return-unbound-variable",
+             "RETURN/ORDER BY references a variable not bound in MATCH"),
+    "E103": (Severity.ERROR, "variable-kind-conflict",
+             "one variable used for both a vertex and an edge"),
+    "E104": (Severity.ERROR, "edge-variable-reused",
+             "an edge variable bound by more than one relationship"),
+    "E105": (Severity.ERROR, "type-mismatch",
+             "comparison whose operand types can never be compatible"),
+    "E201": (Severity.ERROR, "unsatisfiable-predicate",
+             "conjunction of predicates no value can satisfy"),
+    "E202": (Severity.ERROR, "conflicting-labels",
+             "an element required to carry two different labels at once"),
+    "W301": (Severity.WARNING, "unknown-vertex-label",
+             "vertex label has zero instances in the graph statistics"),
+    "W302": (Severity.WARNING, "unknown-edge-type",
+             "edge type has zero instances in the graph statistics"),
+    "W401": (Severity.WARNING, "cartesian-product",
+             "disconnected pattern components multiply into a cross product"),
+    "W402": (Severity.WARNING, "unbounded-path",
+             "variable-length path without an upper bound is capped"),
+    "W403": (Severity.WARNING, "shadowed-variable",
+             "a RETURN alias shadows a different pattern variable"),
+    "W404": (Severity.WARNING, "unused-variable",
+             "a named pattern variable is never referenced"),
+}
+
+#: Codes the runner refuses to execute: the compiler would reject these
+#: queries anyway.  Satisfiability errors (E1xx binding errors aside) stay
+#: non-blocking — an unsatisfiable query is legal Cypher with an empty
+#: result, and refusing it would change runtime behaviour.
+BLOCKING_CODES = frozenset({"E101", "E102", "E103", "E104"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter/verifier finding, renderable and machine-filterable."""
+
+    code: str
+    message: str
+    severity: Severity = Severity.WARNING
+    variable: Optional[str] = None
+    span: Optional[Span] = None
+
+    @classmethod
+    def of(cls, code, message, variable=None, span=None):
+        """Build a diagnostic, deriving the severity from the registry."""
+        severity, _slug, _summary = CODES[code]
+        return cls(code=code, message=message, severity=severity,
+                   variable=variable, span=span)
+
+    @property
+    def slug(self):
+        return CODES[self.code][1]
+
+    @property
+    def is_error(self):
+        return self.severity is Severity.ERROR
+
+    @property
+    def is_blocking(self):
+        """True when the runner must refuse to execute the query."""
+        return self.code in BLOCKING_CODES
+
+    def format(self, query_text=None):
+        """``error[E101] unbound-variable: ... (line 1, column 7)``."""
+        location = " (%s)" % self.span if self.span is not None else ""
+        line = "%s[%s] %s: %s%s" % (
+            self.severity.value, self.code, self.slug, self.message, location
+        )
+        if query_text is not None and self.span is not None:
+            line += "\n  " + self.span.caret_snippet(query_text).replace(
+                "\n", "\n  "
+            )
+        return line
+
+    def __str__(self):
+        return self.format()
+
+
+class QueryLintError(CypherSemanticError):
+    """Raised by the runner when linting finds error-severity diagnostics.
+
+    Subclasses :class:`~repro.cypher.errors.CypherSemanticError` so callers
+    that handle semantic errors keep working when the linter reports the
+    problem first; ``diagnostics`` carries the structured findings.
+    """
+
+    def __init__(self, diagnostics, query_text=None):
+        diagnostics = list(diagnostics)
+        lines = ["query failed lint with %d error(s):" % sum(
+            1 for d in diagnostics if d.is_error
+        )]
+        lines += ["  " + d.format(query_text) for d in diagnostics]
+        super().__init__("\n".join(lines))
+        self.diagnostics = diagnostics
+
+
+def sort_diagnostics(diagnostics):
+    """Errors first, then by source position, then by code."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.severity,
+            d.span.offset if d.span is not None else 1 << 30,
+            d.code,
+        ),
+    )

@@ -5,6 +5,7 @@
     python -m repro generate --scale-factor 0.1 --output /tmp/sn
     python -m repro query /tmp/sn "MATCH (p:Person) RETURN count(*) AS n"
     python -m repro explain /tmp/sn "MATCH (a:Person)-[:knows]->(b) RETURN *"
+    python -m repro lint "MATCH (a) WHERE a.age > 5 AND a.age < 3 RETURN a"
     python -m repro stats /tmp/sn
     python -m repro bench --experiment fig5
 """
@@ -12,6 +13,7 @@
 import argparse
 import sys
 
+from repro.cypher.errors import CypherSyntaxError
 from repro.dataflow import ClusterCostModel, ExecutionEnvironment
 from repro.engine import CypherRunner, GraphStatistics, MatchStrategy
 from repro.epgm.io import CSVDataSink, CSVDataSource
@@ -87,12 +89,48 @@ def cmd_query(args):
 
 def cmd_explain(args):
     _, graph, statistics = _load(args)
-    runner = CypherRunner(graph, statistics=statistics)
+    runner = CypherRunner(
+        graph, statistics=statistics, verify_plans=args.verify
+    )
     if args.analyze:
         print(runner.explain_analyze(args.cypher))
     else:
         print(runner.explain(args.cypher))
+    for diagnostic in runner.last_diagnostics:
+        print(diagnostic.format(args.cypher), file=sys.stderr)
+    if args.verify:
+        print("-- plan verified: all structural invariants hold",
+              file=sys.stderr)
     return 0
+
+
+def cmd_lint(args):
+    from repro.analysis import lint_query
+
+    statistics = None
+    if args.graph is not None:
+        import os
+
+        if not os.path.isdir(args.graph):
+            raise SystemExit("error: %r is not a graph directory" % args.graph)
+        statistics = CSVDataSource(args.graph).get_statistics()
+        if statistics is None:
+            raise SystemExit(
+                "error: %r has no statistics; re-export the graph" % args.graph
+            )
+    try:
+        diagnostics = lint_query(args.cypher, statistics=statistics)
+    except CypherSyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    for diagnostic in diagnostics:
+        print(diagnostic.format(args.cypher))
+    errors = sum(1 for d in diagnostics if d.is_error)
+    warnings = len(diagnostics) - errors
+    print(
+        "-- %d error(s), %d warning(s)" % (errors, warnings), file=sys.stderr
+    )
+    return 1 if errors else 0
 
 
 def cmd_stats(args):
@@ -121,7 +159,8 @@ def cmd_shell(args):
     runner = CypherRunner(graph, statistics=statistics)
     print(
         "repro shell — %d vertices, %d edges; Cypher queries, "
-        "':explain <q>', ':quit'" % (graph.vertex_count(), graph.edge_count())
+        "':explain <q>', ':lint <q>', ':quit'"
+        % (graph.vertex_count(), graph.edge_count())
     )
     while True:
         try:
@@ -135,6 +174,14 @@ def cmd_shell(args):
         try:
             if line.startswith(":explain "):
                 print(runner.explain(line[len(":explain "):]))
+                continue
+            if line.startswith(":lint "):
+                text = line[len(":lint "):]
+                diagnostics = runner.lint(text)
+                for diagnostic in diagnostics:
+                    print(diagnostic.format(text))
+                if not diagnostics:
+                    print("-- no findings")
                 continue
             environment.reset_metrics("shell")
             rows = runner.execute_table(line)
@@ -241,7 +288,23 @@ def build_parser():
         action="store_true",
         help="execute the plan and show actual row counts",
     )
+    explain.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the plan against the structural invariants",
+    )
     explain.set_defaults(handler=cmd_explain)
+
+    lint = commands.add_parser(
+        "lint", help="static query diagnostics without executing"
+    )
+    lint.add_argument("cypher", help="the query text")
+    lint.add_argument(
+        "--graph",
+        help="graph directory; enables statistics-based warnings "
+        "(unknown labels and edge types)",
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     stats = commands.add_parser("stats", help="show graph statistics")
     stats.add_argument("graph")

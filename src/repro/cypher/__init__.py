@@ -33,6 +33,7 @@ from .predicates import (
     to_cnf,
 )
 from .query_graph import DEFAULT_UPPER_BOUND, QueryEdge, QueryHandler, QueryVertex
+from .span import Span, span_at
 
 __all__ = [
     "And",
@@ -59,6 +60,7 @@ __all__ = [
     "RelationshipPattern",
     "ReturnClause",
     "ReturnItem",
+    "Span",
     "VariableRef",
     "Xor",
     "evaluate_cnf",
@@ -69,5 +71,6 @@ __all__ = [
     "find_parameters",
     "parse",
     "render_query",
+    "span_at",
     "to_cnf",
 ]

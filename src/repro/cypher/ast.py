@@ -4,6 +4,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .span import Span
+
+#: Source-span field shared by AST nodes: excluded from equality/repr so
+#: structurally identical nodes from different positions still compare equal.
+def _span_field():
+    return field(default=None, compare=False, repr=False)
+
 
 def _render_property_map(entries):
     if not entries:
@@ -27,6 +34,7 @@ class Direction(enum.Enum):
 @dataclass(frozen=True)
 class Literal:
     value: object  # None | bool | int | float | str | list
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return _render_literal(self.value)
@@ -49,6 +57,7 @@ class Parameter:
     """A ``$name`` placeholder resolved at execution time."""
 
     name: str
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return "$%s" % self.name
@@ -59,6 +68,7 @@ class VariableRef:
     """A bare pattern variable in an expression position."""
 
     name: str
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return self.name
@@ -68,6 +78,7 @@ class VariableRef:
 class PropertyAccess:
     variable: str
     key: str
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return "%s.%s" % (self.variable, self.key)
@@ -83,6 +94,7 @@ class LabelRef:
     """
 
     variable: str
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return "label(%s)" % self.variable
@@ -97,6 +109,7 @@ class FunctionCall:
 
     name: str
     argument: object = None
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         return "%s(%s)" % (self.name, self.argument if self.argument else "*")
@@ -109,6 +122,7 @@ class Comparison:
     operator: str
     left: object
     right: object
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         if self.operator in ("IS NULL", "IS NOT NULL"):
@@ -161,6 +175,7 @@ class NodePattern:
     variable: Optional[str] = None
     labels: List[str] = field(default_factory=list)
     properties: List[Tuple[str, object]] = field(default_factory=list)
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         label = ":" + "|".join(self.labels) if self.labels else ""
@@ -183,6 +198,7 @@ class RelationshipPattern:
     lower: Optional[int] = None
     upper: Optional[int] = None
     properties: List[Tuple[str, object]] = field(default_factory=list)
+    span: Optional[Span] = _span_field()
 
     @property
     def is_variable_length(self):
@@ -227,6 +243,7 @@ class PathPattern:
 class ReturnItem:
     expression: object
     alias: Optional[str] = None
+    span: Optional[Span] = _span_field()
 
     def __str__(self):
         if self.alias:

@@ -1,6 +1,7 @@
 """Tokenizer for the supported Cypher subset."""
 
 from .errors import CypherSyntaxError
+from .span import Span
 
 KEYWORDS = {
     "MATCH",
@@ -35,41 +36,83 @@ _SYMBOLS = ["<=", ">=", "<>", "..", "(", ")", "[", "]", "{", "}", ":", ",",
 
 
 class Token:
-    """A lexical token with its source offset for error reporting."""
+    """A lexical token with its source span for error reporting."""
 
-    __slots__ = ("kind", "text", "value", "position")
+    __slots__ = ("kind", "text", "value", "position", "span")
 
-    def __init__(self, kind, text, value=None, position=0):
+    def __init__(self, kind, text, value=None, position=0, span=None):
         self.kind = kind  # 'keyword' | 'ident' | 'int' | 'float' | 'string' | 'symbol' | 'eof'
         self.text = text
         self.value = value
         self.position = position
+        self.span = span if span is not None else Span(position, 1, position + 1)
+
+    @property
+    def line(self):
+        return self.span.line
+
+    @property
+    def column(self):
+        return self.span.column
 
     def __repr__(self):
         return "Token(%s, %r)" % (self.kind, self.text)
 
 
 def tokenize(query):
-    """Turn ``query`` into a list of tokens ending with an EOF token."""
+    """Turn ``query`` into a list of tokens ending with an EOF token.
+
+    Tokens carry a :class:`~repro.cypher.span.Span` with the 1-based
+    line/column computed during the scan, so later stages can point at
+    the query text without rescanning it.
+    """
     tokens = []
     i = 0
     length = len(query)
+    line = 1
+    line_start = 0
+
+    def span_here(start, token_length):
+        return Span(start, line, start - line_start + 1, token_length)
+
+    def advance_lines(start, stop):
+        """Update the line bookkeeping for consumed text [start, stop)."""
+        nonlocal line, line_start
+        newline = query.find("\n", start, stop)
+        while newline >= 0:
+            line += 1
+            line_start = newline + 1
+            newline = query.find("\n", newline + 1, stop)
+
     while i < length:
         char = query[i]
         if char.isspace():
+            if char == "\n":
+                line += 1
+                line_start = i + 1
             i += 1
             continue
         if char == "/" and query.startswith("//", i):
             newline = query.find("\n", i)
-            i = length if newline < 0 else newline + 1
+            if newline < 0:
+                i = length
+            else:
+                line += 1
+                line_start = newline + 1
+                i = newline + 1
             continue
         if char in "'\"":
             text, consumed = _read_string(query, i)
-            tokens.append(Token("string", query[i : i + consumed], text, i))
+            tokens.append(
+                Token("string", query[i : i + consumed], text, i,
+                      span_here(i, consumed))
+            )
+            advance_lines(i, i + consumed)
             i += consumed
             continue
         if char.isdigit():
             token, consumed = _read_number(query, i)
+            token.span = span_here(i, consumed)
             tokens.append(token)
             i += consumed
             continue
@@ -79,16 +122,24 @@ def tokenize(query):
                 j += 1
             word = query[i:j]
             if word.upper() in KEYWORDS:
-                tokens.append(Token("keyword", word.upper(), position=i))
+                tokens.append(
+                    Token("keyword", word.upper(), position=i,
+                          span=span_here(i, j - i))
+                )
             else:
-                tokens.append(Token("ident", word, position=i))
+                tokens.append(
+                    Token("ident", word, position=i, span=span_here(i, j - i))
+                )
             i = j
             continue
         if char == "`":
             end = query.find("`", i + 1)
             if end < 0:
                 raise CypherSyntaxError("unterminated backtick identifier", i)
-            tokens.append(Token("ident", query[i + 1 : end], position=i))
+            tokens.append(
+                Token("ident", query[i + 1 : end], position=i,
+                      span=span_here(i, end + 1 - i))
+            )
             i = end + 1
             continue
         if char == "$":
@@ -97,16 +148,21 @@ def tokenize(query):
                 j += 1
             if j == i + 1:
                 raise CypherSyntaxError("expected parameter name after '$'", i)
-            tokens.append(Token("param", query[i + 1 : j], position=i))
+            tokens.append(
+                Token("param", query[i + 1 : j], position=i,
+                      span=span_here(i, j - i))
+            )
             i = j
             continue
         symbol = _match_symbol(query, i)
         if symbol is not None:
-            tokens.append(Token("symbol", symbol, position=i))
+            tokens.append(
+                Token("symbol", symbol, position=i, span=span_here(i, len(symbol)))
+            )
             i += len(symbol)
             continue
         raise CypherSyntaxError("unexpected character %r" % char, i)
-    tokens.append(Token("eof", "", position=length))
+    tokens.append(Token("eof", "", position=length, span=span_here(length, 0)))
     return tokens
 
 

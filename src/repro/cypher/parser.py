@@ -103,9 +103,11 @@ class _Parser:
         return path
 
     def _parse_node(self):
-        self._expect("symbol", "(")
+        open_token = self._expect("symbol", "(")
         node = NodePattern()
+        node.span = open_token.span
         if self._check("ident"):
+            node.span = self._current.span
             node.variable = self._advance().text
         if self._accept("symbol", ":"):
             node.labels = self._parse_label_alternation()
@@ -121,13 +123,16 @@ class _Parser:
         return labels
 
     def _parse_relationship(self):
+        start_span = self._current.span
         incoming = False
         if self._accept("symbol", "<"):
             incoming = True
         self._expect("symbol", "-")
         rel = RelationshipPattern()
+        rel.span = start_span
         if self._accept("symbol", "["):
             if self._check("ident"):
+                rel.span = self._current.span
                 rel.variable = self._advance().text
             if self._accept("symbol", ":"):
                 rel.types = self._parse_label_alternation()
@@ -207,27 +212,30 @@ class _Parser:
     def _parse_comparison(self):
         left = self._parse_primary()
         token = self._current
+        span = token.span
         if token.kind == "symbol" and token.text in _COMPARISON_OPS:
             operator = self._advance().text
-            return Comparison(operator, left, self._parse_primary())
+            return Comparison(operator, left, self._parse_primary(), span=span)
         if self._accept("keyword", "IN"):
             if self._check("param"):
-                return Comparison("IN", left, Parameter(self._advance().text))
-            return Comparison("IN", left, self._parse_list_literal())
+                return Comparison(
+                    "IN", left, Parameter(self._advance().text), span=span
+                )
+            return Comparison("IN", left, self._parse_list_literal(), span=span)
         if self._accept("keyword", "STARTS"):
             self._expect("keyword", "WITH")
-            return Comparison("STARTS WITH", left, self._parse_primary())
+            return Comparison("STARTS WITH", left, self._parse_primary(), span=span)
         if self._accept("keyword", "ENDS"):
             self._expect("keyword", "WITH")
-            return Comparison("ENDS WITH", left, self._parse_primary())
+            return Comparison("ENDS WITH", left, self._parse_primary(), span=span)
         if self._accept("keyword", "CONTAINS"):
-            return Comparison("CONTAINS", left, self._parse_primary())
+            return Comparison("CONTAINS", left, self._parse_primary(), span=span)
         if self._accept("keyword", "IS"):
             if self._accept("keyword", "NOT"):
                 self._expect("keyword", "NULL")
-                return Comparison("IS NOT NULL", left, Literal(None))
+                return Comparison("IS NOT NULL", left, Literal(None), span=span)
             self._expect("keyword", "NULL")
-            return Comparison("IS NULL", left, Literal(None))
+            return Comparison("IS NULL", left, Literal(None), span=span)
         return left
 
     def _parse_primary(self):
@@ -236,18 +244,20 @@ class _Parser:
             self._expect("symbol", ")")
             return inner
         if self._check("ident"):
+            span = self._current.span
             name = self._advance().text
             if self._check("symbol", "(") and name.lower() in _AGGREGATES:
-                return self._parse_function_call(name.lower())
+                return self._parse_function_call(name.lower(), span)
             if self._accept("symbol", "."):
                 key = self._expect("ident").text
-                return PropertyAccess(name, key)
-            return VariableRef(name)
+                return PropertyAccess(name, key, span=span)
+            return VariableRef(name, span=span)
         if self._check("param"):
-            return Parameter(self._advance().text)
+            span = self._current.span
+            return Parameter(self._advance().text, span=span)
         return self._parse_literal()
 
-    def _parse_function_call(self, name):
+    def _parse_function_call(self, name, span=None):
         self._expect("symbol", "(")
         if self._accept("symbol", "*"):
             if name != "count":
@@ -255,30 +265,32 @@ class _Parser:
                     "only count(*) may take a star argument", self._current.position
                 )
             self._expect("symbol", ")")
-            return FunctionCall(name, None)
+            return FunctionCall(name, None, span=span)
         argument = self._parse_primary()
         self._expect("symbol", ")")
-        return FunctionCall(name, argument)
+        return FunctionCall(name, argument, span=span)
 
     def _parse_literal(self):
         if self._check("param"):
-            return Parameter(self._advance().text)
+            span = self._current.span
+            return Parameter(self._advance().text, span=span)
+        span = self._current.span
         if self._accept("symbol", "-"):
             token = self._current
             if token.kind not in ("int", "float"):
                 raise CypherSyntaxError("expected number after '-'", token.position)
             self._advance()
-            return Literal(-token.value)
+            return Literal(-token.value, span=span)
         token = self._current
         if token.kind in ("int", "float", "string"):
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if self._accept("keyword", "TRUE"):
-            return Literal(True)
+            return Literal(True, span=span)
         if self._accept("keyword", "FALSE"):
-            return Literal(False)
+            return Literal(False, span=span)
         if self._accept("keyword", "NULL"):
-            return Literal(None)
+            return Literal(None, span=span)
         if self._check("symbol", "["):
             return self._parse_list_literal()
         raise CypherSyntaxError(
@@ -287,6 +299,7 @@ class _Parser:
         )
 
     def _parse_list_literal(self):
+        span = self._current.span
         self._expect("symbol", "[")
         values = []
         if not self._check("symbol", "]"):
@@ -303,7 +316,7 @@ class _Parser:
                 if not self._accept("symbol", ","):
                     break
         self._expect("symbol", "]")
-        return Literal(values)
+        return Literal(values, span=span)
 
     # RETURN --------------------------------------------------------------------------
 
@@ -315,11 +328,12 @@ class _Parser:
             clause.star = True
         else:
             while True:
+                item_span = self._current.span
                 expression = self._parse_primary()
                 alias = None
                 if self._accept("keyword", "AS"):
                     alias = self._expect("ident").text
-                clause.items.append(ReturnItem(expression, alias))
+                clause.items.append(ReturnItem(expression, alias, span=item_span))
                 if not self._accept("symbol", ","):
                     break
         if self._accept("keyword", "ORDER"):

@@ -4,7 +4,7 @@
 makes the renderer safe for logging, EXPLAIN headers and query rewriting.
 """
 
-from .ast import FunctionCall, Query
+from .ast import Query
 
 
 def render_query(query):

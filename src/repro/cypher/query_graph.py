@@ -13,6 +13,7 @@ from .ast import Direction, FunctionCall, PropertyAccess, Query, VariableRef
 from .errors import CypherSemanticError
 from .parser import parse
 from .predicates import CNF, label_predicate, property_map_predicate, to_cnf
+from .span import Span
 
 #: Cap applied to variable-length paths declared without an upper bound
 #: (``*`` or ``*2..``); Flink's bulk iteration needs a superstep limit.
@@ -26,6 +27,7 @@ class QueryVertex:
     variable: str
     labels: List[str] = field(default_factory=list)
     predicates: CNF = field(default_factory=CNF.true)
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def has_label_predicate(self):
@@ -52,6 +54,7 @@ class QueryEdge:
     lower: Optional[int] = None
     upper: Optional[int] = None
     undirected: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def is_variable_length(self):
@@ -123,11 +126,13 @@ class QueryHandler:
         variable = node.variable or self._fresh_variable("v")
         if variable in self.edges:
             raise CypherSemanticError(
-                "variable %r used for both a vertex and an edge" % variable
+                "used for both a vertex and an edge",
+                variable=variable,
+                span=node.span,
             )
         existing = self.vertices.get(variable)
         if existing is None:
-            existing = QueryVertex(variable)
+            existing = QueryVertex(variable, span=node.span)
             self.vertices[variable] = existing
         if node.labels:
             if not existing.labels:
@@ -146,11 +151,15 @@ class QueryHandler:
         variable = rel.variable or self._fresh_variable("e")
         if variable in self.edges:
             raise CypherSemanticError(
-                "edge variable %r bound more than once" % variable
+                "edge variable bound more than once",
+                variable=variable,
+                span=rel.span,
             )
         if variable in self.vertices:
             raise CypherSemanticError(
-                "variable %r used for both a vertex and an edge" % variable
+                "used for both a vertex and an edge",
+                variable=variable,
+                span=rel.span,
             )
         if rel.direction is Direction.INCOMING:
             source, target = right_var, left_var
@@ -162,6 +171,7 @@ class QueryHandler:
             target=target,
             types=list(rel.types),
             undirected=rel.direction is Direction.UNDIRECTED,
+            span=rel.span,
         )
         if rel.is_variable_length:
             edge.lower = rel.lower
@@ -180,8 +190,11 @@ class QueryHandler:
         where_cnf = to_cnf(self.ast.where)
         unknown = where_cnf.variables() - set(self.vertices) - set(self.edges)
         if unknown:
+            first = sorted(unknown)[0]
             raise CypherSemanticError(
-                "WHERE references unbound variables: %s" % ", ".join(sorted(unknown))
+                "WHERE references unbound variables: %s" % ", ".join(sorted(unknown)),
+                variable=first,
+                span=_variable_span(where_cnf, first),
             )
         remaining = []
         for clause in where_cnf.clauses:
@@ -221,7 +234,9 @@ class QueryHandler:
                 continue
             if variable not in known:
                 raise CypherSemanticError(
-                    "RETURN references unbound variable %r" % variable
+                    "RETURN references unbound variable",
+                    variable=variable,
+                    span=getattr(expression, "span", None),
                 )
 
     # Introspection -----------------------------------------------------------------
@@ -267,3 +282,17 @@ class QueryHandler:
             len(self.vertices),
             len(self.edges),
         )
+
+
+def _variable_span(cnf, variable):
+    """The span of the first predicate atom mentioning ``variable``."""
+    for clause in cnf.clauses:
+        for atom in clause.atoms:
+            for side in (atom.comparison.left, atom.comparison.right):
+                if getattr(side, "variable", None) == variable or getattr(
+                    side, "name", None
+                ) == variable:
+                    return getattr(side, "span", None) or getattr(
+                        atom.comparison, "span", None
+                    )
+    return None

@@ -1,0 +1,52 @@
+"""Source spans: where a token or AST node sits in the query text.
+
+Every token records its offset plus the 1-based line/column the lexer
+computed while scanning; the parser threads those spans onto the AST
+nodes it builds.  Diagnostics (``repro.analysis``) and semantic errors
+use them to point at the offending query text instead of describing it.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A position (and optional extent) in the original query string."""
+
+    offset: int
+    line: int
+    column: int
+    length: int = 0
+
+    def __str__(self):
+        return "line %d, column %d" % (self.line, self.column)
+
+    def caret_snippet(self, query_text):
+        """The offending source line with a ``^`` caret underneath."""
+        lines = query_text.splitlines() or [""]
+        index = min(self.line, len(lines)) - 1
+        source_line = lines[index]
+        caret = " " * (self.column - 1) + "^" * max(self.length, 1)
+        return "%s\n%s" % (source_line, caret)
+
+
+def span_at(query_text, offset, length=0):
+    """Compute the :class:`Span` of ``offset`` within ``query_text``."""
+    prefix = query_text[:offset]
+    line = prefix.count("\n") + 1
+    last_newline = prefix.rfind("\n")
+    column = offset - last_newline  # works for -1 too: offset + 1
+    return Span(offset=offset, line=line, column=column, length=length)
+
+
+def format_at(message, span):
+    """``message`` suffixed with the span position, if one is known."""
+    if span is None:
+        return message
+    return "%s (%s)" % (message, span)
+
+
+def _span_of(node) -> Optional[Span]:
+    """The span recorded on an AST node, or None."""
+    return getattr(node, "span", None)

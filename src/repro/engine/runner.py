@@ -8,10 +8,12 @@ dataflow substrate, and turns the resulting embeddings into the
 result graph heads so arbitrary post-processing remains possible (§2.3).
 """
 
+from repro.analysis.diagnostics import QueryLintError
+from repro.analysis.linter import lint_query
 from repro.cypher.ast import FunctionCall, PropertyAccess, VariableRef
 from repro.cypher.errors import CypherSemanticError
 from repro.cypher.query_graph import QueryHandler
-from repro.epgm import GradoopId, GraphCollection, GraphHead, PropertyValue
+from repro.epgm import GraphCollection, GraphHead, PropertyValue
 
 from .embedding import EmbeddingBindings
 from .morphism import DEFAULT_EDGE_STRATEGY, DEFAULT_VERTEX_STRATEGY
@@ -29,12 +31,18 @@ class CypherRunner:
         edge_strategy=None,
         statistics=None,
         planner_cls=GreedyPlanner,
+        lint=True,
+        verify_plans=False,
     ):
         self.graph = graph
         self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
         self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
         self._statistics = statistics
         self.planner_cls = planner_cls
+        self.lint_enabled = lint
+        self.verify_plans = verify_plans
+        #: warnings from the most recent compile (errors raise instead)
+        self.last_diagnostics = []
         self._plan_cache = {}
 
     @property
@@ -45,12 +53,28 @@ class CypherRunner:
 
     # Compilation -------------------------------------------------------------
 
+    def lint(self, query):
+        """Static diagnostics for ``query`` against this graph's statistics.
+
+        Returns the sorted :class:`~repro.analysis.Diagnostic` list without
+        raising; callers decide how to treat errors.
+        """
+        return lint_query(query, statistics=self.statistics)
+
     def compile(self, query, parameters=None):
         """``(QueryHandler, root physical operator)`` for ``query``.
 
+        With ``lint=True`` (the default) the query is linted first:
+        blocking diagnostics (binding errors the compiler would reject
+        anyway) raise :class:`QueryLintError` before any planning happens;
+        everything else — including unsatisfiable-but-legal predicates — is
+        kept on ``last_diagnostics``.  With ``verify_plans=True`` the
+        planned operator tree must additionally pass the structural
+        :func:`~repro.analysis.verify_plan` checks.
+
         Compiled plans are cached per (query text, parameter values): the
         data graph is immutable, so re-running the same query skips
-        parsing and planning.
+        parsing, linting and planning.
         """
         cache_key = None
         if isinstance(query, str):
@@ -58,7 +82,14 @@ class CypherRunner:
             cache_key = (query, repr(sorted((parameters or {}).items())))
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
-                return cached
+                handler, root, self.last_diagnostics = cached
+                return handler, root
+        diagnostics = []
+        if self.lint_enabled and isinstance(query, str):
+            diagnostics = self.lint(query)
+            if any(diagnostic.is_blocking for diagnostic in diagnostics):
+                raise QueryLintError(diagnostics, query_text=query)
+        self.last_diagnostics = diagnostics
         if isinstance(query, QueryHandler):
             handler = query
         else:
@@ -70,10 +101,21 @@ class CypherRunner:
             vertex_strategy=self.vertex_strategy,
             edge_strategy=self.edge_strategy,
         )
-        compiled = (handler, planner.plan())
+        root = planner.plan()
+        if self.verify_plans:
+            # imported lazily: the verifier imports the operator modules,
+            # which are mid-initialization when this module first loads
+            from repro.analysis.verifier import verify_plan
+
+            verify_plan(
+                root,
+                handler=handler,
+                vertex_strategy=self.vertex_strategy,
+                edge_strategy=self.edge_strategy,
+            )
         if cache_key is not None:
-            self._plan_cache[cache_key] = compiled
-        return compiled
+            self._plan_cache[cache_key] = (handler, root, diagnostics)
+        return handler, root
 
     def explain(self, query, parameters=None):
         """EXPLAIN output: the physical plan with cardinality estimates."""
@@ -220,7 +262,8 @@ class CypherRunner:
                 if column_names is not None and name not in column_names:
                     raise CypherSemanticError(
                         "ORDER BY expression %r is not among the returned columns"
-                        % name
+                        % name,
+                        span=getattr(order.expression, "span", None),
                     )
                 value = row[name] if rows else None
                 # None sorts last regardless of direction

@@ -5,8 +5,8 @@ operators — including the Cypher pattern-matching operator this project
 reproduces — consume and produce logical graphs or graph collections.
 """
 
-from .elements import Edge, GraphHead, Vertex
-from .identifiers import GradoopId, GradoopIdFactory
+from .elements import GraphHead
+from .identifiers import GradoopIdFactory
 
 
 class LogicalGraph:

@@ -1,0 +1,52 @@
+"""Acceptance: the six paper queries verify under every planner.
+
+This is the analyzer's end-to-end contract on realistic input — LDBC
+Q1–Q6 lint without errors and their physical plans satisfy every
+structural invariant for the greedy, exhaustive and naive-order planner.
+"""
+
+import pytest
+
+from repro.analysis import lint_query, verify_plan
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner
+from repro.engine.planning import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    LeftDeepPlanner,
+)
+from repro.harness.queries import ALL_QUERIES, instantiate
+from repro.ldbc import LDBCGenerator
+
+PLANNERS = [GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner]
+
+
+@pytest.fixture(scope="module")
+def ldbc():
+    dataset = LDBCGenerator(scale_factor=0.03, seed=11).generate()
+    graph = dataset.to_logical_graph(ExecutionEnvironment())
+    return dataset, graph
+
+
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_query_lints_without_errors(ldbc, name):
+    dataset, graph = ldbc
+    query = instantiate(ALL_QUERIES[name], dataset.first_name("medium"))
+    statistics = CypherRunner(graph).statistics
+    diagnostics = lint_query(query, statistics=statistics)
+    assert not any(d.is_error for d in diagnostics), diagnostics
+
+
+@pytest.mark.parametrize("planner_cls", PLANNERS)
+@pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+def test_plan_verifies_under_every_planner(ldbc, name, planner_cls):
+    dataset, graph = ldbc
+    query = instantiate(ALL_QUERIES[name], dataset.first_name("medium"))
+    runner = CypherRunner(graph, planner_cls=planner_cls)
+    handler, root = runner.compile(query)
+    assert verify_plan(
+        root,
+        handler=handler,
+        vertex_strategy=runner.vertex_strategy,
+        edge_strategy=runner.edge_strategy,
+    )

@@ -1,0 +1,103 @@
+"""Property test tying the two analyzer layers together.
+
+The analyzer's central contract: any query the linter passes without
+errors compiles — under the greedy, exhaustive *and* naive-order
+planner — into a physical plan the verifier accepts.  Hypothesis
+generates small patterns with labels, direction changes, shared
+variables, predicates and variable-length paths to probe that claim.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lint_query, verify_plan
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner
+from repro.engine.planning import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    LeftDeepPlanner,
+)
+from repro.epgm import LogicalGraph
+from tests.conftest import build_figure1_elements
+
+PLANNERS = [GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner]
+
+_VARS = ["a", "b", "c", "d"]
+_VERTEX_LABELS = [None, "Person", "University", "City", "Person|City"]
+_EDGE_LABELS = [None, "knows", "studyAt", "isLocatedIn"]
+_PREDICATES = [
+    None,
+    "{v}.name = 'Alice'",
+    "{v}.name < 'M'",
+    "{v}.yob > 1980",
+    "{v}.gender = 'female'",
+]
+
+
+def _fresh_graph():
+    head, vertices, edges = build_figure1_elements()
+    return LogicalGraph.from_collections(
+        ExecutionEnvironment(), vertices, edges, graph_head=head
+    )
+
+
+@st.composite
+def cypher_queries(draw):
+    edge_count = draw(st.integers(1, 3))
+    used = [draw(st.sampled_from(_VARS))]
+    parts = []
+    for index in range(edge_count):
+        source = draw(st.sampled_from(used))
+        target = draw(st.sampled_from(_VARS))
+        if target not in used:
+            used.append(target)
+        source_label = draw(st.sampled_from(_VERTEX_LABELS))
+        target_label = draw(st.sampled_from(_VERTEX_LABELS))
+        edge_label = draw(st.sampled_from(_EDGE_LABELS))
+        edge_body = "e%d" % index
+        if edge_label:
+            edge_body += ":" + edge_label
+        if draw(st.booleans()) and edge_label:  # occasional bounded path
+            edge_body += "*%d..2" % draw(st.integers(0, 1))
+        arrow = draw(st.sampled_from(["-[{e}]->", "<-[{e}]-"]))
+        left = source if not source_label else "%s:%s" % (source, source_label)
+        right = target if not target_label else "%s:%s" % (target, target_label)
+        parts.append(
+            "(%s)%s(%s)" % (left, arrow.format(e=edge_body), right)
+        )
+    where = []
+    for variable in used:
+        template = draw(st.sampled_from(_PREDICATES))
+        if template:
+            where.append(template.format(v=variable))
+    query = "MATCH " + ", ".join(parts)
+    if where:
+        query += " WHERE " + " AND ".join(where)
+    query += " RETURN *"
+    return query
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(query=cypher_queries())
+def test_lint_clean_implies_plan_verifies(query):
+    graph = _fresh_graph()
+    diagnostics = lint_query(query)
+    assert not any(d.is_blocking for d in diagnostics), (
+        "generator produced an ill-formed query: %s" % query
+    )
+    for planner_cls in PLANNERS:
+        runner = CypherRunner(graph, planner_cls=planner_cls)
+        handler, root = runner.compile(query)
+        assert verify_plan(
+            root,
+            handler=handler,
+            vertex_strategy=runner.vertex_strategy,
+            edge_strategy=runner.edge_strategy,
+        ), "planner %s produced an invalid plan for %s" % (
+            planner_cls.__name__, query,
+        )

@@ -1,0 +1,178 @@
+"""The plan verifier: clean plans pass, corrupted plans are caught.
+
+Real planner output must always verify (tested across all three
+planners); each structural rule is then exercised by deliberately
+corrupting a compiled plan in place.
+"""
+
+import pytest
+
+from repro.analysis import PlanVerificationError, PlanVerifier, verify_plan
+from repro.cypher.predicates import to_cnf
+from repro.cypher.parser import parse
+from repro.engine import CypherRunner, MatchStrategy
+from repro.engine.operators.filter_project import SelectEmbeddings
+from repro.engine.operators.join import JoinEmbeddings
+from repro.engine.planning import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    LeftDeepPlanner,
+)
+
+PLANNERS = [GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner]
+
+QUERIES = [
+    "MATCH (p:Person) RETURN p",
+    "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a, b, e",
+    "MATCH (a:Person)-[:knows]->(b)-[:knows]->(c) RETURN a, b, c",
+    "MATCH (p:Person)-[s:studyAt]->(u:University) WHERE s.classYear > 2014 "
+    "RETURN p.name, u.name",
+    "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a, b, e",
+    "MATCH (a)-[:knows]->(b), (a)-[:studyAt]->(u) RETURN a, b, u",
+]
+
+
+def compile_plan(graph, query, planner_cls=GreedyPlanner):
+    runner = CypherRunner(graph, planner_cls=planner_cls)
+    handler, root = runner.compile(query)
+    return runner, handler, root
+
+
+def find_operator(root, operator_type):
+    if isinstance(root, operator_type):
+        return root
+    for child in root.children:
+        found = find_operator(child, operator_type)
+        if found is not None:
+            return found
+    return None
+
+
+@pytest.mark.parametrize("planner_cls", PLANNERS)
+@pytest.mark.parametrize("query", QUERIES)
+def test_planner_output_verifies(figure1_graph, planner_cls, query):
+    runner, handler, root = compile_plan(figure1_graph, query, planner_cls)
+    assert verify_plan(
+        root,
+        handler=handler,
+        vertex_strategy=runner.vertex_strategy,
+        edge_strategy=runner.edge_strategy,
+    )
+
+
+class TestCorruptedPlans:
+    def violations_of(self, root, handler=None):
+        return {v.rule for v in PlanVerifier(handler=handler).verify(root)}
+
+    def test_missing_meta(self, figure1_graph):
+        _, _, root = compile_plan(figure1_graph, "MATCH (p:Person) RETURN p")
+        root.meta = None
+        assert "meta-missing" in self.violations_of(root)
+
+    def test_missing_cardinality(self, figure1_graph):
+        _, _, root = compile_plan(figure1_graph, "MATCH (p:Person) RETURN p")
+        root.estimated_cardinality = None
+        assert "cardinality-missing" in self.violations_of(root)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("inf"), float("nan")])
+    def test_invalid_cardinality(self, figure1_graph, bad):
+        _, _, root = compile_plan(figure1_graph, "MATCH (p:Person) RETURN p")
+        root.estimated_cardinality = bad
+        assert "cardinality-invalid" in self.violations_of(root)
+
+    # a cross-variable predicate cannot be pushed to a leaf, so it keeps a
+    # SelectEmbeddings operator in the plan for us to corrupt
+    CROSS_PREDICATE_QUERY = (
+        "MATCH (a:Person)-[:knows]->(b:Person) WHERE a.name < b.name "
+        "RETURN a, b"
+    )
+
+    def test_select_referencing_unbound_variable(self, figure1_graph):
+        _, _, root = compile_plan(figure1_graph, self.CROSS_PREDICATE_QUERY)
+        select = find_operator(root, SelectEmbeddings)
+        assert select is not None
+        select.cnf = to_cnf(parse(
+            "MATCH (p) WHERE ghost.name < b.name RETURN p"
+        ).where)
+        assert "select-unbound" in self.violations_of(root)
+
+    def test_select_reading_unprojected_property(self, figure1_graph):
+        _, _, root = compile_plan(figure1_graph, self.CROSS_PREDICATE_QUERY)
+        select = find_operator(root, SelectEmbeddings)
+        assert select is not None
+        select.cnf = to_cnf(parse(
+            "MATCH (p) WHERE a.unprojected < b.name RETURN p"
+        ).where)
+        assert "select-property-missing" in self.violations_of(root)
+
+    def test_join_variable_not_bound_by_child(self, figure1_graph):
+        _, _, root = compile_plan(
+            figure1_graph,
+            "MATCH (a:Person)-[:knows]->(b)-[:knows]->(c) RETURN a, b, c",
+        )
+        join = find_operator(root, JoinEmbeddings)
+        assert join is not None
+        join.join_variables = join.join_variables + ["phantom"]
+        assert "join-column-missing" in self.violations_of(root)
+
+    def test_overlapping_inputs_without_join_variable(self, figure1_graph):
+        _, _, root = compile_plan(
+            figure1_graph,
+            "MATCH (a:Person)-[:knows]->(b)-[:knows]->(c) RETURN a, b, c",
+        )
+        join = find_operator(root, JoinEmbeddings)
+        assert join is not None
+        join.join_variables = []
+        assert "binding-duplicated" in self.violations_of(root)
+
+    def test_morphism_inconsistency(self, figure1_graph):
+        _, _, root = compile_plan(
+            figure1_graph,
+            "MATCH (a:Person)-[:knows]->(b)-[:knows]->(c) RETURN a, b, c",
+        )
+        join = find_operator(root, JoinEmbeddings)
+        assert join is not None
+        join.vertex_strategy = MatchStrategy.ISOMORPHISM
+        join.edge_strategy = MatchStrategy.HOMOMORPHISM
+        assert "morphism-inconsistent" in self.violations_of(root)
+
+    def test_plan_strategy_contradicting_runner(self, figure1_graph):
+        runner, handler, root = compile_plan(
+            figure1_graph, "MATCH (a:Person)-[e:knows]->(b) RETURN a, b, e"
+        )
+        violations = PlanVerifier(
+            handler=handler,
+            vertex_strategy=MatchStrategy.ISOMORPHISM,  # runner used HOMO
+        ).verify(root)
+        assert "morphism-inconsistent" in {v.rule for v in violations}
+
+    def test_root_missing_query_variable(self, figure1_graph):
+        _, handler, root = compile_plan(
+            figure1_graph, "MATCH (p:Person) RETURN p"
+        )
+        handler.vertices["extra"] = next(iter(handler.vertices.values()))
+        assert "variable-unbound" in self.violations_of(root, handler)
+
+    def test_return_property_dropped(self, figure1_graph):
+        _, handler, root = compile_plan(
+            figure1_graph, "MATCH (p:Person) RETURN p"
+        )
+        # swap the AST for one whose RETURN reads a property the plan
+        # never projected
+        handler.ast = parse("MATCH (p:Person) RETURN p.salary")
+        assert "return-property-dropped" in self.violations_of(root, handler)
+
+    def test_verify_plan_raises_with_every_violation_listed(
+        self, figure1_graph
+    ):
+        _, handler, root = compile_plan(
+            figure1_graph, "MATCH (p:Person) RETURN p"
+        )
+        root.estimated_cardinality = -2
+        root.meta = None
+        with pytest.raises(PlanVerificationError) as excinfo:
+            verify_plan(root, handler=handler)
+        message = str(excinfo.value)
+        assert "cardinality-invalid" in message
+        assert "meta-missing" in message
+        assert len(excinfo.value.violations) >= 2

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bsp import BSPConnectedComponents, PageRank, PregelRuntime, VertexProgram
-from repro.dataflow import ExecutionEnvironment
 from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
 
 

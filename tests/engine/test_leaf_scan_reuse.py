@@ -1,6 +1,5 @@
 """Tests for shared leaf scans (recurring-subquery reuse, paper §5)."""
 
-import pytest
 
 from repro.cypher import QueryHandler
 from repro.engine import (

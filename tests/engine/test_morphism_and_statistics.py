@@ -1,6 +1,5 @@
 """Tests for morphism enforcement and graph statistics."""
 
-import pytest
 
 from repro.engine import (
     Embedding,

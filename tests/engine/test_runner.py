@@ -1,6 +1,5 @@
 """Tests for CypherRunner and the graph.cypher() operator."""
 
-import pytest
 
 from repro.engine import CypherRunner, MatchStrategy
 from repro.epgm import PropertyValue

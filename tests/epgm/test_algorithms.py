@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.dataflow import ExecutionEnvironment
 from repro.epgm import Edge, GradoopId, LogicalGraph, Vertex
 from repro.epgm.algorithms import (
     bfs_distances,

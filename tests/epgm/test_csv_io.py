@@ -4,7 +4,6 @@ import pytest
 
 from repro.epgm import GraphCollection, LogicalGraph
 from repro.epgm.io import CSVDataSink, CSVDataSource
-from tests.conftest import build_figure1_elements
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.epgm import (
     GradoopId,
     GraphCollection,
-    GraphHead,
     IndexedLogicalGraph,
     LogicalGraph,
     Vertex,
