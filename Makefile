@@ -1,10 +1,16 @@
-.PHONY: install test lint typecheck bench examples reports clean
+.PHONY: install test check lint typecheck bench examples reports clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# the dynamic analysis battery: sanitized LDBC differential across all
+# three planners, corruption fixtures, estimate-audit checks
+check:
+	pytest tests/analysis/test_sanitizer.py tests/analysis/test_differential.py
+	pytest benchmarks/test_microbench_engine.py -k "q1_plain or q1_sanitized" --benchmark-disable
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -69,6 +69,44 @@ def test_execute_q5_throughput(benchmark, medium_graph):
     assert embeddings
 
 
+@pytest.mark.benchmark(group="sanitizer-overhead")
+def test_execute_q1_plain(benchmark, medium_graph):
+    """Baseline for the sanitizer pair: identical query, sanitize off.
+
+    With the sanitizer disabled no per-embedding work happens — the only
+    cost is one ``is None`` test per operator *build*, so this case should
+    be statistically indistinguishable from ``test_execute_q1_throughput``.
+    """
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+    query = instantiate(ALL_QUERIES["Q1"], dataset.first_name("low"))
+
+    def execute():
+        embeddings, _ = runner.execute_embeddings(query)
+        return embeddings
+
+    embeddings = benchmark(execute)
+    assert embeddings
+
+
+@pytest.mark.benchmark(group="sanitizer-overhead")
+def test_execute_q1_sanitized(benchmark, medium_graph):
+    """Full instrumented execution: every operator boundary validated."""
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics, sanitize=True)
+    query = instantiate(ALL_QUERIES["Q1"], dataset.first_name("low"))
+
+    def execute():
+        embeddings, _ = runner.execute_embeddings(query)
+        return embeddings
+
+    embeddings = benchmark(execute)
+    assert embeddings
+    assert runner.last_sanitizer is not None
+    assert runner.last_sanitizer.checked >= len(embeddings)
+    assert not runner.last_sanitizer.diagnostics
+
+
 @pytest.mark.benchmark(group="micro")
 def test_statistics_computation(benchmark, medium_graph):
     _, graph, _ = medium_graph

@@ -1,16 +1,22 @@
-"""Static query analysis: linting and physical-plan verification.
+"""Static and dynamic query analysis.
 
-Two independent layers over the Cypher pipeline:
+Four layers over the Cypher pipeline:
 
 * :func:`lint_query` / :class:`QueryLinter` — static diagnostics on the
   parsed query (before planning): semantic errors, provably-empty
   predicates, statistics-informed warnings, plan-shape warnings.
 * :func:`verify_plan` / :class:`PlanVerifier` — structural invariants of
   a compiled physical operator tree, planner-independent.
+* :class:`EmbeddingSanitizer` / :func:`validate_embedding` — opt-in
+  instrumented execution validating every embedding crossing an operator
+  boundary against the §3.3 byte layout and the morphism semantics.
+* :func:`differential_check` and :func:`audit_estimates` — dynamic
+  cross-planner result comparison and per-operator cardinality q-error.
 
-The invariant tying them together (property-tested): a query that lints
+The invariants tying them together (property-tested): a query that lints
 without errors plans into a tree that verifies cleanly under every
-planner.
+planner, and its sanitized execution raises no finding while all three
+planners return the same result multiset.
 """
 
 from .diagnostics import (
@@ -28,19 +34,51 @@ from .verifier import (
     Violation,
     verify_plan,
 )
+# The sanitizer imports the engine package; it must come after the
+# verifier import above, which completes the engine's initialization.
+from .sanitizer import (
+    EmbeddingSanitizer,
+    SanitizerError,
+    validate_embedding,
+)
+from .differential import (
+    DifferentialReport,
+    PlannerRun,
+    compare_runs,
+    differential_check,
+)
+from .estimates import (
+    DEFAULT_MAX_Q_ERROR,
+    EstimateAudit,
+    EstimateRecord,
+    audit_estimates,
+    q_error,
+)
 
 
 __all__ = [
     "BLOCKING_CODES",
     "CODES",
+    "DEFAULT_MAX_Q_ERROR",
     "Diagnostic",
+    "DifferentialReport",
+    "EmbeddingSanitizer",
+    "EstimateAudit",
+    "EstimateRecord",
     "PlanVerificationError",
     "PlanVerifier",
+    "PlannerRun",
     "QueryLintError",
     "QueryLinter",
+    "SanitizerError",
     "Severity",
     "Violation",
+    "audit_estimates",
+    "compare_runs",
+    "differential_check",
     "lint_query",
+    "q_error",
     "sort_diagnostics",
+    "validate_embedding",
     "verify_plan",
 ]

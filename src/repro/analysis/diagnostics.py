@@ -14,6 +14,10 @@ Code ranges:
 * ``W3xx`` — statistics warnings: empty or explosive against *this* data
   graph (requires :class:`~repro.engine.statistics.GraphStatistics`).
 * ``W4xx`` — plan-shape warnings: legal but expensive or surprising.
+* ``S2xx`` — sanitizer findings: runtime invariant violations caught by
+  instrumented (sanitized) execution, the cross-planner differential
+  checker and the cardinality-estimate audit.  Unlike the static ranges
+  these carry no source span — they point at operators, not query text.
 """
 
 import enum
@@ -63,6 +67,36 @@ CODES = {
              "a RETURN alias shadows a different pattern variable"),
     "W404": (Severity.WARNING, "unused-variable",
              "a named pattern variable is never referenced"),
+    "S201": (Severity.ERROR, "embedding-entry-width",
+             "id_data length is not a multiple of the 9-byte entry width"),
+    "S202": (Severity.ERROR, "embedding-column-count",
+             "embedding column count disagrees with the operator metadata"),
+    "S203": (Severity.ERROR, "embedding-bad-flag",
+             "entry flag byte is neither ID nor PATH, or contradicts the "
+             "metadata entry kind"),
+    "S204": (Severity.ERROR, "embedding-dangling-path",
+             "PATH entry offset does not land on a complete path_data record"),
+    "S205": (Severity.ERROR, "embedding-path-bounds",
+             "path element count is malformed or violates the declared "
+             "*lower..upper bounds"),
+    "S206": (Severity.ERROR, "embedding-prop-walk",
+             "prop_data length fields do not walk exactly to the buffer end "
+             "or a value fails to deserialize"),
+    "S207": (Severity.ERROR, "embedding-prop-count",
+             "deserialized property count disagrees with the operator "
+             "metadata"),
+    "S208": (Severity.ERROR, "embedding-morphism",
+             "embedding violates the configured vertex/edge morphism "
+             "strategy"),
+    "S209": (Severity.ERROR, "operator-contract",
+             "operator broke its output contract (join keys disagree "
+             "byte-for-byte, projection altered a kept value)"),
+    "S210": (Severity.ERROR, "planner-disagreement",
+             "two planners returned different result multisets for one "
+             "query"),
+    "S211": (Severity.WARNING, "estimate-q-error",
+             "cardinality estimate off from the actual count by more than "
+             "the configured factor"),
 }
 
 #: Codes the runner refuses to execute: the compiler would reject these
@@ -103,15 +137,22 @@ class Diagnostic:
         return self.code in BLOCKING_CODES
 
     def format(self, query_text=None):
-        """``error[E101] unbound-variable: ... (line 1, column 7)``."""
-        location = " (%s)" % self.span if self.span is not None else ""
+        """``error[E101] unbound-variable: ... (line 1, column 7)``.
+
+        With ``query_text`` the location moves into a rustc-style excerpt
+        (line-number gutter + caret underline) below the message.
+        """
+        show_excerpt = query_text is not None and self.span is not None
+        location = (
+            " (%s)" % self.span
+            if self.span is not None and not show_excerpt
+            else ""
+        )
         line = "%s[%s] %s: %s%s" % (
             self.severity.value, self.code, self.slug, self.message, location
         )
-        if query_text is not None and self.span is not None:
-            line += "\n  " + self.span.caret_snippet(query_text).replace(
-                "\n", "\n  "
-            )
+        if show_excerpt:
+            line += "\n" + self.span.excerpt(query_text)
         return line
 
     def __str__(self):

@@ -6,6 +6,7 @@
     python -m repro query /tmp/sn "MATCH (p:Person) RETURN count(*) AS n"
     python -m repro explain /tmp/sn "MATCH (a:Person)-[:knows]->(b) RETURN *"
     python -m repro lint "MATCH (a) WHERE a.age > 5 AND a.age < 3 RETURN a"
+    python -m repro check /tmp/sn "MATCH (a:Person)-[:knows*1..2]->(b) RETURN *"
     python -m repro stats /tmp/sn
     python -m repro bench --experiment fig5
 """
@@ -133,6 +134,68 @@ def cmd_lint(args):
     return 1 if errors else 0
 
 
+def cmd_check(args):
+    """Sanitized differential check + estimate audit for one query.
+
+    Exit codes: 0 clean, 1 error diagnostics (lint errors, sanitizer
+    findings, planner disagreement), 2 syntax error, 3 warnings only.
+    """
+    from repro.analysis import differential_check, lint_query
+
+    environment, graph, statistics = _load(args)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    try:
+        lint_diagnostics = lint_query(args.cypher, statistics=statistics)
+    except CypherSyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    for diagnostic in lint_diagnostics:
+        print(diagnostic.format(args.cypher))
+    if any(d.is_blocking for d in lint_diagnostics):
+        print("-- blocked: fix the binding errors above", file=sys.stderr)
+        return 1
+
+    vertex_strategy = _strategy(args.vertex_strategy)
+    edge_strategy = _strategy(args.edge_strategy)
+    report = differential_check(
+        graph,
+        args.cypher,
+        statistics=statistics,
+        vertex_strategy=vertex_strategy,
+        edge_strategy=edge_strategy,
+    )
+    for run in report.runs:
+        print(
+            "-- %-18s %6d row(s), %6d embedding(s) sanitized, %d finding(s)"
+            % (run.planner, run.row_count, run.checked, len(run.diagnostics)),
+            file=sys.stderr,
+        )
+    runner = CypherRunner(
+        graph,
+        vertex_strategy=vertex_strategy,
+        edge_strategy=edge_strategy,
+        statistics=statistics,
+    )
+    audit = runner.audit_estimates(args.cypher, max_q_error=args.max_q_error)
+    print(audit.format_table(), file=sys.stderr)
+    dynamic_diagnostics = report.diagnostics + audit.diagnostics
+    for diagnostic in dynamic_diagnostics:
+        print(diagnostic.format())
+
+    diagnostics = lint_diagnostics + dynamic_diagnostics
+    errors = sum(1 for d in diagnostics if d.is_error)
+    warnings = len(diagnostics) - errors
+    verdict = "planners agree" if report.agree else "PLANNERS DISAGREE"
+    print(
+        "-- check: %s; %d error(s), %d warning(s)" % (verdict, errors, warnings),
+        file=sys.stderr,
+    )
+    if errors:
+        return 1
+    return 3 if warnings else 0
+
+
 def cmd_stats(args):
     environment, graph, statistics = _load(args)
     if statistics is None:
@@ -159,7 +222,7 @@ def cmd_shell(args):
     runner = CypherRunner(graph, statistics=statistics)
     print(
         "repro shell — %d vertices, %d edges; Cypher queries, "
-        "':explain <q>', ':lint <q>', ':quit'"
+        "':explain <q>', ':lint <q>', ':sanitize [on|off]', ':quit'"
         % (graph.vertex_count(), graph.edge_count())
     )
     while True:
@@ -183,6 +246,25 @@ def cmd_shell(args):
                 if not diagnostics:
                     print("-- no findings")
                 continue
+            if line == ":sanitize" or line.startswith(":sanitize "):
+                argument = line[len(":sanitize"):].strip()
+                if argument in ("", "toggle"):
+                    enable = not runner.sanitize
+                elif argument in ("on", "raise", "collect"):
+                    enable = argument if argument == "collect" else True
+                elif argument == "off":
+                    enable = False
+                else:
+                    print("usage: :sanitize [on|off|collect]")
+                    continue
+                runner.set_sanitize(enable)
+                print(
+                    "-- sanitized execution %s"
+                    % ("off" if not runner.sanitize else
+                       "on (%s mode)" % ("collect" if runner.sanitize ==
+                                         "collect" else "raise"))
+                )
+                continue
             environment.reset_metrics("shell")
             rows = runner.execute_table(line)
             columns = list(rows[0]) if rows else []
@@ -190,10 +272,12 @@ def cmd_shell(args):
                 print("\t".join(columns))
                 for row in rows:
                     print("\t".join(str(row[c]) for c in columns))
-            print(
-                "-- %d row(s), simulated %.2f s"
-                % (len(rows), environment.simulated_runtime_seconds())
+            status = "-- %d row(s), simulated %.2f s" % (
+                len(rows), environment.simulated_runtime_seconds()
             )
+            if runner.last_sanitizer is not None:
+                status += "; %s" % runner.last_sanitizer.summary()
+            print(status)
         except Exception as exc:  # noqa: BLE001 — REPL keeps running
             print("error: %s" % exc)
     return 0
@@ -305,6 +389,26 @@ def build_parser():
         "(unknown labels and edge types)",
     )
     lint.set_defaults(handler=cmd_lint)
+
+    check = commands.add_parser(
+        "check",
+        help="sanitized differential check: lint, run the query under all "
+        "three planners with embedding validation, compare result "
+        "multisets and audit cardinality estimates",
+    )
+    check.add_argument("graph")
+    check.add_argument("cypher")
+    check.add_argument(
+        "--vertex-strategy", choices=["homo", "iso"], default="homo"
+    )
+    check.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
+    check.add_argument(
+        "--max-q-error",
+        type=float,
+        default=10.0,
+        help="estimate q-error above which S211 warnings are emitted",
+    )
+    check.set_defaults(handler=cmd_check)
 
     stats = commands.add_parser("stats", help="show graph statistics")
     stats.add_argument("graph")

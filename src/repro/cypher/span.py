@@ -30,6 +30,29 @@ class Span:
         caret = " " * (self.column - 1) + "^" * max(self.length, 1)
         return "%s\n%s" % (source_line, caret)
 
+    def excerpt(self, query_text):
+        """A rustc-style excerpt: line-number gutter plus caret underline.
+
+        ::
+
+              --> line 1, column 16
+               |
+             1 | MATCH (a) WHERE ghost.x = 1 RETURN a
+               |                 ^^^^^
+        """
+        lines = query_text.splitlines() or [""]
+        index = min(self.line, len(lines)) - 1
+        source_line = lines[index]
+        number = str(index + 1)
+        gutter = " " * len(number)
+        caret = " " * (self.column - 1) + "^" * max(self.length, 1)
+        return "\n".join([
+            "%s --> %s" % (gutter, self),
+            "%s |" % gutter,
+            "%s | %s" % (number, source_line),
+            "%s | %s" % (gutter, caret),
+        ])
+
 
 def span_at(query_text, offset, length=0):
     """Compute the :class:`Span` of ``offset`` within ``query_text``."""

@@ -55,10 +55,16 @@ class ExecutionEnvironment:
 
     # Evaluation ----------------------------------------------------------------
 
-    def run(self, operator):
-        """Evaluate the DAG rooted at ``operator``; returns partitions."""
+    def run(self, operator, cache=None):
+        """Evaluate the DAG rooted at ``operator``; returns partitions.
+
+        ``cache`` (operator id → partitions) may be passed in and shared
+        across several ``run`` calls to evaluate a DAG's common operators
+        only once — EXPLAIN ANALYZE and the cardinality-estimate audit
+        walk every plan node this way without quadratic recomputation.
+        """
         ctx = ExecutionContext(self, self.metrics)
-        return self._evaluate(operator, {}, ctx)
+        return self._evaluate(operator, {} if cache is None else cache, ctx)
 
     def _evaluate(self, operator, cache, ctx):
         if operator.environment is not self:

@@ -151,6 +151,10 @@ class Operator:
         try:
             return fn(*args)
         except Exception as exc:  # noqa: BLE001 — rewrap with operator context
+            if getattr(exc, "propagate_unwrapped", False):
+                # the error names its own context (e.g. SanitizerError
+                # pointing at a plan operator) — wrapping would bury it
+                raise
             raise JobExecutionError(self.name, exc) from exc
 
 

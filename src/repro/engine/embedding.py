@@ -35,6 +35,33 @@ _ID = struct.Struct(">Q")
 _PROP_LEN = struct.Struct(">H")
 
 ENTRY_WIDTH = _ENTRY.size  # 9 bytes
+PATH_COUNT_WIDTH = _PATH_LEN.size  # 4 bytes
+PATH_ID_WIDTH = _ID.size  # 8 bytes
+PROP_LEN_WIDTH = _PROP_LEN.size  # 2 bytes
+
+
+def iter_property_records(prop_data):
+    """Yield ``(start, length)`` per length-prefixed property record.
+
+    Walks the raw buffer without deserializing the payloads.  Raises
+    :class:`ValueError` when a length field is truncated or overruns the
+    buffer — the walk cannot continue past corrupt bytes.
+    """
+    cursor = 0
+    while cursor < len(prop_data):
+        if cursor + PROP_LEN_WIDTH > len(prop_data):
+            raise ValueError(
+                "truncated property length field at offset %d" % cursor
+            )
+        (length,) = _PROP_LEN.unpack_from(prop_data, cursor)
+        start = cursor + PROP_LEN_WIDTH
+        if start + length > len(prop_data):
+            raise ValueError(
+                "property record at offset %d declares %d payload bytes but "
+                "prop_data ends at %d" % (cursor, length, len(prop_data))
+            )
+        yield start, length
+        cursor = start + length
 
 
 class Embedding:
@@ -73,6 +100,17 @@ class Embedding:
         if flag != FLAG_ID:
             raise ValueError("column %d holds a path, not an id" % column)
         return value
+
+    def entries(self):
+        """All ``(flag, value)`` pairs, uninterpreted (sanitizer walks)."""
+        return [
+            self._value_at(column) for column in range(self.column_count)
+        ]
+
+    def entry_bytes(self, column):
+        """The raw 9-byte entry at ``column`` (byte-for-byte comparisons)."""
+        start = column * ENTRY_WIDTH
+        return self.id_data[start : start + ENTRY_WIDTH]
 
     def path_at(self, column):
         """The identifier list of the path stored at ``column``."""

@@ -66,3 +66,48 @@ def embedding_satisfies_morphism(embedding, meta, vertex_strategy, edge_strategy
     if edge_iso and not check_distinct(edge_ids):
         return False
     return True
+
+
+def morphism_violations(embedding, meta, vertex_strategy, edge_strategy):
+    """Every injectivity violation of ``embedding``, with provenance.
+
+    Returns human-readable strings naming the duplicated identifier and
+    the query variables (including ``var[i]`` path positions) binding it;
+    empty iff :func:`embedding_satisfies_morphism` holds.  Builds the full
+    use map instead of short-circuiting, so it is for diagnostics — the
+    sanitizer's ``S208`` details — not for hot join paths.
+    """
+    vertex_iso = vertex_strategy is MatchStrategy.ISOMORPHISM
+    edge_iso = edge_strategy is MatchStrategy.ISOMORPHISM
+    if not vertex_iso and not edge_iso:
+        return []
+    vertex_uses = {}
+    edge_uses = {}
+    for variable in meta.variables:
+        column = meta.entry_column(variable)
+        kind = meta.entry_kind(variable)
+        if kind == "v" and vertex_iso:
+            vertex_uses.setdefault(embedding.id_at(column).value, []).append(
+                variable
+            )
+        elif kind == "e" and edge_iso:
+            edge_uses.setdefault(embedding.id_at(column).value, []).append(
+                variable
+            )
+        elif kind == "p":
+            for index, gid in enumerate(embedding.path_at(column)):
+                position = "%s[%d]" % (variable, index)
+                if index % 2 == 0:
+                    if edge_iso:
+                        edge_uses.setdefault(gid.value, []).append(position)
+                elif vertex_iso:
+                    vertex_uses.setdefault(gid.value, []).append(position)
+    violations = []
+    for label, uses in (("vertex", vertex_uses), ("edge", edge_uses)):
+        for value, users in sorted(uses.items()):
+            if len(users) > 1:
+                violations.append(
+                    "%s %d bound by %s under %s isomorphism"
+                    % (label, value, ", ".join(users), label)
+                )
+    return violations

@@ -17,12 +17,43 @@ class PhysicalOperator:
         self.meta = None  # set by subclasses
         self.estimated_cardinality = None  # set by the planner
         self._dataset = None
+        self._sanitizer = None  # set via EmbeddingSanitizer.attach()
 
     def evaluate(self):
-        """The output DataSet (built once, cached)."""
+        """The output DataSet (built once, cached).
+
+        With a sanitizer attached the freshly built dataset is wrapped in
+        its per-embedding checks.  The gate runs once per *build*, never
+        per record, so plain execution pays nothing for the feature.
+        """
         if self._dataset is None:
-            self._dataset = self._build()
+            dataset = self._build()
+            if self._sanitizer is not None:
+                dataset = self._sanitizer.instrument(self, dataset)
+            self._dataset = dataset
         return self._dataset
+
+    def reset(self):
+        """Drop the cached datasets of this whole sub-plan.
+
+        The next :meth:`evaluate` rebuilds from scratch, so one compiled
+        plan can be executed repeatedly — after attaching or detaching a
+        sanitizer, or between ``explain(analyze=True)`` calls.  Dataset
+        sharing a planner installed across leaves is rebuilt per operator
+        afterwards (correct, merely less shared).
+        """
+        self._dataset = None
+        for child in self.children:
+            child.reset()
+
+    def sanitizer_context(self):
+        """Operator-specific facts the embedding sanitizer needs.
+
+        Subclasses override this to declare e.g. the ``*lower..upper``
+        bounds of a variable-length path column; the sanitizer merges the
+        contexts of every operator in the plan at attach time.
+        """
+        return {}
 
     def _build(self):
         raise NotImplementedError
@@ -31,26 +62,38 @@ class PhysicalOperator:
         """One line for EXPLAIN trees."""
         return self.display
 
-    def explain(self, indent=0, analyze=False):
+    def explain(self, indent=0, analyze=False, _cache=None):
         """Recursive EXPLAIN rendering (root at top, inputs below).
 
         With ``analyze=True`` every operator is executed and the actual
         output cardinality is shown next to the planner's estimate, making
-        estimation errors visible (EXPLAIN ANALYZE).
+        estimation errors visible (EXPLAIN ANALYZE).  One dataflow result
+        cache is shared across the whole tree so common sub-plans are
+        evaluated once per call.
         """
+        if analyze and _cache is None:
+            _cache = {}
         line = "%s%s" % ("  " * indent, self.describe())
         if self.estimated_cardinality is not None:
             line += "  [est=%d" % round(self.estimated_cardinality)
             if analyze:
-                line += " actual=%d" % self.actual_cardinality()
+                line += " actual=%d" % self.actual_cardinality(_cache)
             line += "]"
         elif analyze:
-            line += "  [actual=%d]" % self.actual_cardinality()
+            line += "  [actual=%d]" % self.actual_cardinality(_cache)
         lines = [line]
         for child in self.children:
-            lines.append(child.explain(indent + 1, analyze=analyze))
+            lines.append(child.explain(indent + 1, analyze=analyze, _cache=_cache))
         return "\n".join(lines)
 
-    def actual_cardinality(self):
-        """Execute this operator's sub-plan and count the output rows."""
-        return self.evaluate().count()
+    def actual_cardinality(self, cache=None):
+        """Execute this operator's sub-plan and count the output rows.
+
+        ``cache`` — a dataflow result cache (operator id → partitions) —
+        may be shared between calls on different plan nodes to evaluate
+        each dataflow operator only once (EXPLAIN ANALYZE, the estimate
+        audit).
+        """
+        dataset = self.evaluate()
+        partitions = dataset.environment.run(dataset.operator, cache=cache)
+        return sum(len(partition) for partition in partitions)

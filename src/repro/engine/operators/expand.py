@@ -70,6 +70,17 @@ class ExpandEmbeddings(PhysicalOperator):
             meta = meta.with_entry(self.end_variable, "v")
         self.meta = meta
 
+    def sanitizer_context(self):
+        """Declare the path column's hop bounds for sanitized execution."""
+        return {
+            "path_bounds": {
+                self.query_edge.variable: (
+                    self.query_edge.lower,
+                    self.query_edge.upper,
+                )
+            }
+        }
+
     # ------------------------------------------------------------------------
 
     def _edge_tuples(self):

@@ -64,6 +64,17 @@ class ProjectEmbeddings(PhysicalOperator):
         def project(embedding):
             return embedding.project_properties(keep_indices)
 
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            operator, plain_project = self, project
+
+            def project(embedding):  # noqa: F811
+                projected = plain_project(embedding)
+                sanitizer.check_projection(
+                    operator, embedding, projected, keep_indices
+                )
+                return projected
+
         return self.children[0].evaluate().map(
             project, name="ProjectEmbeddings"
         )

@@ -81,6 +81,22 @@ class JoinEmbeddings(PhysicalOperator):
                 return [merged]
             return []
 
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            # The join drops the right-side key columns during the merge,
+            # so byte agreement must be checked here, before they vanish.
+            operator, plain_flat_join = self, flat_join
+
+            def flat_join(left_embedding, right_embedding):  # noqa: F811
+                sanitizer.check_join_keys(
+                    operator,
+                    left_embedding,
+                    right_embedding,
+                    left_columns,
+                    right_columns,
+                )
+                return plain_flat_join(left_embedding, right_embedding)
+
         return self.children[0].evaluate().join(
             self.children[1].evaluate(),
             left_key,

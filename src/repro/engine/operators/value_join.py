@@ -70,6 +70,28 @@ class JoinEmbeddingsOnProperty(PhysicalOperator):
                 return [merged]
             return []
 
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            # Property keys compare by value semantics (int 1 == float 1.0),
+            # not byte-for-byte; recheck key equality and the NULL contract.
+            operator, plain_flat_join = self, flat_join
+
+            def flat_join(left_embedding, right_embedding):  # noqa: F811
+                left_value = left_embedding.property_at(left_index)
+                right_value = right_embedding.property_at(right_index)
+                if (
+                    left_value.is_null
+                    or right_value.is_null
+                    or _join_key(left_value) != _join_key(right_value)
+                ):
+                    sanitizer.report(
+                        operator,
+                        "S209",
+                        "property join matched %r with %r"
+                        % (left_value.raw(), right_value.raw()),
+                    )
+                return plain_flat_join(left_embedding, right_embedding)
+
         left_ds = self.children[0].evaluate().filter(
             not_null(left_index), name="JoinEmbeddingsOnProperty:left-not-null"
         )

@@ -33,6 +33,7 @@ class CypherRunner:
         planner_cls=GreedyPlanner,
         lint=True,
         verify_plans=False,
+        sanitize=False,
     ):
         self.graph = graph
         self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
@@ -43,7 +44,30 @@ class CypherRunner:
         self.verify_plans = verify_plans
         #: warnings from the most recent compile (errors raise instead)
         self.last_diagnostics = []
+        #: the EmbeddingSanitizer of the most recent compile, or None
+        self.last_sanitizer = None
         self._plan_cache = {}
+        self.sanitize = False
+        self.set_sanitize(sanitize)
+
+    def set_sanitize(self, sanitize):
+        """Switch sanitized (instrumented) execution on or off.
+
+        ``sanitize`` is ``False`` (plain execution, the default),
+        ``True``/``'raise'`` (validate every embedding at every operator
+        boundary and raise :class:`~repro.analysis.SanitizerError` on the
+        first finding) or ``'collect'`` (validate but accumulate findings
+        on ``last_sanitizer.diagnostics``).  Instrumentation is baked into
+        compiled plans, so toggling clears the plan cache.
+        """
+        if sanitize not in (False, True, "raise", "collect"):
+            raise ValueError(
+                "sanitize must be False, True, 'raise' or 'collect', not %r"
+                % (sanitize,)
+            )
+        self.sanitize = sanitize
+        self.last_sanitizer = None
+        self._plan_cache.clear()
 
     @property
     def statistics(self):
@@ -82,7 +106,9 @@ class CypherRunner:
             cache_key = (query, repr(sorted((parameters or {}).items())))
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
-                handler, root, self.last_diagnostics = cached
+                handler, root, self.last_diagnostics, self.last_sanitizer = (
+                    cached
+                )
                 return handler, root
         diagnostics = []
         if self.lint_enabled and isinstance(query, str):
@@ -113,8 +139,21 @@ class CypherRunner:
                 vertex_strategy=self.vertex_strategy,
                 edge_strategy=self.edge_strategy,
             )
+        sanitizer = None
+        if self.sanitize:
+            # Lazy for the same reason as the verifier import above.
+            from repro.analysis.sanitizer import EmbeddingSanitizer
+
+            sanitizer = EmbeddingSanitizer(
+                vertex_strategy=self.vertex_strategy,
+                edge_strategy=self.edge_strategy,
+                mode="collect" if self.sanitize == "collect" else "raise",
+            ).attach(root)
+        self.last_sanitizer = sanitizer
         if cache_key is not None:
-            self._plan_cache[cache_key] = (handler, root, diagnostics)
+            self._plan_cache[cache_key] = (
+                handler, root, diagnostics, sanitizer
+            )
         return handler, root
 
     def explain(self, query, parameters=None):
@@ -130,6 +169,24 @@ class CypherRunner:
         """
         _, root = self.compile(query, parameters)
         return root.explain(analyze=True)
+
+    def audit_estimates(self, query, parameters=None, max_q_error=None):
+        """Cardinality-estimate audit: per-operator q-error for ``query``.
+
+        Executes the compiled plan once (shared dataflow cache) and
+        returns an :class:`~repro.analysis.EstimateAudit`; operators whose
+        estimate is off by more than ``max_q_error`` carry an ``S211``
+        diagnostic.
+        """
+        from repro.analysis.estimates import (
+            DEFAULT_MAX_Q_ERROR,
+            audit_estimates,
+        )
+
+        _, root = self.compile(query, parameters)
+        if max_q_error is None:
+            max_q_error = DEFAULT_MAX_Q_ERROR
+        return audit_estimates(root, max_q_error=max_q_error)
 
     # Execution ------------------------------------------------------------------
 

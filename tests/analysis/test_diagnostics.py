@@ -19,9 +19,24 @@ class TestRegistry:
         assert len(CODES) >= 8
 
     def test_code_prefix_matches_severity(self):
+        # E = static errors, W = static warnings; sanitizer codes (S) carry
+        # either severity — structural corruption is an error, estimate
+        # drift only a warning.
         for code, (severity, _slug, _summary) in CODES.items():
-            expected = Severity.ERROR if code.startswith("E") else Severity.WARNING
-            assert severity is expected, code
+            if code.startswith("E"):
+                assert severity is Severity.ERROR, code
+            elif code.startswith("W"):
+                assert severity is Severity.WARNING, code
+            else:
+                assert code.startswith("S"), code
+                assert severity in (Severity.ERROR, Severity.WARNING), code
+
+    def test_sanitizer_codes_registered(self):
+        # the full S2xx range the sanitizer/differential/audit layer emits
+        for code in ("S201", "S202", "S203", "S204", "S205", "S206",
+                     "S207", "S208", "S209", "S210"):
+            assert CODES[code][0] is Severity.ERROR, code
+        assert CODES["S211"][0] is Severity.WARNING
 
     def test_slugs_are_unique_kebab_case(self):
         slugs = [slug for _sev, slug, _sum in CODES.values()]

@@ -78,8 +78,14 @@ def test_corpus_covers_at_least_eight_codes():
 
 
 def test_every_statistics_free_code_is_covered():
+    # statistics-dependent (W3xx) and runtime sanitizer (S2xx) codes are
+    # exercised by their own suites, not the static linter corpus
+    static = {
+        code for code in CODES
+        if not code.startswith("S") and code not in ("W301", "W302")
+    }
     covered = {code for _query, code in CORPUS}
-    assert covered == set(CODES) - {"W301", "W302"}
+    assert covered == static
 
 
 @pytest.mark.parametrize("query", CLEAN)

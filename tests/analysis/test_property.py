@@ -1,16 +1,20 @@
-"""Property test tying the two analyzer layers together.
+"""Property tests tying the analyzer layers together.
 
-The analyzer's central contract: any query the linter passes without
-errors compiles — under the greedy, exhaustive *and* naive-order
-planner — into a physical plan the verifier accepts.  Hypothesis
-generates small patterns with labels, direction changes, shared
-variables, predicates and variable-length paths to probe that claim.
+Two contracts probed with generated queries (labels, direction changes,
+shared variables, predicates, inline property maps and variable-length
+paths):
+
+1. any query the linter passes without errors compiles — under the
+   greedy, exhaustive *and* naive-order planner — into a physical plan
+   the verifier accepts;
+2. its *sanitized* execution raises no sanitizer finding and all three
+   planners return the same result multiset.
 """
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import lint_query, verify_plan
+from repro.analysis import differential_check, lint_query, verify_plan
 from repro.dataflow import ExecutionEnvironment
 from repro.engine import CypherRunner
 from repro.engine.planning import (
@@ -32,6 +36,12 @@ _PREDICATES = [
     "{v}.name < 'M'",
     "{v}.yob > 1980",
     "{v}.gender = 'female'",
+]
+_VERTEX_MAPS = [
+    None,
+    "{name: 'Alice'}",
+    "{gender: 'female'}",
+    "{name: 'Leipzig'}",
 ]
 
 
@@ -58,11 +68,18 @@ def cypher_queries(draw):
         edge_body = "e%d" % index
         if edge_label:
             edge_body += ":" + edge_label
-        if draw(st.booleans()) and edge_label:  # occasional bounded path
-            edge_body += "*%d..2" % draw(st.integers(0, 1))
+        if draw(st.booleans()):  # occasional bounded variable-length path
+            lower = draw(st.integers(0, 1))
+            edge_body += "*%d..%d" % (lower, lower + draw(st.integers(1, 2)))
         arrow = draw(st.sampled_from(["-[{e}]->", "<-[{e}]-"]))
         left = source if not source_label else "%s:%s" % (source, source_label)
         right = target if not target_label else "%s:%s" % (target, target_label)
+        source_map = draw(st.sampled_from(_VERTEX_MAPS))
+        target_map = draw(st.sampled_from(_VERTEX_MAPS))
+        if source_map:
+            left += " " + source_map
+        if target_map:
+            right += " " + target_map
         parts.append(
             "(%s)%s(%s)" % (left, arrow.format(e=edge_body), right)
         )
@@ -101,3 +118,28 @@ def test_lint_clean_implies_plan_verifies(query):
         ), "planner %s produced an invalid plan for %s" % (
             planner_cls.__name__, query,
         )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(query=cypher_queries())
+def test_lint_clean_implies_sanitized_planners_agree(query):
+    """Lint-clean ⇒ sanitized execution is finding-free ⇒ planners agree.
+
+    The full dynamic contract: the sanitizer validates every embedding at
+    every operator boundary (raising nothing), and the three planners
+    return one result multiset.
+    """
+    graph = _fresh_graph()
+    diagnostics = lint_query(query)
+    assert not any(d.is_blocking for d in diagnostics), (
+        "generator produced an ill-formed query: %s" % query
+    )
+    report = differential_check(graph, query)
+    assert report.clean, "%s: %s" % (
+        query, [str(d) for d in report.diagnostics]
+    )
+    assert all(run.checked >= run.row_count for run in report.runs)

@@ -104,6 +104,50 @@ class TestBench:
         assert result.returncode != 0
 
 
+class TestCheck:
+    def test_clean_query_exits_zero(self, graph_dir):
+        result = run_cli(
+            "check", graph_dir,
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.firstName",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "planners agree" in result.stderr
+        assert "0 error(s)" in result.stderr
+
+    def test_reports_every_planner(self, graph_dir):
+        result = run_cli(
+            "check", graph_dir, "MATCH (p:Person) RETURN p.firstName"
+        )
+        for planner in ("GreedyPlanner", "ExhaustivePlanner", "LeftDeepPlanner"):
+            assert planner in result.stderr
+        assert "sanitized" in result.stderr
+        assert "q-err" in result.stderr  # the estimate-audit table printed
+
+    def test_syntax_error_exits_two(self, graph_dir):
+        result = run_cli("check", graph_dir, "MATCH (p:Person")
+        assert result.returncode == 2
+        assert "syntax error" in result.stderr
+
+    def test_blocking_lint_error_exits_one(self, graph_dir):
+        result = run_cli("check", graph_dir, "MATCH (p:Person) RETURN q")
+        assert result.returncode == 1
+        assert "blocked" in result.stderr
+        # the caret excerpt points into the query text
+        assert "^" in result.stdout
+
+    def test_off_estimates_exit_three(self, graph_dir):
+        # nobody has this name: the selectivity-based leaf estimate
+        # overshoots zero actual rows, so a strict threshold trips S211
+        result = run_cli(
+            "check", graph_dir,
+            "MATCH (p:Person) WHERE p.firstName = 'Zzz' RETURN p",
+            "--max-q-error", "1.0",
+        )
+        assert result.returncode == 3, result.stderr
+        assert "S211" in result.stdout
+        assert "warning(s)" in result.stderr
+
+
 class TestShell:
     def test_shell_executes_queries(self, graph_dir):
         result = subprocess.run(
@@ -134,6 +178,25 @@ class TestShell:
         assert "SelectAndProjectVertices" in result.stdout  # explain worked
         # the shell kept going after the error
         assert result.stdout.count("row(s)") >= 1
+
+    def test_shell_sanitize_toggle(self, graph_dir):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "shell", graph_dir],
+            input=(
+                ":sanitize on\n"
+                "MATCH (p:Person) RETURN count(*) AS n\n"
+                ":sanitize off\n"
+                ":quit\n"
+            ),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0
+        assert "sanitized execution on" in result.stdout
+        assert "sanitized execution off" in result.stdout
+        # the status line after the query shows the sanitizer summary
+        assert "embedding(s) checked" in result.stdout
 
     def test_missing_graph_dir_fails_cleanly(self):
         result = run_cli("query", "/nonexistent/graph", "MATCH (a) RETURN *")
