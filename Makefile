@@ -1,4 +1,5 @@
-.PHONY: install test check lint typecheck bench examples reports clean
+.PHONY: install test check lint typecheck bench examples reports clean \
+	serve-smoke bench-serve
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,6 +29,16 @@ typecheck:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# start `repro serve` as a subprocess, run a parameterized query over the
+# wire, prepare/execute with two bindings, shut down cleanly
+serve-smoke:
+	python scripts/serve_smoke.py
+
+# closed-loop concurrent load (8 clients, Q1-Q6) with differential
+# verification, deadline and admission-control checks
+bench-serve:
+	python -m repro bench-serve --clients 8 --rounds 1 --scale-factor 0.02
 
 examples:
 	@for script in examples/*.py; do \

@@ -107,6 +107,74 @@ def test_execute_q1_sanitized(benchmark, medium_graph):
     assert not runner.last_sanitizer.diagnostics
 
 
+@pytest.mark.benchmark(group="plan-cache")
+def test_parameterized_q1_plan_cache_cold(benchmark, medium_graph):
+    """Baseline for the plan-cache pair: every run pays parse+lint+plan.
+
+    The cache is cleared inside the measured function, so each execution
+    of the ``$firstName``-parameterized Q1 compiles from scratch — the
+    cost a service without a plan cache would pay on every request.
+    """
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+    query = ALL_QUERIES["Q1"].replace("'{firstName}'", "$firstName")
+    parameters = {"firstName": dataset.first_name("low")}
+
+    def execute_cold():
+        runner.plan_cache.clear()
+        embeddings, _ = runner.execute_embeddings(query, parameters)
+        return embeddings
+
+    embeddings = benchmark(execute_cold)
+    assert embeddings
+    assert runner.plan_cache.stats.hits == 0  # truly cold every round
+
+
+@pytest.mark.benchmark(group="plan-cache")
+def test_parameterized_q1_plan_cache_warm(benchmark, medium_graph):
+    """Warm half of the pair: the compiled plan is reused across runs.
+
+    Same query, same binding — after the first compile every execution is
+    a plan-cache hit, which is the serving layer's hot path.
+    """
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+    query = ALL_QUERIES["Q1"].replace("'{firstName}'", "$firstName")
+    parameters = {"firstName": dataset.first_name("low")}
+    runner.execute_embeddings(query, parameters)  # populate the cache
+
+    def execute_warm():
+        embeddings, _ = runner.execute_embeddings(query, parameters)
+        return embeddings
+
+    embeddings = benchmark(execute_warm)
+    assert embeddings
+    # exactly one miss (the warm-up compile); every measured run hit
+    assert runner.plan_cache.stats.misses == 1
+    assert runner.plan_cache.stats.hits >= 1
+
+
+@pytest.mark.benchmark(group="plan-cache")
+def test_prepared_statement_rebind_throughput(benchmark, medium_graph):
+    """One prepared plan, new binding each run: no cache lookup at all."""
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics)
+    query = ALL_QUERIES["Q1"].replace("'{firstName}'", "$firstName")
+    statement = runner.prepare(query)
+    names = [dataset.first_name("low"), dataset.first_name("medium")]
+    state = {"round": 0}
+
+    def execute_rebound():
+        state["round"] += 1
+        parameters = {"firstName": names[state["round"] % len(names)]}
+        embeddings, _ = statement.execute_embeddings(parameters)
+        return embeddings
+
+    embeddings = benchmark(execute_rebound)
+    assert embeddings
+    assert statement.executions >= 1
+
+
 @pytest.mark.benchmark(group="micro")
 def test_statistics_computation(benchmark, medium_graph):
     _, graph, _ = medium_graph

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Smoke test for ``repro serve``: the full lifecycle over a real socket.
+
+Generates a tiny LDBC graph, starts ``python -m repro serve`` as a child
+process, waits for its "listening" line, then exercises the wire
+protocol — health, a parameterized ad-hoc query, prepare/execute with two
+different bindings, metrics — and finally POSTs ``/shutdown`` and asserts
+the process exits cleanly with status 0.
+
+Run directly (``python scripts/serve_smoke.py``) or via ``make
+serve-smoke``.  Exits non-zero on the first failed assertion.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+SCALE_FACTOR = 0.01
+SEED = 7
+STARTUP_TIMEOUT = 60.0
+SHUTDOWN_TIMEOUT = 30.0
+
+
+def http(method, url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def main():
+    from repro.dataflow import ExecutionEnvironment
+    from repro.epgm.io import CSVDataSink
+    from repro.ldbc import LDBCGenerator
+
+    failures = []
+
+    def check(condition, message):
+        status = "ok" if condition else "FAIL"
+        print("  [%s] %s" % (status, message))
+        if not condition:
+            failures.append(message)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        graph_dir = os.path.join(tmp, "graph")
+        print("generating graph (scale %s) -> %s" % (SCALE_FACTOR, graph_dir))
+        dataset = LDBCGenerator(scale_factor=SCALE_FACTOR, seed=SEED).generate()
+        graph = dataset.to_logical_graph(ExecutionEnvironment())
+        CSVDataSink(graph_dir).write_logical_graph(graph)
+        common_name = dataset.first_name("low")
+        rare_name = dataset.first_name("high")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        print("starting: python -m repro serve %s --port 0" % graph_dir)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", graph_dir,
+             "--name", "smoke", "--port", "0", "--max-concurrency", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            # the serve command prints exactly one listening line first
+            deadline = time.time() + STARTUP_TIMEOUT
+            line = ""
+            while time.time() < deadline:
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    break
+                if process.poll() is not None:
+                    raise RuntimeError("server exited during startup")
+            check("listening on" in line, "server announced its address")
+            address = line.strip().rsplit(" ", 1)[-1]
+            base = "http://%s" % address
+            print("server at %s" % base)
+
+            status, health = http("GET", base + "/health")
+            check(status == 200 and health["status"] == "ok", "GET /health")
+            check(health["graphs"] == ["smoke"], "graph registered as 'smoke'")
+
+            query = ("MATCH (p:Person) WHERE p.firstName = $name "
+                     "RETURN p.firstName, p.lastName")
+            status, result = http("POST", base + "/query", {
+                "graph": "smoke", "query": query,
+                "parameters": {"name": common_name},
+            })
+            check(status == 200, "POST /query (parameterized)")
+            check(result["row_count"] >= 1, "query returned rows")
+
+            status, prepared = http("POST", base + "/prepare", {
+                "graph": "smoke", "query": query,
+            })
+            check(status == 200, "POST /prepare")
+            check(prepared["parameter_names"] == ["name"],
+                  "statement declares $name")
+
+            rows_by_name = {}
+            for name in (common_name, rare_name):
+                status, result = http("POST", base + "/execute", {
+                    "statement_id": prepared["statement_id"],
+                    "parameters": {"name": name},
+                })
+                check(status == 200, "POST /execute (name=%s)" % name)
+                rows_by_name[name] = result["rows"]
+            check(
+                all(row["p.firstName"] == common_name
+                    for row in rows_by_name[common_name]),
+                "binding 1 returns only its own matches",
+            )
+            check(
+                all(row["p.firstName"] == rare_name
+                    for row in rows_by_name[rare_name]),
+                "rebinding returns the new binding's matches",
+            )
+
+            status, body = http("POST", base + "/query", {
+                "graph": "nope", "query": query,
+            })
+            check(status == 404, "unknown graph -> 404")
+
+            status, metrics = http("GET", base + "/metrics")
+            check(status == 200 and metrics["completed"] >= 3, "GET /metrics")
+            check(metrics["plan_cache"]["hits"] >= 1,
+                  "plan cache saw warm hits")
+
+            status, body = http("POST", base + "/shutdown")
+            check(status == 200, "POST /shutdown acknowledged")
+            process.wait(timeout=SHUTDOWN_TIMEOUT)
+            remaining = process.stdout.read()
+            check(process.returncode == 0, "server exited with status 0")
+            check("shut down cleanly" in remaining, "clean shutdown message")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    if failures:
+        print("serve smoke: %d FAILURE(S)" % len(failures))
+        return 1
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""A thread-safe bounded LRU cache with hit/miss/eviction statistics.
+
+Shared infrastructure for the engine's plan cache and the serving layer's
+result cache (:mod:`repro.server.cache`).  Keys are ordinary hashable
+tuples; the caller is responsible for including every input that affects
+the cached value — for query plans that means the graph identity, the
+statistics version, the query text, parameter values, morphism strategies,
+planner and instrumentation mode.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class CacheStats:
+    """Monotonic counters describing one cache's behaviour."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self):
+        return "CacheStats(hits=%d, misses=%d, evictions=%d)" % (
+            self.hits, self.misses, self.evictions
+        )
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    All operations take an internal lock, so one instance may back
+    concurrent service queries.  ``maxsize <= 0`` disables storage
+    entirely (every ``get`` is a miss) — callers can keep one code path
+    whether a cache is configured or not.
+    """
+
+    def __init__(self, maxsize=128):
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        """The cached value (refreshing its recency), or ``default``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key, value):
+        """Insert ``key``; evicts the least recently used entry when full."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, predicate=None):
+        """Drop entries (all of them, or those whose key matches).
+
+        Returns the number of entries removed.  With stats-version-bearing
+        keys this is rarely needed — bumping the version makes old entries
+        unreachable and LRU ages them out — but explicit invalidation keeps
+        memory tight after e.g. re-registering a large graph.
+        """
+        with self._lock:
+            if predicate is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [key for key in self._entries if predicate(key)]
+                for key in doomed:
+                    del self._entries[key]
+                removed = len(doomed)
+            self.stats.invalidations += removed
+            return removed
+
+    def clear(self):
+        self.invalidate()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __repr__(self):
+        return "LRUCache(%d/%d, %r)" % (len(self), self.maxsize, self.stats)

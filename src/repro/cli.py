@@ -9,6 +9,8 @@
     python -m repro check /tmp/sn "MATCH (a:Person)-[:knows*1..2]->(b) RETURN *"
     python -m repro stats /tmp/sn
     python -m repro bench --experiment fig5
+    python -m repro serve /tmp/sn --port 7474
+    python -m repro bench-serve --clients 8
 """
 
 import argparse
@@ -338,6 +340,70 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_serve(args):
+    """Serve one graph over HTTP/JSON via the concurrent query service."""
+    from repro.server import GraphRegistry, QueryHTTPServer, QueryService
+
+    environment, graph, statistics = _load(args)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    registry = GraphRegistry()
+    registry.register(args.name, graph, statistics)
+    service = QueryService(
+        registry,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        default_timeout=args.default_timeout,
+        vertex_strategy=_strategy(args.vertex_strategy),
+        edge_strategy=_strategy(args.edge_strategy),
+        result_cache_size=args.result_cache,
+    )
+    server = QueryHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.address
+    # the smoke test (scripts/serve_smoke.py) parses this exact line
+    print("repro-serve listening on %s:%d" % (host, port), flush=True)
+    print(
+        "-- graph %r: %d vertices, %d edges; %d workers, queue %d; "
+        "POST /query {graph, query, parameters}, POST /shutdown to stop"
+        % (args.name, statistics.vertex_count, statistics.edge_count,
+           args.max_concurrency, args.max_queue),
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("repro-serve: shut down cleanly", flush=True)
+    return 0
+
+
+def cmd_bench_serve(args):
+    """Closed-loop concurrent load over the query service (Q1-Q6)."""
+    import json
+
+    from repro.server.bench import run_bench
+
+    def progress(message):
+        print("-- %s" % message, file=sys.stderr)
+
+    report = run_bench(
+        clients=args.clients,
+        rounds=args.rounds,
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        timeout=args.timeout,
+        result_cache_size=args.result_cache,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -425,6 +491,59 @@ def build_parser():
         default="fig5",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a CSV graph over HTTP/JSON: concurrent queries, "
+        "prepared statements, plan caching, admission control and "
+        "per-query deadlines",
+    )
+    serve.add_argument("graph", help="graph directory (CSV format)")
+    serve.add_argument("--name", default="default", help="registry name")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve.add_argument("--max-concurrency", type=int, default=4)
+    serve.add_argument("--max-queue", type=int, default=16)
+    serve.add_argument(
+        "--default-timeout", type=float, default=None,
+        help="per-query deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--result-cache", type=int, default=0,
+        help="result cache entries (0 disables result caching)",
+    )
+    serve.add_argument(
+        "--vertex-strategy", choices=["homo", "iso"], default="homo"
+    )
+    serve.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="closed-loop multi-client load over the query service, "
+        "differentially verified against serial execution",
+    )
+    bench_serve.add_argument("--clients", type=int, default=8)
+    bench_serve.add_argument("--rounds", type=int, default=2)
+    bench_serve.add_argument("--scale-factor", type=float, default=0.03)
+    bench_serve.add_argument("--seed", type=int, default=11)
+    bench_serve.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-query deadline during the load phase",
+    )
+    bench_serve.add_argument(
+        "--result-cache", type=int, default=0,
+        help="result cache entries for the service under test",
+    )
+    bench_serve.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    bench_serve.set_defaults(handler=cmd_bench_serve)
     return parser
 
 

@@ -2,12 +2,25 @@
 
 Parameters keep query plans reusable and values out of the query text —
 the paper's operational queries 1–3 are parameterized by ``firstName``
-exactly for this purpose.  Binding happens before compilation:
+exactly for this purpose.  Two binding modes exist:
+
+* **Eager** (:func:`bind_parameters`): every ``$name`` is replaced by a
+  :class:`~repro.cypher.ast.Literal` before compilation.  Simple, but a
+  new value means a new AST and a new plan.
+* **Deferred** (:func:`parameterize`): every ``$name`` is replaced by a
+  :class:`ParameterSlot` that reads its value from a shared, mutable
+  :class:`ParameterBinding` at *predicate-evaluation* time.  One compiled
+  plan can then be re-executed with different bindings — the prepared
+  statement mechanism of :mod:`repro.engine.prepared`.
 
 .. code-block:: python
 
     query = parse("MATCH (p:Person {firstName: $name}) RETURN *")
-    bound = bind_parameters(query, {"name": "Jan"})
+    bound = bind_parameters(query, {"name": "Jan"})        # eager
+
+    binding = ParameterBinding({"name"})
+    slotted = parameterize(query, binding)                  # deferred
+    binding.assign({"name": "Jan"})                         # before each run
 """
 
 from .ast import (
@@ -25,6 +38,157 @@ from .ast import (
 from .errors import CypherSemanticError
 
 
+class ParameterBinding:
+    """The mutable value store shared by a prepared plan's slots.
+
+    One instance backs every :class:`ParameterSlot` of one compiled plan;
+    :meth:`assign` swaps the full value set between executions.  The
+    ``generation`` counter increments on every assignment so caches can
+    tell result sets of different bindings apart.
+    """
+
+    __slots__ = ("names", "generation", "_values")
+
+    def __init__(self, names):
+        #: the parameter names the query declares; assignment is validated
+        #: against this set
+        self.names = frozenset(names)
+        self.generation = 0
+        self._values = {}
+
+    def assign(self, values):
+        """Install a complete set of parameter values.
+
+        Raises :class:`CypherSemanticError` for missing or undeclared
+        names — prepared statements are strict, unlike the eager binder,
+        because a typo here would otherwise silently reuse a stale value.
+        """
+        values = dict(values or {})
+        missing = self.names - set(values)
+        if missing:
+            raise CypherSemanticError(
+                "no value for query parameter(s): %s"
+                % ", ".join("$" + name for name in sorted(missing))
+            )
+        unknown = set(values) - self.names
+        if unknown:
+            raise CypherSemanticError(
+                "unknown query parameter(s): %s"
+                % ", ".join("$" + name for name in sorted(unknown))
+            )
+        self._values = values
+        self.generation += 1
+        return self
+
+    def value_of(self, name):
+        try:
+            return self._values[name]
+        except KeyError:
+            raise CypherSemanticError(
+                "parameter $%s read before any binding was assigned" % name
+            ) from None
+
+    @property
+    def values(self):
+        return dict(self._values)
+
+    def __repr__(self):
+        return "ParameterBinding(%s, generation=%d)" % (
+            sorted(self.names), self.generation
+        )
+
+
+class ParameterSlot:
+    """A ``$name`` expression resolved through a :class:`ParameterBinding`.
+
+    Unlike :class:`~repro.cypher.ast.Parameter` (a parse-time placeholder
+    that must be eliminated before compilation), a slot is a legal
+    comparison side all the way through planning and execution: predicate
+    evaluation looks the current value up on every call, so re-executing
+    the plan after :meth:`ParameterBinding.assign` sees the new values.
+    """
+
+    __slots__ = ("name", "binding")
+
+    def __init__(self, name, binding):
+        self.name = name
+        self.binding = binding
+
+    def current(self):
+        return self.binding.value_of(self.name)
+
+    def __str__(self):
+        return "$%s" % self.name
+
+    def __repr__(self):
+        return "ParameterSlot($%s)" % self.name
+
+
+def _transform_query(query, resolve):
+    """A structural copy of ``query`` with ``resolve`` applied to every
+    expression position that may hold a parameter."""
+
+    def walk(node):
+        resolved = resolve(node)
+        if resolved is not node:
+            return resolved
+        if isinstance(node, Comparison):
+            return Comparison(node.operator, walk(node.left), walk(node.right))
+        if isinstance(node, And):
+            return And(walk(node.left), walk(node.right))
+        if isinstance(node, Or):
+            return Or(walk(node.left), walk(node.right))
+        if isinstance(node, Xor):
+            return Xor(walk(node.left), walk(node.right))
+        if isinstance(node, Not):
+            return Not(walk(node.operand))
+        return node
+
+    patterns = []
+    for path in query.patterns:
+        nodes = []
+        for node in path.nodes:
+            entries = [(key, walk(value)) for key, value in node.properties]
+            clone = type(node)(node.variable, list(node.labels), entries)
+            nodes.append(clone)
+        relationships = []
+        for rel in path.relationships:
+            entries = [(key, walk(value)) for key, value in rel.properties]
+            clone = type(rel)(
+                rel.variable,
+                list(rel.types),
+                rel.direction,
+                rel.lower,
+                rel.upper,
+                entries,
+            )
+            relationships.append(clone)
+        patterns.append(PathPattern(nodes, relationships))
+
+    where = walk(query.where) if query.where is not None else None
+
+    returns = query.returns
+    if returns is not None:
+        items = [
+            type(item)(walk(item.expression), item.alias)
+            for item in returns.items
+        ]
+        order_by = [
+            type(order)(walk(order.expression), order.descending)
+            for order in returns.order_by
+        ]
+        returns = ReturnClause(
+            star=returns.star,
+            items=items,
+            distinct=returns.distinct,
+            order_by=order_by,
+            skip=returns.skip,
+            limit=returns.limit,
+        )
+
+    return Query(patterns=patterns, where=where, returns=returns)
+
+
 def bind_parameters(query, parameters=None):
     """A copy of ``query`` with every ``$name`` replaced by its value.
 
@@ -40,61 +204,26 @@ def bind_parameters(query, parameters=None):
                     "no value for query parameter $%s" % node.name
                 )
             return Literal(parameters[node.name])
-        if isinstance(node, Comparison):
-            return Comparison(node.operator, resolve(node.left), resolve(node.right))
-        if isinstance(node, And):
-            return And(resolve(node.left), resolve(node.right))
-        if isinstance(node, Or):
-            return Or(resolve(node.left), resolve(node.right))
-        if isinstance(node, Xor):
-            return Xor(resolve(node.left), resolve(node.right))
-        if isinstance(node, Not):
-            return Not(resolve(node.operand))
         return node
 
-    patterns = []
-    for path in query.patterns:
-        nodes = []
-        for node in path.nodes:
-            entries = [(key, resolve(value)) for key, value in node.properties]
-            clone = type(node)(node.variable, list(node.labels), entries)
-            nodes.append(clone)
-        relationships = []
-        for rel in path.relationships:
-            entries = [(key, resolve(value)) for key, value in rel.properties]
-            clone = type(rel)(
-                rel.variable,
-                list(rel.types),
-                rel.direction,
-                rel.lower,
-                rel.upper,
-                entries,
-            )
-            relationships.append(clone)
-        patterns.append(PathPattern(nodes, relationships))
+    return _transform_query(query, resolve)
 
-    where = resolve(query.where) if query.where is not None else None
 
-    returns = query.returns
-    if returns is not None:
-        items = [
-            type(item)(resolve(item.expression), item.alias)
-            for item in returns.items
-        ]
-        order_by = [
-            type(order)(resolve(order.expression), order.descending)
-            for order in returns.order_by
-        ]
-        returns = ReturnClause(
-            star=returns.star,
-            items=items,
-            distinct=returns.distinct,
-            order_by=order_by,
-            skip=returns.skip,
-            limit=returns.limit,
-        )
+def parameterize(query, binding):
+    """A copy of ``query`` with every ``$name`` replaced by a slot reading
+    from ``binding``; raises when the query declares a parameter the
+    binding does not know about."""
 
-    return Query(patterns=patterns, where=where, returns=returns)
+    def resolve(node):
+        if isinstance(node, Parameter):
+            if node.name not in binding.names:
+                raise CypherSemanticError(
+                    "parameter $%s is not declared in the binding" % node.name
+                )
+            return ParameterSlot(node.name, binding)
+        return node
+
+    return _transform_query(query, resolve)
 
 
 def find_parameters(query):

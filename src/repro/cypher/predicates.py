@@ -252,6 +252,11 @@ def _resolve(side, bindings):
         return PropertyValue(bindings.label(side.variable))
     if isinstance(side, VariableRef):
         return bindings.element_id(side.name)
+    # deferred $parameters: read the current value from the shared binding
+    # on every evaluation, so one compiled plan serves many executions
+    current = getattr(side, "current", None)
+    if current is not None:
+        return PropertyValue(current())
     raise CypherSemanticError("unsupported expression %r" % (side,))
 
 
@@ -367,6 +372,8 @@ def cnf_signature(cnf):
             return ("label",)
         if isinstance(expression, VariableRef):
             return ("var",)
+        if hasattr(expression, "binding"):  # ParameterSlot: same name, same
+            return ("param", expression.name)  # shared binding, same values
         return ("other", repr(expression))
 
     clauses = []

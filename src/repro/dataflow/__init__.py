@@ -6,9 +6,10 @@ and a :class:`ClusterCostModel` that converts execution metrics into
 simulated cluster runtimes.
 """
 
+from .cancellation import CancellationToken, QueryCancelled, QueryTimeout
 from .cost import ClusterCostModel
 from .dataset import DataSet, GroupedDataSet
-from .environment import ExecutionEnvironment
+from .environment import ExecutionEnvironment, JobScope
 from .errors import DataflowError, IterationError, JobExecutionError, PlanError
 from .metrics import JobMetrics, OperatorRun
 from .operators import JoinStrategy
@@ -16,6 +17,7 @@ from .partitioner import partition_index, round_robin_partitions, stable_hash
 from .sizing import estimate_size
 
 __all__ = [
+    "CancellationToken",
     "ClusterCostModel",
     "DataSet",
     "DataflowError",
@@ -24,9 +26,12 @@ __all__ = [
     "IterationError",
     "JobExecutionError",
     "JobMetrics",
+    "JobScope",
     "JoinStrategy",
     "OperatorRun",
     "PlanError",
+    "QueryCancelled",
+    "QueryTimeout",
     "estimate_size",
     "partition_index",
     "round_robin_partitions",

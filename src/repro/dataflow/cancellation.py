@@ -1,0 +1,78 @@
+"""Cooperative query cancellation and deadlines.
+
+A :class:`CancellationToken` is handed to a dataflow run (usually through
+the environment's per-job scope, see
+:meth:`~repro.dataflow.environment.ExecutionEnvironment.job`).  Operators
+poll it at *batch boundaries* — once per operator execution, once per
+partition in shuffling operators, and every :data:`POLL_INTERVAL` records
+inside the long inner loops of joins, expansions and flat-maps — so a
+deadline or an explicit :meth:`CancellationToken.cancel` interrupts even a
+single long-running join instead of waiting for the whole plan to finish.
+
+Polling is free when no token is installed: call sites keep the token in a
+local and skip the check entirely when it is ``None``.
+"""
+
+import time
+
+#: Records processed between two polls inside a tight operator loop.  A
+#: power of two so the call sites can use ``index & (POLL_INTERVAL - 1)``.
+POLL_INTERVAL = 4096
+
+
+class QueryCancelled(RuntimeError):
+    """The run was cancelled before it finished."""
+
+    #: tells Operator._call not to wrap this into a JobExecutionError —
+    #: cancellation names its own context and must reach the submitter
+    propagate_unwrapped = True
+
+
+class QueryTimeout(QueryCancelled):
+    """The run exceeded its deadline."""
+
+
+class CancellationToken:
+    """Shared flag + optional monotonic deadline polled by operators."""
+
+    __slots__ = ("deadline", "_cancelled", "_reason")
+
+    def __init__(self, deadline=None):
+        #: absolute :func:`time.monotonic` timestamp, or ``None``
+        self.deadline = deadline
+        self._cancelled = False
+        self._reason = None
+
+    @classmethod
+    def with_timeout(cls, seconds):
+        """A token that expires ``seconds`` from now (``None`` = never)."""
+        if seconds is None:
+            return cls()
+        return cls(deadline=time.monotonic() + seconds)
+
+    def cancel(self, reason="cancelled"):
+        """Request cancellation; the next poll raises :class:`QueryCancelled`."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def expired(self):
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining(self):
+        """Seconds until the deadline (``None`` when there is none)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def poll(self):
+        """Raise :class:`QueryCancelled`/:class:`QueryTimeout` when due."""
+        if self._cancelled:
+            raise QueryCancelled(self._reason or "cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self._cancelled = True
+            self._reason = "deadline exceeded"
+            raise QueryTimeout("query exceeded its deadline")

@@ -2,11 +2,30 @@
 evaluator, including Flink-style bulk iterations.
 """
 
+import contextlib
+import threading
+
 from .cost import ClusterCostModel
 from .dataset import DataSet
 from .errors import IterationError, PlanError
 from .metrics import JobMetrics
 from .operators import ExecutionContext, PartitionedSourceOperator, SourceOperator
+
+
+class JobScope:
+    """One logical job's execution services: metrics and cancellation.
+
+    Scopes are installed per thread (see :meth:`ExecutionEnvironment.job`),
+    so concurrent jobs sharing one environment each record into their own
+    :class:`JobMetrics` instead of interleaving runs in the environment's
+    default accumulator.
+    """
+
+    __slots__ = ("metrics", "cancellation")
+
+    def __init__(self, metrics, cancellation=None):
+        self.metrics = metrics
+        self.cancellation = cancellation
 
 
 class ExecutionEnvironment:
@@ -26,10 +45,50 @@ class ExecutionEnvironment:
             cost_model = cost_model.with_workers(parallelism)
         self.cost_model = cost_model
         self.metrics = JobMetrics()
+        self._scopes = threading.local()
 
     @property
     def parallelism(self):
         return self.cost_model.workers
+
+    # Job scoping ------------------------------------------------------------
+
+    def _active_scope(self):
+        stack = getattr(self._scopes, "stack", None)
+        return stack[-1] if stack else None
+
+    @contextlib.contextmanager
+    def job(self, name="job", cancellation=None):
+        """Install a per-thread job scope; yields its :class:`JobMetrics`.
+
+        Every :meth:`run` / iteration primitive on this thread records into
+        the scope's own metrics (not the shared default) and polls the
+        scope's cancellation token until the ``with`` block exits.  Scopes
+        nest; the innermost wins.  Other threads are unaffected, which is
+        what makes one environment safe to share between concurrent
+        service queries.
+        """
+        scope = JobScope(JobMetrics(name), cancellation)
+        stack = getattr(self._scopes, "stack", None)
+        if stack is None:
+            stack = []
+            self._scopes.stack = stack
+        stack.append(scope)
+        try:
+            yield scope.metrics
+        finally:
+            stack.pop()
+
+    @property
+    def current_metrics(self):
+        """The active scope's metrics, or the shared default accumulator."""
+        scope = self._active_scope()
+        return scope.metrics if scope is not None else self.metrics
+
+    @property
+    def current_cancellation(self):
+        scope = self._active_scope()
+        return scope.cancellation if scope is not None else None
 
     # Sources ----------------------------------------------------------------
 
@@ -49,21 +108,32 @@ class ExecutionEnvironment:
         self.metrics = JobMetrics(job_name)
         return previous
 
-    def simulated_runtime_seconds(self):
-        """Simulated wall-clock time of everything since the last reset."""
-        return self.cost_model.job_seconds(self.metrics)
+    def simulated_runtime_seconds(self, metrics=None):
+        """Simulated wall-clock time of ``metrics`` (default: active scope,
+        falling back to everything since the last reset)."""
+        if metrics is None:
+            metrics = self.current_metrics
+        return self.cost_model.job_seconds(metrics)
 
     # Evaluation ----------------------------------------------------------------
 
-    def run(self, operator, cache=None):
+    def run(self, operator, cache=None, metrics=None, cancellation=None):
         """Evaluate the DAG rooted at ``operator``; returns partitions.
 
         ``cache`` (operator id → partitions) may be passed in and shared
         across several ``run`` calls to evaluate a DAG's common operators
         only once — EXPLAIN ANALYZE and the cardinality-estimate audit
         walk every plan node this way without quadratic recomputation.
+
+        ``metrics`` and ``cancellation`` default to the thread's active
+        :meth:`job` scope, so callers deep inside operator builds need no
+        extra plumbing to participate in per-query scoping and deadlines.
         """
-        ctx = ExecutionContext(self, self.metrics)
+        if metrics is None:
+            metrics = self.current_metrics
+        if cancellation is None:
+            cancellation = self.current_cancellation
+        ctx = ExecutionContext(self, metrics, cancellation=cancellation)
         return self._evaluate(operator, {} if cache is None else cache, ctx)
 
     def _evaluate(self, operator, cache, ctx):
@@ -79,6 +149,8 @@ class ExecutionEnvironment:
             if node.id in cache:
                 continue
             if expanded:
+                # batch boundary: one poll per operator execution
+                ctx.poll()
                 parent_results = [cache[parent.id] for parent in node.parents]
                 cache[node.id] = node.execute(ctx, parent_results)
             else:
@@ -89,6 +161,40 @@ class ExecutionEnvironment:
         return cache[operator.id]
 
     # Bulk iteration -------------------------------------------------------------
+
+    def iterate(
+        self,
+        initial,
+        step,
+        max_iterations,
+        collect_emissions=True,
+        name=None,
+    ):
+        """A *lazy* bulk iteration: the superstep loop becomes a DAG node.
+
+        Same contract as :meth:`bulk_iterate`, but nothing runs until the
+        returned dataset is evaluated — and the loop re-runs on *every*
+        evaluation, under the evaluating run's job scope.  This is what
+        plan-reusing callers need (prepared statements re-execute one
+        compiled plan with different parameter bindings; an eagerly
+        materialized iteration would freeze the first binding's paths
+        into the plan).
+        """
+        from .operators import BulkIterationOperator
+
+        if max_iterations < 0:
+            raise IterationError("max_iterations must be >= 0")
+        return DataSet(
+            self,
+            BulkIterationOperator(
+                self,
+                initial.operator,
+                step,
+                max_iterations,
+                collect_emissions=collect_emissions,
+                name=name or "bulk-iteration",
+            ),
+        )
 
     def bulk_iterate(
         self,
@@ -119,8 +225,9 @@ class ExecutionEnvironment:
         """
         if max_iterations < 0:
             raise IterationError("max_iterations must be >= 0")
-        metrics = metrics_scope if metrics_scope is not None else self.metrics
-        outer_ctx = ExecutionContext(self, metrics)
+        metrics = metrics_scope if metrics_scope is not None else self.current_metrics
+        cancellation = self.current_cancellation
+        outer_ctx = ExecutionContext(self, metrics, cancellation=cancellation)
         shared_cache = {}
         working = self._evaluate(initial.operator, shared_cache, outer_ctx)
         emitted = [[] for _ in range(self.parallelism)]
@@ -128,7 +235,9 @@ class ExecutionEnvironment:
         for iteration in range(1, max_iterations + 1):
             if sum(len(p) for p in working) == 0:
                 break
-            ctx = ExecutionContext(self, metrics, iteration=iteration)
+            ctx = ExecutionContext(
+                self, metrics, iteration=iteration, cancellation=cancellation
+            )
             working_ds = self.from_partitions(working, name="iteration-working-set")
             result = step(working_ds, iteration)
             if isinstance(result, tuple):
@@ -181,8 +290,9 @@ class ExecutionEnvironment:
         """
         if max_iterations < 0:
             raise IterationError("max_iterations must be >= 0")
-        metrics = metrics_scope if metrics_scope is not None else self.metrics
-        ctx = ExecutionContext(self, metrics)
+        metrics = metrics_scope if metrics_scope is not None else self.current_metrics
+        cancellation = self.current_cancellation
+        ctx = ExecutionContext(self, metrics, cancellation=cancellation)
         cache = {}
         solution_parts = self._evaluate(solution.operator, cache, ctx)
         state = {}
@@ -197,7 +307,9 @@ class ExecutionEnvironment:
         for iteration in range(1, max_iterations + 1):
             if sum(len(p) for p in working) == 0:
                 break
-            step_ctx = ExecutionContext(self, metrics, iteration=iteration)
+            step_ctx = ExecutionContext(
+                self, metrics, iteration=iteration, cancellation=cancellation
+            )
             solution_ds = self.from_partitions(
                 [list(p) for p in _partition_values(state, self.parallelism)],
                 name="delta-solution",

@@ -10,9 +10,13 @@ report the movement to the environment's :class:`~repro.dataflow.metrics.JobMetr
 import enum
 import itertools
 
+from .cancellation import POLL_INTERVAL
 from .errors import JobExecutionError
 from .partitioner import partition_index, round_robin_partitions, stable_hash
 from .sizing import estimate_size
+
+#: mask for ``index & _POLL_MASK == 0`` deadline checks in inner loops
+_POLL_MASK = POLL_INTERVAL - 1
 
 _ids = itertools.count()
 
@@ -45,10 +49,19 @@ class ShuffleStats:
 class ExecutionContext:
     """Per-run services handed to operators: shuffling, metrics, memory."""
 
-    def __init__(self, environment, metrics, iteration=None):
+    def __init__(self, environment, metrics, iteration=None, cancellation=None):
         self._environment = environment
         self._metrics = metrics
         self.iteration = iteration
+        #: :class:`~repro.dataflow.cancellation.CancellationToken` or None.
+        #: Operators read it into a local and poll at batch boundaries;
+        #: plain runs carry ``None`` and pay a single ``is None`` test.
+        self.cancellation = cancellation
+
+    def poll(self):
+        """Raise if the run's cancellation token is cancelled or expired."""
+        if self.cancellation is not None:
+            self.cancellation.poll()
 
     @property
     def parallelism(self):
@@ -216,10 +229,13 @@ class FlatMapOperator(Operator):
 
     def execute(self, ctx, parent_partition_sets):
         (partitions,) = parent_partition_sets
+        token = ctx.cancellation
         out = []
         for partition in partitions:
             produced = []
-            for record in partition:
+            for index, record in enumerate(partition):
+                if token is not None and index & _POLL_MASK == 0:
+                    token.poll()
                 produced.extend(self._call(self.fn, record))
             out.append(produced)
         ctx.record_run(self.name, parent_partition_sets, out)
@@ -297,6 +313,69 @@ class RebalanceOperator(Operator):
         return out
 
 
+class BulkIterationOperator(Operator):
+    """Flink-style bulk iteration as a *lazy* DAG node.
+
+    The superstep loop runs inside :meth:`execute` — at evaluation time,
+    under the evaluating run's metrics and cancellation token — not at
+    DAG-construction time like :meth:`ExecutionEnvironment.bulk_iterate`.
+    Plans that are built once and executed many times (prepared statements
+    re-binding ``$parameters``) therefore re-iterate on every execution
+    instead of replaying the first execution's materialized supersteps.
+    """
+
+    display = "bulk-iteration"
+
+    def __init__(self, environment, initial, step, max_iterations,
+                 collect_emissions=True, name=None):
+        super().__init__(environment, [initial], name)
+        self.step = step
+        self.max_iterations = max_iterations
+        self.collect_emissions = collect_emissions
+
+    def execute(self, ctx, parent_partition_sets):
+        from .errors import IterationError
+
+        environment = self.environment
+        (working,) = parent_partition_sets
+        emitted = [[] for _ in range(ctx.parallelism)]
+        for iteration in range(1, self.max_iterations + 1):
+            if sum(len(p) for p in working) == 0:
+                break
+            iter_ctx = ExecutionContext(
+                environment,
+                ctx._metrics,
+                iteration=iteration,
+                cancellation=ctx.cancellation,
+            )
+            working_ds = environment.from_partitions(
+                working, name="iteration-working-set"
+            )
+            result = self.step(working_ds, iteration)
+            if isinstance(result, tuple):
+                next_working_ds, emit_ds = result
+            else:
+                next_working_ds, emit_ds = result, None
+            if next_working_ds is None:
+                raise IterationError("step returned no next working set")
+            # fresh cache per superstep, like the eager primitive: only
+            # this iteration's sub-DAG is shared between working set and
+            # emissions
+            cache = {}
+            working = environment._evaluate(
+                next_working_ds.operator, cache, iter_ctx
+            )
+            if emit_ds is not None and self.collect_emissions:
+                emit_parts = environment._evaluate(
+                    emit_ds.operator, cache, iter_ctx
+                )
+                for worker, partition in enumerate(emit_parts):
+                    emitted[worker].extend(partition)
+        if self.collect_emissions:
+            return emitted
+        return [list(p) for p in working]
+
+
 class PartitionByOperator(Operator):
     """Explicit hash partitioning by a key function."""
 
@@ -371,6 +450,7 @@ class GroupReduceOperator(Operator):
         out = []
         spilled = 0
         for partition in shuffled:
+            ctx.poll()
             if len(partition) > ctx.memory_records_per_worker:
                 spilled += 1
             groups = {}
@@ -467,15 +547,16 @@ class JoinOperator(Operator):
         out = []
         spilled = 0
         for left_partition, right_partition in zip(left_local, right_local):
+            ctx.poll()  # batch boundary: one worker's partition pair
             build, probe, build_is_left = self._pick_sides(
                 left_partition, right_partition
             )
             if len(build) > ctx.memory_records_per_worker:
                 spilled += 1
             if strategy is JoinStrategy.SORT_MERGE:
-                produced = self._sort_merge(left_partition, right_partition)
+                produced = self._sort_merge(left_partition, right_partition, ctx)
             else:
-                produced = self._hash_join(build, probe, build_is_left)
+                produced = self._hash_join(build, probe, build_is_left, ctx)
             out.append(produced)
 
         name = "%s[%s]" % (self.name, strategy.value)
@@ -497,14 +578,17 @@ class JoinOperator(Operator):
             return left_partition, right_partition, True
         return right_partition, left_partition, False
 
-    def _hash_join(self, build, probe, build_is_left):
+    def _hash_join(self, build, probe, build_is_left, ctx):
         build_key = self.left_key if build_is_left else self.right_key
         probe_key = self.right_key if build_is_left else self.left_key
+        token = ctx.cancellation
         table = {}
         for record in build:
             table.setdefault(_hashable(self._call(build_key, record)), []).append(record)
         produced = []
-        for probe_record in probe:
+        for index, probe_record in enumerate(probe):
+            if token is not None and index & _POLL_MASK == 0:
+                token.poll()
             matches = table.get(_hashable(self._call(probe_key, probe_record)))
             if not matches:
                 continue
@@ -515,16 +599,21 @@ class JoinOperator(Operator):
                     produced.extend(self._call(self.join_fn, probe_record, build_record))
         return produced
 
-    def _sort_merge(self, left_partition, right_partition):
+    def _sort_merge(self, left_partition, right_partition, ctx):
         left_sorted = sorted(
             left_partition, key=lambda r: stable_hash(self._call(self.left_key, r))
         )
         right_sorted = sorted(
             right_partition, key=lambda r: stable_hash(self._call(self.right_key, r))
         )
+        token = ctx.cancellation
         produced = []
+        steps = 0
         i = j = 0
         while i < len(left_sorted) and j < len(right_sorted):
+            steps += 1
+            if token is not None and steps & _POLL_MASK == 0:
+                token.poll()
             lk = stable_hash(self._call(self.left_key, left_sorted[i]))
             rk = stable_hash(self._call(self.right_key, right_sorted[j]))
             if lk < rk:
@@ -571,10 +660,14 @@ class CrossOperator(Operator):
     def execute(self, ctx, parent_partition_sets):
         left_parts, right_parts = parent_partition_sets
         right_local, stats = ctx.broadcast(right_parts)
+        token = ctx.cancellation
         out = []
         for left_partition, right_partition in zip(left_parts, right_local):
+            ctx.poll()
             produced = []
-            for left_record in left_partition:
+            for index, left_record in enumerate(left_partition):
+                if token is not None and index & _POLL_MASK == 0:
+                    token.poll()
                 for right_record in right_partition:
                     produced.append(self._call(self.fn, left_record, right_record))
             out.append(produced)

@@ -36,13 +36,16 @@ from .planning import (
     LeftDeepPlanner,
     PlanningError,
 )
-from .runner import CypherRunner
+from .prepared import PreparedStatement
+from .runner import DEFAULT_PLAN_CACHE_SIZE, CypherRunner
 from .statistics import GraphStatistics
 
 __all__ = [
     "CardinalityEstimator",
     "CartesianEmbeddings",
     "CypherRunner",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "PreparedStatement",
     "ExhaustivePlanner",
     "DEFAULT_EDGE_STRATEGY",
     "DEFAULT_VERTEX_STRATEGY",

@@ -214,7 +214,13 @@ class ExpandEmbeddings(PhysicalOperator):
             return expanded, emitted
 
         frontier = input_ds.map(initial_item, name="ExpandEmbeddings:init")
-        result = environment.bulk_iterate(frontier, step, max_iterations=upper)
+        # lazy: the supersteps re-run on every plan execution, so a cached
+        # plan re-bound with new $parameters re-expands from the *current*
+        # frontier instead of replaying the first execution's paths
+        result = environment.iterate(
+            frontier, step, max_iterations=upper,
+            name="ExpandEmbeddings:iterate",
+        )
         if lower == 0:
             zero_hop = frontier.flat_map(
                 emit_result, name="ExpandEmbeddings:zero-hop"

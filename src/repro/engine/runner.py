@@ -8,8 +8,11 @@ dataflow substrate, and turns the resulting embeddings into the
 result graph heads so arbitrary post-processing remains possible (§2.3).
 """
 
+import itertools
+
 from repro.analysis.diagnostics import QueryLintError
 from repro.analysis.linter import lint_query
+from repro.cache import LRUCache
 from repro.cypher.ast import FunctionCall, PropertyAccess, VariableRef
 from repro.cypher.errors import CypherSemanticError
 from repro.cypher.query_graph import QueryHandler
@@ -19,6 +22,26 @@ from .embedding import EmbeddingBindings
 from .morphism import DEFAULT_EDGE_STRATEGY, DEFAULT_VERTEX_STRATEGY
 from .planning import GreedyPlanner
 from .statistics import GraphStatistics
+
+#: default bound of a runner-private plan cache; the serving layer passes
+#: a larger shared cache instead
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+_graph_tokens = itertools.count()
+
+
+def _graph_cache_token(graph):
+    """A process-unique, lifetime-stable identity for ``graph``.
+
+    ``id()`` alone can be recycled after garbage collection, which would
+    let a dead graph's cached plans leak into a new graph allocated at the
+    same address; a monotone token attached on first use cannot collide.
+    """
+    token = getattr(graph, "_plan_cache_token", None)
+    if token is None:
+        token = next(_graph_tokens)
+        graph._plan_cache_token = token
+    return token
 
 
 class CypherRunner:
@@ -34,6 +57,7 @@ class CypherRunner:
         lint=True,
         verify_plans=False,
         sanitize=False,
+        plan_cache=None,
     ):
         self.graph = graph
         self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
@@ -46,9 +70,20 @@ class CypherRunner:
         self.last_diagnostics = []
         #: the EmbeddingSanitizer of the most recent compile, or None
         self.last_sanitizer = None
-        self._plan_cache = {}
+        #: bounded LRU of compiled plans; pass a shared
+        #: :class:`repro.cache.LRUCache` to pool plans across runners
+        #: (the query service does)
+        self._plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else LRUCache(DEFAULT_PLAN_CACHE_SIZE)
+        )
         self.sanitize = False
         self.set_sanitize(sanitize)
+
+    @property
+    def plan_cache(self):
+        return self._plan_cache
 
     def set_sanitize(self, sanitize):
         """Switch sanitized (instrumented) execution on or off.
@@ -58,7 +93,9 @@ class CypherRunner:
         boundary and raise :class:`~repro.analysis.SanitizerError` on the
         first finding) or ``'collect'`` (validate but accumulate findings
         on ``last_sanitizer.diagnostics``).  Instrumentation is baked into
-        compiled plans, so toggling clears the plan cache.
+        compiled plans; the plan-cache key includes the mode, so toggling
+        switches to a different cache slice instead of clearing a cache
+        that may be shared with other runners.
         """
         if sanitize not in (False, True, "raise", "collect"):
             raise ValueError(
@@ -67,7 +104,6 @@ class CypherRunner:
             )
         self.sanitize = sanitize
         self.last_sanitizer = None
-        self._plan_cache.clear()
 
     @property
     def statistics(self):
@@ -96,14 +132,16 @@ class CypherRunner:
         planned operator tree must additionally pass the structural
         :func:`~repro.analysis.verify_plan` checks.
 
-        Compiled plans are cached per (query text, parameter values): the
-        data graph is immutable, so re-running the same query skips
-        parsing, linting and planning.
+        Compiled plans live in a bounded LRU cache keyed on the graph, the
+        statistics version, the query text and parameter values, the
+        morphism strategies, the planner and the instrumentation mode —
+        re-running the same query skips parsing, linting and planning,
+        while a statistics bump (graph mutation) makes every stale plan
+        unreachable.
         """
         cache_key = None
         if isinstance(query, str):
-            # repr keeps the key hashable for list/None parameter values
-            cache_key = (query, repr(sorted((parameters or {}).items())))
+            cache_key = self.plan_cache_key(query, parameters)
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
                 handler, root, self.last_diagnostics, self.last_sanitizer = (
@@ -151,10 +189,26 @@ class CypherRunner:
             ).attach(root)
         self.last_sanitizer = sanitizer
         if cache_key is not None:
-            self._plan_cache[cache_key] = (
-                handler, root, diagnostics, sanitizer
+            self._plan_cache.put(
+                cache_key, (handler, root, diagnostics, sanitizer)
             )
         return handler, root
+
+    def plan_cache_key(self, query, parameters=None):
+        """The full cache key of ``query`` under this runner's settings."""
+        return (
+            "plan",
+            _graph_cache_token(self.graph),
+            getattr(self.statistics, "version", 0),
+            query,
+            # repr keeps the key hashable for list/None parameter values
+            repr(sorted((parameters or {}).items())),
+            self.planner_cls.__name__,
+            self.vertex_strategy,
+            self.edge_strategy,
+            self.sanitize,
+            self.verify_plans,
+        )
 
     def explain(self, query, parameters=None):
         """EXPLAIN output: the physical plan with cardinality estimates."""
@@ -188,6 +242,18 @@ class CypherRunner:
             max_q_error = DEFAULT_MAX_Q_ERROR
         return audit_estimates(root, max_q_error=max_q_error)
 
+    def prepare(self, query):
+        """Compile ``query`` once into a reusable prepared statement.
+
+        ``$name`` placeholders stay unbound at compile time; each
+        :meth:`~repro.engine.prepared.PreparedStatement.execute` call binds
+        a fresh value set and re-runs the *same* physical plan — no
+        parsing, linting or planning on the hot path.
+        """
+        from .prepared import PreparedStatement
+
+        return PreparedStatement(self, query)
+
     # Execution ------------------------------------------------------------------
 
     def execute_embeddings(self, query, parameters=None):
@@ -211,7 +277,15 @@ class CypherRunner:
         """
         handler, root = self.compile(query, parameters)
         embeddings = root.evaluate().collect()
-        meta = root.meta
+        return self.build_rows(handler, embeddings, root.meta)
+
+    def build_rows(self, handler, embeddings, meta):
+        """Tabular rows for already-collected embeddings.
+
+        The post-processing half of :meth:`execute_table`, split out so
+        callers that manage execution themselves (prepared statements, the
+        query service) can share the RETURN-clause semantics.
+        """
         returns = handler.ast.returns
 
         if returns is not None and returns.has_aggregates:

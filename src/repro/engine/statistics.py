@@ -27,6 +27,11 @@ class GraphStatistics:
     ):
         self.vertex_count = vertex_count
         self.edge_count = edge_count
+        #: monotone counter bumped whenever the underlying graph (and thus
+        #: these statistics) changes; plan/result cache keys include it, so
+        #: a bump invalidates every cached artifact derived from the old
+        #: graph without touching the caches themselves
+        self.version = 0
         self.vertex_count_by_label = dict(vertex_count_by_label)
         self.edge_count_by_label = dict(edge_count_by_label)
         self.distinct_source_count = distinct_source_count

@@ -1,0 +1,338 @@
+"""Closed-loop multi-client load generator for :class:`QueryService`.
+
+``repro bench-serve`` drives the full LDBC workload (Q1–Q6, the
+operational queries as ``$firstName``-parameterized prepared statements)
+from N concurrent client threads against one in-process service, and
+*differentially verifies* every concurrent result against a serial
+:class:`CypherRunner` baseline computed up front: each result's rows are
+canonicalized into a multiset and compared — any mismatch is cross-query
+corruption and fails the bench.
+
+Besides throughput/latency, the bench demonstrates the two protection
+mechanisms end to end: a deliberately slow query with a tiny deadline
+must time out (and the worker must come back), and a deliberately
+undersized service must fast-fail a submission with
+:class:`AdmissionError`.
+"""
+
+import threading
+import time
+from collections import Counter
+
+from repro.dataflow import ExecutionEnvironment, QueryTimeout
+from repro.engine import CypherRunner, GraphStatistics
+from repro.harness.queries import ANALYTICAL_QUERIES, OPERATIONAL_QUERIES
+from repro.ldbc import LDBCGenerator
+
+from .registry import GraphRegistry
+from .service import AdmissionError, QueryService
+
+GRAPH_NAME = "ldbc"
+
+#: the slowest evaluation query (triangle enumeration) — used to provoke
+#: a deadline timeout
+SLOW_QUERY = ANALYTICAL_QUERIES["Q5"]
+
+
+def parameterized(template):
+    """``'{firstName}'`` harness templates as ``$firstName`` queries."""
+    return template.replace("'{firstName}'", "$firstName")
+
+
+def rows_multiset(rows):
+    """Order-independent canonical form of a row table.
+
+    ``repr`` canonicalizes engine values (GradoopIds, lists) the same way
+    on both sides of the comparison, so the multisets are directly
+    comparable across serial and concurrent executions.
+    """
+    return Counter(
+        tuple(sorted((key, repr(value)) for key, value in row.items()))
+        for row in rows
+    )
+
+
+class WorkItem:
+    """One (query, binding) pair of the bench workload."""
+
+    __slots__ = ("name", "query", "parameters")
+
+    def __init__(self, name, query, parameters):
+        self.name = name
+        self.query = query
+        self.parameters = parameters
+
+
+def build_workload(dataset, selectivities=("high", "medium")):
+    """Q1–Q3 per selectivity (parameterized) plus Q4–Q6 (constant)."""
+    items = []
+    for name in sorted(OPERATIONAL_QUERIES):
+        query = parameterized(OPERATIONAL_QUERIES[name])
+        for selectivity in selectivities:
+            items.append(WorkItem(
+                "%s/%s" % (name, selectivity),
+                query,
+                {"firstName": dataset.first_name(selectivity)},
+            ))
+    for name in sorted(ANALYTICAL_QUERIES):
+        items.append(WorkItem(name, ANALYTICAL_QUERIES[name], None))
+    return items
+
+
+class BenchReport:
+    """Everything ``repro bench-serve`` measured, with pass/fail flags."""
+
+    def __init__(self):
+        self.clients = 0
+        self.rounds = 0
+        self.operations = 0
+        self.duration_seconds = 0.0
+        self.corruptions = []
+        self.errors = []
+        self.rejected_retries = 0
+        self.per_query = Counter()
+        self.deadline_enforced = False
+        self.recovered_after_timeout = False
+        self.admission_enforced = False
+        self.service_metrics = {}
+
+    @property
+    def throughput(self):
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.operations / self.duration_seconds
+
+    @property
+    def plan_cache_hits(self):
+        return self.service_metrics.get("plan_cache", {}).get("hits", 0)
+
+    @property
+    def passed(self):
+        return (
+            not self.corruptions
+            and not self.errors
+            and self.deadline_enforced
+            and self.recovered_after_timeout
+            and self.admission_enforced
+            and self.plan_cache_hits > 0
+        )
+
+    def to_dict(self):
+        return {
+            "clients": self.clients,
+            "rounds": self.rounds,
+            "operations": self.operations,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "throughput_qps": round(self.throughput, 2),
+            "corruptions": len(self.corruptions),
+            "errors": self.errors[:10],
+            "rejected_retries": self.rejected_retries,
+            "per_query": dict(self.per_query),
+            "deadline_enforced": self.deadline_enforced,
+            "recovered_after_timeout": self.recovered_after_timeout,
+            "admission_enforced": self.admission_enforced,
+            "service": self.service_metrics,
+            "passed": self.passed,
+        }
+
+    def summary(self):
+        latency = self.service_metrics.get("latency", {})
+        plan = self.service_metrics.get("plan_cache", {})
+        lines = [
+            "bench-serve: %d clients x %d rounds, %d ops in %.2fs "
+            "(%.1f q/s)" % (
+                self.clients, self.rounds, self.operations,
+                self.duration_seconds, self.throughput,
+            ),
+            "  latency    p50 %.1f ms   p95 %.1f ms   p99 %.1f ms   "
+            "max %.1f ms" % (
+                latency.get("p50_s", 0.0) * 1e3,
+                latency.get("p95_s", 0.0) * 1e3,
+                latency.get("p99_s", 0.0) * 1e3,
+                latency.get("max_s", 0.0) * 1e3,
+            ),
+            "  plan cache %d hits / %d misses (%.0f%% hit rate)" % (
+                plan.get("hits", 0), plan.get("misses", 0),
+                plan.get("hit_rate", 0.0) * 100,
+            ),
+            "  correctness: %d corruptions, %d errors (multiset-checked "
+            "against serial baseline)" % (
+                len(self.corruptions), len(self.errors),
+            ),
+            "  deadline enforced: %s   recovered after timeout: %s   "
+            "admission fast-fail: %s" % (
+                self.deadline_enforced, self.recovered_after_timeout,
+                self.admission_enforced,
+            ),
+            "  verdict: %s" % ("PASS" if self.passed else "FAIL"),
+        ]
+        for name in sorted(self.per_query):
+            lines.append("    %-12s %4d ops" % (name, self.per_query[name]))
+        return "\n".join(lines)
+
+
+def run_bench(
+    clients=8,
+    rounds=2,
+    scale_factor=0.03,
+    seed=11,
+    timeout=60.0,
+    result_cache_size=0,
+    progress=None,
+):
+    """Build the dataset, run all phases, return a :class:`BenchReport`."""
+
+    def say(message):
+        if progress is not None:
+            progress(message)
+
+    report = BenchReport()
+    report.clients = clients
+    report.rounds = rounds
+
+    say("generating LDBC graph (scale %s, seed %d)..." % (scale_factor, seed))
+    dataset = LDBCGenerator(scale_factor=scale_factor, seed=seed).generate()
+    environment = ExecutionEnvironment()
+    graph = dataset.to_logical_graph(environment)
+    statistics = GraphStatistics.from_graph(graph)
+    workload = build_workload(dataset)
+
+    say("computing serial baseline (%d workload items)..." % len(workload))
+    baseline_runner = CypherRunner(graph, statistics=statistics)
+    reference = {}
+    for item in workload:
+        rows = baseline_runner.execute_table(item.query, item.parameters)
+        reference[item.name] = rows_multiset(rows)
+
+    registry = GraphRegistry()
+    registry.register(GRAPH_NAME, graph, statistics)
+    service = QueryService(
+        registry,
+        max_concurrency=clients,
+        max_queue=clients * 2,
+        result_cache_size=result_cache_size,
+    )
+
+    # Phase 1: concurrent load with differential verification -----------------
+    say("phase 1: %d clients, %d rounds over %d items..." % (
+        clients, rounds, len(workload)
+    ))
+    lock = threading.Lock()
+
+    def client_loop(client_index):
+        for round_index in range(rounds):
+            for offset in range(len(workload)):
+                # stagger the schedule per client so the same query is
+                # still executed concurrently by *different* clients at
+                # *different* times — more interleavings, same coverage
+                item = workload[(offset + client_index) % len(workload)]
+                try:
+                    result = service.execute(
+                        GRAPH_NAME, item.query,
+                        parameters=item.parameters, timeout=timeout,
+                    )
+                except AdmissionError:
+                    with lock:
+                        report.rejected_retries += 1
+                    time.sleep(0.005)
+                    continue
+                except Exception as error:  # noqa: BLE001 — reported
+                    with lock:
+                        report.errors.append(
+                            "%s: %s: %s" % (
+                                item.name, type(error).__name__, error,
+                            )
+                        )
+                    continue
+                observed = rows_multiset(result.rows)
+                with lock:
+                    report.operations += 1
+                    report.per_query[item.name] += 1
+                    if observed != reference[item.name]:
+                        report.corruptions.append({
+                            "query": item.name,
+                            "client": client_index,
+                            "round": round_index,
+                            "expected_rows": sum(
+                                reference[item.name].values()
+                            ),
+                            "observed_rows": sum(observed.values()),
+                        })
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_seconds = time.perf_counter() - started
+
+    # Phase 2: a slow query under a tiny deadline must time out ---------------
+    say("phase 2: deadline enforcement...")
+    # measure the slow query warm (its plan is cached from phase 1), then
+    # demand a deadline well inside that — scale-independent
+    probe_started = time.perf_counter()
+    service.execute(GRAPH_NAME, SLOW_QUERY, timeout=timeout)
+    warm_seconds = time.perf_counter() - probe_started
+    deadline = max(min(warm_seconds / 10.0, 0.005), 0.0002)
+    try:
+        service.execute(GRAPH_NAME, SLOW_QUERY, timeout=deadline)
+    except QueryTimeout:
+        report.deadline_enforced = True
+    except Exception as error:  # noqa: BLE001 — reported
+        report.errors.append(
+            "deadline phase: %s: %s" % (type(error).__name__, error)
+        )
+    # ...and the worker it ran on must be usable again afterwards
+    try:
+        probe = service.execute(
+            GRAPH_NAME,
+            parameterized(OPERATIONAL_QUERIES["Q1"]),
+            parameters={"firstName": dataset.first_name("high")},
+            timeout=timeout,
+        )
+        report.recovered_after_timeout = (
+            rows_multiset(probe.rows) == reference["Q1/high"]
+        )
+    except Exception as error:  # noqa: BLE001 — reported
+        report.errors.append(
+            "recovery probe: %s: %s" % (type(error).__name__, error)
+        )
+
+    # Phase 3: a saturated service must fast-fail, not queue unbounded --------
+    say("phase 3: admission control...")
+    tiny = QueryService(registry, max_concurrency=1, max_queue=0)
+    # occupancy is released only when the worker *finishes* a query, so
+    # flooding a one-slot service with back-to-back submissions (each a
+    # few microseconds apart, each query taking milliseconds) must see a
+    # full service within a few attempts — the occasional lucky gap where
+    # the worker drains between two submits just means one more try
+    pending = []
+    try:
+        for _ in range(50):
+            try:
+                pending.append(
+                    tiny.submit(GRAPH_NAME, SLOW_QUERY, timeout=timeout)
+                )
+            except AdmissionError:
+                report.admission_enforced = True
+                break
+        else:
+            report.errors.append(
+                "admission phase: 50 back-to-back submissions were all "
+                "admitted by a 1-slot service"
+            )
+    finally:
+        for future in pending:
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 — drained, not reported
+                pass
+        tiny.close(wait=True)
+
+    report.service_metrics = service.metrics_snapshot()
+    service.close(wait=True)
+    return report

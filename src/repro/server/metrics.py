@@ -1,0 +1,154 @@
+"""Service-level observability: counters, gauges and latency histograms.
+
+Everything here is deliberately stdlib-only and lock-protected — the
+query service records into these structures from every worker thread.
+The histogram uses logarithmic buckets (powers of two over microseconds)
+so percentile estimates stay cheap and bounded regardless of how many
+queries the service has seen; the reported percentile is the upper bound
+of the bucket the rank falls into, i.e. a conservative (pessimistic)
+estimate with <2x resolution error.
+"""
+
+import threading
+
+
+class LatencyHistogram:
+    """Log₂-bucketed latency histogram over seconds.
+
+    Bucket ``i`` covers latencies in ``[2**(i-1), 2**i)`` microseconds;
+    64 buckets reach ~2.9 hours, far beyond any deadline this service
+    will enforce.
+    """
+
+    BUCKETS = 64
+
+    def __init__(self):
+        self._counts = [0] * self.BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds):
+        micros = seconds * 1e6
+        index = 0
+        # smallest i with 2**i > micros, clamped to the last bucket
+        while index < self.BUCKETS - 1 and (1 << index) <= micros:
+            index += 1
+        self._counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, fraction):
+        """Upper-bound estimate of the ``fraction`` percentile, in seconds."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count + 0.5))
+        seen = 0
+        for index, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= rank:
+                return min((1 << index) / 1e6, self.max)
+        return self.max
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+            "max_s": self.max,
+        }
+
+
+class ServiceMetrics:
+    """All counters and gauges one :class:`QueryService` exposes.
+
+    ``queue_depth`` counts admitted queries not yet running; ``in_flight``
+    counts queries currently executing on a worker.  Latency is recorded
+    from submission to completion, so it includes queueing — that is the
+    latency a client observes.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.queue_depth = 0
+        self.in_flight = 0
+        self.max_queue_depth = 0
+        self.max_in_flight = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    # Lifecycle hooks (called by the service) --------------------------------
+
+    def on_submit(self):
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth += 1
+            if self.queue_depth > self.max_queue_depth:
+                self.max_queue_depth = self.queue_depth
+
+    def on_reject(self):
+        with self._lock:
+            self.rejected += 1
+
+    def on_start(self, queue_seconds):
+        with self._lock:
+            self.queue_depth -= 1
+            self.in_flight += 1
+            if self.in_flight > self.max_in_flight:
+                self.max_in_flight = self.in_flight
+            self.queue_wait.record(queue_seconds)
+
+    def on_finish(self, latency_seconds, outcome):
+        """``outcome`` is one of ``"completed"``, ``"failed"``, ``"timeout"``."""
+        with self._lock:
+            self.in_flight -= 1
+            self.latency.record(latency_seconds)
+            if outcome == "completed":
+                self.completed += 1
+            elif outcome == "timeout":
+                self.timeouts += 1
+            else:
+                self.failed += 1
+
+    def on_abandon(self):
+        """An admitted query never started (service shut down first)."""
+        with self._lock:
+            self.queue_depth -= 1
+
+    # Reporting ---------------------------------------------------------------
+
+    def snapshot(self, plan_cache=None, result_cache=None):
+        with self._lock:
+            data = {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "timeouts": self.timeouts,
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+                "max_queue_depth": self.max_queue_depth,
+                "max_in_flight": self.max_in_flight,
+                "latency": self.latency.snapshot(),
+                "queue_wait": self.queue_wait.snapshot(),
+            }
+        if plan_cache is not None:
+            data["plan_cache"] = plan_cache.stats.snapshot()
+            data["plan_cache"]["size"] = len(plan_cache)
+        if result_cache is not None:
+            data["result_cache"] = result_cache.stats.snapshot()
+            data["result_cache"]["size"] = len(result_cache)
+        return data

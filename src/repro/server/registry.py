@@ -1,0 +1,129 @@
+"""The registry of named graphs a query service executes against.
+
+Gradoop frames pattern matching as one operator inside a long-lived
+analytics service; the registry is the serving layer's handle on the
+graphs that service owns.  Each entry carries the graph, its (lazily
+computed) :class:`~repro.engine.GraphStatistics` and a **statistics
+version counter**: every mutation — replacing the graph, or telling the
+registry the graph changed underneath it — bumps the version, and because
+plan- and result-cache keys embed the version, a bump atomically
+invalidates every cached artifact derived from the old graph without the
+registry having to know which caches exist.
+"""
+
+import threading
+
+from repro.engine import GraphStatistics
+
+
+class UnknownGraphError(KeyError):
+    """Lookup of a graph name the registry does not know."""
+
+    def __init__(self, name, known=()):
+        message = "unknown graph %r" % name
+        if known:
+            message += " (registered: %s)" % ", ".join(sorted(known))
+        super().__init__(message)
+        self.name = name
+
+    def __str__(self):
+        return self.args[0]
+
+
+class RegisteredGraph:
+    """One named graph and its versioned statistics."""
+
+    def __init__(self, name, graph, statistics=None):
+        self.name = name
+        self.graph = graph
+        self._statistics = statistics
+        self._lock = threading.Lock()
+        if statistics is not None and not hasattr(statistics, "version"):
+            statistics.version = 0
+
+    @property
+    def environment(self):
+        return self.graph.environment
+
+    @property
+    def statistics(self):
+        """Graph statistics, computed on first use (one graph pass)."""
+        with self._lock:
+            if self._statistics is None:
+                self._statistics = GraphStatistics.from_graph(self.graph)
+            return self._statistics
+
+    @property
+    def version(self):
+        return getattr(self.statistics, "version", 0)
+
+    def touch(self):
+        """Record that the graph mutated: bump the statistics version.
+
+        Callers that change the data in place (or learn it changed) must
+        call this; cached plans and results keyed on the old version
+        become unreachable and age out of their LRU caches.  Returns the
+        new version.
+        """
+        statistics = self.statistics
+        statistics.version += 1
+        return statistics.version
+
+    def replace(self, graph, statistics=None):
+        """Swap in a new graph under the same name (version keeps rising)."""
+        with self._lock:
+            previous_version = (
+                self._statistics.version if self._statistics is not None else 0
+            )
+            self.graph = graph
+            self._statistics = statistics
+        # outside the lock: reading .statistics may compute from the graph
+        self.statistics.version = previous_version + 1
+        return self
+
+    def __repr__(self):
+        return "RegisteredGraph(%r, version=%d)" % (
+            self.name,
+            self._statistics.version if self._statistics is not None else 0,
+        )
+
+
+class GraphRegistry:
+    """Thread-safe name → :class:`RegisteredGraph` mapping."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._graphs = {}
+
+    def register(self, name, graph, statistics=None):
+        """Add ``name``; replaces an existing entry (bumping its version)."""
+        with self._lock:
+            entry = self._graphs.get(name)
+            if entry is None:
+                entry = RegisteredGraph(name, graph, statistics)
+                self._graphs[name] = entry
+                return entry
+        return entry.replace(graph, statistics)
+
+    def get(self, name):
+        with self._lock:
+            entry = self._graphs.get(name)
+        if entry is None:
+            raise UnknownGraphError(name, known=self.names())
+        return entry
+
+    def remove(self, name):
+        with self._lock:
+            return self._graphs.pop(name, None)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._graphs)
+
+    def __contains__(self, name):
+        with self._lock:
+            return name in self._graphs
+
+    def __len__(self):
+        with self._lock:
+            return len(self._graphs)

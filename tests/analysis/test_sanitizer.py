@@ -312,8 +312,9 @@ class TestReset:
         assert runner.explain_analyze(query) == runner.explain_analyze(query)
 
     def test_reset_covers_variable_length_expansion(self, figure1_graph):
-        # ExpandEmbeddings materializes eagerly inside bulk_iterate; reset
-        # must rebuild the whole iteration, not replay stale partitions
+        # ExpandEmbeddings runs its superstep loop in a lazy iteration
+        # operator; reset must rebuild the whole iteration DAG, not
+        # replay stale partitions
         runner = CypherRunner(figure1_graph)
         _, root = runner.compile(
             "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a"

@@ -1,0 +1,92 @@
+"""Latency histograms and the service metrics lifecycle."""
+
+from repro.cache import LRUCache
+from repro.server import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_records_accumulate(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.002, 0.004):
+            histogram.record(seconds)
+        assert histogram.count == 3
+        assert histogram.max == 0.004
+        assert abs(histogram.mean - 0.007 / 3) < 1e-12
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        histogram = LatencyHistogram()
+        for index in range(100):
+            histogram.record(0.0001 * (index + 1))
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert p50 <= p95 <= p99 <= histogram.max
+        # log2 buckets: the estimate is an upper bound within 2x
+        assert p50 >= 0.005  # the true median
+        assert p50 <= 0.011
+
+    def test_extreme_latency_lands_in_last_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.record(10_000.0)  # hours — beyond the bucket range
+        assert histogram.count == 1
+        assert histogram.percentile(0.99) == 10_000.0  # clamped to max
+
+    def test_snapshot_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {
+            "count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s",
+        }
+
+
+class TestServiceMetrics:
+    def test_lifecycle_gauges(self):
+        metrics = ServiceMetrics()
+        metrics.on_submit()
+        metrics.on_submit()
+        assert metrics.queue_depth == 2
+        metrics.on_start(queue_seconds=0.001)
+        assert metrics.queue_depth == 1
+        assert metrics.in_flight == 1
+        metrics.on_finish(0.01, "completed")
+        assert metrics.in_flight == 0
+        assert metrics.completed == 1
+        assert metrics.max_queue_depth == 2
+        assert metrics.max_in_flight == 1
+
+    def test_outcome_routing(self):
+        metrics = ServiceMetrics()
+        for outcome in ("completed", "failed", "timeout", "timeout"):
+            metrics.on_submit()
+            metrics.on_start(0.0)
+            metrics.on_finish(0.001, outcome)
+        snapshot = metrics.snapshot()
+        assert snapshot["completed"] == 1
+        assert snapshot["failed"] == 1
+        assert snapshot["timeouts"] == 2
+        assert snapshot["latency"]["count"] == 4
+
+    def test_reject_and_abandon(self):
+        metrics = ServiceMetrics()
+        metrics.on_reject()
+        metrics.on_submit()
+        metrics.on_abandon()
+        assert metrics.rejected == 1
+        assert metrics.queue_depth == 0
+
+    def test_snapshot_merges_cache_stats(self):
+        metrics = ServiceMetrics()
+        cache = LRUCache(maxsize=4)
+        cache.put("k", 1)
+        cache.get("k")
+        snapshot = metrics.snapshot(plan_cache=cache)
+        assert snapshot["plan_cache"]["hits"] == 1
+        assert snapshot["plan_cache"]["size"] == 1
+        assert "result_cache" not in snapshot

@@ -1,0 +1,145 @@
+"""The HTTP wire protocol, end to end over a real socket."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import GraphRegistry, QueryService, serve_in_thread
+
+PARAM_QUERY = "MATCH (p:Person) WHERE p.name = $name RETURN p.name"
+
+
+def http(method, url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def endpoint(figure1_graph):
+    registry = GraphRegistry()
+    registry.register("fig1", figure1_graph)
+    service = QueryService(registry, max_concurrency=2)
+    server, thread = serve_in_thread(service)
+    base = "http://%s:%d" % server.address
+    yield base, server, thread
+    server.stop()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+class TestEndpoints:
+    def test_health(self, endpoint):
+        base, _, _ = endpoint
+        status, body = http("GET", base + "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["graphs"] == ["fig1"]
+
+    def test_query_roundtrip(self, endpoint):
+        base, _, _ = endpoint
+        status, body = http("POST", base + "/query", {
+            "graph": "fig1", "query": PARAM_QUERY,
+            "parameters": {"name": "Alice"},
+        })
+        assert status == 200
+        assert body["row_count"] == 1
+        assert body["rows"] == [{"p.name": "Alice"}]
+
+    def test_prepare_then_execute_with_two_bindings(self, endpoint):
+        base, _, _ = endpoint
+        status, prepared = http("POST", base + "/prepare", {
+            "graph": "fig1", "query": PARAM_QUERY,
+        })
+        assert status == 200
+        assert prepared["parameter_names"] == ["name"]
+        for name in ("Alice", "Eve"):
+            status, body = http("POST", base + "/execute", {
+                "statement_id": prepared["statement_id"],
+                "parameters": {"name": name},
+            })
+            assert status == 200
+            assert body["rows"] == [{"p.name": name}]
+
+    def test_metrics_reports_progress(self, endpoint):
+        base, _, _ = endpoint
+        http("POST", base + "/query", {"graph": "fig1", "query": PARAM_QUERY,
+                                       "parameters": {"name": "Bob"}})
+        status, metrics = http("GET", base + "/metrics")
+        assert status == 200
+        assert metrics["completed"] >= 1
+        assert "plan_cache" in metrics
+
+
+class TestErrorMapping:
+    def test_unknown_graph_is_404(self, endpoint):
+        base, _, _ = endpoint
+        status, body = http("POST", base + "/query", {
+            "graph": "nope", "query": PARAM_QUERY,
+        })
+        assert status == 404
+        assert "nope" in body["error"]
+
+    def test_missing_field_is_400(self, endpoint):
+        base, _, _ = endpoint
+        status, _ = http("POST", base + "/query", {"graph": "fig1"})
+        assert status == 400
+
+    def test_malformed_json_is_400(self, endpoint):
+        base, _, _ = endpoint
+        request = urllib.request.Request(
+            base + "/query", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_syntax_error_is_400(self, endpoint):
+        base, _, _ = endpoint
+        status, _ = http("POST", base + "/query", {
+            "graph": "fig1", "query": "MATCH (p:Person RETURN",
+        })
+        assert status == 400
+
+    def test_expired_deadline_is_504(self, endpoint):
+        base, _, _ = endpoint
+        status, body = http("POST", base + "/query", {
+            "graph": "fig1", "query": PARAM_QUERY,
+            "parameters": {"name": "Alice"}, "timeout": 0.0,
+        })
+        assert status == 504
+
+    def test_unknown_route_is_404(self, endpoint):
+        base, _, _ = endpoint
+        status, _ = http("GET", base + "/nope")
+        assert status == 404
+
+
+class TestShutdownEndpoint:
+    def test_shutdown_stops_the_server(self, figure1_graph):
+        registry = GraphRegistry()
+        registry.register("fig1", figure1_graph)
+        service = QueryService(registry)
+        server, thread = serve_in_thread(service)
+        base = "http://%s:%d" % server.address
+        status, _ = http("POST", base + "/shutdown")
+        assert status == 200
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        # the stop runs on its own thread: serve loop exit happens first,
+        # the service close moments later
+        deadline = time.time() + 30
+        while not service.closed and time.time() < deadline:
+            time.sleep(0.01)
+        assert service.closed

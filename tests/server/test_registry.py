@@ -1,0 +1,76 @@
+"""GraphRegistry: named graphs with versioned statistics."""
+
+import pytest
+
+from repro.engine import GraphStatistics
+from repro.server import GraphRegistry, RegisteredGraph, UnknownGraphError
+
+
+@pytest.fixture
+def registry(figure1_graph):
+    registry = GraphRegistry()
+    registry.register("fig1", figure1_graph)
+    return registry
+
+
+class TestLookup:
+    def test_register_and_get(self, registry, figure1_graph):
+        entry = registry.get("fig1")
+        assert isinstance(entry, RegisteredGraph)
+        assert entry.name == "fig1"
+        assert entry.graph is figure1_graph
+
+    def test_unknown_graph_raises_with_known_names(self, registry):
+        with pytest.raises(UnknownGraphError) as excinfo:
+            registry.get("nope")
+        assert "nope" in str(excinfo.value)
+        assert "fig1" in str(excinfo.value)  # tells the caller what exists
+
+    def test_unknown_graph_error_is_a_key_error(self):
+        assert issubclass(UnknownGraphError, KeyError)
+
+    def test_contains_len_names(self, registry, figure1_graph):
+        assert "fig1" in registry
+        assert "nope" not in registry
+        assert len(registry) == 1
+        registry.register("other", figure1_graph)
+        assert registry.names() == ["fig1", "other"]
+
+    def test_remove(self, registry):
+        registry.remove("fig1")
+        assert "fig1" not in registry
+        assert registry.remove("fig1") is None  # idempotent
+
+
+class TestStatisticsVersioning:
+    def test_statistics_computed_lazily_from_graph(self, registry):
+        entry = registry.get("fig1")
+        statistics = entry.statistics
+        assert isinstance(statistics, GraphStatistics)
+        assert statistics.vertex_count_by_label.get("Person") == 3
+        assert entry.statistics is statistics  # computed once, then cached
+
+    def test_fresh_entry_starts_at_version_zero(self, registry):
+        assert registry.get("fig1").version == 0
+
+    def test_touch_bumps_version(self, registry):
+        entry = registry.get("fig1")
+        assert entry.touch() == 1
+        assert entry.touch() == 2
+        assert entry.version == 2
+
+    def test_reregister_keeps_version_rising(self, registry, figure1_graph):
+        entry = registry.get("fig1")
+        entry.touch()
+        replaced = registry.register("fig1", figure1_graph)
+        # same entry object, new graph, version strictly above the old one
+        assert replaced is entry
+        assert entry.version == 2
+
+    def test_explicit_statistics_are_used_verbatim(self, figure1_graph):
+        registry = GraphRegistry()
+        statistics = GraphStatistics.from_graph(figure1_graph)
+        statistics.version = 7
+        entry = registry.register("fig1", figure1_graph, statistics)
+        assert entry.statistics is statistics
+        assert entry.version == 7

@@ -1,0 +1,193 @@
+"""QueryService: admission control, deadlines, caching, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.dataflow import QueryTimeout
+from repro.engine import CypherRunner
+from repro.server import (
+    AdmissionError,
+    GraphRegistry,
+    QueryService,
+    ServiceClosedError,
+    UnknownGraphError,
+)
+from repro.server.bench import rows_multiset
+
+PLAIN_QUERY = "MATCH (p:Person) RETURN p.name"
+PARAM_QUERY = "MATCH (p:Person) WHERE p.name = $name RETURN p.name"
+
+
+@pytest.fixture
+def registry(figure1_graph):
+    registry = GraphRegistry()
+    registry.register("fig1", figure1_graph)
+    return registry
+
+
+@pytest.fixture
+def service(registry):
+    with QueryService(registry, max_concurrency=2, max_queue=4) as service:
+        yield service
+
+
+class TestExecution:
+    def test_plain_query_matches_direct_runner(self, service, figure1_graph):
+        result = service.execute("fig1", PLAIN_QUERY)
+        direct = CypherRunner(figure1_graph).execute_table(PLAIN_QUERY)
+        assert rows_multiset(result.rows) == rows_multiset(direct)
+        assert result.row_count == 3
+        assert result.prepared is False
+        assert result.result_cache_hit is False
+
+    def test_plain_query_warm_plan_hit(self, service):
+        cold = service.execute("fig1", PLAIN_QUERY)
+        warm = service.execute("fig1", PLAIN_QUERY)
+        assert cold.plan_cache_hit is False
+        assert warm.plan_cache_hit is True
+
+    def test_parameterized_query_routes_through_prepared_plan(self, service):
+        alice = service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        eve = service.execute("fig1", PARAM_QUERY, {"name": "Eve"})
+        assert alice.prepared is True
+        assert [row["p.name"] for row in alice.rows] == ["Alice"]
+        assert [row["p.name"] for row in eve.rows] == ["Eve"]
+        # second binding reuses the compiled plan from the shared cache
+        assert eve.plan_cache_hit is True
+
+    def test_unknown_graph_raises_through_future(self, service):
+        with pytest.raises(UnknownGraphError):
+            service.execute("nope", PLAIN_QUERY)
+
+    def test_failed_query_counted_and_service_survives(self, service):
+        with pytest.raises(Exception):
+            service.execute("fig1", "MATCH (p:Person RETURN")  # syntax error
+        assert service.metrics.snapshot()["failed"] == 1
+        assert service.execute("fig1", PLAIN_QUERY).row_count == 3
+
+    def test_submit_returns_future(self, service):
+        future = service.submit("fig1", PLAIN_QUERY)
+        assert future.result(timeout=30).row_count == 3
+
+
+class TestPreparedStatements:
+    def test_prepare_execute_rebind(self, service):
+        handle = service.prepare("fig1", PARAM_QUERY)
+        assert handle.parameter_names == ("name",)
+        alice = service.execute_prepared(handle.statement_id, {"name": "Alice"})
+        eve = service.execute_prepared(handle.statement_id, {"name": "Eve"})
+        assert [row["p.name"] for row in alice.rows] == ["Alice"]
+        assert [row["p.name"] for row in eve.rows] == ["Eve"]
+
+    def test_preparing_twice_shares_the_compiled_plan(self, service):
+        first = service.prepare("fig1", PARAM_QUERY)
+        second = service.prepare("fig1", PARAM_QUERY)
+        assert first.plan_cache_hit is False
+        assert second.plan_cache_hit is True
+        assert first.statement_id != second.statement_id
+
+    def test_unknown_statement_id(self, service):
+        with pytest.raises(KeyError):
+            service.execute_prepared("stmt-999", {"name": "Alice"})
+
+
+class TestResultCache:
+    @pytest.fixture
+    def caching_service(self, registry):
+        with QueryService(registry, result_cache_size=8) as service:
+            yield service
+
+    def test_repeat_query_hits_result_cache(self, caching_service):
+        cold = caching_service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        warm = caching_service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        assert cold.result_cache_hit is False
+        assert warm.result_cache_hit is True
+        assert warm.rows == cold.rows
+
+    def test_different_bindings_do_not_share_rows(self, caching_service):
+        caching_service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        eve = caching_service.execute("fig1", PARAM_QUERY, {"name": "Eve"})
+        assert eve.result_cache_hit is False
+        assert [row["p.name"] for row in eve.rows] == ["Eve"]
+
+    def test_touch_invalidates_cached_rows(self, caching_service, registry):
+        caching_service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        registry.get("fig1").touch()  # graph changed -> version bump
+        after = caching_service.execute("fig1", PARAM_QUERY, {"name": "Alice"})
+        assert after.result_cache_hit is False
+
+
+class TestAdmissionControl:
+    def test_saturated_service_fast_fails(self, registry):
+        # one worker, no queue: hold the worker hostage with an event, then
+        # the first submission fills the only capacity slot and the second
+        # must be rejected immediately (deterministic — occupancy is
+        # counted at submit time, before any worker picks the query up)
+        release = threading.Event()
+        with QueryService(registry, max_concurrency=1, max_queue=0) as service:
+            blocker = service._executor.submit(release.wait)
+            try:
+                queued = service.submit("fig1", PLAIN_QUERY)
+                with pytest.raises(AdmissionError):
+                    service.submit("fig1", PLAIN_QUERY)
+            finally:
+                release.set()
+            assert queued.result(timeout=30).row_count == 3
+            blocker.result(timeout=30)
+            # capacity freed: the service accepts work again
+            assert service.execute("fig1", PLAIN_QUERY).row_count == 3
+            assert service.metrics.snapshot()["rejected"] == 1
+
+    def test_invalid_capacity_configuration(self, registry):
+        with pytest.raises(ValueError):
+            QueryService(registry, max_concurrency=0)
+        with pytest.raises(ValueError):
+            QueryService(registry, max_queue=-1)
+
+
+class TestDeadlines:
+    def test_expired_deadline_times_out(self, service):
+        with pytest.raises(QueryTimeout):
+            service.execute("fig1", PLAIN_QUERY, timeout=0.0)
+        assert service.metrics.snapshot()["timeouts"] == 1
+
+    def test_worker_recovers_after_timeout(self, service):
+        with pytest.raises(QueryTimeout):
+            service.execute("fig1", PLAIN_QUERY, timeout=0.0)
+        result = service.execute("fig1", PLAIN_QUERY)
+        assert result.row_count == 3
+
+    def test_default_timeout_applies_to_every_query(self, registry):
+        with QueryService(registry, default_timeout=0.0) as service:
+            with pytest.raises(QueryTimeout):
+                service.execute("fig1", PLAIN_QUERY)
+
+    def test_explicit_timeout_overrides_default(self, registry):
+        with QueryService(registry, default_timeout=0.0) as service:
+            result = service.execute("fig1", PLAIN_QUERY, timeout=60.0)
+            assert result.row_count == 3
+
+
+class TestLifecycle:
+    def test_closed_service_rejects_submissions(self, registry):
+        service = QueryService(registry)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit("fig1", PLAIN_QUERY)
+
+    def test_close_is_idempotent(self, registry):
+        service = QueryService(registry)
+        service.close()
+        service.close()
+
+    def test_metrics_snapshot_shape(self, service):
+        service.execute("fig1", PLAIN_QUERY)
+        snapshot = service.metrics_snapshot()
+        assert snapshot["submitted"] == 1
+        assert snapshot["completed"] == 1
+        assert snapshot["graphs"] == ["fig1"]
+        assert snapshot["capacity"] == {"max_concurrency": 2, "max_queue": 4}
+        assert "plan_cache" in snapshot
+        assert snapshot["latency"]["count"] == 1
