@@ -1,5 +1,5 @@
-.PHONY: install test check lint typecheck bench examples reports clean \
-	serve-smoke bench-serve
+.PHONY: install test check lint typecheck racecheck bench examples reports \
+	clean serve-smoke bench-serve
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,14 @@ typecheck:
 	else \
 		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
+
+# the concurrency battery: static lock-discipline lint over our own
+# source, then the server suite under the runtime lock-order witness,
+# then the interleaving fuzzer's long (stress-marked) schedules
+racecheck:
+	python -m repro racecheck src/repro
+	REPRO_LOCK_WITNESS=1 pytest tests/server tests/analysis/test_witness.py
+	pytest -m stress tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only

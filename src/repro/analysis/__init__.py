@@ -12,6 +12,11 @@ Four layers over the Cypher pipeline:
   boundary against the §3.3 byte layout and the morphism semantics.
 * :func:`differential_check` and :func:`audit_estimates` — dynamic
   cross-planner result comparison and per-operator cardinality q-error.
+* :mod:`repro.analysis.concurrency` — the concurrency correctness
+  toolkit for *our own* serving code: the static lock-discipline linter
+  (C3xx, ``repro racecheck``), the runtime lock-order witness and the
+  deterministic interleaving fuzzer.  Imported lazily by tooling — not
+  re-exported here, so importing :mod:`repro.analysis` stays cheap.
 
 The invariants tying them together (property-tested): a query that lints
 without errors plans into a tree that verifies cleanly under every

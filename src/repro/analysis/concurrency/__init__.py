@@ -1,0 +1,60 @@
+"""Concurrency correctness toolkit for the serving stack.
+
+Three detectors, one per failure mode of hand-rolled lock discipline:
+
+* :func:`racecheck_paths` / :class:`RaceChecker` — **static**
+  lock-discipline linter (C3xx codes): parses our own source, reads the
+  ``# guarded-by:`` annotations and reports unguarded shared-field
+  access, statically inferable lock-order inversions, blocking calls
+  under a lock and per-call locks.  Surfaced as ``repro racecheck``.
+* :class:`~repro.locks.LockOrderWitness` — **runtime** lock-order
+  witness (re-exported from :mod:`repro.locks`): records the global
+  acquisition graph while the test suite runs and fails on cycles, i.e.
+  deadlocks that never actually fired.
+* :class:`InterleavingFuzzer` — **dynamic** seeded interleaving fuzzer:
+  drives workloads through adversarial schedules and checks caller
+  invariants afterwards.
+
+The witness itself lives in the stdlib-only :mod:`repro.locks` (the
+cache and server layers import it, so it must sit below the analysis
+package); it is re-exported here so tooling has one import surface.
+"""
+
+from repro.locks import (
+    InstrumentedLock,
+    LockOrderError,
+    LockOrderWitness,
+    current_witness,
+    install_witness,
+    named_lock,
+    named_rlock,
+    uninstall_witness,
+    witness_installed,
+)
+
+from .fuzzer import FuzzContext, InterleavingFuzzer, RaceFinding
+from .racecheck import (
+    RaceChecker,
+    RaceReport,
+    racecheck_paths,
+    racecheck_source,
+)
+
+__all__ = [
+    "FuzzContext",
+    "InstrumentedLock",
+    "InterleavingFuzzer",
+    "LockOrderError",
+    "LockOrderWitness",
+    "RaceChecker",
+    "RaceFinding",
+    "RaceReport",
+    "current_witness",
+    "install_witness",
+    "named_lock",
+    "named_rlock",
+    "racecheck_paths",
+    "racecheck_source",
+    "uninstall_witness",
+    "witness_installed",
+]

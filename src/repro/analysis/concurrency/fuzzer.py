@@ -1,0 +1,222 @@
+"""Deterministic interleaving fuzzer: seeded adversarial schedules.
+
+Plain stress tests find races by luck; this module finds them by
+*construction*.  Each schedule derives every decision from one seed:
+
+* ``sys.setswitchinterval`` is set to a tiny schedule-specific value, so
+  the interpreter preempts threads every few hundred bytecodes instead
+  of every 5 ms — orders of magnitude more interleavings per second;
+* worker code calls :meth:`FuzzContext.step` at its interesting points
+  (between a read and the dependent write, before a cache probe, …).
+  At seeded step indices *all* threads rendezvous on a barrier — forcing
+  every worker into the critical region at the same instant — and at
+  other seeded points a thread yields the GIL (``time.sleep(0)``),
+  perturbing the arrival order;
+* per-thread jitter decisions come from per-thread ``random.Random``
+  instances derived from the schedule seed, so a failing schedule is
+  reproducible from its ``(seed, schedule)`` pair alone.
+
+Findings are *invariant violations*: after each schedule the caller's
+``invariant`` callable inspects the shared state and raises
+``AssertionError`` (or returns an error string) when the interleaving
+corrupted it — lost updates, torn snapshots, missed cancellations.
+
+Usage::
+
+    fuzzer = InterleavingFuzzer(seed=7, schedules=20, threads=4)
+    findings = fuzzer.run(
+        setup=lambda: LRUCache(8),
+        worker=lambda cache, ctx: do_lookups(cache, ctx),
+        invariant=lambda cache: check_stats(cache),
+    )
+    assert not findings, findings[0]
+
+The long, thorough configurations belong behind the ``stress`` pytest
+marker (deselected from tier-1); the default settings keep one fuzz run
+in the tens of milliseconds.
+"""
+
+import random
+import sys
+import threading
+import time
+
+__all__ = ["FuzzContext", "InterleavingFuzzer", "RaceFinding"]
+
+#: default upper bound on the step index a barrier may be planted at
+DEFAULT_HOT_RANGE = 24
+
+#: how long a thread waits at a planted barrier before giving up —
+#: schedules stay adversarial without deadlocking uneven workloads
+BARRIER_TIMEOUT = 0.05
+
+
+class RaceFinding:
+    """One schedule whose invariant failed (or whose worker crashed)."""
+
+    __slots__ = ("seed", "schedule", "kind", "message")
+
+    def __init__(self, seed, schedule, kind, message):
+        self.seed = seed
+        self.schedule = schedule
+        self.kind = kind  # "invariant" or "worker"
+        self.message = message
+
+    def __repr__(self):
+        return "RaceFinding(seed=%d, schedule=%d, %s: %s)" % (
+            self.seed, self.schedule, self.kind, self.message,
+        )
+
+
+class FuzzContext:
+    """Per-schedule scheduling state shared by the worker threads.
+
+    Workers receive one context and call :meth:`step` at the points
+    where an adversarial scheduler could interleave them.  The context
+    is also the reproducibility record: :attr:`trace` logs every
+    scheduling action as ``(thread_index, step_index, action)``.
+    """
+
+    def __init__(self, seed, schedule, threads, hot_steps, yield_rate):
+        self.seed = seed
+        self.schedule = schedule
+        self.threads = threads
+        self.hot_steps = hot_steps
+        self.yield_rate = yield_rate
+        self._barrier = threading.Barrier(threads)
+        self._local = threading.local()
+        self._trace = []
+        self._trace_lock = threading.Lock()
+
+    def bind(self, thread_index):
+        """Install this thread's deterministic decision stream."""
+        self._local.index = thread_index
+        self._local.steps = 0
+        self._local.rng = random.Random(
+            (self.seed * 1000003 + self.schedule) * 8191 + thread_index
+        )
+
+    @property
+    def thread_index(self):
+        """The calling worker's index (``None`` on unbound threads)."""
+        return getattr(self._local, "index", None)
+
+    @property
+    def trace(self):
+        with self._trace_lock:
+            return list(self._trace)
+
+    def _record(self, thread_index, step_index, action):
+        with self._trace_lock:
+            self._trace.append((thread_index, step_index, action))
+
+    def step(self):
+        """One potential preemption point in the worker's critical code."""
+        index = getattr(self._local, "index", None)
+        if index is None:  # unbound thread (e.g. pool worker): no-op
+            return
+        self._local.steps += 1
+        count = self._local.steps
+        if count in self.hot_steps:
+            self._record(index, count, "barrier")
+            try:
+                self._barrier.wait(timeout=BARRIER_TIMEOUT)
+            except threading.BrokenBarrierError:
+                self._barrier.reset()
+        elif self._local.rng.random() < self.yield_rate:
+            self._record(index, count, "yield")
+            time.sleep(0)
+
+    def random(self):
+        """This thread's seeded RNG (for workers that need choices)."""
+        return self._local.rng
+
+
+class InterleavingFuzzer:
+    """Runs a workload under many seeded adversarial schedules."""
+
+    def __init__(self, seed=0, schedules=20, threads=4,
+                 hot_barriers=1, hot_range=DEFAULT_HOT_RANGE,
+                 yield_rate=0.25):
+        if threads < 2:
+            raise ValueError("an interleaving fuzzer needs >= 2 threads")
+        self.seed = seed
+        self.schedules = schedules
+        self.threads = threads
+        self.hot_barriers = hot_barriers
+        self.hot_range = hot_range
+        self.yield_rate = yield_rate
+
+    def _schedule_context(self, schedule):
+        rng = random.Random(self.seed * 2654435761 + schedule)
+        hot_steps = frozenset(
+            rng.randrange(1, self.hot_range + 1)
+            for _ in range(self.hot_barriers)
+        )
+        # 1 µs .. 100 µs: far below the 5 ms default, different per run
+        switch_interval = 10.0 ** rng.uniform(-6.0, -4.0)
+        context = FuzzContext(
+            self.seed, schedule, self.threads, hot_steps, self.yield_rate
+        )
+        return context, switch_interval
+
+    def run(self, setup, worker, invariant=None, teardown=None,
+            schedules=None):
+        """Fuzz one workload; returns the list of :class:`RaceFinding`.
+
+        ``setup()`` builds fresh shared state per schedule;
+        ``worker(state, context)`` runs on every thread (call
+        ``context.step()`` at the interesting points);
+        ``invariant(state)`` runs after the join and raises
+        ``AssertionError`` / returns an error string on corruption;
+        ``teardown(state)`` always runs last.
+        """
+        findings = []
+        total = self.schedules if schedules is None else schedules
+        original_interval = sys.getswitchinterval()
+        try:
+            for schedule in range(total):
+                context, switch_interval = self._schedule_context(schedule)
+                state = setup()
+                errors = []
+                sys.setswitchinterval(switch_interval)
+
+                def run_worker(thread_index, context=context, state=state,
+                               errors=errors):
+                    context.bind(thread_index)
+                    try:
+                        worker(state, context)
+                    except BaseException as exc:  # noqa: BLE001 — reported
+                        errors.append("thread %d: %r" % (thread_index, exc))
+
+                threads = [
+                    threading.Thread(
+                        target=run_worker, args=(index,),
+                        name="fuzz-%d-%d" % (schedule, index), daemon=True,
+                    )
+                    for index in range(self.threads)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                sys.setswitchinterval(original_interval)
+
+                for message in errors:
+                    findings.append(RaceFinding(
+                        self.seed, schedule, "worker", message
+                    ))
+                if invariant is not None and not errors:
+                    try:
+                        verdict = invariant(state)
+                    except AssertionError as exc:
+                        verdict = str(exc) or "invariant failed"
+                    if verdict:
+                        findings.append(RaceFinding(
+                            self.seed, schedule, "invariant", str(verdict)
+                        ))
+                if teardown is not None:
+                    teardown(state)
+        finally:
+            sys.setswitchinterval(original_interval)
+        return findings

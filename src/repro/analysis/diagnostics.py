@@ -18,6 +18,12 @@ Code ranges:
   instrumented (sanitized) execution, the cross-planner differential
   checker and the cardinality-estimate audit.  Unlike the static ranges
   these carry no source span — they point at operators, not query text.
+* ``C3xx`` — concurrency findings from the lock-discipline linter
+  (``repro racecheck``, :mod:`repro.analysis.concurrency`): these point
+  at *our own* Python source (``file:line`` in the message, no query
+  span) — shared fields accessed outside their declared ``# guarded-by``
+  lock, statically inferable lock-order inversions, blocking calls made
+  while holding a lock, and locks created per call.
 """
 
 import enum
@@ -97,6 +103,21 @@ CODES = {
     "S211": (Severity.WARNING, "estimate-q-error",
              "cardinality estimate off from the actual count by more than "
              "the configured factor"),
+    "C301": (Severity.ERROR, "unguarded-field-access",
+             "shared field read or written without holding its declared "
+             "guarded-by lock"),
+    "C302": (Severity.ERROR, "lock-order-inversion",
+             "two locks acquired in contradictory orders — a potential "
+             "deadlock"),
+    "C303": (Severity.ERROR, "blocking-call-under-lock",
+             "blocking call (sleep, queue/future wait, I/O) made while "
+             "holding a lock"),
+    "C304": (Severity.ERROR, "per-call-lock",
+             "lock created and acquired inside one call — it guards "
+             "nothing"),
+    "C305": (Severity.WARNING, "unknown-guard",
+             "guarded-by annotation names a lock attribute the class does "
+             "not define"),
 }
 
 #: Codes the runner refuses to execute: the compiler would reject these

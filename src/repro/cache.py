@@ -8,43 +8,79 @@ statistics version, the query text, parameter values, morphism strategies,
 planner and instrumentation mode.
 """
 
-import threading
 from collections import OrderedDict
+
+from repro.locks import named_lock
 
 
 class CacheStats:
-    """Monotonic counters describing one cache's behaviour."""
+    """Monotonic counters describing one cache's behaviour.
 
-    __slots__ = ("hits", "misses", "evictions", "invalidations")
+    The counters carry their own (leaf) lock rather than borrowing the
+    owning cache's: ``snapshot()`` and the derived properties are read
+    by observers (metrics endpoints, benches) that never hold the cache
+    lock, so unlocked counters would tear — a ``hits`` from before a
+    concurrent lookup summed with a ``misses`` from after it.
+    """
+
+    __slots__ = ("_lock", "hits", "misses", "evictions", "invalidations")
 
     def __init__(self):
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self._lock = named_lock("cache.stats")
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
+
+    # Recording (called by the owning cache) ----------------------------------
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def record_eviction(self):
+        with self._lock:
+            self.evictions += 1
+
+    def record_invalidations(self, count):
+        with self._lock:
+            self.invalidations += count
+
+    # Reading ------------------------------------------------------------------
 
     @property
     def lookups(self):
-        return self.hits + self.misses
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self):
-        lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def snapshot(self):
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(
+                    self.hits / lookups if lookups else 0.0, 4
+                ),
+            }
 
     def __repr__(self):
-        return "CacheStats(hits=%d, misses=%d, evictions=%d)" % (
-            self.hits, self.misses, self.evictions
-        )
+        with self._lock:
+            return "CacheStats(hits=%d, misses=%d, evictions=%d)" % (
+                self.hits, self.misses, self.evictions
+            )
 
 
 class LRUCache:
@@ -54,13 +90,17 @@ class LRUCache:
     concurrent service queries.  ``maxsize <= 0`` disables storage
     entirely (every ``get`` is a miss) — callers can keep one code path
     whether a cache is configured or not.
+
+    ``name`` names the lock in the lock-order witness graph, so the plan
+    and result caches show up as distinct roles ("cache.plan",
+    "cache.result") instead of one anonymous mutex.
     """
 
-    def __init__(self, maxsize=128):
-        self.maxsize = maxsize
-        self.stats = CacheStats()
-        self._entries = OrderedDict()
-        self._lock = threading.Lock()
+    def __init__(self, maxsize=128, name="cache.lru"):
+        self.maxsize = maxsize  # unsynchronized: immutable after construction
+        self.stats = CacheStats()  # unsynchronized: assigned once; self-locking
+        self._entries = OrderedDict()  # guarded-by: _lock
+        self._lock = named_lock(name)
 
     def get(self, key, default=None):
         """The cached value (refreshing its recency), or ``default``."""
@@ -68,10 +108,10 @@ class LRUCache:
             try:
                 value = self._entries[key]
             except KeyError:
-                self.stats.misses += 1
+                self.stats.record_miss()
                 return default
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record_hit()
             return value
 
     def put(self, key, value):
@@ -84,7 +124,7 @@ class LRUCache:
             self._entries[key] = value
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
 
     def invalidate(self, predicate=None):
         """Drop entries (all of them, or those whose key matches).
@@ -103,7 +143,7 @@ class LRUCache:
                 for key in doomed:
                     del self._entries[key]
                 removed = len(doomed)
-            self.stats.invalidations += removed
+            self.stats.record_invalidations(removed)
             return removed
 
     def clear(self):

@@ -198,6 +198,32 @@ def cmd_check(args):
     return 3 if warnings else 0
 
 
+def cmd_racecheck(args):
+    """Static lock-discipline lint (C3xx) over our own Python source.
+
+    Exit codes match ``repro check``: 0 clean, 1 error diagnostics,
+    2 un-parseable source, 3 warnings only.
+    """
+    from repro.analysis.concurrency import racecheck_paths
+
+    try:
+        report = racecheck_paths(args.paths)
+    except SyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format())
+    if args.verbose:
+        print(report.format_graph(), file=sys.stderr)
+    print("-- %s" % report.format_summary(), file=sys.stderr)
+    if report.errors:
+        return 1
+    return 3 if report.warnings else 0
+
+
 def cmd_stats(args):
     environment, graph, statistics = _load(args)
     if statistics is None:
@@ -475,6 +501,22 @@ def build_parser():
         help="estimate q-error above which S211 warnings are emitted",
     )
     check.set_defaults(handler=cmd_check)
+
+    racecheck = commands.add_parser(
+        "racecheck",
+        help="static lock-discipline lint (C3xx) over Python source: "
+        "guarded-by violations, lock-order inversions, blocking calls "
+        "under locks, per-call locks",
+    )
+    racecheck.add_argument(
+        "paths", nargs="+",
+        help="Python files or directories (e.g. src/repro)",
+    )
+    racecheck.add_argument(
+        "--verbose", action="store_true",
+        help="also print the static lock-order graph",
+    )
+    racecheck.set_defaults(handler=cmd_racecheck)
 
     stats = commands.add_parser("stats", help="show graph statistics")
     stats.add_argument("graph")

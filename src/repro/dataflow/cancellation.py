@@ -39,9 +39,13 @@ class CancellationToken:
 
     def __init__(self, deadline=None):
         #: absolute :func:`time.monotonic` timestamp, or ``None``
-        self.deadline = deadline
-        self._cancelled = False
-        self._reason = None
+        self.deadline = deadline  # unsynchronized: immutable after construction
+        # deliberately lock-free: polled at POLL_INTERVAL record boundaries
+        # on the hot path.  _cancelled only ever goes False -> True, and
+        # cancel() stores _reason *before* flipping it, so a poll that
+        # observes the flag also observes its reason (GIL store ordering).
+        self._cancelled = False  # unsynchronized: monotone flag, see above
+        self._reason = None  # unsynchronized: written before _cancelled flips
 
     @classmethod
     def with_timeout(cls, seconds):

@@ -43,9 +43,12 @@ class ExecutionEnvironment:
             cost_model = ClusterCostModel(workers=parallelism or 4)
         elif parallelism is not None and parallelism != cost_model.workers:
             cost_model = cost_model.with_workers(parallelism)
-        self.cost_model = cost_model
-        self.metrics = JobMetrics()
-        self._scopes = threading.local()
+        self.cost_model = cost_model  # unsynchronized: immutable after init
+        # the shared default accumulator: concurrent service queries never
+        # record here (each runs under a per-thread job scope); only
+        # single-threaded callers and reset_metrics touch it
+        self.metrics = JobMetrics()  # unsynchronized: job scopes bypass it
+        self._scopes = threading.local()  # unsynchronized: thread-local
 
     @property
     def parallelism(self):

@@ -21,8 +21,6 @@ concurrently.  The query service hands out one statement object per
 ``(graph, query)`` for exactly this reason.
 """
 
-import threading
-
 from repro.analysis.diagnostics import QueryLintError
 from repro.analysis.linter import lint_query
 from repro.cypher.parameters import (
@@ -34,6 +32,7 @@ from repro.cypher.parameters import (
 from repro.cypher.parser import parse
 from repro.cypher.query_graph import QueryHandler
 from repro.dataflow.cancellation import CancellationToken
+from repro.locks import named_rlock
 
 
 class PreparedStatement:
@@ -49,10 +48,10 @@ class PreparedStatement:
         self.parameter_names = tuple(sorted(find_parameters(self._ast)))
         self._binding = ParameterBinding(self.parameter_names)
         #: diagnostics from the most recent bind-time lint
-        self.last_diagnostics = []
-        #: executions completed so far (monotone; under the statement lock)
-        self.executions = 0
-        self._lock = threading.RLock()
+        self.last_diagnostics = []  # guarded-by: _lock
+        #: executions completed so far (monotone)
+        self.executions = 0  # guarded-by: _lock
+        self._lock = named_rlock("statement")
 
         if runner.lint_enabled:
             diagnostics = lint_query(self._ast, statistics=runner.statistics)
@@ -117,12 +116,13 @@ class PreparedStatement:
         """
         if validate is None:
             validate = self.runner.lint_enabled
-        if validate:
-            self.last_diagnostics = self.validate(parameters)
+        diagnostics = self.validate(parameters) if validate else None
         token = cancellation
         if token is None and timeout is not None:
             token = CancellationToken.with_timeout(timeout)
         with self._lock:
+            if diagnostics is not None:
+                self.last_diagnostics = diagnostics
             self._binding.assign(parameters or {})
             environment = self.runner.graph.environment
             with environment.job("prepared", cancellation=token) as metrics:
@@ -167,8 +167,10 @@ class PreparedStatement:
         return self._binding.generation
 
     def __repr__(self):
+        with self._lock:
+            executions = self.executions
         return "PreparedStatement(%r, parameters=%s, executions=%d)" % (
             self.text.strip().splitlines()[0][:40] if self.text.strip() else "",
             list(self.parameter_names),
-            self.executions,
+            executions,
         )

@@ -1,0 +1,367 @@
+"""Named locks and the runtime lock-order witness.
+
+Every lock in the serving stack is created through :func:`named_lock` /
+:func:`named_rlock` instead of ``threading.Lock()`` directly.  The
+returned :class:`InstrumentedLock` behaves exactly like the stdlib lock
+it wraps — until a :class:`LockOrderWitness` is installed (the *one
+import switch*: :func:`install_witness`), at which point every
+acquisition records an edge from each lock the thread already holds to
+the lock being acquired.  The resulting global acquisition graph is the
+witness: a cycle in it is a lock-order inversion, i.e. a potential
+deadlock — even one that never actually fired during the run.
+
+The witness also converts two guaranteed-hang bugs into immediate,
+debuggable exceptions while it is installed:
+
+* re-acquiring a *non-reentrant* lock the thread already holds
+  (self-deadlock) raises :class:`LockOrderError` instead of hanging;
+* :meth:`LockOrderWitness.assert_acyclic` raises with the full cycle and
+  one example acquisition site per edge.
+
+When no witness is installed the overhead per acquisition is one module
+global read and a ``None`` check; the test suite enables the witness via
+``REPRO_LOCK_WITNESS=1`` (see ``tests/conftest.py``) and ``make
+racecheck`` runs the server suite under it.
+
+This module is deliberately stdlib-only and imports nothing from
+``repro`` — the cache, server, dataflow and engine layers all depend on
+it, so it must sit below every one of them.
+"""
+
+import contextlib
+import itertools
+import sys
+import threading
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderError",
+    "LockOrderWitness",
+    "current_witness",
+    "install_witness",
+    "named_lock",
+    "named_rlock",
+    "uninstall_witness",
+    "witness_installed",
+]
+
+#: the one import switch: ``None`` (plain locking) or the installed witness
+_witness = None
+
+_anonymous = itertools.count(1)
+
+
+class LockOrderError(RuntimeError):
+    """A lock-order violation observed (or provoked) by the witness."""
+
+
+def named_lock(name=None):
+    """A non-reentrant mutex carrying ``name`` in the witness graph."""
+    if name is None:
+        name = "lock-%d" % next(_anonymous)
+    return InstrumentedLock(name, threading.Lock(), reentrant=False)
+
+
+def named_rlock(name=None):
+    """A reentrant mutex carrying ``name`` in the witness graph."""
+    if name is None:
+        name = "rlock-%d" % next(_anonymous)
+    return InstrumentedLock(name, threading.RLock(), reentrant=True)
+
+
+def install_witness(witness=None):
+    """Install (and return) the process-wide lock-order witness.
+
+    All :class:`InstrumentedLock` acquisitions from now on report into
+    it, including locks created before the install.
+    """
+    global _witness
+    if witness is None:
+        witness = LockOrderWitness()
+    _witness = witness
+    return witness
+
+
+def uninstall_witness():
+    """Remove the installed witness (if any) and return it."""
+    global _witness
+    witness = _witness
+    _witness = None
+    return witness
+
+
+def current_witness():
+    return _witness
+
+
+@contextlib.contextmanager
+def witness_installed(witness=None):
+    """Scoped install for tests; restores the previous witness on exit."""
+    global _witness
+    previous = _witness
+    if witness is None:
+        witness = LockOrderWitness()
+    _witness = witness
+    try:
+        yield witness
+    finally:
+        _witness = previous
+
+
+class InstrumentedLock:
+    """A stdlib lock plus a stable name for the acquisition graph.
+
+    Exposes the usual ``acquire``/``release``/context-manager protocol.
+    Witness bookkeeping happens *outside* the wrapped lock: the held
+    stack is thread-local and the graph updates take the witness's own
+    internal (leaf) lock, so instrumentation can never deadlock against
+    the locks it observes.
+    """
+
+    __slots__ = ("name", "reentrant", "_inner")
+
+    def __init__(self, name, inner=None, reentrant=False):
+        self.name = name
+        self.reentrant = reentrant
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking=True, timeout=-1):
+        witness = _witness
+        if witness is not None:
+            witness.before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if witness is not None and acquired:
+            witness.after_acquire(self)
+        return acquired
+
+    def release(self):
+        witness = _witness
+        if witness is not None:
+            witness.on_release(self)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+
+    def __repr__(self):
+        return "InstrumentedLock(%r%s)" % (
+            self.name, ", reentrant" if self.reentrant else ""
+        )
+
+
+def _acquisition_site():
+    """``file:line (function)`` of the frame that asked for the lock."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return "%s:%d (%s)" % (
+        frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name
+    )
+
+
+class LockOrderWitness:
+    """Records the global lock acquisition graph and detects cycles.
+
+    Nodes are lock *names* (not instances): two locks created for the
+    same role — e.g. every ``cache.stats`` — share a node, so the graph
+    states the intended order over lock roles and a cycle between roles
+    is flagged even when the two runs touched different instances.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._held = threading.local()
+        self._edges = {}  # guarded-by: _lock
+        self._names = set()  # guarded-by: _lock
+        self._acquisitions = 0  # guarded-by: _lock
+
+    # Hooks called by InstrumentedLock ----------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def before_acquire(self, lock):
+        stack = self._stack()
+        for held in stack:
+            if held is lock:
+                if lock.reentrant:
+                    return
+                raise LockOrderError(
+                    "self-deadlock: thread %r is re-acquiring non-reentrant "
+                    "lock %r it already holds (at %s)"
+                    % (threading.current_thread().name, lock.name,
+                       _acquisition_site())
+                )
+        # a same-name pair here is two distinct instances of one role
+        # nested inside each other: a self-loop in the role graph, which
+        # find_cycles reports as a cycle
+        edges = [(held.name, lock.name) for held in stack]
+        if not edges:
+            return
+        with self._lock:
+            fresh = [edge for edge in edges if edge not in self._edges]
+            if not fresh:
+                return
+            site = _acquisition_site()
+            for edge in fresh:
+                self._edges[edge] = site
+
+    def after_acquire(self, lock):
+        self._stack().append(lock)
+        with self._lock:
+            self._names.add(lock.name)
+            self._acquisitions += 1
+
+    def on_release(self, lock):
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # Reporting ---------------------------------------------------------------
+
+    def edges(self):
+        """``{(from_name, to_name): example_site}`` snapshot."""
+        with self._lock:
+            return dict(self._edges)
+
+    def lock_names(self):
+        with self._lock:
+            return sorted(self._names)
+
+    @property
+    def acquisitions(self):
+        with self._lock:
+            return self._acquisitions
+
+    def find_cycles(self):
+        """All elementary lock-order cycles, each as a list of names.
+
+        Returns one representative cycle per strongly connected
+        component of size > 1 (plus every self-loop) — enough to name
+        the deadlock without enumerating the exponential cycle space.
+        """
+        edges = self.edges()
+        graph = {}
+        for source, target in edges:
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+        cycles = [
+            [name, name] for name in graph if name in graph.get(name, ())
+        ]
+        for component in _strongly_connected(graph):
+            if len(component) > 1:
+                cycles.append(_component_cycle(graph, component))
+        return cycles
+
+    def assert_acyclic(self):
+        """Raise :class:`LockOrderError` naming every cycle, or pass."""
+        cycles = self.find_cycles()
+        if not cycles:
+            return
+        edges = self.edges()
+        lines = [
+            "lock-order witness found %d cycle(s) in the acquisition graph:"
+            % len(cycles)
+        ]
+        for cycle in cycles:
+            lines.append("  cycle: %s" % " -> ".join(cycle))
+            for source, target in zip(cycle, cycle[1:]):
+                site = edges.get((source, target), "<unrecorded>")
+                lines.append("    %s -> %s   first seen at %s"
+                             % (source, target, site))
+        raise LockOrderError("\n".join(lines))
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "locks": sorted(self._names),
+                "edges": sorted("%s -> %s" % edge for edge in self._edges),
+                "acquisitions": self._acquisitions,
+            }
+
+    def format_graph(self):
+        """Human-readable edge list with example acquisition sites."""
+        edges = self.edges()
+        lines = [
+            "lock-order witness: %d lock(s), %d edge(s), %d acquisition(s)"
+            % (len(self.lock_names()), len(edges), self.acquisitions)
+        ]
+        for (source, target) in sorted(edges):
+            lines.append(
+                "  %-24s -> %-24s %s" % (source, target, edges[(source, target)])
+            )
+        return "\n".join(lines)
+
+
+def _strongly_connected(graph):
+    """Tarjan's SCC over ``{node: set(successors)}`` (iterative)."""
+    index_of, low, on_stack = {}, {}, set()
+    stack, components = [], []
+    counter = itertools.count()
+    for root in graph:
+        if root in index_of:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index_of[root] = low[root] = next(counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = low[successor] = next(counter)
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    low[node] = min(low[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _component_cycle(graph, component):
+    """One concrete cycle walk inside a strongly connected component."""
+    members = set(component)
+    start = sorted(component)[0]
+    path, seen = [start], {start}
+    node = start
+    while True:
+        successor = next(
+            candidate for candidate in sorted(graph[node])
+            if candidate in members
+        )
+        if successor in seen:
+            path.append(successor)
+            return path[path.index(successor):]
+        path.append(successor)
+        seen.add(successor)
+        node = successor

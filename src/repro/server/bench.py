@@ -23,6 +23,7 @@ from repro.dataflow import ExecutionEnvironment, QueryTimeout
 from repro.engine import CypherRunner, GraphStatistics
 from repro.harness.queries import ANALYTICAL_QUERIES, OPERATIONAL_QUERIES
 from repro.ldbc import LDBCGenerator
+from repro.locks import named_rlock
 
 from .registry import GraphRegistry
 from .service import AdmissionError, QueryService
@@ -80,27 +81,58 @@ def build_workload(dataset, selectivities=("high", "medium")):
 
 
 class BenchReport:
-    """Everything ``repro bench-serve`` measured, with pass/fail flags."""
+    """Everything ``repro bench-serve`` measured, with pass/fail flags.
+
+    Client threads record through the ``record_*`` methods, which take
+    the report's own (reentrant) lock — the report owns its counters'
+    consistency instead of leaning on every caller to wrap accesses in
+    an external mutex.  The single-writer phase fields (``clients``,
+    ``deadline_enforced``, ...) are set by the main bench thread before
+    the clients start or after they join.
+    """
 
     def __init__(self):
-        self.clients = 0
-        self.rounds = 0
-        self.operations = 0
-        self.duration_seconds = 0.0
-        self.corruptions = []
-        self.errors = []
-        self.rejected_retries = 0
-        self.per_query = Counter()
-        self.deadline_enforced = False
-        self.recovered_after_timeout = False
-        self.admission_enforced = False
-        self.service_metrics = {}
+        self._lock = named_rlock("bench.report")
+        self.clients = 0  # unsynchronized: main bench thread only
+        self.rounds = 0  # unsynchronized: main bench thread only
+        self.operations = 0  # guarded-by: _lock
+        self.duration_seconds = 0.0  # unsynchronized: main bench thread only
+        self.corruptions = []  # guarded-by: _lock
+        self.errors = []  # guarded-by: _lock
+        self.rejected_retries = 0  # guarded-by: _lock
+        self.per_query = Counter()  # guarded-by: _lock
+        self.deadline_enforced = False  # unsynchronized: main bench thread only
+        self.recovered_after_timeout = False  # unsynchronized: main thread only
+        self.admission_enforced = False  # unsynchronized: main thread only
+        self.service_metrics = {}  # unsynchronized: main bench thread only
+
+    # Recording (called from client threads) ----------------------------------
+
+    def record_rejected_retry(self):
+        with self._lock:
+            self.rejected_retries += 1
+
+    def record_error(self, message):
+        with self._lock:
+            self.errors.append(message)
+
+    def record_operation(self, name):
+        with self._lock:
+            self.operations += 1
+            self.per_query[name] += 1
+
+    def record_corruption(self, detail):
+        with self._lock:
+            self.corruptions.append(detail)
+
+    # Reporting ---------------------------------------------------------------
 
     @property
     def throughput(self):
-        if self.duration_seconds <= 0:
-            return 0.0
-        return self.operations / self.duration_seconds
+        with self._lock:
+            if self.duration_seconds <= 0:
+                return 0.0
+            return self.operations / self.duration_seconds
 
     @property
     def plan_cache_hits(self):
@@ -108,34 +140,40 @@ class BenchReport:
 
     @property
     def passed(self):
-        return (
-            not self.corruptions
-            and not self.errors
-            and self.deadline_enforced
-            and self.recovered_after_timeout
-            and self.admission_enforced
-            and self.plan_cache_hits > 0
-        )
+        with self._lock:
+            return (
+                not self.corruptions
+                and not self.errors
+                and self.deadline_enforced
+                and self.recovered_after_timeout
+                and self.admission_enforced
+                and self.plan_cache_hits > 0
+            )
 
     def to_dict(self):
-        return {
-            "clients": self.clients,
-            "rounds": self.rounds,
-            "operations": self.operations,
-            "duration_seconds": round(self.duration_seconds, 3),
-            "throughput_qps": round(self.throughput, 2),
-            "corruptions": len(self.corruptions),
-            "errors": self.errors[:10],
-            "rejected_retries": self.rejected_retries,
-            "per_query": dict(self.per_query),
-            "deadline_enforced": self.deadline_enforced,
-            "recovered_after_timeout": self.recovered_after_timeout,
-            "admission_enforced": self.admission_enforced,
-            "service": self.service_metrics,
-            "passed": self.passed,
-        }
+        with self._lock:
+            return {
+                "clients": self.clients,
+                "rounds": self.rounds,
+                "operations": self.operations,
+                "duration_seconds": round(self.duration_seconds, 3),
+                "throughput_qps": round(self.throughput, 2),
+                "corruptions": len(self.corruptions),
+                "errors": self.errors[:10],
+                "rejected_retries": self.rejected_retries,
+                "per_query": dict(self.per_query),
+                "deadline_enforced": self.deadline_enforced,
+                "recovered_after_timeout": self.recovered_after_timeout,
+                "admission_enforced": self.admission_enforced,
+                "service": self.service_metrics,
+                "passed": self.passed,
+            }
 
     def summary(self):
+        with self._lock:
+            return self._summary_locked()
+
+    def _summary_locked(self):  # requires-lock: _lock
         latency = self.service_metrics.get("latency", {})
         plan = self.service_metrics.get("plan_cache", {})
         lines = [
@@ -217,7 +255,6 @@ def run_bench(
     say("phase 1: %d clients, %d rounds over %d items..." % (
         clients, rounds, len(workload)
     ))
-    lock = threading.Lock()
 
     def client_loop(client_index):
         for round_index in range(rounds):
@@ -232,32 +269,26 @@ def run_bench(
                         parameters=item.parameters, timeout=timeout,
                     )
                 except AdmissionError:
-                    with lock:
-                        report.rejected_retries += 1
+                    report.record_rejected_retry()
                     time.sleep(0.005)
                     continue
                 except Exception as error:  # noqa: BLE001 — reported
-                    with lock:
-                        report.errors.append(
-                            "%s: %s: %s" % (
-                                item.name, type(error).__name__, error,
-                            )
+                    report.record_error(
+                        "%s: %s: %s" % (
+                            item.name, type(error).__name__, error,
                         )
+                    )
                     continue
                 observed = rows_multiset(result.rows)
-                with lock:
-                    report.operations += 1
-                    report.per_query[item.name] += 1
-                    if observed != reference[item.name]:
-                        report.corruptions.append({
-                            "query": item.name,
-                            "client": client_index,
-                            "round": round_index,
-                            "expected_rows": sum(
-                                reference[item.name].values()
-                            ),
-                            "observed_rows": sum(observed.values()),
-                        })
+                report.record_operation(item.name)
+                if observed != reference[item.name]:
+                    report.record_corruption({
+                        "query": item.name,
+                        "client": client_index,
+                        "round": round_index,
+                        "expected_rows": sum(reference[item.name].values()),
+                        "observed_rows": sum(observed.values()),
+                    })
 
     started = time.perf_counter()
     threads = [
@@ -283,7 +314,7 @@ def run_bench(
     except QueryTimeout:
         report.deadline_enforced = True
     except Exception as error:  # noqa: BLE001 — reported
-        report.errors.append(
+        report.record_error(
             "deadline phase: %s: %s" % (type(error).__name__, error)
         )
     # ...and the worker it ran on must be usable again afterwards
@@ -298,7 +329,7 @@ def run_bench(
             rows_multiset(probe.rows) == reference["Q1/high"]
         )
     except Exception as error:  # noqa: BLE001 — reported
-        report.errors.append(
+        report.record_error(
             "recovery probe: %s: %s" % (type(error).__name__, error)
         )
 
@@ -321,7 +352,7 @@ def run_bench(
                 report.admission_enforced = True
                 break
         else:
-            report.errors.append(
+            report.record_error(
                 "admission phase: 50 back-to-back submissions were all "
                 "admitted by a 1-slot service"
             )

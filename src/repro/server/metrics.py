@@ -9,7 +9,7 @@ of the bucket the rank falls into, i.e. a conservative (pessimistic)
 estimate with <2x resolution error.
 """
 
-import threading
+from repro.locks import named_lock
 
 
 class LatencyHistogram:
@@ -18,15 +18,22 @@ class LatencyHistogram:
     Bucket ``i`` covers latencies in ``[2**(i-1), 2**i)`` microseconds;
     64 buckets reach ~2.9 hours, far beyond any deadline this service
     will enforce.
+
+    Deliberately lock-free: every histogram is owned by a
+    :class:`ServiceMetrics`, which records into it and snapshots it
+    under its own lock — adding a second lock here would just double the
+    acquisitions on the query hot path.
     """
 
     BUCKETS = 64
 
     def __init__(self):
-        self._counts = [0] * self.BUCKETS
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
+        # unsynchronized: owner-serialized — ServiceMetrics mutates and
+        # reads every histogram under ServiceMetrics._lock
+        self._counts = [0] * self.BUCKETS  # unsynchronized: owner-serialized
+        self.count = 0  # unsynchronized: owner-serialized
+        self.total = 0.0  # unsynchronized: owner-serialized
+        self.max = 0.0  # unsynchronized: owner-serialized
 
     def record(self, seconds):
         micros = seconds * 1e6
@@ -77,18 +84,18 @@ class ServiceMetrics:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.timeouts = 0
-        self.queue_depth = 0
-        self.in_flight = 0
-        self.max_queue_depth = 0
-        self.max_in_flight = 0
-        self.latency = LatencyHistogram()
-        self.queue_wait = LatencyHistogram()
+        self._lock = named_lock("service.metrics")
+        self.submitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.failed = 0  # guarded-by: _lock
+        self.timeouts = 0  # guarded-by: _lock
+        self.queue_depth = 0  # guarded-by: _lock
+        self.in_flight = 0  # guarded-by: _lock
+        self.max_queue_depth = 0  # guarded-by: _lock
+        self.max_in_flight = 0  # guarded-by: _lock
+        self.latency = LatencyHistogram()  # guarded-by: _lock
+        self.queue_wait = LatencyHistogram()  # guarded-by: _lock
 
     # Lifecycle hooks (called by the service) --------------------------------
 

@@ -11,9 +11,8 @@ invalidates every cached artifact derived from the old graph without the
 registry having to know which caches exist.
 """
 
-import threading
-
 from repro.engine import GraphStatistics
+from repro.locks import named_lock
 
 
 class UnknownGraphError(KeyError):
@@ -34,10 +33,12 @@ class RegisteredGraph:
     """One named graph and its versioned statistics."""
 
     def __init__(self, name, graph, statistics=None):
-        self.name = name
-        self.graph = graph
-        self._statistics = statistics
-        self._lock = threading.Lock()
+        self.name = name  # unsynchronized: immutable after construction
+        # replaced atomically under _lock; readers may see the old or the
+        # new graph, never a torn one (reference assignment is atomic)
+        self.graph = graph  # unsynchronized: atomic reference swap
+        self._statistics = statistics  # guarded-by: _lock
+        self._lock = named_lock("registry.entry")
         if statistics is not None and not hasattr(statistics, "version"):
             statistics.version = 0
 
@@ -45,13 +46,17 @@ class RegisteredGraph:
     def environment(self):
         return self.graph.environment
 
+    def _statistics_locked(self):  # requires-lock: _lock
+        """The statistics object, computed on first use (one graph pass)."""
+        if self._statistics is None:
+            self._statistics = GraphStatistics.from_graph(self.graph)
+        return self._statistics
+
     @property
     def statistics(self):
         """Graph statistics, computed on first use (one graph pass)."""
         with self._lock:
-            if self._statistics is None:
-                self._statistics = GraphStatistics.from_graph(self.graph)
-            return self._statistics
+            return self._statistics_locked()
 
     @property
     def version(self):
@@ -63,37 +68,46 @@ class RegisteredGraph:
         Callers that change the data in place (or learn it changed) must
         call this; cached plans and results keyed on the old version
         become unreachable and age out of their LRU caches.  Returns the
-        new version.
+        new version.  The read-bump-return runs under the entry lock, so
+        concurrent touches never lose a bump (every caller gets a
+        distinct version).
         """
-        statistics = self.statistics
-        statistics.version += 1
-        return statistics.version
+        with self._lock:
+            statistics = self._statistics_locked()
+            statistics.version += 1
+            return statistics.version
 
     def replace(self, graph, statistics=None):
-        """Swap in a new graph under the same name (version keeps rising)."""
+        """Swap in a new graph under the same name (version keeps rising).
+
+        The swap *and* the version bump happen under one lock: a reader
+        that sees the new graph also sees a version newer than any entry
+        the old graph ever cached under.
+        """
         with self._lock:
             previous_version = (
                 self._statistics.version if self._statistics is not None else 0
             )
             self.graph = graph
             self._statistics = statistics
-        # outside the lock: reading .statistics may compute from the graph
-        self.statistics.version = previous_version + 1
+            self._statistics_locked().version = previous_version + 1
         return self
 
     def __repr__(self):
-        return "RegisteredGraph(%r, version=%d)" % (
-            self.name,
-            self._statistics.version if self._statistics is not None else 0,
-        )
+        with self._lock:
+            return "RegisteredGraph(%r, version=%d)" % (
+                self.name,
+                self._statistics.version
+                if self._statistics is not None else 0,
+            )
 
 
 class GraphRegistry:
     """Thread-safe name → :class:`RegisteredGraph` mapping."""
 
     def __init__(self):
-        self._lock = threading.Lock()
-        self._graphs = {}
+        self._lock = named_lock("registry")
+        self._graphs = {}  # guarded-by: _lock
 
     def register(self, name, graph, statistics=None):
         """Add ``name``; replaces an existing entry (bumping its version)."""

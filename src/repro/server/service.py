@@ -22,7 +22,6 @@ bookkeeping (one compile lock per runner).
 """
 
 import itertools
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -30,6 +29,7 @@ from repro.cache import LRUCache
 from repro.dataflow.cancellation import CancellationToken, QueryTimeout
 from repro.engine import CypherRunner, GreedyPlanner
 from repro.engine.runner import _graph_cache_token
+from repro.locks import named_lock
 
 from .cache import ResultCache, prepared_cache_key
 from .metrics import ServiceMetrics
@@ -152,7 +152,7 @@ class QueryService:
         self.verify_plans = verify_plans
         #: one LRU shared by every runner the service creates; holds both
         #: ("plan", ...) entries and ("prepared", ...) statements
-        self.plan_cache = LRUCache(plan_cache_size)
+        self.plan_cache = LRUCache(plan_cache_size, name="cache.plan")
         #: materialized rows; off unless result_cache_size > 0
         self.result_cache = ResultCache(result_cache_size)
         self.metrics = ServiceMetrics()
@@ -160,16 +160,18 @@ class QueryService:
             max_workers=max_concurrency, thread_name_prefix="repro-query"
         )
         self._capacity = max_concurrency + max_queue
-        self._occupancy = 0
-        self._admission_lock = threading.Lock()
-        self._closed = False
+        self._admission_lock = named_lock("service.admission")
+        self._occupancy = 0  # guarded-by: _admission_lock
+        self._closed = False  # guarded-by: _admission_lock
         # (graph name, graph token) -> CypherRunner; a replaced graph gets
         # a new token and therefore a fresh runner
-        self._runners = {}
-        self._runner_lock = threading.Lock()
-        self._compile_locks = {}
-        self._statements = {}
-        self._statement_ids = itertools.count(1)
+        self._runner_lock = named_lock("service.runner")
+        self._runners = {}  # guarded-by: _runner_lock
+        self._compile_locks = {}  # guarded-by: _runner_lock
+        self._statement_lock = named_lock("service.statement")
+        self._statements = {}  # guarded-by: _statement_lock
+        # itertools.count.__next__ is atomic under the GIL
+        self._statement_ids = itertools.count(1)  # unsynchronized: atomic count
 
     # Graph management --------------------------------------------------------
 
@@ -192,7 +194,7 @@ class QueryService:
                     plan_cache=self.plan_cache,
                 )
                 self._runners[key] = runner
-                self._compile_locks[key] = threading.Lock()
+                self._compile_locks[key] = named_lock("service.compile")
             return runner, self._compile_locks[key]
 
     # Submission --------------------------------------------------------------
@@ -251,7 +253,8 @@ class QueryService:
         runner, compile_lock = self._runner(entry)
         statement, hit = self._prepared_statement(runner, compile_lock, query)
         statement_id = "stmt-%d" % next(self._statement_ids)
-        self._statements[statement_id] = (graph, query)
+        with self._statement_lock:
+            self._statements[statement_id] = (graph, query)
         return PreparedHandle(
             statement_id, graph, statement.parameter_names, hit
         )
@@ -259,7 +262,8 @@ class QueryService:
     def execute_prepared(self, statement_id, parameters=None, timeout=None):
         """Run a previously prepared statement with fresh bindings."""
         try:
-            graph, query = self._statements[statement_id]
+            with self._statement_lock:
+                graph, query = self._statements[statement_id]
         except KeyError:
             raise KeyError("unknown statement id %r" % statement_id)
         return self.execute(
@@ -380,12 +384,14 @@ class QueryService:
             "max_concurrency": self.max_concurrency,
             "max_queue": self.max_queue,
         }
-        snapshot["statements"] = len(self._statements)
+        with self._statement_lock:
+            snapshot["statements"] = len(self._statements)
         return snapshot
 
     @property
     def closed(self):
-        return self._closed
+        with self._admission_lock:
+            return self._closed
 
     def close(self, wait=True):
         """Stop admitting queries; optionally wait for in-flight ones."""

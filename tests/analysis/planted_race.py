@@ -1,0 +1,37 @@
+"""A deliberately racy fixture class, mirroring the S2xx corruption
+fixtures: both concurrency detectors must catch it.
+
+``PlantedCounter.increment_racy`` reads ``value``, yields the scheduler
+(via the fuzz context's step point), then writes the stale value back —
+the classic lost-update window.  The static linter flags the unguarded
+accesses (C301) from the ``# guarded-by`` annotation alone; the
+interleaving fuzzer loses updates on nearly every adversarial schedule.
+``increment_safe`` is the fixed version both detectors accept.
+"""
+
+import threading
+
+
+class PlantedCounter:
+    """Shared counter with a declared guard its racy path ignores."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def increment_racy(self, fuzz=None):
+        stale = self.value
+        if fuzz is not None:
+            fuzz.step()
+        self.value = stale + 1
+
+    def increment_safe(self, fuzz=None):
+        with self._lock:
+            stale = self.value
+            if fuzz is not None:
+                fuzz.step()
+            self.value = stale + 1
+
+    def read(self):
+        with self._lock:
+            return self.value

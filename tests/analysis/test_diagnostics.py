@@ -19,17 +19,24 @@ class TestRegistry:
         assert len(CODES) >= 8
 
     def test_code_prefix_matches_severity(self):
-        # E = static errors, W = static warnings; sanitizer codes (S) carry
-        # either severity — structural corruption is an error, estimate
-        # drift only a warning.
+        # E = static errors, W = static warnings; sanitizer (S) and
+        # concurrency (C) codes carry either severity — structural
+        # corruption / lock misuse is an error, estimate drift or an
+        # unknown guard name only a warning.
         for code, (severity, _slug, _summary) in CODES.items():
             if code.startswith("E"):
                 assert severity is Severity.ERROR, code
             elif code.startswith("W"):
                 assert severity is Severity.WARNING, code
             else:
-                assert code.startswith("S"), code
+                assert code.startswith(("S", "C")), code
                 assert severity in (Severity.ERROR, Severity.WARNING), code
+
+    def test_concurrency_codes_registered(self):
+        # the C3xx range the lock-discipline linter emits
+        for code in ("C301", "C302", "C303", "C304"):
+            assert CODES[code][0] is Severity.ERROR, code
+        assert CODES["C305"][0] is Severity.WARNING
 
     def test_sanitizer_codes_registered(self):
         # the full S2xx range the sanitizer/differential/audit layer emits

@@ -1,0 +1,188 @@
+"""The deterministic interleaving fuzzer: catches the planted race,
+misses the fixed version, and reproduces schedules from the seed alone.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import InterleavingFuzzer
+from tests.analysis.planted_race import PlantedCounter
+
+INCREMENTS = 40
+
+
+def racy_worker(counter, fuzz):
+    for _ in range(INCREMENTS):
+        counter.increment_racy(fuzz)
+
+
+def safe_worker(counter, fuzz):
+    for _ in range(INCREMENTS):
+        counter.increment_safe(fuzz)
+
+
+def lost_update_invariant(threads):
+    expected = threads * INCREMENTS
+
+    def invariant(counter):
+        observed = counter.read()
+        if observed != expected:
+            return "lost updates: %d != %d" % (observed, expected)
+
+    return invariant
+
+
+def test_planted_race_caught_dynamically():
+    fuzzer = InterleavingFuzzer(seed=7, schedules=10, threads=4)
+    findings = fuzzer.run(
+        setup=PlantedCounter,
+        worker=racy_worker,
+        invariant=lost_update_invariant(4),
+    )
+    assert findings, "adversarial schedules failed to lose an update"
+    assert findings[0].kind == "invariant"
+    assert "lost updates" in findings[0].message
+
+
+def test_fixed_counter_survives_same_schedules():
+    fuzzer = InterleavingFuzzer(seed=7, schedules=10, threads=4)
+    findings = fuzzer.run(
+        setup=PlantedCounter,
+        worker=safe_worker,
+        invariant=lost_update_invariant(4),
+    )
+    assert findings == []
+
+
+def test_findings_are_deterministic_for_a_seed():
+    def run_once():
+        fuzzer = InterleavingFuzzer(seed=3, schedules=8, threads=3)
+        return [
+            (f.schedule, f.kind) for f in fuzzer.run(
+                setup=PlantedCounter,
+                worker=racy_worker,
+                invariant=lost_update_invariant(3),
+            )
+        ]
+
+    assert run_once() == run_once()
+
+
+def test_schedule_plans_are_deterministic():
+    one = InterleavingFuzzer(seed=12, schedules=5, threads=4)
+    two = InterleavingFuzzer(seed=12, schedules=5, threads=4)
+    for schedule in range(5):
+        ctx_a, interval_a = one._schedule_context(schedule)
+        ctx_b, interval_b = two._schedule_context(schedule)
+        assert ctx_a.hot_steps == ctx_b.hot_steps
+        assert interval_a == interval_b
+    # a different seed perturbs the plan
+    other = InterleavingFuzzer(seed=13, schedules=5, threads=4)
+    assert any(
+        one._schedule_context(s)[1] != other._schedule_context(s)[1]
+        for s in range(5)
+    )
+
+
+def test_switch_interval_restored_after_run():
+    before = sys.getswitchinterval()
+    InterleavingFuzzer(seed=1, schedules=3, threads=2).run(
+        setup=PlantedCounter, worker=racy_worker,
+    )
+    assert sys.getswitchinterval() == before
+
+
+def test_switch_interval_restored_after_worker_crash():
+    before = sys.getswitchinterval()
+
+    def crash(_state, _fuzz):
+        raise RuntimeError("boom")
+
+    findings = InterleavingFuzzer(seed=1, schedules=2, threads=2).run(
+        setup=PlantedCounter, worker=crash,
+    )
+    assert sys.getswitchinterval() == before
+    assert len(findings) == 4  # two threads x two schedules
+    assert all(f.kind == "worker" for f in findings)
+    assert "boom" in findings[0].message
+
+
+def test_invariant_assertion_error_becomes_finding():
+    def invariant(_counter):
+        assert False, "torn snapshot"
+
+    findings = InterleavingFuzzer(seed=2, schedules=1, threads=2).run(
+        setup=PlantedCounter, worker=safe_worker, invariant=invariant,
+    )
+    assert len(findings) == 1
+    assert "torn snapshot" in findings[0].message
+
+
+def test_teardown_runs_per_schedule():
+    seen = []
+    InterleavingFuzzer(seed=2, schedules=3, threads=2).run(
+        setup=PlantedCounter, worker=safe_worker,
+        teardown=lambda state: seen.append(state),
+    )
+    assert len(seen) == 3
+    assert len({id(state) for state in seen}) == 3  # fresh state each time
+
+
+def test_step_outside_bound_thread_is_noop():
+    fuzzer = InterleavingFuzzer(seed=0, schedules=1, threads=2)
+    context, _interval = fuzzer._schedule_context(0)
+    context.step()  # unbound caller: must not blow up or block
+
+
+def test_trace_records_scheduling_actions():
+    fuzzer = InterleavingFuzzer(seed=5, schedules=1, threads=2,
+                                yield_rate=1.0)
+    context, _ = fuzzer._schedule_context(0)
+
+    def worker(index):
+        context.bind(index)
+        for _ in range(5):
+            context.step()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    trace = context.trace
+    assert trace, "every step should be recorded at yield_rate=1.0"
+    assert {action for (_t, _s, action) in trace} <= {"yield", "barrier"}
+
+
+def test_requires_at_least_two_threads():
+    with pytest.raises(ValueError):
+        InterleavingFuzzer(threads=1)
+
+
+@pytest.mark.stress
+def test_planted_race_caught_on_every_long_schedule():
+    fuzzer = InterleavingFuzzer(seed=29, schedules=60, threads=8,
+                                hot_barriers=3)
+    findings = fuzzer.run(
+        setup=PlantedCounter,
+        worker=racy_worker,
+        invariant=lost_update_invariant(8),
+    )
+    # with 8 threads hammering the window, most schedules must lose updates
+    assert len(findings) >= 30
+
+
+@pytest.mark.stress
+def test_fixed_counter_survives_long_schedules():
+    fuzzer = InterleavingFuzzer(seed=29, schedules=60, threads=8,
+                                hot_barriers=3)
+    findings = fuzzer.run(
+        setup=PlantedCounter,
+        worker=safe_worker,
+        invariant=lost_update_invariant(8),
+    )
+    assert findings == []

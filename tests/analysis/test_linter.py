@@ -78,11 +78,12 @@ def test_corpus_covers_at_least_eight_codes():
 
 
 def test_every_statistics_free_code_is_covered():
-    # statistics-dependent (W3xx) and runtime sanitizer (S2xx) codes are
-    # exercised by their own suites, not the static linter corpus
+    # statistics-dependent (W3xx), runtime sanitizer (S2xx) and
+    # lock-discipline (C3xx) codes are exercised by their own suites,
+    # not the static query-linter corpus
     static = {
         code for code in CODES
-        if not code.startswith("S") and code not in ("W301", "W302")
+        if not code.startswith(("S", "C")) and code not in ("W301", "W302")
     }
     covered = {code for _query, code in CORPUS}
     assert covered == static

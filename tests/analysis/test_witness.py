@@ -1,0 +1,160 @@
+"""The runtime lock-order witness: graph recording and cycle detection."""
+
+import threading
+
+import pytest
+
+from repro.locks import (
+    LockOrderError,
+    LockOrderWitness,
+    current_witness,
+    install_witness,
+    named_lock,
+    named_rlock,
+    uninstall_witness,
+    witness_installed,
+)
+
+
+def test_uninstalled_locks_behave_like_plain_locks():
+    # drop any session-level witness (REPRO_LOCK_WITNESS=1) for the
+    # duration: this test pins the un-instrumented fast path
+    previous = uninstall_witness()
+    try:
+        lock = named_lock("plain")
+        assert current_witness() is None
+        with lock:
+            assert not lock.acquire(blocking=False)
+        assert lock.acquire(blocking=False)
+        lock.release()
+    finally:
+        if previous is not None:
+            install_witness(previous)
+
+
+def test_witness_records_names_edges_and_sites():
+    a, b = named_lock("alpha"), named_lock("beta")
+    with witness_installed() as witness:
+        with a:
+            with b:
+                pass
+    assert witness.lock_names() == ["alpha", "beta"]
+    assert witness.acquisitions == 2
+    edges = witness.edges()
+    assert ("alpha", "beta") in edges
+    assert "test_witness.py" in edges[("alpha", "beta")]
+    assert witness.find_cycles() == []
+    witness.assert_acyclic()
+
+
+def test_witness_detects_inversion_cycle():
+    a, b = named_lock("first"), named_lock("second")
+    with witness_installed() as witness:
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = witness.find_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"first", "second"}
+        with pytest.raises(LockOrderError) as excinfo:
+            witness.assert_acyclic()
+        assert "first" in str(excinfo.value)
+        assert "first seen at" in str(excinfo.value)
+
+
+def test_witness_cycle_across_threads():
+    # each order runs on its own thread: no single thread ever deadlocks,
+    # but the global graph still witnesses the inversion
+    a, b = named_lock("left"), named_lock("right")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    with witness_installed() as witness:
+        for target in (forward, backward):
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join()
+        assert len(witness.find_cycles()) == 1
+
+
+def test_reentrant_reacquire_is_clean():
+    lock = named_rlock("reentrant")
+    with witness_installed() as witness:
+        with lock:
+            with lock:
+                pass
+    assert witness.find_cycles() == []
+    # re-entry is not a new edge ("reentrant" -> "reentrant")
+    assert witness.edges() == {}
+
+
+def test_nonreentrant_self_reacquire_raises_instead_of_hanging():
+    lock = named_lock("mutex")
+    with witness_installed():
+        with lock:
+            with pytest.raises(LockOrderError) as excinfo:
+                lock.acquire()
+        assert "self-deadlock" in str(excinfo.value)
+    # the failed acquire must not have corrupted the lock
+    assert lock.acquire(blocking=False)
+    lock.release()
+
+
+def test_same_role_nesting_reports_self_loop():
+    # two distinct instances of one role nested inside each other: the
+    # role graph gets a self-loop, which is a cycle
+    outer, inner = named_lock("cache.stats"), named_lock("cache.stats")
+    with witness_installed() as witness:
+        with outer:
+            with inner:
+                pass
+        assert ["cache.stats", "cache.stats"] in witness.find_cycles()
+
+
+def test_release_out_of_order_pops_correct_lock():
+    a, b = named_lock("a"), named_lock("b")
+    with witness_installed() as witness:
+        a.acquire()
+        b.acquire()
+        a.release()  # out-of-order release: held stack must drop `a` only
+        with named_lock("c"):
+            pass
+        b.release()
+    assert ("b", "c") in witness.edges()
+    assert ("a", "c") not in witness.edges()
+
+
+def test_snapshot_and_format_graph():
+    a, b = named_lock("one"), named_lock("two")
+    with witness_installed() as witness:
+        with a:
+            with b:
+                pass
+    snap = witness.snapshot()
+    assert snap["locks"] == ["one", "two"]
+    assert snap["edges"] == ["one -> two"]
+    assert snap["acquisitions"] == 2
+    text = witness.format_graph()
+    assert "2 lock(s), 1 edge(s), 2 acquisition(s)" in text
+    assert "one" in text and "two" in text
+
+
+def test_witness_installed_restores_previous():
+    session = current_witness()  # the REPRO_LOCK_WITNESS one, or None
+    outer = LockOrderWitness()
+    with witness_installed(outer):
+        with witness_installed() as inner:
+            assert current_witness() is inner
+        assert current_witness() is outer
+    assert current_witness() is session

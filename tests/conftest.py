@@ -7,10 +7,31 @@ Eve→Bob (Table 2b), edges 3/4 are ``studyAt`` with classYear 2015
 ``s.classYear > 2014`` predicate excludes him.
 """
 
+import os
+
 import pytest
 
 from repro.dataflow import ExecutionEnvironment
 from repro.epgm import Edge, GradoopId, GraphHead, LogicalGraph, Vertex
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_witness():
+    """With ``REPRO_LOCK_WITNESS=1``, run the whole session under the
+    runtime lock-order witness and fail at session end on any cycle in
+    the global lock acquisition graph (``make racecheck`` sets it).
+    """
+    if os.environ.get("REPRO_LOCK_WITNESS") != "1":
+        yield None
+        return
+    from repro.locks import install_witness, uninstall_witness
+
+    witness = install_witness()
+    try:
+        yield witness
+        witness.assert_acyclic()
+    finally:
+        uninstall_witness()
 
 
 def build_figure1_elements():
