@@ -1,5 +1,5 @@
-.PHONY: install test check lint typecheck racecheck bench examples reports \
-	clean serve-smoke bench-serve
+.PHONY: install test check lint typecheck racecheck bench bench-micro \
+	examples reports clean serve-smoke bench-serve
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -37,6 +37,11 @@ racecheck:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# real CPU-time engine microbenchmarks, batched/fused vs per-record;
+# appends the next BENCH_<n>.json trajectory file at the repo root
+bench-micro:
+	python -m repro bench-micro
 
 # start `repro serve` as a subprocess, run a parameterized query over the
 # wire, prepare/execute with two bindings, shut down cleanly

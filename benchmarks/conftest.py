@@ -10,7 +10,9 @@ import os
 
 import pytest
 
-from repro.harness import DatasetCache
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import GraphStatistics
+from repro.harness import DatasetCache, default_cost_model
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "_reports")
 
@@ -19,6 +21,46 @@ REPORT_DIR = os.path.join(os.path.dirname(__file__), "_reports")
 def dataset_cache():
     """Generate each scale factor's dataset once for the whole session."""
     return DatasetCache(seed=42)
+
+
+class GraphCache:
+    """Build each (scale_factor, workers, kwargs) logical graph once.
+
+    ``get`` returns ``(dataset, environment, graph, statistics)``; the
+    environment is shared, so benchmarks call ``reset_metrics`` before a
+    measured region instead of building a fresh environment per run —
+    ``to_logical_graph`` and ``GraphStatistics.from_graph`` dominate the
+    setup cost of every ablation and are paid once per configuration.
+    """
+
+    def __init__(self, dataset_cache):
+        self._dataset_cache = dataset_cache
+        self._graphs = {}
+
+    def get(self, scale_factor, workers=4, **kwargs):
+        key = (scale_factor, workers, tuple(sorted(kwargs.items())))
+        if key not in self._graphs:
+            dataset = self._dataset_cache.dataset(scale_factor)
+            environment = ExecutionEnvironment(
+                cost_model=default_cost_model(workers)
+            )
+            graph = dataset.to_logical_graph(environment, **kwargs)
+            statistics = GraphStatistics.from_graph(graph)
+            self._graphs[key] = (dataset, environment, graph, statistics)
+        return self._graphs[key]
+
+
+@pytest.fixture(scope="session")
+def graph_cache(dataset_cache):
+    """Session-wide logical-graph cache shared by every benchmark module."""
+    return GraphCache(dataset_cache)
+
+
+@pytest.fixture(scope="session")
+def medium_graph(graph_cache):
+    """The SF-0.1 graph on a 4-worker environment (the microbench setup)."""
+    dataset, _, graph, statistics = graph_cache.get(0.1)
+    return dataset, graph, statistics
 
 
 @pytest.fixture

@@ -9,26 +9,14 @@ partial-embedding message traffic; both must produce identical matches.
 import pytest
 
 from repro.bsp import PSgLMatcher
-from repro.dataflow import ExecutionEnvironment
-from repro.engine import (
-    CypherRunner,
-    GraphStatistics,
-    canonical_rows_from_embeddings,
-)
-from repro.harness import (
-    ALL_QUERIES,
-    SCALE_FACTOR_SMALL,
-    default_cost_model,
-    format_table,
-)
+from repro.engine import CypherRunner, canonical_rows_from_embeddings
+from repro.harness import ALL_QUERIES, SCALE_FACTOR_SMALL, format_table
 
 QUERY = ALL_QUERIES["Q5"]
 
 
-def _engine_run(dataset):
-    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
-    graph = dataset.to_logical_graph(environment)
-    statistics = GraphStatistics.from_graph(graph)
+def _engine_run(setup):
+    _, environment, graph, statistics = setup
     environment.reset_metrics("engine")
     runner = CypherRunner(graph, statistics=statistics)
     embeddings, meta = runner.execute_embeddings(QUERY)
@@ -39,9 +27,8 @@ def _engine_run(dataset):
     }
 
 
-def _psgl_run(dataset):
-    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
-    graph = dataset.to_logical_graph(environment)
+def _psgl_run(setup):
+    _, environment, graph, _ = setup
     environment.reset_metrics("psgl")
     rows = PSgLMatcher(graph).match(QUERY)
     message_records = sum(
@@ -58,11 +45,11 @@ def _psgl_run(dataset):
 
 
 @pytest.mark.benchmark(group="ablation-bsp")
-def test_ablation_engine_vs_psgl(benchmark, dataset_cache, report):
-    dataset = dataset_cache.dataset(SCALE_FACTOR_SMALL)
+def test_ablation_engine_vs_psgl(benchmark, graph_cache, report):
+    setup = graph_cache.get(SCALE_FACTOR_SMALL)
 
     def run():
-        return {"engine": _engine_run(dataset), "psgl": _psgl_run(dataset)}
+        return {"engine": _engine_run(setup), "psgl": _psgl_run(setup)}
 
     outcome = benchmark.pedantic(run, rounds=1, iterations=1)
 

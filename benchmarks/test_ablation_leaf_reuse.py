@@ -7,14 +7,8 @@ three times.  Measures scan volume and simulated runtime on Q5 and Q6.
 
 import pytest
 
-from repro.dataflow import ExecutionEnvironment
-from repro.engine import CypherRunner, GraphStatistics, GreedyPlanner
-from repro.harness import (
-    ALL_QUERIES,
-    SCALE_FACTOR_SMALL,
-    default_cost_model,
-    format_table,
-)
+from repro.engine import CypherRunner, GreedyPlanner
+from repro.harness import ALL_QUERIES, SCALE_FACTOR_SMALL, format_table
 
 
 class _NoReusePlanner(GreedyPlanner):
@@ -23,10 +17,8 @@ class _NoReusePlanner(GreedyPlanner):
         super().__init__(*args, **kwargs)
 
 
-def _run(dataset, query_name, planner_cls):
-    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
-    graph = dataset.to_logical_graph(environment)
-    statistics = GraphStatistics.from_graph(graph)
+def _run(setup, query_name, planner_cls):
+    _, environment, graph, statistics = setup
     environment.reset_metrics(query_name)
     runner = CypherRunner(graph, statistics=statistics, planner_cls=planner_cls)
     embeddings, _ = runner.execute_embeddings(ALL_QUERIES[query_name])
@@ -43,15 +35,15 @@ def _run(dataset, query_name, planner_cls):
 
 
 @pytest.mark.benchmark(group="ablation-leaf-reuse")
-def test_ablation_leaf_scan_reuse(benchmark, dataset_cache, report):
-    dataset = dataset_cache.dataset(SCALE_FACTOR_SMALL)
+def test_ablation_leaf_scan_reuse(benchmark, graph_cache, report):
+    setup = graph_cache.get(SCALE_FACTOR_SMALL)
 
     def run():
         outcome = {}
         for query_name in ("Q5", "Q6"):
             outcome[query_name] = {
-                "shared": _run(dataset, query_name, GreedyPlanner),
-                "separate": _run(dataset, query_name, _NoReusePlanner),
+                "shared": _run(setup, query_name, GreedyPlanner),
+                "separate": _run(setup, query_name, _NoReusePlanner),
             }
         return outcome
 

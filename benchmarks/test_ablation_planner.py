@@ -13,12 +13,10 @@ name "more sophisticated estimation methods" as ongoing work.
 
 import pytest
 
-from repro.dataflow import ExecutionEnvironment
-from repro.engine import CypherRunner, GraphStatistics, GreedyPlanner, LeftDeepPlanner
+from repro.engine import CypherRunner, GreedyPlanner, LeftDeepPlanner
 from repro.harness import (
     ALL_QUERIES,
     SCALE_FACTOR_SMALL,
-    default_cost_model,
     format_table,
     instantiate,
 )
@@ -36,12 +34,10 @@ RETURN *
 """
 
 
-def _run(dataset, query, planner_cls, selectivity=None):
-    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
-    graph = dataset.to_logical_graph(environment)
+def _run(setup, query, planner_cls, selectivity=None):
+    dataset, environment, graph, statistics = setup
     first_name = dataset.first_name(selectivity) if selectivity else None
     query = instantiate(query, first_name)
-    statistics = GraphStatistics.from_graph(graph)
     environment.reset_metrics("ablation")
     runner = CypherRunner(graph, statistics=statistics, planner_cls=planner_cls)
     embeddings, _ = runner.execute_embeddings(query)
@@ -60,8 +56,8 @@ def _run(dataset, query, planner_cls, selectivity=None):
 
 
 @pytest.mark.benchmark(group="ablation-planner")
-def test_ablation_greedy_vs_left_deep(benchmark, dataset_cache, report):
-    dataset = dataset_cache.dataset(SCALE_FACTOR_SMALL)
+def test_ablation_greedy_vs_left_deep(benchmark, graph_cache, report):
+    setup = graph_cache.get(SCALE_FACTOR_SMALL)
     cases = [
         ("BAD_ORDER", BAD_ORDER_QUERY, "high"),
         ("Q3", ALL_QUERIES["Q3"], "low"),
@@ -73,8 +69,8 @@ def test_ablation_greedy_vs_left_deep(benchmark, dataset_cache, report):
         outcome = {}
         for name, query, selectivity in cases:
             outcome[name] = {
-                "greedy": _run(dataset, query, GreedyPlanner, selectivity),
-                "left-deep": _run(dataset, query, LeftDeepPlanner, selectivity),
+                "greedy": _run(setup, query, GreedyPlanner, selectivity),
+                "left-deep": _run(setup, query, LeftDeepPlanner, selectivity),
             }
         return outcome
 

@@ -9,19 +9,13 @@ regressions.
 import pytest
 
 from repro.cypher import QueryHandler, parse
-from repro.dataflow import ExecutionEnvironment
 from repro.engine import CypherRunner, GraphStatistics, GreedyPlanner
-from repro.harness import ALL_QUERIES, default_cost_model, instantiate
+from repro.harness import ALL_QUERIES, instantiate
 
 QUERY = instantiate(ALL_QUERIES["Q3"], "Jan")
 
-
-@pytest.fixture(scope="module")
-def medium_graph(dataset_cache):
-    dataset = dataset_cache.dataset(0.1)
-    environment = ExecutionEnvironment(cost_model=default_cost_model(4))
-    graph = dataset.to_logical_graph(environment)
-    return dataset, graph, GraphStatistics.from_graph(graph)
+# the medium_graph fixture is session-scoped in benchmarks/conftest.py,
+# shared with the ablation benchmarks
 
 
 @pytest.mark.benchmark(group="micro")

@@ -51,6 +51,7 @@ from .differential import (
     PlannerRun,
     compare_runs,
     differential_check,
+    fusion_differential_check,
 )
 from .estimates import (
     DEFAULT_MAX_Q_ERROR,
@@ -81,6 +82,7 @@ __all__ = [
     "audit_estimates",
     "compare_runs",
     "differential_check",
+    "fusion_differential_check",
     "lint_query",
     "q_error",
     "sort_diagnostics",

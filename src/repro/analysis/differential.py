@@ -153,3 +153,62 @@ def differential_check(
         runs.append(run)
     diagnostics.extend(compare_runs(runs))
     return DifferentialReport(query=query, runs=runs, diagnostics=diagnostics)
+
+
+def fusion_differential_check(
+    graph,
+    query,
+    parameters=None,
+    planners=None,
+    statistics=None,
+    vertex_strategy=None,
+    edge_strategy=None,
+):
+    """Batched-fused vs. per-record execution, per planner.
+
+    The fusion pass and the compiled accessors must be pure plumbing: for
+    every planner the embedding multiset of a fused execution has to equal
+    the per-record one bit for bit.  Runs each planner twice — once with
+    ``fused=True``, once with ``fused=False`` — on the *same* statistics
+    and compares the raw embedding multisets (stricter than the canonical
+    rows: byte-level embedding equality).  Disagreements become ``S210``
+    diagnostics in the returned :class:`DifferentialReport`.
+    """
+    from repro.engine import CypherRunner, GraphStatistics
+    from repro.engine.planning import (
+        ExhaustivePlanner,
+        GreedyPlanner,
+        LeftDeepPlanner,
+    )
+
+    if planners is None:
+        planners = (GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    runs = []
+    diagnostics = []
+    for planner_cls in planners:
+        pair = []
+        for fused in (True, False):
+            runner = CypherRunner(
+                graph,
+                vertex_strategy=vertex_strategy,
+                edge_strategy=edge_strategy,
+                statistics=statistics,
+                planner_cls=planner_cls,
+                fused=fused,
+            )
+            embeddings, _ = runner.execute_embeddings(query, parameters)
+            pair.append(
+                PlannerRun(
+                    planner="%s[%s]"
+                    % (planner_cls.__name__, "fused" if fused else "per-record"),
+                    rows=Counter(embeddings),
+                )
+            )
+        # compared per planner: different planners legitimately lay out
+        # their embedding columns differently, the two modes of one
+        # planner must agree byte for byte
+        diagnostics.extend(compare_runs(pair))
+        runs.extend(pair)
+    return DifferentialReport(query=query, runs=runs, diagnostics=diagnostics)

@@ -17,15 +17,22 @@ import argparse
 import sys
 
 from repro.cypher.errors import CypherSyntaxError
-from repro.dataflow import ClusterCostModel, ExecutionEnvironment
+from repro.dataflow import (
+    ClusterCostModel,
+    DEFAULT_BATCH_SIZE,
+    ExecutionEnvironment,
+)
 from repro.engine import CypherRunner, GraphStatistics, MatchStrategy
 from repro.epgm.io import CSVDataSink, CSVDataSource
+from repro.harness.microbench import DEFAULT_QUERIES as DEFAULT_MICRO_QUERIES
 from repro.ldbc import LDBCGenerator
 
 
 def _environment(args):
     model = ClusterCostModel(workers=args.workers)
-    return ExecutionEnvironment(cost_model=model)
+    return ExecutionEnvironment(
+        cost_model=model, batch_size=getattr(args, "batch_size", None)
+    )
 
 
 def _load(args):
@@ -430,6 +437,33 @@ def cmd_bench_serve(args):
     return 0 if report.passed else 1
 
 
+def cmd_bench_micro(args):
+    """Real CPU-time engine microbenchmarks: batched vs per-record."""
+    from repro.harness.microbench import (
+        format_microbench,
+        next_trajectory_path,
+        run_microbench,
+        write_microbench,
+    )
+
+    report = run_microbench(
+        queries=tuple(args.queries),
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        workers=args.workers,
+        repeats=args.repeats,
+        batch_size=args.batch_size,
+    )
+    print(format_microbench(report))
+    output = args.output
+    if output is None:
+        output = next_trajectory_path()
+    if output != "-":
+        write_microbench(report, output)
+        print("-- wrote %s" % output, file=sys.stderr)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -557,6 +591,11 @@ def build_parser():
         help="result cache entries (0 disables result caching)",
     )
     serve.add_argument(
+        "--batch-size", type=int, default=None,
+        help="chunk length of batched (fused) execution "
+        "(default: %d)" % DEFAULT_BATCH_SIZE,
+    )
+    serve.add_argument(
         "--vertex-strategy", choices=["homo", "iso"], default="homo"
     )
     serve.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
@@ -586,6 +625,35 @@ def build_parser():
         "--json", action="store_true", help="machine-readable report"
     )
     bench_serve.set_defaults(handler=cmd_bench_serve)
+
+    bench_micro = commands.add_parser(
+        "bench-micro",
+        help="real CPU-time engine microbenchmarks: each query timed "
+        "under batched/fused and per-record execution; writes a "
+        "BENCH_<n>.json trajectory file for regression tracking",
+    )
+    bench_micro.add_argument(
+        "--queries", nargs="+", default=list(DEFAULT_MICRO_QUERIES),
+        choices=["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"],
+        help="paper queries to time",
+    )
+    bench_micro.add_argument("--scale-factor", type=float, default=0.1)
+    bench_micro.add_argument("--seed", type=int, default=42)
+    bench_micro.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed trials per (query, mode) after one warm-up",
+    )
+    bench_micro.add_argument(
+        "--batch-size", type=int, default=None,
+        help="chunk length of batched execution "
+        "(default: %d)" % DEFAULT_BATCH_SIZE,
+    )
+    bench_micro.add_argument(
+        "--output", default=None,
+        help="JSON report path; default picks the next BENCH_<n>.json "
+        "in the current directory, '-' skips the file",
+    )
+    bench_micro.set_defaults(handler=cmd_bench_micro)
     return parser
 
 

@@ -354,6 +354,181 @@ def evaluate_cnf(cnf, bindings):
     return True
 
 
+# Compilation ----------------------------------------------------------------------
+#
+# The interpreted evaluator above re-dispatches on the AST node types and
+# re-wraps literal values on every record.  ``compile_cnf`` specializes a
+# CNF once per operator build into nested closures — literals become bound
+# PropertyValue constants, comparison sides become direct accessor calls —
+# while keeping the exact ternary semantics (the closures delegate to the
+# same operator helpers).  ``$parameter`` slots stay late-bound: their
+# resolver reads ``side.current()`` per evaluation, so one compiled plan
+# still serves many bindings.
+
+
+def _compile_side(side):
+    """``bindings -> value`` resolver for one comparison side."""
+    if isinstance(side, Literal):
+        constant = PropertyValue(side.value)
+        return lambda bindings: constant
+    if isinstance(side, PropertyAccess):
+        variable, key = side.variable, side.key
+        return lambda bindings: bindings.property_value(variable, key)
+    if isinstance(side, LabelRef):
+        variable = side.variable
+        return lambda bindings: PropertyValue(bindings.label(variable))
+    if isinstance(side, VariableRef):
+        name = side.name
+        return lambda bindings: bindings.element_id(name)
+    current = getattr(side, "current", None)
+    if current is not None:
+        return lambda bindings: PropertyValue(current())
+    raise CypherSemanticError("unsupported expression %r" % (side,))
+
+
+def _compile_label_equality(comparison):
+    """Specialized ``label(v) =/<> 'literal'`` check, or None.
+
+    The single most common pushed-down atom; comparing the raw label
+    string skips two PropertyValue wrappers per record.  A missing label
+    (``None``) stays *unknown*, matching ``PropertyValue(None).is_null``.
+    """
+    sides = (comparison.left, comparison.right)
+    label_side = next((s for s in sides if isinstance(s, LabelRef)), None)
+    literal_side = next(
+        (s for s in sides
+         if isinstance(s, Literal) and isinstance(s.value, str)),
+        None,
+    )
+    if label_side is None or literal_side is None:
+        return None
+    variable, expected = label_side.variable, literal_side.value
+    if comparison.operator == "=":
+
+        def evaluate(bindings):
+            label = bindings.label(variable)
+            return None if label is None else label == expected
+
+    elif comparison.operator == "<>":
+
+        def evaluate(bindings):
+            label = bindings.label(variable)
+            return None if label is None else label != expected
+
+    else:
+        return None
+    return evaluate
+
+
+def _compile_comparison(comparison):
+    """``bindings -> True | False | None`` mirroring evaluate_comparison."""
+    specialized = _compile_label_equality(comparison)
+    if specialized is not None:
+        return specialized
+    left = _compile_side(comparison.left)
+    operator = comparison.operator
+    if operator == "IS NULL":
+        return lambda bindings: _is_null(left(bindings))
+    if operator == "IS NOT NULL":
+        return lambda bindings: not _is_null(left(bindings))
+    right = _compile_side(comparison.right)
+    if operator == "IN":
+        return lambda bindings: _evaluate_in(left(bindings), right(bindings))
+    if operator in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+        return lambda bindings: _evaluate_string_operator(
+            operator, left(bindings), right(bindings)
+        )
+    if operator == "=":
+
+        def evaluate(bindings):
+            left_value, right_value = left(bindings), right(bindings)
+            if _is_null(left_value) or _is_null(right_value):
+                return None
+            return left_value == right_value
+
+        return evaluate
+    if operator == "<>":
+
+        def evaluate(bindings):
+            left_value, right_value = left(bindings), right(bindings)
+            if _is_null(left_value) or _is_null(right_value):
+                return None
+            return left_value != right_value
+
+        return evaluate
+    if operator not in ("<", "<=", ">", ">="):
+        raise CypherSemanticError("unknown operator %r" % operator)
+    below = operator in ("<", "<=")
+    includes_equal = operator in ("<=", ">=")
+
+    def evaluate(bindings):
+        left_value, right_value = left(bindings), right(bindings)
+        if _is_null(left_value) or _is_null(right_value):
+            return None
+        try:
+            result = left_value.compare(right_value)
+        except IncomparableError:
+            return None
+        except AttributeError:
+            # VariableRef sides resolve to GradoopIds, which only support =/<>
+            return None
+        if below:
+            return result <= 0 if includes_equal else result < 0
+        return result >= 0 if includes_equal else result > 0
+
+    return evaluate
+
+
+def _compile_atom(atom):
+    evaluate = _compile_comparison(atom.comparison)
+    if not atom.negated:
+        return evaluate
+
+    def negated(bindings):
+        result = evaluate(bindings)
+        if result is None:
+            return None
+        return not result
+
+    return negated
+
+
+def _compile_clause(clause):
+    atoms = tuple(_compile_atom(atom) for atom in clause.atoms)
+    if len(atoms) == 1:
+        only = atoms[0]
+        return lambda bindings: only(bindings) is True
+
+    def satisfied(bindings):
+        for atom in atoms:
+            if atom(bindings) is True:
+                return True
+        return False
+
+    return satisfied
+
+
+def compile_cnf(cnf):
+    """``bindings -> bool`` closure with :func:`evaluate_cnf` semantics.
+
+    Built once per operator, not per record; always agrees with
+    ``evaluate_cnf(cnf, bindings)``.
+    """
+    clauses = tuple(_compile_clause(clause) for clause in cnf.clauses)
+    if not clauses:
+        return lambda bindings: True
+    if len(clauses) == 1:
+        return clauses[0]
+
+    def keep(bindings):
+        for clause in clauses:
+            if not clause(bindings):
+                return False
+        return True
+
+    return keep
+
+
 def cnf_signature(cnf):
     """A variable-name-independent fingerprint of a single-variable CNF.
 

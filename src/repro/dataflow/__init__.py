@@ -11,6 +11,7 @@ from .cost import ClusterCostModel
 from .dataset import DataSet, GroupedDataSet
 from .environment import ExecutionEnvironment, JobScope
 from .errors import DataflowError, IterationError, JobExecutionError, PlanError
+from .fusion import DEFAULT_BATCH_SIZE, FusedChainOperator, plan_fusion
 from .metrics import JobMetrics, OperatorRun
 from .operators import JoinStrategy
 from .partitioner import partition_index, round_robin_partitions, stable_hash
@@ -19,9 +20,11 @@ from .sizing import estimate_size
 __all__ = [
     "CancellationToken",
     "ClusterCostModel",
+    "DEFAULT_BATCH_SIZE",
     "DataSet",
     "DataflowError",
     "ExecutionEnvironment",
+    "FusedChainOperator",
     "GroupedDataSet",
     "IterationError",
     "JobExecutionError",
@@ -34,6 +37,7 @@ __all__ = [
     "QueryTimeout",
     "estimate_size",
     "partition_index",
+    "plan_fusion",
     "round_robin_partitions",
     "stable_hash",
 ]

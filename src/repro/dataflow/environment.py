@@ -36,14 +36,30 @@ class ExecutionEnvironment:
             its ``workers`` field wins and this may be omitted.
         cost_model: :class:`~repro.dataflow.cost.ClusterCostModel` used for
             spill thresholds and simulated runtimes.
+        batch_size: Chunk length of batched (fused) execution; partitions
+            flow through fused operator chains in chunks of this many
+            records with one cancellation poll per chunk.
+        fusion: Default execution mode for :meth:`run` — when True,
+            adjacent partition-local operators (map / filter / flat-map)
+            are collapsed into compiled batched loops.  Per-call ``fused``
+            arguments override it; shared-cache runs are always unfused.
     """
 
-    def __init__(self, parallelism=None, cost_model=None):
+    def __init__(self, parallelism=None, cost_model=None, batch_size=None,
+                 fusion=True):
         if cost_model is None:
             cost_model = ClusterCostModel(workers=parallelism or 4)
         elif parallelism is not None and parallelism != cost_model.workers:
             cost_model = cost_model.with_workers(parallelism)
+        if batch_size is None:
+            from .fusion import DEFAULT_BATCH_SIZE
+
+            batch_size = DEFAULT_BATCH_SIZE
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1, got %r" % (batch_size,))
         self.cost_model = cost_model  # unsynchronized: immutable after init
+        self.batch_size = batch_size  # unsynchronized: immutable after init
+        self.fusion = bool(fusion)  # unsynchronized: immutable after init
         # the shared default accumulator: concurrent service queries never
         # record here (each runs under a per-thread job scope); only
         # single-threaded callers and reset_metrics touch it
@@ -120,23 +136,33 @@ class ExecutionEnvironment:
 
     # Evaluation ----------------------------------------------------------------
 
-    def run(self, operator, cache=None, metrics=None, cancellation=None):
+    def run(self, operator, cache=None, metrics=None, cancellation=None,
+            fused=None):
         """Evaluate the DAG rooted at ``operator``; returns partitions.
 
         ``cache`` (operator id → partitions) may be passed in and shared
         across several ``run`` calls to evaluate a DAG's common operators
         only once — EXPLAIN ANALYZE and the cardinality-estimate audit
         walk every plan node this way without quadratic recomputation.
+        Shared-cache runs always execute per-record: fused chains would
+        skip materializing their interior operators, breaking the
+        per-node caching contract.
 
-        ``metrics`` and ``cancellation`` default to the thread's active
-        :meth:`job` scope, so callers deep inside operator builds need no
-        extra plumbing to participate in per-query scoping and deadlines.
+        ``fused`` overrides the environment's default ``fusion`` mode for
+        this run.  ``metrics`` and ``cancellation`` default to the
+        thread's active :meth:`job` scope, so callers deep inside operator
+        builds need no extra plumbing to participate in per-query scoping
+        and deadlines.
         """
         if metrics is None:
             metrics = self.current_metrics
         if cancellation is None:
             cancellation = self.current_cancellation
-        ctx = ExecutionContext(self, metrics, cancellation=cancellation)
+        if fused is None:
+            fused = self.fusion
+        fused = bool(fused) and cache is None
+        ctx = ExecutionContext(self, metrics, cancellation=cancellation,
+                               fused=fused)
         return self._evaluate(operator, {} if cache is None else cache, ctx)
 
     def _evaluate(self, operator, cache, ctx):
@@ -144,6 +170,15 @@ class ExecutionEnvironment:
             raise PlanError("operator belongs to a different environment")
         if operator.id in cache:
             return cache[operator.id]
+        rewrites = None
+        if getattr(ctx, "fused", False):
+            from .fusion import plan_fusion
+
+            rewrites = plan_fusion(
+                operator, ctx.batch_size, materialized=cache
+            ) or None
+            if rewrites is not None:
+                operator = rewrites.get(operator.id, operator)
         # Iterative post-order walk: deep Cypher plans (long join chains,
         # many expansion supersteps) would overflow Python's recursion limit.
         stack = [(operator, False)]
@@ -154,11 +189,28 @@ class ExecutionEnvironment:
             if expanded:
                 # batch boundary: one poll per operator execution
                 ctx.poll()
-                parent_results = [cache[parent.id] for parent in node.parents]
-                cache[node.id] = node.execute(ctx, parent_results)
+                if rewrites is None:
+                    parent_results = [
+                        cache[parent.id] for parent in node.parents
+                    ]
+                else:
+                    parent_results = [
+                        cache[rewrites.get(parent.id, parent).id]
+                        for parent in node.parents
+                    ]
+                result = node.execute(ctx, parent_results)
+                cache[node.id] = result
+                # a fused chain stands in for its terminal stage: alias
+                # the result so later walks sharing this cache (e.g. the
+                # emit branch of a superstep) see the terminal as done
+                terminal_id = getattr(node, "terminal_id", None)
+                if terminal_id is not None:
+                    cache[terminal_id] = result
             else:
                 stack.append((node, True))
                 for parent in node.parents:
+                    if rewrites is not None:
+                        parent = rewrites.get(parent.id, parent)
                     if parent.id not in cache:
                         stack.append((parent, False))
         return cache[operator.id]

@@ -49,7 +49,8 @@ class ShuffleStats:
 class ExecutionContext:
     """Per-run services handed to operators: shuffling, metrics, memory."""
 
-    def __init__(self, environment, metrics, iteration=None, cancellation=None):
+    def __init__(self, environment, metrics, iteration=None, cancellation=None,
+                 fused=False, batch_size=None):
         self._environment = environment
         self._metrics = metrics
         self.iteration = iteration
@@ -57,6 +58,13 @@ class ExecutionContext:
         #: Operators read it into a local and poll at batch boundaries;
         #: plain runs carry ``None`` and pay a single ``is None`` test.
         self.cancellation = cancellation
+        #: when True the evaluator runs the fusion pass and executes
+        #: map/filter/flat-map chains as compiled batched loops
+        self.fused = fused
+        self.batch_size = (
+            batch_size if batch_size is not None
+            else getattr(environment, "batch_size", None)
+        )
 
     def poll(self):
         """Raise if the run's cancellation token is cancelled or expired."""
@@ -142,6 +150,28 @@ class ExecutionContext:
             run.shuffled_bytes = shuffle.bytes
             run.worker_shuffle_bytes_in = list(shuffle.bytes_in)
         run.spilled_workers = spilled_workers
+        self._metrics.add(run)
+        return run
+
+    def record_stage_run(self, name, worker_in, worker_out):
+        """Append the OperatorRun of one stage inside a fused chain.
+
+        Fused chains execute several logical operators in one loop but
+        must leave the metrics stream indistinguishable from per-record
+        execution (the simulated cost model reads it); this produces
+        exactly what :meth:`record_run` records for a partition-local
+        operator — no shuffle, no spills, the evaluating run's iteration.
+        """
+        from .metrics import OperatorRun
+
+        run = OperatorRun(
+            name=name,
+            records_in=sum(worker_in),
+            records_out=sum(worker_out),
+            worker_records_in=list(worker_in),
+            worker_records_out=list(worker_out),
+            iteration=self.iteration,
+        )
         self._metrics.add(run)
         return run
 
@@ -347,6 +377,8 @@ class BulkIterationOperator(Operator):
                 ctx._metrics,
                 iteration=iteration,
                 cancellation=ctx.cancellation,
+                fused=ctx.fused,
+                batch_size=ctx.batch_size,
             )
             working_ds = environment.from_partitions(
                 working, name="iteration-working-set"
@@ -535,12 +567,15 @@ class JoinOperator(Operator):
             stats.merge(s)
             left_local = [list(p) for p in left_parts]
         else:  # repartition-based strategies co-locate equal keys
-            left_local, s1 = ctx.hash_shuffle(
-                left_parts, lambda record: self._call(self.left_key, record)
-            )
-            right_local, s2 = ctx.hash_shuffle(
-                right_parts, lambda record: self._call(self.right_key, record)
-            )
+            # the key functions run bare (no per-record _call frames);
+            # one try/except per shuffle keeps the error contract
+            try:
+                left_local, s1 = ctx.hash_shuffle(left_parts, self.left_key)
+                right_local, s2 = ctx.hash_shuffle(right_parts, self.right_key)
+            except Exception as exc:  # noqa: BLE001 — rewrap with context
+                if getattr(exc, "propagate_unwrapped", False):
+                    raise
+                raise JobExecutionError(self.name, exc) from exc
             stats.merge(s1)
             stats.merge(s2)
 
@@ -579,24 +614,43 @@ class JoinOperator(Operator):
         return right_partition, left_partition, False
 
     def _hash_join(self, build, probe, build_is_left, ctx):
+        """Batch-wise hash join: build, then probe, without per-record
+        ``_call`` frames — one try/except around each phase preserves the
+        exact error wrapping at a fraction of the per-record cost."""
         build_key = self.left_key if build_is_left else self.right_key
         probe_key = self.right_key if build_is_left else self.left_key
+        join_fn = self.join_fn
         token = ctx.cancellation
         table = {}
-        for record in build:
-            table.setdefault(_hashable(self._call(build_key, record)), []).append(record)
+        setdefault = table.setdefault
         produced = []
-        for index, probe_record in enumerate(probe):
-            if token is not None and index & _POLL_MASK == 0:
-                token.poll()
-            matches = table.get(_hashable(self._call(probe_key, probe_record)))
-            if not matches:
-                continue
-            for build_record in matches:
-                if build_is_left:
-                    produced.extend(self._call(self.join_fn, build_record, probe_record))
-                else:
-                    produced.extend(self._call(self.join_fn, probe_record, build_record))
+        extend = produced.extend
+        try:
+            for record in build:
+                setdefault(_hashable(build_key(record)), []).append(record)
+            get = table.get
+            if build_is_left:
+                for index, probe_record in enumerate(probe):
+                    if token is not None and index & _POLL_MASK == 0:
+                        token.poll()
+                    matches = get(_hashable(probe_key(probe_record)))
+                    if not matches:
+                        continue
+                    for build_record in matches:
+                        extend(join_fn(build_record, probe_record))
+            else:
+                for index, probe_record in enumerate(probe):
+                    if token is not None and index & _POLL_MASK == 0:
+                        token.poll()
+                    matches = get(_hashable(probe_key(probe_record)))
+                    if not matches:
+                        continue
+                    for build_record in matches:
+                        extend(join_fn(probe_record, build_record))
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise
+            raise JobExecutionError(self.name, exc) from exc
         return produced
 
     def _sort_merge(self, left_partition, right_partition, ctx):
@@ -662,14 +716,21 @@ class CrossOperator(Operator):
         right_local, stats = ctx.broadcast(right_parts)
         token = ctx.cancellation
         out = []
+        fn = self.fn
         for left_partition, right_partition in zip(left_parts, right_local):
             ctx.poll()
             produced = []
-            for index, left_record in enumerate(left_partition):
-                if token is not None and index & _POLL_MASK == 0:
-                    token.poll()
-                for right_record in right_partition:
-                    produced.append(self._call(self.fn, left_record, right_record))
+            append = produced.append
+            try:
+                for index, left_record in enumerate(left_partition):
+                    if token is not None and index & _POLL_MASK == 0:
+                        token.poll()
+                    for right_record in right_partition:
+                        append(fn(left_record, right_record))
+            except Exception as exc:  # noqa: BLE001 — rewrap with context
+                if getattr(exc, "propagate_unwrapped", False):
+                    raise
+                raise JobExecutionError(self.name, exc) from exc
             out.append(produced)
         ctx.record_run(self.name, parent_partition_sets, out, shuffle=stats)
         return out

@@ -126,6 +126,18 @@ class Embedding:
             cursor += _ID.size
         return ids
 
+    def raw_path_at(self, column):
+        """Like :meth:`path_at` but bare ints (hot-path helper)."""
+        flag, offset = self._value_at(column)
+        if flag != FLAG_PATH:
+            raise ValueError("column %d holds an id, not a path" % column)
+        (count,) = _PATH_LEN.unpack_from(self.path_data, offset)
+        start = offset + _PATH_LEN.size
+        return [
+            _ID.unpack_from(self.path_data, start + index * _ID.size)[0]
+            for index in range(count)
+        ]
+
     @property
     def property_count(self):
         count = 0
@@ -224,10 +236,9 @@ class Embedding:
 
     @classmethod
     def of_ids(cls, *gradoop_ids):
-        embedding = cls()
-        for gid in gradoop_ids:
-            embedding = embedding.append_id(gid)
-        return embedding
+        return cls(
+            b"".join(_ENTRY.pack(FLAG_ID, gid.value) for gid in gradoop_ids)
+        )
 
     def serialized_size(self):
         return len(self.id_data) + len(self.path_data) + len(self.prop_data)
@@ -374,6 +385,97 @@ class EmbeddingMetaData:
     def property_keys_of(self, variable):
         return [key for (var, key) in self.property_entries() if var == variable]
 
+    # Compiled accessors ----------------------------------------------------------
+    #
+    # The §3.3 layout gives FLAG_ID entries a fixed byte offset
+    # (column * ENTRY_WIDTH + 1), so once the meta data is known the
+    # per-record flag walk collapses into a single precompiled
+    # ``struct.Struct.unpack_from``.  These factories validate the entry
+    # kind once at compile time — per operator, not per record — and hand
+    # back closures for the hot loops.  Sanitized execution re-validates
+    # the flags per record at every operator boundary.
+
+    def id_reader(self, variable):
+        """``embedding -> bare int id`` at ``variable``'s column.
+
+        Compile-time checked to be an id ('v'/'e') entry; the closure
+        skips the runtime flag check the meta data already guarantees.
+        """
+        if self.entry_kind(variable) == "p":
+            raise ValueError(
+                "variable %r holds a path, not an id" % (variable,)
+            )
+        offset = self.entry_column(variable) * ENTRY_WIDTH + 1
+        unpack_from = _ID.unpack_from
+
+        def read_id(embedding):
+            return unpack_from(embedding.id_data, offset)[0]
+
+        return read_id
+
+    def join_key_reader(self, variables):
+        """``embedding -> join key`` over one or more id variables.
+
+        A single variable yields the bare int (its hash matches the
+        id-based data placement — tuple hashes would not); several yield
+        the tuple of ints.
+        """
+        readers = tuple(self.id_reader(variable) for variable in variables)
+        if len(readers) == 1:
+            return readers[0]
+
+        def read_key(embedding):
+            return tuple(read(embedding) for read in readers)
+
+        return read_key
+
+    def property_reader(self, variable, key):
+        """``embedding -> PropertyValue`` for one mapped property.
+
+        The length-field walk survives (prop records are variable width)
+        but the index, structs and deserializer are bound once.
+        """
+        index = self.property_index(variable, key)
+        unpack_from = _PROP_LEN.unpack_from
+        width = PROP_LEN_WIDTH
+        from_bytes = PropertyValue.from_bytes
+
+        def read_property(embedding):
+            data = embedding.prop_data
+            cursor = 0
+            for _ in range(index):
+                cursor += width + unpack_from(data, cursor)[0]
+            (length,) = unpack_from(data, cursor)
+            start = cursor + width
+            return from_bytes(data[start:start + length])[0]
+
+        return read_property
+
+    def compiled_bindings(self):
+        """``embedding -> CompiledEmbeddingBindings`` factory.
+
+        Pre-computes one accessor per mapped property and id column so
+        CNF evaluation over embeddings stops re-walking the byte layout
+        per atom.  The closures are pure readers, so one factory may be
+        shared by concurrent executions of a cached plan.
+        """
+        property_readers = {
+            pair: self.property_reader(*pair)
+            for pair in self.property_entries()
+        }
+        id_readers = {
+            variable: self.id_reader(variable)
+            for variable in self.variables
+            if self.entry_kind(variable) != "p"
+        }
+
+        def bind(embedding):
+            return CompiledEmbeddingBindings(
+                embedding, property_readers, id_readers
+            )
+
+        return bind
+
     def __repr__(self):
         return "EmbeddingMetaData(%r, %r)" % (self._entries, self._properties)
 
@@ -404,6 +506,128 @@ class EmbeddingBindings:
 
     def element_id(self, variable):
         return self.embedding.id_at(self.meta.entry_column(variable))
+
+
+class CompiledEmbeddingBindings:
+    """:class:`EmbeddingBindings` semantics over precompiled accessors.
+
+    Built by :meth:`EmbeddingMetaData.compiled_bindings`; property and id
+    lookups dispatch through per-(variable, key) closures computed once
+    per operator instead of walking the meta data per record.
+    """
+
+    __slots__ = ("embedding", "_property_readers", "_id_readers")
+
+    def __init__(self, embedding, property_readers, id_readers):
+        self.embedding = embedding
+        self._property_readers = property_readers
+        self._id_readers = id_readers
+
+    def property_value(self, variable, key):
+        reader = self._property_readers.get((variable, key))
+        if reader is None:
+            return NULL_VALUE
+        return reader(self.embedding)
+
+    def label(self, variable):
+        raise KeyError(
+            "label of %r is not available after the leaf operators" % variable
+        )
+
+    def element_id(self, variable):
+        reader = self._id_readers.get(variable)
+        if reader is None:
+            raise KeyError("variable %r not in embedding" % variable)
+        return GradoopId(reader(self.embedding))
+
+
+def compile_merge(left_meta, right_meta, drop_columns):
+    """``(left, right) -> merged`` closure for a fixed join shape.
+
+    When the right side has no PATH columns (the overwhelmingly common
+    join shape), the kept right entries are contiguous byte ranges whose
+    content merges unchanged — the closure concatenates pre-computed
+    slices instead of unpacking and repacking every entry.  PATH-bearing
+    right sides fall back to the generic :meth:`Embedding.merge` (their
+    offsets must be rewritten).  Both paths are byte-identical.
+    """
+    drop = frozenset(drop_columns)
+    if any(kind == "p" for _, kind in right_meta._entries.values()):
+        def merge(left, right):
+            return left.merge(right, drop)
+
+        return merge
+
+    ranges = []
+    for column in range(right_meta.column_count):
+        if column in drop:
+            continue
+        start = column * ENTRY_WIDTH
+        if ranges and ranges[-1][1] == start:
+            ranges[-1] = (ranges[-1][0], start + ENTRY_WIDTH)
+        else:
+            ranges.append((start, start + ENTRY_WIDTH))
+
+    if not ranges:
+        def merge(left, right):
+            return Embedding(
+                left.id_data,
+                left.path_data + right.path_data,
+                left.prop_data + right.prop_data,
+            )
+
+    elif len(ranges) == 1:
+        (start, stop) = ranges[0]
+
+        def merge(left, right):
+            return Embedding(
+                left.id_data + right.id_data[start:stop],
+                left.path_data + right.path_data,
+                left.prop_data + right.prop_data,
+            )
+
+    else:
+        spans = tuple(ranges)
+
+        def merge(left, right):
+            rid = right.id_data
+            return Embedding(
+                left.id_data + b"".join(rid[a:b] for a, b in spans),
+                left.path_data + right.path_data,
+                left.prop_data + right.prop_data,
+            )
+
+    return merge
+
+
+def compile_property_projector(keep_indices):
+    """``embedding -> projected embedding`` keeping raw property records.
+
+    Projection slices the length-prefixed records straight out of
+    ``prop_data`` — trivially byte-identical, and it skips the
+    deserialize/re-serialize round trip of
+    :meth:`Embedding.project_properties`.
+    """
+    keep = tuple(keep_indices)
+    unpack_from = _PROP_LEN.unpack_from
+    width = PROP_LEN_WIDTH
+
+    def project(embedding):
+        data = embedding.prop_data
+        spans = []
+        cursor = 0
+        length = len(data)
+        while cursor < length:
+            end = cursor + width + unpack_from(data, cursor)[0]
+            spans.append((cursor, end))
+            cursor = end
+        return Embedding(
+            embedding.id_data,
+            embedding.path_data,
+            b"".join(data[spans[index][0]:spans[index][1]] for index in keep),
+        )
+
+    return project
 
 
 class ElementBindings:

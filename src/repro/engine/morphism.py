@@ -9,6 +9,8 @@ their internal vertices/edges count toward distinctness.
 
 import enum
 
+from .embedding import ENTRY_WIDTH, _ID
+
 
 class MatchStrategy(enum.Enum):
     HOMOMORPHISM = "homomorphism"
@@ -66,6 +68,71 @@ def embedding_satisfies_morphism(embedding, meta, vertex_strategy, edge_strategy
     if edge_iso and not check_distinct(edge_ids):
         return False
     return True
+
+
+def compile_morphism_check(meta, vertex_strategy, edge_strategy):
+    """A compiled ``embedding -> bool`` morphism check for one meta shape.
+
+    Pre-computes the byte offsets of the id columns each strategy watches
+    (see :meth:`EmbeddingMetaData.id_reader` for the layout argument), so
+    the per-embedding check is a handful of ``unpack_from`` calls and one
+    set-cardinality comparison — no variable re-sorting, no GradoopId
+    allocation.  Returns ``None`` when the strategies cannot reject any
+    embedding of this shape (both homomorphism, or fewer than two watched
+    columns and no paths): callers skip the check entirely.  Path-bearing
+    shapes fall back to :func:`embedding_satisfies_morphism`.
+    """
+    vertex_iso = vertex_strategy is MatchStrategy.ISOMORPHISM
+    edge_iso = edge_strategy is MatchStrategy.ISOMORPHISM
+    if not vertex_iso and not edge_iso:
+        return None
+    vertex_offsets = []
+    edge_offsets = []
+    has_paths = False
+    for variable in meta.variables:
+        column = meta.entry_column(variable)
+        kind = meta.entry_kind(variable)
+        if kind == "v":
+            if vertex_iso:
+                vertex_offsets.append(column * ENTRY_WIDTH + 1)
+        elif kind == "e":
+            if edge_iso:
+                edge_offsets.append(column * ENTRY_WIDTH + 1)
+        else:
+            has_paths = True
+
+    if has_paths:
+        def check(embedding):
+            return embedding_satisfies_morphism(
+                embedding, meta, vertex_strategy, edge_strategy
+            )
+
+        return check
+
+    vertex_offsets = tuple(vertex_offsets) if len(vertex_offsets) > 1 else ()
+    edge_offsets = tuple(edge_offsets) if len(edge_offsets) > 1 else ()
+    if not vertex_offsets and not edge_offsets:
+        return None  # nothing to compare: the check is vacuously true
+    unpack_from = _ID.unpack_from
+
+    if vertex_offsets and edge_offsets:
+        def check(embedding):
+            data = embedding.id_data
+            ids = [unpack_from(data, offset)[0] for offset in vertex_offsets]
+            if len(set(ids)) != len(ids):
+                return False
+            ids = [unpack_from(data, offset)[0] for offset in edge_offsets]
+            return len(set(ids)) == len(ids)
+
+    else:
+        offsets = vertex_offsets or edge_offsets
+
+        def check(embedding):
+            data = embedding.id_data
+            ids = [unpack_from(data, offset)[0] for offset in offsets]
+            return len(set(ids)) == len(ids)
+
+    return check
 
 
 def morphism_violations(embedding, meta, vertex_strategy, edge_strategy):

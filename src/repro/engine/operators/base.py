@@ -95,5 +95,10 @@ class PhysicalOperator:
         audit).
         """
         dataset = self.evaluate()
-        partitions = dataset.environment.run(dataset.operator, cache=cache)
+        # sanitized runs stay per-record (see docs/architecture.md); shared
+        # caches force that anyway, but an uncached call must opt out too
+        fused = False if self._sanitizer is not None else None
+        partitions = dataset.environment.run(
+            dataset.operator, cache=cache, fused=fused
+        )
         return sum(len(partition) for partition in partitions)

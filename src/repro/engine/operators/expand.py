@@ -10,7 +10,7 @@ already bound ("closing" an existing binding) — an ID column for the path
 end.
 """
 
-from repro.cypher.predicates import evaluate_cnf
+from repro.cypher.predicates import compile_cnf
 from repro.epgm.indexed import IndexedLogicalGraph
 
 from ..embedding import ElementBindings
@@ -86,13 +86,13 @@ class ExpandEmbeddings(PhysicalOperator):
     def _edge_tuples(self):
         """The pre-filtered edge relation as ``(from, edge, to)`` int triples."""
         query_edge = self.query_edge
-        cnf = query_edge.predicates
+        keep = compile_cnf(query_edge.predicates)
         variable = query_edge.variable
         reverse = self.reverse
         undirected = query_edge.undirected
 
         def to_tuples(edge):
-            if not evaluate_cnf(cnf, ElementBindings(variable, edge)):
+            if not keep(ElementBindings(variable, edge)):
                 return []
             source, target = edge.source_id.value, edge.target_id.value
             if undirected:
@@ -119,10 +119,6 @@ class ExpandEmbeddings(PhysicalOperator):
 
     def _build(self):
         child_meta = self.children[0].meta
-        start_column = child_meta.entry_column(self.start_variable)
-        end_column = (
-            child_meta.entry_column(self.end_variable) if self.closing else None
-        )
         vertex_iso = self.vertex_strategy is MatchStrategy.ISOMORPHISM
         edge_iso = self.edge_strategy is MatchStrategy.ISOMORPHISM
         lower = self.query_edge.lower
@@ -133,16 +129,20 @@ class ExpandEmbeddings(PhysicalOperator):
         input_ds = self.children[0].evaluate()
         edges = self._edge_tuples()
 
-        base_vertex_columns = [
-            child_meta.entry_column(v)
+        start_reader = child_meta.id_reader(self.start_variable)
+        end_reader = (
+            child_meta.id_reader(self.end_variable) if self.closing else None
+        )
+        base_vertex_readers = tuple(
+            child_meta.id_reader(v)
             for v in child_meta.variables
             if child_meta.entry_kind(v) == "v"
-        ]
-        base_edge_columns = [
-            child_meta.entry_column(v)
+        )
+        base_edge_readers = tuple(
+            child_meta.id_reader(v)
             for v in child_meta.variables
             if child_meta.entry_kind(v) == "e"
-        ]
+        )
         base_path_columns = [
             child_meta.entry_column(v)
             for v in child_meta.variables
@@ -154,14 +154,14 @@ class ExpandEmbeddings(PhysicalOperator):
             vertex_ids = set()
             edge_ids = set()
             if vertex_iso or edge_iso:
-                for column in base_vertex_columns:
-                    vertex_ids.add(embedding.raw_id_at(column))
-                for column in base_edge_columns:
-                    edge_ids.add(embedding.raw_id_at(column))
+                for reader in base_vertex_readers:
+                    vertex_ids.add(reader(embedding))
+                for reader in base_edge_readers:
+                    edge_ids.add(reader(embedding))
                 for column in base_path_columns:
-                    for index, gid in enumerate(embedding.path_at(column)):
-                        (edge_ids if index % 2 == 0 else vertex_ids).add(gid.value)
-            start = embedding.raw_id_at(start_column)
+                    for index, value in enumerate(embedding.raw_path_at(column)):
+                        (edge_ids if index % 2 == 0 else vertex_ids).add(value)
+            start = start_reader(embedding)
             return (embedding, (), start, frozenset(vertex_ids), frozenset(edge_ids))
 
         def extend(item, edge_tuple):
@@ -188,7 +188,7 @@ class ExpandEmbeddings(PhysicalOperator):
             embedding, path, end, vertex_ids, _ = item
             via = tuple(reversed(path)) if reverse else path
             if closing:
-                if end != embedding.raw_id_at(end_column):
+                if end != end_reader(embedding):
                     return []
                 return [embedding.append_path(via)]
             if vertex_iso and end in vertex_ids:

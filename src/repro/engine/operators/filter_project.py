@@ -1,8 +1,8 @@
 """SelectEmbeddings and ProjectEmbeddings (paper §3.1)."""
 
-from repro.cypher.predicates import evaluate_cnf
+from repro.cypher.predicates import compile_cnf
 
-from ..embedding import EmbeddingBindings, EmbeddingMetaData
+from ..embedding import EmbeddingMetaData, compile_property_projector
 from .base import PhysicalOperator
 
 
@@ -23,14 +23,14 @@ class SelectEmbeddings(PhysicalOperator):
             )
 
     def _build(self):
-        cnf = self.cnf
-        meta = self.meta
+        evaluate = compile_cnf(self.cnf)
+        bind = self.meta.compiled_bindings()
 
         def keep(embedding):
-            return evaluate_cnf(cnf, EmbeddingBindings(embedding, meta))
+            return evaluate(bind(embedding))
 
         return self.children[0].evaluate().filter(
-            keep, name="SelectEmbeddings(%s)" % cnf
+            keep, name="SelectEmbeddings(%s)" % self.cnf
         )
 
     def describe(self):
@@ -60,9 +60,7 @@ class ProjectEmbeddings(PhysicalOperator):
 
     def _build(self):
         keep_indices = list(self._keep_indices)
-
-        def project(embedding):
-            return embedding.project_properties(keep_indices)
+        project = compile_property_projector(keep_indices)
 
         sanitizer = self._sanitizer
         if sanitizer is not None:

@@ -5,8 +5,8 @@ configured morphism semantics are dropped inside the join, never
 materialized (paper §3.1).
 """
 
-from ..embedding import EmbeddingMetaData
-from ..morphism import embedding_satisfies_morphism
+from ..embedding import EmbeddingMetaData, compile_merge
+from ..morphism import compile_morphism_check
 from .base import PhysicalOperator
 
 from repro.dataflow import JoinStrategy
@@ -47,39 +47,31 @@ class JoinEmbeddings(PhysicalOperator):
     def _build(self):
         left_columns = tuple(self._left_columns)
         right_columns = tuple(self._right_columns)
-        drop = frozenset(self._drop_columns)
-        meta = self.meta
-        vertex_strategy = self.vertex_strategy
-        edge_strategy = self.edge_strategy
+        left_meta = self.children[0].meta
+        right_meta = self.children[1].meta
 
-        # single-column joins use the bare id so the shuffle hash matches
-        # the id-based data placement (tuple hashes differ from int hashes)
-        if len(left_columns) == 1:
-            left_only, right_only = left_columns[0], right_columns[0]
+        # compiled key readers yield the bare id for single-column joins so
+        # the shuffle hash matches the id-based data placement (tuple hashes
+        # differ from int hashes), and tuples otherwise
+        left_key = left_meta.join_key_reader(self.join_variables)
+        right_key = right_meta.join_key_reader(self.join_variables)
+        merge = compile_merge(left_meta, right_meta, frozenset(self._drop_columns))
+        check = compile_morphism_check(
+            self.meta, self.vertex_strategy, self.edge_strategy
+        )
 
-            def left_key(embedding):
-                return embedding.raw_id_at(left_only)
+        if check is None:
 
-            def right_key(embedding):
-                return embedding.raw_id_at(right_only)
+            def flat_join(left_embedding, right_embedding):
+                return [merge(left_embedding, right_embedding)]
 
         else:
 
-            def left_key(embedding):
-                return tuple(embedding.raw_id_at(column) for column in left_columns)
-
-            def right_key(embedding):
-                return tuple(
-                    embedding.raw_id_at(column) for column in right_columns
-                )
-
-        def flat_join(left_embedding, right_embedding):
-            merged = left_embedding.merge(right_embedding, drop)
-            if embedding_satisfies_morphism(
-                merged, meta, vertex_strategy, edge_strategy
-            ):
-                return [merged]
-            return []
+            def flat_join(left_embedding, right_embedding):
+                merged = merge(left_embedding, right_embedding)
+                if check(merged):
+                    return [merged]
+                return []
 
         sanitizer = self._sanitizer
         if sanitizer is not None:
@@ -128,18 +120,25 @@ class CartesianEmbeddings(PhysicalOperator):
         )
 
     def _build(self):
-        meta = self.meta
-        vertex_strategy = self.vertex_strategy
-        edge_strategy = self.edge_strategy
+        merge = compile_merge(
+            self.children[0].meta, self.children[1].meta, frozenset()
+        )
+        check = compile_morphism_check(
+            self.meta, self.vertex_strategy, self.edge_strategy
+        )
 
-        def combine(pair):
-            left_embedding, right_embedding = pair
-            merged = left_embedding.merge(right_embedding)
-            if embedding_satisfies_morphism(
-                merged, meta, vertex_strategy, edge_strategy
-            ):
-                return [merged]
-            return []
+        if check is None:
+
+            def combine(pair):
+                return [merge(pair[0], pair[1])]
+
+        else:
+
+            def combine(pair):
+                merged = merge(pair[0], pair[1])
+                if check(merged):
+                    return [merged]
+                return []
 
         crossed = self.children[0].evaluate().cross(
             self.children[1].evaluate(), name="CartesianEmbeddings"

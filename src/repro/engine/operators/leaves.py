@@ -5,7 +5,7 @@ Each combines Select → Project → Transform in a single FlatMap (paper
 keys later operators need, and emit an embedding.
 """
 
-from repro.cypher.predicates import evaluate_cnf
+from repro.cypher.predicates import compile_cnf
 from repro.epgm.indexed import IndexedLogicalGraph
 
 from ..embedding import Embedding, ElementBindings, EmbeddingMetaData
@@ -45,11 +45,11 @@ class SelectAndProjectVertices(PhysicalOperator):
 
     def _build(self):
         variable = self.query_vertex.variable
-        cnf = self.query_vertex.predicates
+        keep = compile_cnf(self.query_vertex.predicates)
         keys = self.property_keys
 
         def select_project_transform(vertex):
-            if not evaluate_cnf(cnf, ElementBindings(variable, vertex)):
+            if not keep(ElementBindings(variable, vertex)):
                 return []
             embedding = Embedding.of_ids(vertex.id)
             if keys:
@@ -103,14 +103,14 @@ class SelectAndProjectEdges(PhysicalOperator):
 
     def _build(self):
         variable = self.query_edge.variable
-        cnf = self.query_edge.predicates
+        keep = compile_cnf(self.query_edge.predicates)
         keys = self.property_keys
         is_loop = self.is_loop
         undirected = self.query_edge.undirected
         distinct_endpoints = self.distinct_endpoints
 
         def select_project_transform(edge):
-            if not evaluate_cnf(cnf, ElementBindings(variable, edge)):
+            if not keep(ElementBindings(variable, edge)):
                 return []
             if distinct_endpoints and edge.source_id == edge.target_id:
                 return []

@@ -10,8 +10,8 @@ NULL never joins (Cypher: ``NULL = NULL`` is unknown), and numeric keys
 compare across int/float like the predicate evaluator does.
 """
 
-from ..embedding import EmbeddingMetaData
-from ..morphism import embedding_satisfies_morphism
+from ..embedding import EmbeddingMetaData, compile_merge
+from ..morphism import compile_morphism_check
 from .base import PhysicalOperator
 
 
@@ -52,23 +52,33 @@ class JoinEmbeddingsOnProperty(PhysicalOperator):
     def _build(self):
         left_index = self._left_index
         right_index = self._right_index
-        meta = self.meta
-        vertex_strategy = self.vertex_strategy
-        edge_strategy = self.edge_strategy
+        left_reader = self.children[0].meta.property_reader(*self.left_property)
+        right_reader = self.children[1].meta.property_reader(*self.right_property)
+        merge = compile_merge(
+            self.children[0].meta, self.children[1].meta, frozenset()
+        )
+        check = compile_morphism_check(
+            self.meta, self.vertex_strategy, self.edge_strategy
+        )
 
-        def not_null(index):
+        def not_null(reader):
             def keep(embedding):
-                return not embedding.property_at(index).is_null
+                return not reader(embedding).is_null
 
             return keep
 
-        def flat_join(left_embedding, right_embedding):
-            merged = left_embedding.merge(right_embedding)
-            if embedding_satisfies_morphism(
-                merged, meta, vertex_strategy, edge_strategy
-            ):
-                return [merged]
-            return []
+        if check is None:
+
+            def flat_join(left_embedding, right_embedding):
+                return [merge(left_embedding, right_embedding)]
+
+        else:
+
+            def flat_join(left_embedding, right_embedding):
+                merged = merge(left_embedding, right_embedding)
+                if check(merged):
+                    return [merged]
+                return []
 
         sanitizer = self._sanitizer
         if sanitizer is not None:
@@ -93,15 +103,15 @@ class JoinEmbeddingsOnProperty(PhysicalOperator):
                 return plain_flat_join(left_embedding, right_embedding)
 
         left_ds = self.children[0].evaluate().filter(
-            not_null(left_index), name="JoinEmbeddingsOnProperty:left-not-null"
+            not_null(left_reader), name="JoinEmbeddingsOnProperty:left-not-null"
         )
         right_ds = self.children[1].evaluate().filter(
-            not_null(right_index), name="JoinEmbeddingsOnProperty:right-not-null"
+            not_null(right_reader), name="JoinEmbeddingsOnProperty:right-not-null"
         )
         return left_ds.join(
             right_ds,
-            lambda e: _join_key(e.property_at(left_index)),
-            lambda e: _join_key(e.property_at(right_index)),
+            lambda e: _join_key(left_reader(e)),
+            lambda e: _join_key(right_reader(e)),
             join_fn=flat_join,
             name="JoinEmbeddingsOnProperty(%s.%s=%s.%s)"
             % (self.left_property + self.right_property),

@@ -125,8 +125,11 @@ class PreparedStatement:
                 self.last_diagnostics = diagnostics
             self._binding.assign(parameters or {})
             environment = self.runner.graph.environment
+            # instrumentation baked into this plan decides the mode, not the
+            # runner's *current* sanitize flag (they may have diverged)
+            fused = False if self.sanitizer is not None else self.runner.fused
             with environment.job("prepared", cancellation=token) as metrics:
-                embeddings = self.root.evaluate().collect()
+                embeddings = self.root.evaluate().collect(fused=fused)
             self.executions += 1
             return embeddings, self.root.meta, metrics
 

@@ -58,8 +58,14 @@ class CypherRunner:
         verify_plans=False,
         sanitize=False,
         plan_cache=None,
+        fused=None,
     ):
         self.graph = graph
+        #: batched-fusion override for this runner's executions: ``None``
+        #: inherits the environment default, ``False`` forces per-record.
+        #: Sanitized execution is always per-record regardless (the
+        #: sanitizer's per-boundary wrappers must see every intermediate).
+        self.fused = fused
         self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
         self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
         self._statistics = statistics
@@ -256,10 +262,14 @@ class CypherRunner:
 
     # Execution ------------------------------------------------------------------
 
+    def execution_fused(self):
+        """The ``fused`` argument this runner's executions should pass."""
+        return False if self.sanitize else self.fused
+
     def execute_embeddings(self, query, parameters=None):
         """``(embeddings, meta)`` — the raw relational result."""
         _, root = self.compile(query, parameters)
-        return root.evaluate().collect(), root.meta
+        return root.evaluate().collect(fused=self.execution_fused()), root.meta
 
     def execute(self, query, attach_bindings=True, parameters=None):
         """The EPGM pattern-matching operator: a GraphCollection of matches."""
@@ -276,7 +286,7 @@ class CypherRunner:
         SKIP and LIMIT.
         """
         handler, root = self.compile(query, parameters)
-        embeddings = root.evaluate().collect()
+        embeddings = root.evaluate().collect(fused=self.execution_fused())
         return self.build_rows(handler, embeddings, root.meta)
 
     def build_rows(self, handler, embeddings, meta):

@@ -15,6 +15,13 @@ from .experiments import (
     selectivity_series,
     speedup_series,
 )
+from .microbench import (
+    DEFAULT_QUERIES,
+    format_microbench,
+    next_trajectory_path,
+    run_microbench,
+    write_microbench,
+)
 from .paper_reference import CARDINALITIES, TABLE3, TABLE4, paper_speedup
 from .queries import (
     ALL_QUERIES,
@@ -31,6 +38,7 @@ __all__ = [
     "TABLE4",
     "paper_speedup",
     "ANALYTICAL_QUERIES",
+    "DEFAULT_QUERIES",
     "DatasetCache",
     "OPERATIONAL_QUERIES",
     "QueryRun",
@@ -39,12 +47,16 @@ __all__ = [
     "TABLE3_PATTERNS",
     "datasize_series",
     "default_cost_model",
+    "format_microbench",
     "format_table",
     "instantiate",
     "intermediate_result_sizes",
+    "next_trajectory_path",
     "result_cardinalities",
+    "run_microbench",
     "run_query",
     "runtime_grid",
     "selectivity_series",
     "speedup_series",
+    "write_microbench",
 ]

@@ -1,0 +1,190 @@
+"""Real-time engine microbenchmarks: batched/fused vs per-record.
+
+The experiment runners in :mod:`repro.harness.experiments` report
+*simulated* cluster runtimes from the cost model; these benchmarks
+measure the actual CPU cost of the Python engine itself — the number the
+batched execution mode (docs/architecture.md, "Execution model: batching
+and fusion") exists to reduce.  ``repro bench-micro`` and
+``make bench-micro`` call :func:`run_microbench` and write the report as
+a ``BENCH_<n>.json`` trajectory file at the repo root so successive
+changes leave a comparable series of measurements behind.
+
+Methodology, chosen for stability on noisy shared machines:
+
+* ``time.process_time`` (CPU time) rather than wall clock;
+* the GC is paused around every timed region and collected between them;
+* trials of the two modes are interleaved round-robin, so slow drift in
+  machine load hits both modes equally;
+* one untimed warm-up round per (query, mode) pays plan compilation and
+  dataset partitioning up front.
+"""
+
+import gc
+import json
+import os
+import platform
+import re
+import time
+from statistics import median, stdev
+
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics
+from repro.ldbc import LDBCGenerator
+
+from .experiments import default_cost_model
+from .queries import ALL_QUERIES, instantiate
+
+#: The acceptance pair: an operational one-hop pattern (Q1) and the
+#: analytical triangle (Q5) — leaf-dominated and join-dominated work.
+DEFAULT_QUERIES = ("Q1", "Q5")
+
+
+def _timed(environment, runner, query):
+    """One execution; returns (cpu_seconds, result_count)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with environment.job("bench-micro"):
+            start = time.process_time()
+            embeddings, _ = runner.execute_embeddings(query)
+            elapsed = time.process_time() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    gc.collect()
+    return elapsed, len(embeddings)
+
+
+def run_microbench(
+    queries=DEFAULT_QUERIES,
+    scale_factor=0.1,
+    seed=42,
+    workers=4,
+    repeats=5,
+    batch_size=None,
+    selectivity="low",
+):
+    """Time each query under batched/fused and per-record execution.
+
+    Returns a JSON-ready report dict whose ``results`` list holds one
+    record per (query, mode): ``query``, ``batched``, ``median_seconds``,
+    ``stddev_seconds``, ``min_seconds``, ``rows``, and the raw
+    ``seconds`` samples.  ``speedup`` maps each query to the per-record /
+    batched median ratio measured in this run.
+    """
+    dataset = LDBCGenerator(scale_factor, seed).generate()
+    modes = {}
+    for batched in (True, False):
+        environment = ExecutionEnvironment(
+            cost_model=default_cost_model(workers),
+            batch_size=batch_size,
+            fusion=batched,
+        )
+        graph = dataset.to_logical_graph(environment)
+        statistics = GraphStatistics.from_graph(graph)
+        modes[batched] = (environment, CypherRunner(graph, statistics=statistics))
+
+    cases = []
+    for name in queries:
+        template = ALL_QUERIES[name]
+        first_name = (
+            dataset.first_name(selectivity) if "{firstName}" in template else None
+        )
+        cases.append((name, instantiate(template, first_name)))
+
+    samples = {(name, batched): [] for name, _ in cases for batched in modes}
+    rows = {}
+    for trial in range(-1, repeats):  # trial -1 is the untimed warm-up
+        for name, query in cases:
+            for batched, (environment, runner) in modes.items():
+                elapsed, count = _timed(environment, runner, query)
+                if trial < 0:
+                    rows[name] = count
+                else:
+                    samples[name, batched].append(elapsed)
+
+    results = []
+    for name, _ in cases:
+        for batched in (True, False):
+            data = samples[name, batched]
+            results.append(
+                {
+                    "query": name,
+                    "batched": batched,
+                    "median_seconds": median(data),
+                    "stddev_seconds": stdev(data) if len(data) > 1 else 0.0,
+                    "min_seconds": min(data),
+                    "rows": rows[name],
+                    "seconds": data,
+                }
+            )
+    speedup = {}
+    for name, _ in cases:
+        fused = median(samples[name, True])
+        plain = median(samples[name, False])
+        speedup[name] = plain / fused if fused else float("inf")
+    return {
+        "benchmark": "engine-microbench",
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "workers": workers,
+        "repeats": repeats,
+        "batch_size": modes[True][0].batch_size,
+        "clock": "process_time",
+        "python": platform.python_version(),
+        "results": results,
+        "speedup": speedup,
+    }
+
+
+def format_microbench(report):
+    """Human-readable table for one :func:`run_microbench` report."""
+    lines = [
+        "engine-microbench: SF %s, %d worker(s), %d repeat(s), "
+        "batch size %d, %s clock"
+        % (
+            report["scale_factor"],
+            report["workers"],
+            report["repeats"],
+            report["batch_size"],
+            report["clock"],
+        ),
+        "%-6s %-12s %12s %12s %12s %8s"
+        % ("query", "mode", "median [s]", "stddev [s]", "min [s]", "rows"),
+    ]
+    for record in report["results"]:
+        lines.append(
+            "%-6s %-12s %12.4f %12.4f %12.4f %8d"
+            % (
+                record["query"],
+                "batched" if record["batched"] else "per-record",
+                record["median_seconds"],
+                record["stddev_seconds"],
+                record["min_seconds"],
+                record["rows"],
+            )
+        )
+    for name in sorted(report["speedup"]):
+        lines.append(
+            "%-6s batched is %.2fx the per-record median"
+            % (name, report["speedup"][name])
+        )
+    return "\n".join(lines)
+
+
+def next_trajectory_path(directory="."):
+    """``BENCH_<n>.json`` one past the highest existing index."""
+    highest = 0
+    for entry in os.listdir(directory):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", entry)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, "BENCH_%d.json" % (highest + 1))
+
+
+def write_microbench(report, path):
+    """Write ``report`` to ``path`` as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,222 @@
+"""Batched, fused execution of partition-local operator chains.
+
+The contract under test: fusion is pure plumbing.  For any DAG, a fused
+run returns the same partitions AND records the same per-stage
+:class:`OperatorRun` metrics (full dataclass equality, same order) as the
+per-record evaluator, while errors keep naming the stage that raised and
+cancellation still propagates unwrapped.
+"""
+
+import pytest
+
+from repro.dataflow import (
+    CancellationToken,
+    DEFAULT_BATCH_SIZE,
+    ExecutionEnvironment,
+    FusedChainOperator,
+    JobExecutionError,
+    QueryCancelled,
+    plan_fusion,
+)
+from repro.dataflow.fusion import _chunk_template
+from repro.dataflow.operators import MapOperator
+
+
+def build_env(**kwargs):
+    return ExecutionEnvironment(parallelism=4, **kwargs)
+
+
+def chain_dataset(env):
+    """map → filter → flat-map → map over a modest integer source."""
+    data = env.from_collection(list(range(200)), name="source")
+    return (
+        data.map(lambda x: x * 3, name="triple")
+        .filter(lambda x: x % 2 == 0, name="evens")
+        .flat_map(lambda x: [x, x + 1] if x % 4 == 0 else [x], name="expand")
+        .map(lambda x: x - 1, name="shift")
+    )
+
+
+def mixed_dag(env):
+    """Two fusable chains meeting in a join, then a fused tail."""
+    left = (
+        env.from_collection(list(range(120)), name="left-source")
+        .map(lambda x: (x % 10, x), name="left-key")
+        .filter(lambda pair: pair[1] % 3 != 0, name="left-filter")
+    )
+    right = (
+        env.from_collection(list(range(60)), name="right-source")
+        .flat_map(lambda x: [(x % 10, -x)], name="right-key")
+    )
+    joined = left.join(right, lambda p: p[0], lambda p: p[0], name="join")
+    return joined.map(lambda pair: pair[0][1] + pair[1][1], name="sum").filter(
+        lambda value: value % 2 == 0, name="even-sums"
+    )
+
+
+def run_both(make_dataset, **env_kwargs):
+    """(fused partitions+runs, per-record partitions+runs) for one DAG."""
+    results = []
+    for fused in (True, False):
+        env = build_env(**env_kwargs)
+        dataset = make_dataset(env)
+        with env.job("probe") as metrics:
+            partitions = dataset.collect_partitions(fused=fused)
+        results.append((partitions, metrics.runs))
+    return results
+
+
+class TestFusedEqualsPerRecord:
+    def test_linear_chain_partitions_and_metrics_match(self):
+        (fused_parts, fused_runs), (plain_parts, plain_runs) = run_both(
+            chain_dataset
+        )
+        assert fused_parts == plain_parts
+        assert fused_runs == plain_runs  # full dataclass equality, in order
+
+    def test_dag_with_join_partitions_and_metrics_match(self):
+        (fused_parts, fused_runs), (plain_parts, plain_runs) = run_both(
+            mixed_dag
+        )
+        assert fused_parts == plain_parts
+        assert fused_runs == plain_runs
+
+    def test_shared_node_diamond_matches_and_runs_once(self):
+        def diamond(env):
+            shared = env.from_collection(list(range(50)), name="src").map(
+                lambda x: x + 1, name="shared-map"
+            )
+            a = shared.filter(lambda x: x % 2 == 0, name="fa")
+            b = shared.filter(lambda x: x % 3 == 0, name="fb")
+            return a.union(b, name="union")
+
+        (fused_parts, fused_runs), (plain_parts, plain_runs) = run_both(diamond)
+        assert fused_parts == plain_parts
+        assert fused_runs == plain_runs
+        # the multi-consumer map is a chain terminal, executed exactly once
+        assert sum(1 for run in fused_runs if run.name == "shared-map") == 1
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 64, DEFAULT_BATCH_SIZE])
+    def test_every_batch_size_chunks_to_the_same_result(self, batch_size):
+        env = build_env(batch_size=batch_size)
+        reference = chain_dataset(build_env()).collect(fused=False)
+        assert chain_dataset(env).collect(fused=True) == reference
+
+    def test_empty_partitions_flow_through_fused_chains(self):
+        def empty(env):
+            return env.from_collection([], name="empty").map(
+                lambda x: x, name="noop"
+            )
+
+        (fused_parts, fused_runs), (plain_parts, plain_runs) = run_both(empty)
+        assert fused_parts == plain_parts
+        assert fused_runs == plain_runs
+
+
+class TestFusionPlanning:
+    def test_chain_collapses_into_one_fused_operator(self):
+        env = build_env()
+        dataset = chain_dataset(env)
+        rewrites = plan_fusion(dataset.operator, env.batch_size)
+        assert list(rewrites) == [dataset.operator.id]
+        fused = rewrites[dataset.operator.id]
+        assert isinstance(fused, FusedChainOperator)
+        assert [stage.name for stage in fused.stages] == [
+            "triple", "evens", "expand", "shift",
+        ]
+        assert fused.terminal_id == dataset.operator.id
+
+    def test_multi_consumer_node_breaks_the_chain(self):
+        env = build_env()
+        shared = env.from_collection(list(range(10))).map(
+            lambda x: x, name="shared"
+        )
+        a = shared.map(lambda x: x + 1, name="a")
+        b = shared.map(lambda x: x + 2, name="b")
+        union = a.union(b)
+        rewrites = plan_fusion(union.operator, env.batch_size)
+        # three separate chains: shared (terminal), a, b
+        assert len(rewrites) == 3
+        shared_chain = rewrites[shared.operator.id]
+        assert [stage.name for stage in shared_chain.stages] == ["shared"]
+
+    def test_operator_subclasses_are_not_fused(self):
+        class TracingMap(MapOperator):
+            pass
+
+        env = build_env()
+        source = env.from_collection(list(range(5)))
+        custom = TracingMap(env, source.operator, lambda x: x, "custom")
+        assert plan_fusion(custom, env.batch_size) == {}
+
+    def test_materialized_nodes_are_boundaries(self):
+        env = build_env()
+        dataset = chain_dataset(env)
+        everything = set()
+        node_stack = [dataset.operator]
+        while node_stack:
+            node = node_stack.pop()
+            everything.add(node.id)
+            node_stack.extend(node.parents)
+        assert plan_fusion(
+            dataset.operator, env.batch_size, materialized=everything
+        ) == {}
+
+    def test_template_cache_returns_one_function_per_shape(self):
+        assert _chunk_template(("map", "filter")) is _chunk_template(
+            ("map", "filter")
+        )
+        assert _chunk_template(("map",)) is not _chunk_template(("filter",))
+
+
+class TestFusedErrorHandling:
+    def test_error_names_the_failing_stage(self):
+        env = build_env()
+        data = env.from_collection(list(range(40)), name="src")
+        bad = (
+            data.map(lambda x: x + 1, name="fine")
+            .map(lambda x: 1 // (x - 20), name="bad-map")
+            .filter(lambda x: True, name="later")
+        )
+        with pytest.raises(JobExecutionError) as excinfo:
+            bad.collect(fused=True)
+        assert "bad-map" in str(excinfo.value)
+
+    def test_cancellation_propagates_unwrapped_from_fused_loops(self):
+        env = build_env(batch_size=4)
+        token = CancellationToken()
+        token.cancel("stop")
+        data = env.from_collection(list(range(100))).map(
+            lambda x: x, name="noop"
+        )
+        with pytest.raises(QueryCancelled):
+            env.run(data.operator, cancellation=token, fused=True)
+
+
+class TestExecutionModes:
+    def test_environment_default_fusion_flag_applies(self):
+        for fusion in (True, False):
+            env = build_env(fusion=fusion)
+            assert chain_dataset(env).collect() == chain_dataset(
+                build_env()
+            ).collect(fused=False)
+
+    def test_shared_cache_run_materializes_chain_interiors(self):
+        env = build_env(fusion=True)
+        dataset = chain_dataset(env)
+        cache = {}
+        env.run(dataset.operator, cache=cache)
+        # per-node caching contract: every interior operator has an entry
+        node_stack, node_ids = [dataset.operator], set()
+        while node_stack:
+            node = node_stack.pop()
+            node_ids.add(node.id)
+            node_stack.extend(node.parents)
+        assert node_ids <= set(cache)
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ExecutionEnvironment(parallelism=2, batch_size=0)
+
+    def test_default_batch_size_is_advertised(self):
+        assert build_env().batch_size == DEFAULT_BATCH_SIZE

@@ -1,0 +1,168 @@
+"""Engine-level contracts of batched/fused execution.
+
+Fusion and the compiled accessors must not change anything observable:
+embeddings, tabular rows, and — because the experiment harness reports
+simulated runtimes — the recorded metrics (operator runs, shuffle bytes)
+must be identical between modes.  Sanitized execution opts out of fusion
+entirely; prepared statements re-bind correctly with fusion on.
+"""
+
+from collections import Counter
+
+import pytest
+
+import repro.dataflow.fusion as fusion_module
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner, GraphStatistics
+from repro.epgm import LogicalGraph
+from tests.conftest import build_figure1_elements
+
+QUERIES = [
+    "MATCH (p1:Person)-[s:studyAt]->(u:University) "
+    "WHERE s.classYear > 2014 RETURN p1.name, u.name",
+    "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) "
+    "RETURN *",
+    "MATCH (p:Person)-[e:knows*1..3]->(q:Person) WHERE p.name = 'Alice' "
+    "RETURN *",
+    "MATCH (p:Person {name: 'Alice'})-[e:knows*2..2]->(p2:Person) RETURN *",
+]
+
+
+def fresh_graph(**env_kwargs):
+    head, vertices, edges = build_figure1_elements()
+    return LogicalGraph.from_collections(
+        ExecutionEnvironment(parallelism=4, **env_kwargs),
+        vertices,
+        edges,
+        graph_head=head,
+    )
+
+
+def run_query(query, fused):
+    graph = fresh_graph()
+    runner = CypherRunner(graph, fused=fused)
+    with graph.environment.job("probe") as metrics:
+        embeddings, meta = runner.execute_embeddings(query)
+    return embeddings, meta, metrics
+
+
+class TestFusedMatchesPerRecord:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_embedding_multisets_are_identical(self, query):
+        fused, meta_fused, _ = run_query(query, fused=True)
+        plain, meta_plain, _ = run_query(query, fused=False)
+        assert Counter(fused) == Counter(plain)
+        assert meta_fused.variables == meta_plain.variables
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_metrics_are_bit_identical_between_modes(self, query):
+        """The experiment harness depends on this: same runs, same order,
+        same shuffle accounting, hence the same simulated runtime."""
+        _, _, fused_metrics = run_query(query, fused=True)
+        _, _, plain_metrics = run_query(query, fused=False)
+        assert fused_metrics.runs == plain_metrics.runs
+        assert (
+            fused_metrics.total_shuffled_bytes
+            == plain_metrics.total_shuffled_bytes
+        )
+
+    def test_simulated_runtime_is_mode_independent(self):
+        runtimes = []
+        for fused in (True, False):
+            graph = fresh_graph()
+            runner = CypherRunner(graph, fused=fused)
+            with graph.environment.job("probe") as metrics:
+                runner.execute_embeddings(QUERIES[1])
+            runtimes.append(
+                graph.environment.simulated_runtime_seconds(metrics)
+            )
+        assert runtimes[0] == runtimes[1]
+
+
+class TestSanitizerForcesPerRecord:
+    def test_sanitized_execution_never_plans_fusion(self, monkeypatch):
+        graph = fresh_graph(fusion=True)
+        runner = CypherRunner(graph, sanitize=True)
+        # compile first: statistics collection is an ordinary (fused)
+        # dataflow job and may plan fusion freely — only the sanitized
+        # *query execution* must stay per-record
+        _, root = runner.compile(QUERIES[0])
+
+        def explode(*args, **kwargs):
+            raise AssertionError("fusion pass ran during sanitized execution")
+
+        monkeypatch.setattr(fusion_module, "plan_fusion", explode)
+        embeddings = root.evaluate().collect(fused=runner.execution_fused())
+        assert len(embeddings) == 2
+        assert runner.last_sanitizer.checked >= len(embeddings)
+
+    def test_unsanitized_execution_does_plan_fusion(self, monkeypatch):
+        graph = fresh_graph(fusion=True)
+        runner = CypherRunner(graph)
+        _, root = runner.compile(QUERIES[0])
+        calls = []
+        real = fusion_module.plan_fusion
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fusion_module, "plan_fusion", spy)
+        root.evaluate().collect(fused=runner.execution_fused())
+        assert calls
+
+    def test_explain_analyze_matches_under_sanitizer(self):
+        graph = fresh_graph(fusion=True)
+        runner = CypherRunner(graph, sanitize=True)
+        text = runner.explain_analyze(QUERIES[0])
+        assert "actual=2" in text
+
+
+class TestPlanReuseUnderFusion:
+    def test_prepared_statement_rebinds_with_fusion_on(self):
+        graph = fresh_graph(fusion=True)
+        statement = CypherRunner(graph).prepare(
+            "MATCH (p:Person {name: $who}) RETURN p.name"
+        )
+        for name in ("Alice", "Bob", "Alice"):
+            rows = statement.execute_table({"who": name})
+            assert rows == [{"p.name": name}]
+        assert statement.executions == 3
+
+    def test_prepared_var_length_rebinds_with_fusion_on(self):
+        # the expansion's supersteps must re-run per binding, fused or not
+        graph = fresh_graph(fusion=True)
+        statement = CypherRunner(graph).prepare(
+            "MATCH (p:Person {name: $who})-[e:knows*2..2]->(q:Person) "
+            "RETURN *"
+        )
+        alice = statement.execute_table({"who": "Alice"})
+        bob = statement.execute_table({"who": "Bob"})
+        assert sorted(row["e"] for row in alice) == [[5, 20, 6], [5, 20, 7]]
+        assert alice != bob
+
+    def test_reset_then_reexecute_is_stable(self):
+        graph = fresh_graph(fusion=True)
+        runner = CypherRunner(graph)
+        _, root = runner.compile(QUERIES[1])
+        first = root.evaluate().collect()
+        root.reset()
+        assert Counter(root.evaluate().collect()) == Counter(first)
+
+    def test_plan_cached_across_modes_by_runner_settings(self):
+        # one graph, two runners sharing the plan cache: toggling fused
+        # must not poison results (the fusion rewrite never mutates plans)
+        graph = fresh_graph()
+        statistics = GraphStatistics.from_graph(graph)
+        fused_runner = CypherRunner(graph, statistics=statistics, fused=True)
+        plain_runner = CypherRunner(
+            graph,
+            statistics=statistics,
+            fused=False,
+            plan_cache=fused_runner.plan_cache,
+        )
+        fused_rows = fused_runner.execute_table(QUERIES[0])
+        plain_rows = plain_runner.execute_table(QUERIES[0])
+        assert sorted(r["p1.name"] for r in fused_rows) == sorted(
+            r["p1.name"] for r in plain_rows
+        )

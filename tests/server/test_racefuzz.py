@@ -15,6 +15,8 @@ adversarial schedules and checks a consistency invariant afterwards:
   cancels, every later poll raises.
 """
 
+from collections import Counter
+
 import pytest
 
 from repro.analysis.concurrency import InterleavingFuzzer
@@ -153,6 +155,47 @@ def test_prepared_rebinding_does_not_bleed_bindings():
     )
     assert findings == [], findings[0] if findings else None
     assert statement.executions == 3 * REBINDS_PER_THREAD * 6
+
+
+# Fused chain execution --------------------------------------------------------
+
+FUSED_QUERY = (
+    "MATCH (a:Person)-[e1:knows]->(b:Person), (b)-[e2:knows]->(c:Person) "
+    "RETURN *"
+)
+FUSED_RUNS_PER_THREAD = 3
+
+
+def test_concurrent_fused_execution_matches_serial_reference():
+    """Concurrent fused queries race on the compiled-template cache.
+
+    Every schedule starts from a cold ``_templates`` cache so the
+    compile-then-publish path interleaves adversarially; each thread's
+    fused result multiset must equal the serial per-record reference.
+    """
+    import repro.dataflow.fusion as fusion_module
+
+    graph = build_graph()
+    serial = Counter(
+        CypherRunner(graph, fused=False).execute_embeddings(FUSED_QUERY)[0]
+    )
+    assert serial  # the reference must be non-trivial
+
+    def setup():
+        with fusion_module._template_lock:
+            fusion_module._templates.clear()
+        return graph
+
+    def worker(shared_graph, fuzz):
+        runner = CypherRunner(shared_graph, fused=True)
+        for _ in range(FUSED_RUNS_PER_THREAD):
+            fuzz.step()
+            with shared_graph.environment.job("fuzz-fused"):
+                embeddings, _ = runner.execute_embeddings(FUSED_QUERY)
+            assert Counter(embeddings) == serial, "fused result diverged"
+
+    findings = fuzzer(schedules=6).run(setup=setup, worker=worker)
+    assert findings == [], findings[0] if findings else None
 
 
 # CancellationToken ------------------------------------------------------------

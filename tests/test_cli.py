@@ -1,5 +1,7 @@
 """End-to-end tests for the command-line interface."""
 
+import json
+import os
 import subprocess
 import sys
 
@@ -7,12 +9,21 @@ import pytest
 
 
 def run_cli(*args, cwd=None):
+    env = os.environ.copy()
+    if env.get("PYTHONPATH"):
+        # keep a relative PYTHONPATH (e.g. "src") working under cwd=
+        env["PYTHONPATH"] = os.pathsep.join(
+            os.path.abspath(entry)
+            for entry in env["PYTHONPATH"].split(os.pathsep)
+            if entry
+        )
     return subprocess.run(
         [sys.executable, "-m", "repro", *args],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=cwd,
+        env=env,
     )
 
 
@@ -102,6 +113,41 @@ class TestBench:
     def test_unknown_experiment_rejected(self):
         result = run_cli("bench", "--experiment", "fig99")
         assert result.returncode != 0
+
+
+class TestBenchMicro:
+    def test_writes_trajectory_json(self, tmp_path):
+        result = run_cli(
+            "bench-micro",
+            "--queries", "Q1",
+            "--scale-factor", "0.02",
+            "--repeats", "2",
+            "--output", str(tmp_path / "bench.json"),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "per-record" in result.stdout and "batched" in result.stdout
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["repeats"] == 2
+        by_mode = {record["batched"]: record for record in report["results"]}
+        assert set(by_mode) == {True, False}
+        assert by_mode[True]["rows"] == by_mode[False]["rows"]
+        for record in by_mode.values():
+            assert record["query"] == "Q1"
+            assert len(record["seconds"]) == 2
+            assert record["median_seconds"] >= record["min_seconds"] >= 0
+        assert "Q1" in report["speedup"]
+
+    def test_default_output_picks_next_index(self, tmp_path):
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        result = run_cli(
+            "bench-micro",
+            "--queries", "Q1",
+            "--scale-factor", "0.02",
+            "--repeats", "1",
+            cwd=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "BENCH_4.json").exists()
 
 
 class TestCheck:
