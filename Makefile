@@ -1,5 +1,5 @@
-.PHONY: install test check lint typecheck racecheck bench bench-micro \
-	examples reports clean serve-smoke bench-serve
+.PHONY: install test check flowcheck lint typecheck racecheck bench \
+	bench-micro docs-codes examples reports clean serve-smoke bench-serve
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,19 +13,29 @@ check:
 	pytest tests/analysis/test_sanitizer.py tests/analysis/test_differential.py
 	pytest benchmarks/test_microbench_engine.py -k "q1_plain or q1_sanitized" --benchmark-disable
 
+# the static analysis battery: layout-flow verification (S3xx) and UDF
+# shippability certification (P4xx) over the LDBC plans and the planted
+# violation fixtures
+flowcheck:
+	pytest tests/analysis/test_flow.py tests/analysis/test_udfcheck.py \
+		tests/analysis/test_flow_soundness.py
+
 lint:
-	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests; \
-	else \
-		echo "ruff not installed; skipping (pip install ruff)"; \
-	fi
+	@command -v ruff >/dev/null 2>&1 || { \
+		echo "error: ruff not installed — pip install -e '.[dev]'" >&2; \
+		exit 1; }
+	ruff check src tests
 
 typecheck:
-	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/analysis; \
-	else \
-		echo "mypy not installed; skipping (pip install mypy)"; \
-	fi
+	@command -v mypy >/dev/null 2>&1 || { \
+		echo "error: mypy not installed — pip install -e '.[dev]'" >&2; \
+		exit 1; }
+	mypy src/repro/analysis src/repro/dataflow src/repro/engine/embedding.py
+
+# regenerate the diagnostic-code table in docs/analysis.md from the
+# CODES registry (tests/analysis/test_docs_codes.py pins the two in sync)
+docs-codes:
+	python scripts/gen_code_docs.py
 
 # the concurrency battery: static lock-discipline lint over our own
 # source, then the server suite under the runtime lock-order witness,

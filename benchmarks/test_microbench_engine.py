@@ -101,6 +101,35 @@ def test_execute_q1_sanitized(benchmark, medium_graph):
     assert not runner.last_sanitizer.diagnostics
 
 
+@pytest.mark.benchmark(group="sanitizer-overhead")
+def test_execute_q1_sampled(benchmark, medium_graph):
+    """Sampled instrumentation: one embedding in 16 validated.
+
+    ``sanitize="sample"`` keeps the instrument wrappers (so execution
+    stays per-record, like the fully sanitized case) but skips the
+    byte-level validation on all but every ``DEFAULT_SAMPLE_EVERY``-th
+    embedding — recovering most of the sanitizer's ~2.5x overhead while
+    retaining a statistical smoke check.  Compare against
+    ``test_execute_q1_plain`` / ``test_execute_q1_sanitized``; the gap
+    this case closes is the per-embedding validation cost that a
+    flowcheck-proven plan (``repro flowcheck``) makes redundant.
+    """
+    dataset, graph, statistics = medium_graph
+    runner = CypherRunner(graph, statistics=statistics, sanitize="sample")
+    query = instantiate(ALL_QUERIES["Q1"], dataset.first_name("low"))
+
+    def execute():
+        embeddings, _ = runner.execute_embeddings(query)
+        return embeddings
+
+    embeddings = benchmark(execute)
+    assert embeddings
+    assert runner.last_sanitizer is not None
+    # the sampler saw every embedding but validated only a fraction
+    assert runner.last_sanitizer.seen > runner.last_sanitizer.checked
+    assert not runner.last_sanitizer.diagnostics
+
+
 @pytest.mark.benchmark(group="plan-cache")
 def test_parameterized_q1_plan_cache_cold(benchmark, medium_graph):
     """Baseline for the plan-cache pair: every run pays parse+lint+plan.

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the diagnostic-code table in docs/analysis.md.
+
+The table between the ``codes:begin`` / ``codes:end`` markers is rendered
+from :data:`repro.analysis.diagnostics.CODES` — the authoritative
+registry — so the docs can never silently drift from the code.  Run via
+``make docs-codes`` after registering a new code; ``--check`` (used by CI
+and ``tests/analysis/test_docs_codes.py``) exits non-zero when the
+committed table is stale instead of rewriting it.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.diagnostics import BLOCKING_CODES, CODES  # noqa: E402
+
+DOC = REPO / "docs" / "analysis.md"
+BEGIN = ("<!-- codes:begin — generated from repro.analysis.diagnostics.CODES "
+         "by scripts/gen_code_docs.py; edit the registry, then run "
+         "`make docs-codes` -->")
+END = "<!-- codes:end -->"
+
+
+def render_table():
+    lines = [
+        "| Code | Severity | Slug | Summary |",
+        "|------|----------|------|---------|",
+    ]
+    for code in sorted(CODES):
+        severity, slug, summary = CODES[code]
+        rendered = severity.value
+        if code in BLOCKING_CODES:
+            rendered += " (blocking)"
+        lines.append(
+            "| `%s` | %s | `%s` | %s |" % (code, rendered, slug, summary)
+        )
+    return "\n".join(lines)
+
+
+def apply(text):
+    try:
+        head, rest = text.split(BEGIN, 1)
+        _stale, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            "error: %s is missing the %r / %r markers" % (DOC, BEGIN, END)
+        )
+    return head + BEGIN + "\n" + render_table() + "\n" + END + tail
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed table matches the registry; do not write",
+    )
+    args = parser.parse_args(argv)
+    current = DOC.read_text(encoding="utf-8")
+    regenerated = apply(current)
+    if args.check:
+        if current != regenerated:
+            print(
+                "error: docs/analysis.md diagnostic-code table is out of "
+                "date — run `make docs-codes`",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/analysis.md code table matches the registry "
+              "(%d codes)" % len(CODES))
+        return 0
+    if current == regenerated:
+        print("docs/analysis.md already up to date (%d codes)" % len(CODES))
+        return 0
+    DOC.write_text(regenerated, encoding="utf-8")
+    print("docs/analysis.md code table regenerated (%d codes)" % len(CODES))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

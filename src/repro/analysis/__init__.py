@@ -12,6 +12,14 @@ Four layers over the Cypher pipeline:
   boundary against the §3.3 byte layout and the morphism semantics.
 * :func:`differential_check` and :func:`audit_estimates` — dynamic
   cross-planner result comparison and per-operator cardinality q-error.
+* :func:`verify_flow` / :class:`FlowReport` — the *static* layout-flow
+  verifier (S3xx, ``repro flowcheck``): abstract interpretation over a
+  physical plan proving at compile time the §3.3 byte-layout contracts
+  the sanitizer checks per-embedding at runtime.
+* :func:`classify_callable` / :func:`certify_chain` — the UDF
+  shippability analyzer (P4xx): closure introspection + AST analysis
+  deciding whether the callables in dataflow operators and fused chains
+  can be shipped to worker processes.
 * :mod:`repro.analysis.concurrency` — the concurrency correctness
   toolkit for *our own* serving code: the static lock-discipline linter
   (C3xx, ``repro racecheck``), the runtime lock-order witness and the
@@ -42,9 +50,29 @@ from .verifier import (
 # The sanitizer imports the engine package; it must come after the
 # verifier import above, which completes the engine's initialization.
 from .sanitizer import (
+    DEFAULT_SAMPLE_EVERY,
     EmbeddingSanitizer,
     SanitizerError,
     validate_embedding,
+)
+# flow only imports the engine inside its functions, but keeping it after
+# the sanitizer preserves the same initialization story for readers.
+from .flow import (
+    EmbeddingLayout,
+    FlowReport,
+    FlowVerificationError,
+    assert_flow,
+    verify_flow,
+)
+from .udfcheck import (
+    ShippabilityError,
+    ShippabilityReport,
+    analyze_callables,
+    analyze_chain,
+    analyze_dataflow,
+    certify_chain,
+    classify_callable,
+    iter_dataflow_udfs,
 )
 from .differential import (
     DifferentialReport,
@@ -66,11 +94,15 @@ __all__ = [
     "BLOCKING_CODES",
     "CODES",
     "DEFAULT_MAX_Q_ERROR",
+    "DEFAULT_SAMPLE_EVERY",
     "Diagnostic",
     "DifferentialReport",
+    "EmbeddingLayout",
     "EmbeddingSanitizer",
     "EstimateAudit",
     "EstimateRecord",
+    "FlowReport",
+    "FlowVerificationError",
     "PlanVerificationError",
     "PlanVerifier",
     "PlannerRun",
@@ -78,14 +110,24 @@ __all__ = [
     "QueryLinter",
     "SanitizerError",
     "Severity",
+    "ShippabilityError",
+    "ShippabilityReport",
     "Violation",
+    "analyze_callables",
+    "analyze_chain",
+    "analyze_dataflow",
+    "assert_flow",
     "audit_estimates",
+    "certify_chain",
+    "classify_callable",
     "compare_runs",
     "differential_check",
     "fusion_differential_check",
+    "iter_dataflow_udfs",
     "lint_query",
     "q_error",
     "sort_diagnostics",
     "validate_embedding",
+    "verify_flow",
     "verify_plan",
 ]

@@ -24,6 +24,18 @@ Code ranges:
   span) — shared fields accessed outside their declared ``# guarded-by``
   lock, statically inferable lock-order inversions, blocking calls made
   while holding a lock, and locks created per call.
+* ``S3xx`` — layout-flow findings from the *static* embedding-layout
+  verifier (``repro flowcheck``, :mod:`repro.analysis.flow`): abstract
+  interpretation over a compiled physical plan proves — or refutes —
+  the §3.3 byte-layout contracts the ``S2xx`` sanitizer checks
+  per-embedding at runtime.  Like ``S2xx`` these carry no source span;
+  they point at plan operators.
+* ``P4xx`` — UDF shippability findings (:mod:`repro.analysis.udfcheck`):
+  closure introspection plus AST analysis over every callable installed
+  into dataflow operators and fused chain templates, classifying it as
+  process-shippable or not.  These point at Python callables
+  (``module.qualname`` in the message) — the gate a chain must pass
+  before multi-process execution may ship it to a worker.
 """
 
 import enum
@@ -118,6 +130,45 @@ CODES = {
     "C305": (Severity.WARNING, "unknown-guard",
              "guarded-by annotation names a lock attribute the class does "
              "not define"),
+    "S301": (Severity.ERROR, "layout-width-mismatch",
+             "derived column count (merge width arithmetic) disagrees with "
+             "the operator's declared metadata"),
+    "S302": (Severity.ERROR, "layout-kind-mismatch",
+             "derived entry kind or column order disagrees with the "
+             "operator's declared metadata"),
+    "S303": (Severity.ERROR, "layout-path-bounds",
+             "path column with malformed or missing *lower..upper hop "
+             "bounds"),
+    "S304": (Severity.ERROR, "layout-property-mismatch",
+             "derived property column sequence disagrees with the "
+             "operator's declared property mapping"),
+    "S305": (Severity.ERROR, "layout-morphism-unproven",
+             "configured morphism strategy is not statically guaranteed at "
+             "the plan root"),
+    "S306": (Severity.ERROR, "layout-join-keys",
+             "join key columns are statically incompatible (missing "
+             "variable, kind conflict, path column, or unprojected key "
+             "property)"),
+    "S307": (Severity.ERROR, "layout-projection-provenance",
+             "projection keeps a property its input does not provide"),
+    "S308": (Severity.WARNING, "layout-unknown-operator",
+             "operator without a layout transfer rule — the plan may be "
+             "legal but cannot be statically proven"),
+    "P401": (Severity.ERROR, "captured-synchronization",
+             "callable captures a lock, thread, thread-local or other "
+             "synchronization primitive that cannot cross processes"),
+    "P402": (Severity.ERROR, "captured-handle",
+             "callable captures an open file, socket or generator bound to "
+             "this process"),
+    "P403": (Severity.ERROR, "shared-mutable-capture",
+             "callable mutates captured state — workers would each mutate "
+             "their own copy, diverging from single-process execution"),
+    "P404": (Severity.ERROR, "nondeterministic-call",
+             "callable invokes a nondeterministic or process-dependent "
+             "function (time, random, uuid, thread identity)"),
+    "P405": (Severity.ERROR, "unpicklable-cell",
+             "callable captures a value that does not pickle — it cannot "
+             "be shipped to a worker process"),
 }
 
 #: Codes the runner refuses to execute: the compiler would reject these

@@ -231,6 +231,78 @@ def cmd_racecheck(args):
     return 3 if report.warnings else 0
 
 
+def cmd_flowcheck(args):
+    """Static layout-flow verification (S3xx) + UDF shippability (P4xx).
+
+    Compiles the query under all three planners, abstractly interprets
+    each physical plan against the §3.3 layout contracts, and classifies
+    every dataflow UDF (including the fused chain stages) as
+    process-shippable or not.  Exit codes match ``repro check``: 0 proven
+    and shippable, 1 error diagnostics, 2 syntax error, 3 warnings only.
+    """
+    from repro.analysis import lint_query
+    from repro.engine.planning import (
+        ExhaustivePlanner,
+        GreedyPlanner,
+        LeftDeepPlanner,
+    )
+
+    environment, graph, statistics = _load(args)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    try:
+        lint_diagnostics = lint_query(args.cypher, statistics=statistics)
+    except CypherSyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    for diagnostic in lint_diagnostics:
+        print(diagnostic.format(args.cypher))
+    if any(d.is_blocking for d in lint_diagnostics):
+        print("-- blocked: fix the binding errors above", file=sys.stderr)
+        return 1
+
+    vertex_strategy = _strategy(args.vertex_strategy)
+    edge_strategy = _strategy(args.edge_strategy)
+    diagnostics = list(lint_diagnostics)
+    all_proven = True
+    all_shippable = True
+    for planner_cls in (GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner):
+        runner = CypherRunner(
+            graph,
+            statistics=statistics,
+            planner_cls=planner_cls,
+            vertex_strategy=vertex_strategy,
+            edge_strategy=edge_strategy,
+        )
+        flow = runner.flowcheck(args.cypher)
+        ship = runner.check_shippable(args.cypher)
+        all_proven = all_proven and flow.proven
+        all_shippable = all_shippable and ship.shippable
+        diagnostics += flow.diagnostics + ship.diagnostics
+        print(
+            "-- %-18s %s; %s"
+            % (planner_cls.__name__, flow.format_summary(),
+               ship.format_summary()),
+            file=sys.stderr,
+        )
+    for diagnostic in diagnostics[len(lint_diagnostics):]:
+        print(diagnostic.format())
+
+    errors = sum(1 for d in diagnostics if d.is_error)
+    warnings = len(diagnostics) - errors
+    verdict = []
+    verdict.append("layout proven" if all_proven else "layout NOT proven")
+    verdict.append("UDFs shippable" if all_shippable else "UDFs NOT shippable")
+    print(
+        "-- flowcheck: %s; %d error(s), %d warning(s)"
+        % ("; ".join(verdict), errors, warnings),
+        file=sys.stderr,
+    )
+    if errors:
+        return 1
+    return 3 if warnings else 0
+
+
 def cmd_stats(args):
     environment, graph, statistics = _load(args)
     if statistics is None:
@@ -551,6 +623,23 @@ def build_parser():
         help="also print the static lock-order graph",
     )
     racecheck.set_defaults(handler=cmd_racecheck)
+
+    flowcheck = commands.add_parser(
+        "flowcheck",
+        help="static layout-flow verification: abstractly interpret the "
+        "physical plan under every planner, proving the §3.3 embedding "
+        "layout contracts (S3xx) and certifying every dataflow UDF "
+        "process-shippable (P4xx)",
+    )
+    flowcheck.add_argument("graph")
+    flowcheck.add_argument("cypher")
+    flowcheck.add_argument(
+        "--vertex-strategy", choices=["homo", "iso"], default="homo"
+    )
+    flowcheck.add_argument(
+        "--edge-strategy", choices=["homo", "iso"], default="iso"
+    )
+    flowcheck.set_defaults(handler=cmd_flowcheck)
 
     stats = commands.add_parser("stats", help="show graph statistics")
     stats.add_argument("graph")

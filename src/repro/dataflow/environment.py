@@ -43,10 +43,15 @@ class ExecutionEnvironment:
             adjacent partition-local operators (map / filter / flat-map)
             are collapsed into compiled batched loops.  Per-call ``fused``
             arguments override it; shared-cache runs are always unfused.
+        certify_fusion: When True, every fused chain is certified
+            process-shippable (zero ``P4xx`` findings) at fusion compile
+            time — :class:`~repro.analysis.udfcheck.ShippabilityError`
+            rejects a chain capturing locks, open handles, shared mutable
+            state or nondeterminism before it would ever reach a worker.
     """
 
     def __init__(self, parallelism=None, cost_model=None, batch_size=None,
-                 fusion=True):
+                 fusion=True, certify_fusion=False):
         if cost_model is None:
             cost_model = ClusterCostModel(workers=parallelism or 4)
         elif parallelism is not None and parallelism != cost_model.workers:
@@ -60,6 +65,7 @@ class ExecutionEnvironment:
         self.cost_model = cost_model  # unsynchronized: immutable after init
         self.batch_size = batch_size  # unsynchronized: immutable after init
         self.fusion = bool(fusion)  # unsynchronized: immutable after init
+        self.certify_fusion = bool(certify_fusion)  # unsynchronized: immutable
         # the shared default accumulator: concurrent service queries never
         # record here (each runs under a per-thread job scope); only
         # single-threaded callers and reset_metrics touch it
@@ -175,7 +181,8 @@ class ExecutionEnvironment:
             from .fusion import plan_fusion
 
             rewrites = plan_fusion(
-                operator, ctx.batch_size, materialized=cache
+                operator, ctx.batch_size, materialized=cache,
+                certify=self.certify_fusion,
             ) or None
             if rewrites is not None:
                 operator = rewrites.get(operator.id, operator)

@@ -12,7 +12,7 @@ class JobExecutionError(DataflowError):
     failures in deep plans remain diagnosable.
     """
 
-    def __init__(self, operator_name, cause):
+    def __init__(self, operator_name: str, cause: BaseException) -> None:
         super().__init__(
             "operator %r failed: %s: %s" % (operator_name, type(cause).__name__, cause)
         )

@@ -19,6 +19,8 @@ the evaluation cache, and operators feeding more than one consumer, break
 the chain as well: their output must exist as a standalone partition set.
 """
 
+from typing import Any, Callable, Dict, Tuple
+
 from .cancellation import POLL_INTERVAL  # noqa: F401  (re-export context)
 from .errors import JobExecutionError
 from .operators import (
@@ -44,10 +46,10 @@ _STAGE_KINDS = {
 _template_lock = named_lock("dataflow.fusion")
 #: chain shape (e.g. ``('flatmap', 'filter', 'map')``) → compiled chunk
 #: loop; shared by every environment in the process.
-_templates = {}  # guarded-by: _template_lock
+_templates: Dict[Tuple[str, ...], Callable[..., tuple]] = {}  # guarded-by: _template_lock
 
 
-def _render_template(shape):
+def _render_template(shape: Tuple[str, ...]) -> str:
     """Source of the fused chunk loop for one chain ``shape``.
 
     The generated function walks one chunk of records through every stage
@@ -89,14 +91,14 @@ def _render_template(shape):
     return "\n".join(lines) + "\n"
 
 
-def _chunk_template(shape):
+def _chunk_template(shape: Tuple[str, ...]) -> Callable[..., tuple]:
     """The compiled chunk loop for ``shape`` (process-wide, cached)."""
     with _template_lock:
         compiled = _templates.get(shape)
     if compiled is not None:
         return compiled
     source = _render_template(shape)
-    namespace = {}
+    namespace: Dict[str, Any] = {}
     exec(  # noqa: S102 — the source is generated above, never user input
         compile(source, "<fused:%s>" % "+".join(shape), "exec"), namespace
     )
@@ -214,7 +216,7 @@ class FusedChainOperator(Operator):
             worker_in = worker_out
 
 
-def plan_fusion(root, batch_size, materialized=()):
+def plan_fusion(root, batch_size: int, materialized=(), certify: bool = False) -> Dict[int, "FusedChainOperator"]:
     """The fusion pass: chains reachable from ``root`` → fused operators.
 
     Walks the DAG exactly like the evaluator (never descending into nodes
@@ -225,6 +227,12 @@ def plan_fusion(root, batch_size, materialized=()):
     per-record ``_call`` wrapping.  The original operators are untouched;
     the evaluator resolves nodes through the rewrite map per run, so plan
     caching, ``reset()`` and unfused re-execution keep working.
+
+    ``certify=True`` runs the ``P4xx`` UDF shippability analyzer over
+    every chain before returning and raises
+    :class:`~repro.analysis.udfcheck.ShippabilityError` on the first
+    unshippable one — the gate multi-process execution puts in front of
+    shipping a compiled chain to a worker.
     """
     materialized = set(materialized)
     if root.id in materialized:
@@ -272,4 +280,11 @@ def plan_fusion(root, batch_size, materialized=()):
         rewrites[op_id] = FusedChainOperator(
             op.environment, chain[0].parents[0], chain, batch_size
         )
+    if certify and rewrites:
+        # imported lazily: the analyzer is pure stdlib + diagnostics, but
+        # fusion must stay importable without the analysis package
+        from repro.analysis.udfcheck import certify_chain
+
+        for fused in rewrites.values():
+            certify_chain(fused)
     return rewrites

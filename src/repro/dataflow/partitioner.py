@@ -7,11 +7,12 @@ non-reproducible.  All key hashing in the dataflow layer goes through
 """
 
 import zlib
+from typing import Any, Iterable, List
 
 _MASK = (1 << 64) - 1
 
 
-def _splitmix64(value):
+def _splitmix64(value: int) -> int:
     """Finalizer of the splitmix64 generator: avalanche all 64 bits.
 
     Plain multiplicative hashing leaves the low bits of the product a
@@ -24,7 +25,7 @@ def _splitmix64(value):
     return (z ^ (z >> 31)) & _MASK
 
 
-def stable_hash(key):
+def stable_hash(key: Any) -> int:
     """A process-independent 64-bit hash for common key types.
 
     Supports ints, strings, bytes, bools, None, floats and (nested) tuples
@@ -54,12 +55,12 @@ def stable_hash(key):
     return _splitmix64(zlib.crc32(repr(key).encode("utf-8")))
 
 
-def partition_index(key, parallelism):
+def partition_index(key: Any, parallelism: int) -> int:
     """Worker index a record with ``key`` is routed to."""
     return stable_hash(key) % parallelism
 
 
-def round_robin_partitions(items, parallelism):
+def round_robin_partitions(items: Iterable[Any], parallelism: int) -> List[List[Any]]:
     """Split ``items`` into ``parallelism`` balanced partitions.
 
     Mirrors how a distributed source splits its input blocks: order within
@@ -67,7 +68,7 @@ def round_robin_partitions(items, parallelism):
     """
     if parallelism <= 0:
         raise ValueError("parallelism must be positive, got %d" % parallelism)
-    partitions = [[] for _ in range(parallelism)]
+    partitions: List[List[Any]] = [[] for _ in range(parallelism)]
     for index, item in enumerate(items):
         partitions[index % parallelism].append(item)
     return partitions

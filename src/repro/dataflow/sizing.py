@@ -7,10 +7,12 @@ are measured exactly; for plain Python values we use a small structural
 estimate that is stable across runs.
 """
 
+from typing import Any
+
 _BASE_OVERHEAD = 16
 
 
-def estimate_size(record):
+def estimate_size(record: Any) -> int:
     """Return the estimated serialized size of ``record`` in bytes.
 
     The estimate is deterministic and cheap; it is used only for cost

@@ -22,25 +22,26 @@ updated by the query operators but not part of the embedding" (§3.3).
 """
 
 import struct
+from typing import Iterator, List, Tuple
 
 from repro.epgm import GradoopId, PropertyValue
 from repro.epgm.property_value import NULL_VALUE
 
-FLAG_ID = 0
-FLAG_PATH = 1
+FLAG_ID: int = 0
+FLAG_PATH: int = 1
 
 _ENTRY = struct.Struct(">BQ")
 _PATH_LEN = struct.Struct(">I")
 _ID = struct.Struct(">Q")
 _PROP_LEN = struct.Struct(">H")
 
-ENTRY_WIDTH = _ENTRY.size  # 9 bytes
-PATH_COUNT_WIDTH = _PATH_LEN.size  # 4 bytes
-PATH_ID_WIDTH = _ID.size  # 8 bytes
-PROP_LEN_WIDTH = _PROP_LEN.size  # 2 bytes
+ENTRY_WIDTH: int = _ENTRY.size  # 9 bytes
+PATH_COUNT_WIDTH: int = _PATH_LEN.size  # 4 bytes
+PATH_ID_WIDTH: int = _ID.size  # 8 bytes
+PROP_LEN_WIDTH: int = _PROP_LEN.size  # 2 bytes
 
 
-def iter_property_records(prop_data):
+def iter_property_records(prop_data: bytes) -> Iterator[Tuple[int, int]]:
     """Yield ``(start, length)`` per length-prefixed property record.
 
     Walks the raw buffer without deserializing the payloads.  Raises
@@ -69,7 +70,7 @@ class Embedding:
 
     __slots__ = ("id_data", "path_data", "prop_data")
 
-    def __init__(self, id_data=b"", path_data=b"", prop_data=b""):
+    def __init__(self, id_data: bytes = b"", path_data: bytes = b"", prop_data: bytes = b"") -> None:
         self.id_data = bytes(id_data)
         self.path_data = bytes(path_data)
         self.prop_data = bytes(prop_data)
@@ -77,13 +78,13 @@ class Embedding:
     # Reading ------------------------------------------------------------------
 
     @property
-    def column_count(self):
+    def column_count(self) -> int:
         return len(self.id_data) // ENTRY_WIDTH
 
-    def flag_at(self, column):
+    def flag_at(self, column: int) -> int:
         return self.id_data[column * ENTRY_WIDTH]
 
-    def _value_at(self, column):
+    def _value_at(self, column: int) -> int:
         flag, value = _ENTRY.unpack_from(self.id_data, column * ENTRY_WIDTH)
         return flag, value
 
@@ -107,7 +108,7 @@ class Embedding:
             self._value_at(column) for column in range(self.column_count)
         ]
 
-    def entry_bytes(self, column):
+    def entry_bytes(self, column: int) -> bytes:
         """The raw 9-byte entry at ``column`` (byte-for-byte comparisons)."""
         start = column * ENTRY_WIDTH
         return self.id_data[start : start + ENTRY_WIDTH]
@@ -139,7 +140,7 @@ class Embedding:
         ]
 
     @property
-    def property_count(self):
+    def property_count(self) -> int:
         count = 0
         cursor = 0
         data = self.prop_data
@@ -240,10 +241,10 @@ class Embedding:
             b"".join(_ENTRY.pack(FLAG_ID, gid.value) for gid in gradoop_ids)
         )
 
-    def serialized_size(self):
+    def serialized_size(self) -> int:
         return len(self.id_data) + len(self.path_data) + len(self.prop_data)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Embedding)
             and self.id_data == other.id_data
@@ -251,10 +252,10 @@ class Embedding:
             and self.prop_data == other.prop_data
         )
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.id_data, self.path_data, self.prop_data))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         columns = []
         for column in range(self.column_count):
             flag, value = self._value_at(column)
@@ -281,7 +282,7 @@ class EmbeddingMetaData:
 
     # Construction ---------------------------------------------------------------
 
-    def with_entry(self, variable, kind):
+    def with_entry(self, variable: str, kind: str) -> "EmbeddingMetaData":
         if variable in self._entries:
             raise ValueError("variable %r already mapped" % variable)
         if kind not in ("v", "e", "p"):
@@ -290,7 +291,7 @@ class EmbeddingMetaData:
         entries[variable] = (len(self._entries), kind)
         return EmbeddingMetaData(entries, self._properties)
 
-    def with_property(self, variable, key):
+    def with_property(self, variable: str, key: str) -> "EmbeddingMetaData":
         if (variable, key) in self._properties:
             raise ValueError("property %s.%s already mapped" % (variable, key))
         properties = dict(self._properties)
@@ -335,7 +336,7 @@ class EmbeddingMetaData:
     # Lookup ---------------------------------------------------------------------
 
     @property
-    def variables(self):
+    def variables(self) -> List[str]:
         return [
             variable
             for variable, _ in sorted(
@@ -351,38 +352,38 @@ class EmbeddingMetaData:
     def property_count(self):
         return len(self._properties)
 
-    def has_variable(self, variable):
+    def has_variable(self, variable: str) -> bool:
         return variable in self._entries
 
-    def entry_column(self, variable):
+    def entry_column(self, variable: str) -> int:
         try:
             return self._entries[variable][0]
         except KeyError:
             raise KeyError("variable %r not in embedding" % variable) from None
 
-    def entry_kind(self, variable):
+    def entry_kind(self, variable: str) -> str:
         try:
             return self._entries[variable][1]
         except KeyError:
             raise KeyError("variable %r not in embedding" % variable) from None
 
-    def has_property(self, variable, key):
+    def has_property(self, variable: str, key: str) -> bool:
         return (variable, key) in self._properties
 
-    def property_index(self, variable, key):
+    def property_index(self, variable: str, key: str) -> int:
         try:
             return self._properties[(variable, key)]
         except KeyError:
             raise KeyError("property %s.%s not in embedding" % (variable, key)) from None
 
-    def property_entries(self):
+    def property_entries(self) -> List[Tuple[str, str]]:
         """All ``(variable, key)`` pairs in index order."""
         return [
             pair
             for pair, _ in sorted(self._properties.items(), key=lambda item: item[1])
         ]
 
-    def property_keys_of(self, variable):
+    def property_keys_of(self, variable: str) -> List[str]:
         return [key for (var, key) in self.property_entries() if var == variable]
 
     # Compiled accessors ----------------------------------------------------------

@@ -80,12 +80,20 @@ class PreparedStatement:
             )
         self.sanitizer = None
         if runner.sanitize:
-            from repro.analysis.sanitizer import EmbeddingSanitizer
+            from repro.analysis.sanitizer import (
+                DEFAULT_SAMPLE_EVERY,
+                EmbeddingSanitizer,
+            )
 
             self.sanitizer = EmbeddingSanitizer(
                 vertex_strategy=runner.vertex_strategy,
                 edge_strategy=runner.edge_strategy,
                 mode="collect" if runner.sanitize == "collect" else "raise",
+                sample_every=(
+                    DEFAULT_SAMPLE_EVERY
+                    if runner.sanitize == "sample"
+                    else None
+                ),
             ).attach(self.root)
 
     # Binding ----------------------------------------------------------------

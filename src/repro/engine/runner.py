@@ -97,16 +97,18 @@ class CypherRunner:
         ``sanitize`` is ``False`` (plain execution, the default),
         ``True``/``'raise'`` (validate every embedding at every operator
         boundary and raise :class:`~repro.analysis.SanitizerError` on the
-        first finding) or ``'collect'`` (validate but accumulate findings
-        on ``last_sanitizer.diagnostics``).  Instrumentation is baked into
-        compiled plans; the plan-cache key includes the mode, so toggling
-        switches to a different cache slice instead of clearing a cache
-        that may be shared with other runners.
+        first finding), ``'collect'`` (validate but accumulate findings
+        on ``last_sanitizer.diagnostics``) or ``'sample'`` (validate every
+        Nth event only and raise — the cheap tripwire a plan can drop to
+        once :meth:`flowcheck` has statically proven its layout).
+        Instrumentation is baked into compiled plans; the plan-cache key
+        includes the mode, so toggling switches to a different cache slice
+        instead of clearing a cache that may be shared with other runners.
         """
-        if sanitize not in (False, True, "raise", "collect"):
+        if sanitize not in (False, True, "raise", "collect", "sample"):
             raise ValueError(
-                "sanitize must be False, True, 'raise' or 'collect', not %r"
-                % (sanitize,)
+                "sanitize must be False, True, 'raise', 'collect' or "
+                "'sample', not %r" % (sanitize,)
             )
         self.sanitize = sanitize
         self.last_sanitizer = None
@@ -186,12 +188,20 @@ class CypherRunner:
         sanitizer = None
         if self.sanitize:
             # Lazy for the same reason as the verifier import above.
-            from repro.analysis.sanitizer import EmbeddingSanitizer
+            from repro.analysis.sanitizer import (
+                DEFAULT_SAMPLE_EVERY,
+                EmbeddingSanitizer,
+            )
 
             sanitizer = EmbeddingSanitizer(
                 vertex_strategy=self.vertex_strategy,
                 edge_strategy=self.edge_strategy,
                 mode="collect" if self.sanitize == "collect" else "raise",
+                sample_every=(
+                    DEFAULT_SAMPLE_EVERY
+                    if self.sanitize == "sample"
+                    else None
+                ),
             ).attach(root)
         self.last_sanitizer = sanitizer
         if cache_key is not None:
@@ -247,6 +257,38 @@ class CypherRunner:
         if max_q_error is None:
             max_q_error = DEFAULT_MAX_Q_ERROR
         return audit_estimates(root, max_q_error=max_q_error)
+
+    def flowcheck(self, query, parameters=None):
+        """Statically verify the §3.3 layout flow of ``query``'s plan.
+
+        Compiles (through the plan cache) and abstractly interprets the
+        physical plan, returning a :class:`~repro.analysis.FlowReport`.
+        A ``proven`` report licenses dropping this runner to
+        ``sanitize="sample"`` — or plain execution — for this query: the
+        layout contracts the sanitizer would check per-embedding hold by
+        construction.
+        """
+        from repro.analysis.flow import verify_flow
+
+        _, root = self.compile(query, parameters)
+        return verify_flow(
+            root,
+            vertex_strategy=self.vertex_strategy,
+            edge_strategy=self.edge_strategy,
+        )
+
+    def check_shippable(self, query, parameters=None):
+        """Shippability report over every UDF in ``query``'s dataflow.
+
+        Builds the compiled plan's dataset DAG (without executing it) and
+        classifies every installed callable with the ``P4xx`` analyzer —
+        the gate the upcoming multi-process execution requires before
+        shipping work to worker processes.
+        """
+        from repro.analysis.udfcheck import analyze_dataflow
+
+        _, root = self.compile(query, parameters)
+        return analyze_dataflow(root.evaluate().operator)
 
     def prepare(self, query):
         """Compile ``query`` once into a reusable prepared statement.

@@ -19,17 +19,17 @@ class TestRegistry:
         assert len(CODES) >= 8
 
     def test_code_prefix_matches_severity(self):
-        # E = static errors, W = static warnings; sanitizer (S) and
-        # concurrency (C) codes carry either severity — structural
-        # corruption / lock misuse is an error, estimate drift or an
-        # unknown guard name only a warning.
+        # E = static errors, W = static warnings; sanitizer/flow (S),
+        # concurrency (C) and shippability (P) codes carry either
+        # severity — structural corruption / lock misuse is an error,
+        # estimate drift or an unprovable operator only a warning.
         for code, (severity, _slug, _summary) in CODES.items():
             if code.startswith("E"):
                 assert severity is Severity.ERROR, code
             elif code.startswith("W"):
                 assert severity is Severity.WARNING, code
             else:
-                assert code.startswith(("S", "C")), code
+                assert code.startswith(("S", "C", "P")), code
                 assert severity in (Severity.ERROR, Severity.WARNING), code
 
     def test_concurrency_codes_registered(self):

@@ -1,0 +1,56 @@
+"""The docs/analysis.md code table never drifts from the registry.
+
+``scripts/gen_code_docs.py`` renders the table between the
+``codes:begin``/``codes:end`` markers from
+:data:`repro.analysis.diagnostics.CODES`; this suite is the committed-tree
+drift gate CI runs (``gen_code_docs.py --check``) plus sanity checks on
+the generator itself.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import CODES
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def script():
+    spec = importlib.util.spec_from_file_location(
+        "gen_code_docs", REPO / "scripts" / "gen_code_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_table_matches_registry(script):
+    assert script.main(["--check"]) == 0
+
+
+def test_apply_is_idempotent(script):
+    current = script.DOC.read_text(encoding="utf-8")
+    once = script.apply(current)
+    assert script.apply(once) == once
+
+
+def test_rendered_table_covers_every_code(script):
+    table = script.render_table()
+    for code in CODES:
+        assert "`%s`" % code in table
+
+
+def test_blocking_codes_are_marked(script):
+    table = script.render_table()
+    for line in table.splitlines():
+        for code in script.BLOCKING_CODES:
+            if "`%s`" % code in line:
+                assert "(blocking)" in line
+
+
+def test_missing_markers_is_an_error(script):
+    with pytest.raises(SystemExit):
+        script.apply("no markers here")

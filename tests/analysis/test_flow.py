@@ -1,0 +1,251 @@
+"""Static layout-flow verifier: planted violations and proven plans.
+
+Mirrors ``test_sanitizer.py``'s corruption corpus one layer up: each
+``S3xx`` code gets a fixture planting the *specific* plan defect it
+exists to refute — a corrupted declared metadata, a mutated join-variable
+list, malformed hop bounds, an operator without a transfer rule — while
+the acceptance contract proves LDBC Q1–Q6 layout-safe under every
+planner without executing a single embedding.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    FlowVerificationError,
+    assert_flow,
+    verify_flow,
+)
+from repro.cypher.query_graph import QueryVertex
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import (
+    CypherRunner,
+    EmbeddingMetaData,
+    MatchStrategy,
+    PhysicalOperator,
+)
+from repro.engine.operators.expand import ExpandEmbeddings
+from repro.engine.operators.filter_project import ProjectEmbeddings
+from repro.engine.operators.join import JoinEmbeddings
+from repro.engine.operators.leaves import (
+    SelectAndProjectEdges,
+    SelectAndProjectVertices,
+)
+from repro.engine.planning import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    LeftDeepPlanner,
+)
+from repro.harness.queries import ALL_QUERIES, instantiate
+from repro.ldbc import LDBCGenerator
+
+PLANNERS = [GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner]
+
+EDGE_QUERY = "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a"
+TWO_HOP = (
+    "MATCH (a:Person)-[e:knows]->(b:Person), (b)-[f:knows]->(c:Person) "
+    "RETURN a"
+)
+PATH_QUERY = "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a"
+CARTESIAN = "MATCH (a:Person), (c:City) RETURN a, c"
+
+
+def codes_of(report):
+    return [d.code for d in report.diagnostics]
+
+
+def find_op(root, cls):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, cls):
+            return node
+        stack.extend(node.children)
+    raise AssertionError("plan contains no %s" % cls.__name__)
+
+
+class TestProvenPlans:
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    @pytest.mark.parametrize(
+        "query", [EDGE_QUERY, TWO_HOP, PATH_QUERY, CARTESIAN]
+    )
+    def test_compiled_plans_are_proven(self, figure1_graph, planner_cls, query):
+        runner = CypherRunner(figure1_graph, planner_cls=planner_cls)
+        _, root = runner.compile(query)
+        report = verify_flow(root)
+        assert report.proven, report.format_summary()
+        assert report.diagnostics == []
+        assert "layout proven" in report.format_summary()
+
+    def test_iso_compiled_plan_proven_under_iso(self, figure1_graph):
+        runner = CypherRunner(
+            figure1_graph, vertex_strategy=MatchStrategy.ISOMORPHISM
+        )
+        _, root = runner.compile(EDGE_QUERY)
+        report = verify_flow(
+            root, vertex_strategy=MatchStrategy.ISOMORPHISM
+        )
+        assert report.proven, report.format_summary()
+
+    def test_report_layout_matches_declared_meta(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(PATH_QUERY)
+        report = verify_flow(root)
+        layout = report.layout_of(root)
+        assert layout is not None
+        assert layout.variables == list(root.meta.variables)
+        assert layout.kind_of("e") == "p"
+        assert layout.path_bounds["e"] == (1, 2)
+
+    def test_runner_flowcheck_entry_point(self, figure1_graph):
+        report = CypherRunner(figure1_graph).flowcheck(EDGE_QUERY)
+        assert report.proven
+
+    def test_assert_flow_returns_report_when_proven(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        assert assert_flow(root).proven
+
+
+class _Opaque(PhysicalOperator):
+    """An operator the verifier has no transfer rule for."""
+
+    display = "Opaque"
+
+    def __init__(self, children, meta):
+        super().__init__(children)
+        self.meta = meta
+
+
+class TestPlantedViolations:
+    def test_missing_metadata_is_s301(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        root.meta = None
+        assert "S301" in codes_of(verify_flow(root))
+
+    def test_declared_width_mismatch_is_s301(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        # declare one column more than the plan can produce
+        root.meta = root.meta.with_entry("zz", "v")
+        report = verify_flow(root)
+        assert "S301" in codes_of(report)
+        assert not report.proven
+
+    def test_declared_kind_mismatch_is_s302(self, figure1_graph):
+        leaf = SelectAndProjectVertices(
+            figure1_graph, QueryVertex(variable="a", labels=["Person"]), []
+        )
+        leaf.meta = EmbeddingMetaData({"a": (0, "e")})  # vertex declared edge
+        assert "S302" in codes_of(verify_flow(leaf))
+
+    def test_unjoined_duplicate_variable_is_s302(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(TWO_HOP)
+        join = find_op(root, JoinEmbeddings)
+        join.join_variables = []  # degrade the join to a raw merge
+        report = verify_flow(root)
+        assert "S302" in codes_of(report)
+        assert any(
+            "bound on both inputs" in d.message for d in report.diagnostics
+        )
+
+    def test_malformed_hop_bounds_is_s303(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(PATH_QUERY)
+        expand = find_op(root, ExpandEmbeddings)
+        expand.query_edge = dataclasses.replace(
+            expand.query_edge, lower=2, upper=1
+        )
+        assert "S303" in codes_of(verify_flow(root))
+
+    def test_path_column_without_bounds_is_s303(self, figure1_graph):
+        # an unknown operator declaring a PATH column but no hop bounds
+        meta = EmbeddingMetaData().with_entry("p", "p")
+        report = verify_flow(_Opaque([], meta))
+        codes = codes_of(report)
+        assert "S303" in codes
+        assert "S308" in codes
+
+    def test_property_sequence_drift_is_s304(self, figure1_graph):
+        leaf = SelectAndProjectVertices(
+            figure1_graph,
+            QueryVertex(variable="a", labels=["Person"]),
+            ["name"],
+        )
+        # declare a property record the leaf never loads (dead bytes)
+        leaf.meta = leaf.meta.with_property("a", "gender")
+        assert codes_of(verify_flow(leaf)) == ["S304"]
+
+    def test_homo_plan_is_not_proven_under_iso_is_s305(self, figure1_graph):
+        # compiled for homomorphism: the edge leaf keeps data self-loops,
+        # which an isomorphism execution would have to reject per record
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        leaf = find_op(root, SelectAndProjectEdges)
+        assert not leaf.distinct_endpoints
+        report = verify_flow(
+            root, vertex_strategy=MatchStrategy.ISOMORPHISM
+        )
+        assert "S305" in codes_of(report)
+        assert not report.proven
+
+    def test_unbound_join_variable_is_s306(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(TWO_HOP)
+        join = find_op(root, JoinEmbeddings)
+        join.join_variables = ["z"]
+        assert "S306" in codes_of(verify_flow(root))
+
+    def test_unbound_expansion_start_is_s306(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(PATH_QUERY)
+        expand = find_op(root, ExpandEmbeddings)
+        expand.start_variable = "zz"
+        report = verify_flow(root)
+        assert "S306" in codes_of(report)
+        assert any(
+            "expansion start" in d.message for d in report.diagnostics
+        )
+
+    def test_projection_without_provenance_is_s307(self, figure1_graph):
+        leaf = SelectAndProjectVertices(
+            figure1_graph,
+            QueryVertex(variable="a", labels=["Person"]),
+            ["name"],
+        )
+        project = ProjectEmbeddings(leaf, [("a", "name")])
+        project.keep_pairs = [("a", "gender")]  # never loaded upstream
+        assert "S307" in codes_of(verify_flow(project))
+
+    def test_unknown_operator_is_s308_warning(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        wrapped = _Opaque([root], root.meta)
+        report = verify_flow(wrapped)
+        assert [d.code for d in report.warnings] == ["S308"]
+        assert report.errors == []
+        assert not report.proven  # legal, but not certifiable
+
+    def test_assert_flow_raises_with_diagnostics(self, figure1_graph):
+        _, root = CypherRunner(figure1_graph).compile(EDGE_QUERY)
+        root.meta = root.meta.with_entry("zz", "v")
+        with pytest.raises(FlowVerificationError) as excinfo:
+            assert_flow(root)
+        assert any(d.code == "S301" for d in excinfo.value.diagnostics)
+
+
+@pytest.fixture(scope="module")
+def ldbc():
+    dataset = LDBCGenerator(scale_factor=0.03, seed=11).generate()
+    graph = dataset.to_logical_graph(ExecutionEnvironment())
+    return dataset, graph
+
+
+class TestLDBCAcceptance:
+    """Q1–Q6 × three planners: every physical plan is layout-proven."""
+
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_paper_query_plans_are_proven(self, ldbc, name, planner_cls):
+        dataset, graph = ldbc
+        query = instantiate(ALL_QUERIES[name], dataset.first_name("medium"))
+        runner = CypherRunner(graph, planner_cls=planner_cls)
+        report = runner.flowcheck(query)
+        assert report.proven, "%s under %s: %s" % (
+            name,
+            planner_cls.__name__,
+            [d.format() for d in report.diagnostics],
+        )

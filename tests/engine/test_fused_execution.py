@@ -141,6 +141,38 @@ class TestPlanReuseUnderFusion:
         assert sorted(row["e"] for row in alice) == [[5, 20, 6], [5, 20, 7]]
         assert alice != bob
 
+    def test_prepared_rebind_across_reset_matches_differential(self):
+        # one prepared plan, rebound per execution, with a forced reset()
+        # in between so the fused chains are rebuilt from scratch; every
+        # binding must agree with the fusion differential check on the
+        # equivalent literal query (fused vs. per-record, all planners)
+        from repro.analysis import fusion_differential_check
+
+        graph = fresh_graph(fusion=True)
+        statistics = GraphStatistics.from_graph(graph)
+        runner = CypherRunner(graph, statistics=statistics)
+        statement = runner.prepare(
+            "MATCH (p:Person {name: $who})-[e:knows]->(q:Person) RETURN *"
+        )
+        for name in ("Alice", "Eve", "Alice"):
+            first, _ = statement.execute_embeddings({"who": name})
+            statement.root.reset()
+            rebuilt, _ = statement.execute_embeddings({"who": name})
+            assert Counter(rebuilt) == Counter(first)
+            literal = (
+                "MATCH (p:Person {name: '%s'})-[e:knows]->(q:Person) "
+                "RETURN *" % name
+            )
+            report = fusion_differential_check(
+                graph, literal, statistics=statistics
+            )
+            assert report.clean, [str(d) for d in report.diagnostics]
+            plain, _ = CypherRunner(
+                graph, statistics=statistics, fused=False
+            ).execute_embeddings(literal)
+            assert Counter(first) == Counter(plain)
+        assert statement.executions == 6
+
     def test_reset_then_reexecute_is_stable(self):
         graph = fresh_graph(fusion=True)
         runner = CypherRunner(graph)

@@ -194,6 +194,38 @@ class TestCheck:
         assert "warning(s)" in result.stderr
 
 
+class TestFlowcheck:
+    def test_clean_query_proves_and_certifies(self, graph_dir):
+        result = run_cli(
+            "flowcheck", graph_dir,
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a.firstName",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "layout proven" in result.stderr
+        assert "UDFs shippable" in result.stderr
+        for planner in ("GreedyPlanner", "ExhaustivePlanner", "LeftDeepPlanner"):
+            assert planner in result.stderr
+
+    def test_variable_length_path_proves(self, graph_dir):
+        result = run_cli(
+            "flowcheck", graph_dir,
+            "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a.firstName",
+            "--vertex-strategy", "iso",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "layout proven" in result.stderr
+
+    def test_syntax_error_exits_two(self, graph_dir):
+        result = run_cli("flowcheck", graph_dir, "MATCH (p:Person")
+        assert result.returncode == 2
+        assert "syntax error" in result.stderr
+
+    def test_blocking_lint_error_exits_one(self, graph_dir):
+        result = run_cli("flowcheck", graph_dir, "MATCH (p:Person) RETURN q")
+        assert result.returncode == 1
+        assert "blocked" in result.stderr
+
+
 class TestShell:
     def test_shell_executes_queries(self, graph_dir):
         result = subprocess.run(
