@@ -1,5 +1,6 @@
-.PHONY: install test check flowcheck lint typecheck racecheck bench \
-	bench-micro docs-codes examples reports clean serve-smoke bench-serve
+.PHONY: install test check flowcheck livecheck lint typecheck racecheck \
+	bench bench-micro docs-codes examples reports clean serve-smoke \
+	bench-serve
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +20,13 @@ check:
 flowcheck:
 	pytest tests/analysis/test_flow.py tests/analysis/test_udfcheck.py \
 		tests/analysis/test_flow_soundness.py
+
+# the backward analysis battery: liveness (S4xx) and the planted dead-byte
+# fixtures, the pruning rewriter's equivalence suite, and the static
+# cost-bound/admission-control checks
+livecheck:
+	pytest tests/analysis/test_liveness.py tests/analysis/test_prune.py \
+		tests/analysis/test_costbound.py
 
 lint:
 	@command -v ruff >/dev/null 2>&1 || { \

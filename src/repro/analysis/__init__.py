@@ -20,6 +20,14 @@ Four layers over the Cypher pipeline:
   shippability analyzer (P4xx): closure introspection + AST analysis
   deciding whether the callables in dataflow operators and fused chains
   can be shipped to worker processes.
+* :func:`verify_liveness` / :func:`certify_plan` — the backward duals
+  (S4xx, ``repro livecheck``): liveness propagates the RETURN clause's
+  demand down the plan to find dead columns, dead property bytes and
+  never-read path hops (driving the pruning rewriter in
+  :mod:`repro.engine.planning.prune`), and the cost-bound analyzer
+  composes per-operator worst-case cardinality/byte bounds into the
+  :class:`CostCertificate` the serving layer's admission control
+  consults.
 * :mod:`repro.analysis.concurrency` — the concurrency correctness
   toolkit for *our own* serving code: the static lock-discipline linter
   (C3xx, ``repro racecheck``), the runtime lock-order witness and the
@@ -62,7 +70,21 @@ from .flow import (
     FlowReport,
     FlowVerificationError,
     assert_flow,
+    operator_span,
     verify_flow,
+)
+from .liveness import (
+    Demand,
+    LivenessReport,
+    LivenessVerificationError,
+    assert_liveness,
+    verify_liveness,
+)
+from .costbound import (
+    PROPERTY_RECORD_BOUND,
+    CostCertificate,
+    OperatorBound,
+    certify_plan,
 )
 from .udfcheck import (
     ShippabilityError,
@@ -85,6 +107,7 @@ from .estimates import (
     DEFAULT_MAX_Q_ERROR,
     EstimateAudit,
     EstimateRecord,
+    audit_bound_soundness,
     audit_estimates,
     q_error,
 )
@@ -93,8 +116,10 @@ from .estimates import (
 __all__ = [
     "BLOCKING_CODES",
     "CODES",
+    "CostCertificate",
     "DEFAULT_MAX_Q_ERROR",
     "DEFAULT_SAMPLE_EVERY",
+    "Demand",
     "Diagnostic",
     "DifferentialReport",
     "EmbeddingLayout",
@@ -103,6 +128,10 @@ __all__ = [
     "EstimateRecord",
     "FlowReport",
     "FlowVerificationError",
+    "LivenessReport",
+    "LivenessVerificationError",
+    "OperatorBound",
+    "PROPERTY_RECORD_BOUND",
     "PlanVerificationError",
     "PlanVerifier",
     "PlannerRun",
@@ -117,17 +146,22 @@ __all__ = [
     "analyze_chain",
     "analyze_dataflow",
     "assert_flow",
+    "assert_liveness",
+    "audit_bound_soundness",
     "audit_estimates",
     "certify_chain",
+    "certify_plan",
     "classify_callable",
     "compare_runs",
     "differential_check",
     "fusion_differential_check",
     "iter_dataflow_udfs",
     "lint_query",
+    "operator_span",
     "q_error",
     "sort_diagnostics",
     "validate_embedding",
     "verify_flow",
+    "verify_liveness",
     "verify_plan",
 ]

@@ -36,6 +36,16 @@ Code ranges:
   process-shippable or not.  These point at Python callables
   (``module.qualname`` in the message) — the gate a chain must pass
   before multi-process execution may ship it to a worker.
+* ``S4xx`` — liveness and cost-bound findings (``repro livecheck``,
+  :mod:`repro.analysis.liveness` / :mod:`repro.analysis.costbound`):
+  the backward dual of the ``S3xx`` flow pass.  Demand propagates from
+  the plan root down to the leaves, flagging columns, property bytes
+  and path contents an operator carries but no consumer ever reads
+  (dead bytes are legal — warnings), plus static cost-bound findings:
+  a query whose proven output-cardinality bound exceeds the admission
+  threshold (error) and a bound-soundness violation where an observed
+  cardinality exceeds its proven upper bound (error — the bound
+  derivation itself is wrong).
 """
 
 import enum
@@ -169,6 +179,24 @@ CODES = {
     "P405": (Severity.ERROR, "unpicklable-cell",
              "callable captures a value that does not pickle — it cannot "
              "be shipped to a worker process"),
+    "S401": (Severity.WARNING, "dead-column",
+             "an id column is carried through the dataflow but never read "
+             "by any downstream consumer"),
+    "S402": (Severity.WARNING, "dead-property-bytes",
+             "a property record is loaded into embeddings but never read "
+             "downstream — dead prop_data bytes in every embedding"),
+    "S403": (Severity.WARNING, "dead-path-hops",
+             "path contents (the hop sequence) are carried but never read "
+             "— only the column slot is required downstream"),
+    "S404": (Severity.WARNING, "liveness-unknown-operator",
+             "operator without a liveness transfer rule — everything below "
+             "it is conservatively assumed live"),
+    "S405": (Severity.ERROR, "cost-bound-exceeded",
+             "a statically proven operator cost bound exceeds the "
+             "configured admission threshold"),
+    "S406": (Severity.ERROR, "bound-soundness-violation",
+             "an observed operator cardinality exceeds its statically "
+             "proven upper bound — the bound derivation is unsound"),
 }
 
 #: Codes the runner refuses to execute: the compiler would reject these

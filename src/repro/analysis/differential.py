@@ -107,6 +107,7 @@ def differential_check(
     vertex_strategy=None,
     edge_strategy=None,
     sanitize=True,
+    prune=False,
 ):
     """Execute ``query`` under every planner and compare result multisets.
 
@@ -142,6 +143,7 @@ def differential_check(
             statistics=statistics,
             planner_cls=planner_cls,
             sanitize="collect" if sanitize else False,
+            prune=prune,
         )
         embeddings, meta = runner.execute_embeddings(query, parameters)
         rows = Counter(canonical_rows_from_embeddings(embeddings, meta))
@@ -163,6 +165,7 @@ def fusion_differential_check(
     statistics=None,
     vertex_strategy=None,
     edge_strategy=None,
+    prune=False,
 ):
     """Batched-fused vs. per-record execution, per planner.
 
@@ -197,6 +200,7 @@ def fusion_differential_check(
                 statistics=statistics,
                 planner_cls=planner_cls,
                 fused=fused,
+                prune=prune,
             )
             embeddings, _ = runner.execute_embeddings(query, parameters)
             pair.append(

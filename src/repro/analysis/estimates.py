@@ -111,6 +111,41 @@ def audit_estimates(root, max_q_error=DEFAULT_MAX_Q_ERROR):
     )
 
 
+def audit_bound_soundness(root, statistics):
+    """Check observed cardinalities against the certified upper bounds.
+
+    The static cost-bound analyzer (:mod:`repro.analysis.costbound`)
+    proves a worst-case output cardinality per operator; executing the
+    plan must never observe more rows than that — if it does, the bound
+    derivation itself is unsound.  Returns the list of ``S406``
+    diagnostics (empty when every bound held).  This is the test-only
+    companion of the q-error audit: q-error measures how *tight* the
+    estimates are, this measures whether the *bounds* are bounds —
+    groundwork for letting the adaptive planner trust them.
+    """
+    from .costbound import certify_plan
+
+    certificate = certify_plan(root, statistics)
+    bounds = {}
+    for operator, record in zip(_postorder(root), certificate.records):
+        bounds[id(operator)] = record
+    cache = {}
+    diagnostics = []
+    for operator in _postorder(root):
+        record = bounds[id(operator)]
+        actual = operator.actual_cardinality(cache)
+        if actual > record.cardinality_bound:
+            diagnostics.append(
+                Diagnostic.of(
+                    "S406",
+                    "%s: observed %d rows but the certified upper bound "
+                    "is %s — the bound derivation is unsound"
+                    % (operator.describe(), actual, record.cardinality_bound),
+                )
+            )
+    return diagnostics
+
+
 def _postorder(root):
     """Children before parents, so leaves are measured first."""
     stack = [(root, False)]

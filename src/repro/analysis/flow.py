@@ -40,6 +40,34 @@ _Entries = Tuple[Tuple[str, str], ...]
 _Props = Tuple[Tuple[str, str], ...]
 
 
+def operator_span(operator):
+    """Best-effort source :class:`~repro.cypher.span.Span` for an operator.
+
+    Leaves and expansions carry the pattern element they were compiled
+    from; a selection points at its first predicate atom.  Joins and
+    projections synthesize columns from *two* source locations (or none),
+    so they return ``None`` — the diagnostic still names the operator.
+    """
+    query_vertex = getattr(operator, "query_vertex", None)
+    if query_vertex is not None:
+        return getattr(query_vertex, "span", None)
+    query_edge = getattr(operator, "query_edge", None)
+    if query_edge is not None:
+        return getattr(query_edge, "span", None)
+    cnf = getattr(operator, "cnf", None)
+    if cnf is not None:
+        for clause in getattr(cnf, "clauses", ()):
+            for atom in clause.atoms:
+                for side in (atom.comparison.left, atom.comparison.right):
+                    span = getattr(side, "span", None)
+                    if span is not None:
+                        return span
+                span = getattr(atom.comparison, "span", None)
+                if span is not None:
+                    return span
+    return None
+
+
 class FlowVerificationError(AssertionError):
     """A plan failed the static layout-flow verification."""
 
@@ -191,7 +219,11 @@ class _FlowVerifier:
 
     def _flag(self, code, operator, detail):
         self._diagnostics.append(
-            Diagnostic.of(code, "%s: %s" % (operator.describe(), detail))
+            Diagnostic.of(
+                code,
+                "%s: %s" % (operator.describe(), detail),
+                span=operator_span(operator),
+            )
         )
 
     # Traversal ----------------------------------------------------------------

@@ -156,17 +156,27 @@ def _describe(fn):
     return "%s.%s" % (module, qualname)
 
 
-def classify_callable(fn, name=None):
-    """Analyze one callable; returns its (sorted) ``P4xx`` diagnostics."""
+def classify_callable(fn, name=None, span=None):
+    """Analyze one callable; returns its (sorted) ``P4xx`` diagnostics.
+
+    ``span`` optionally names the query location the callable was
+    compiled from; findings carry it so CLI output can print the same
+    caret excerpts the linter does.
+    """
     analyzer = _UdfAnalyzer()
+    analyzer.set_span(span)
     analyzer.analyze(fn, name or _describe(fn))
     return sort_diagnostics(analyzer.diagnostics)
 
 
 def analyze_callables(named_fns):
-    """Analyze ``(name, fn)`` pairs into one :class:`ShippabilityReport`."""
+    """Analyze ``(name, fn)`` or ``(name, fn, span)`` tuples into one
+    :class:`ShippabilityReport`; a span attaches to every finding of the
+    callable (including its transitively analyzed captures)."""
     analyzer = _UdfAnalyzer()
-    for name, fn in named_fns:
+    for item in named_fns:
+        name, fn = item[0], item[1]
+        analyzer.set_span(item[2] if len(item) > 2 else None)
         analyzer.analyze(fn, name)
     return ShippabilityReport(
         sort_diagnostics(analyzer.diagnostics), analyzer.analyzed
@@ -180,10 +190,15 @@ class _UdfAnalyzer:
         self.diagnostics = []
         self.analyzed = []
         self._visited = set()
+        self._span = None
+
+    def set_span(self, span):
+        """The query location attached to findings until the next call."""
+        self._span = span
 
     def _flag(self, code, name, detail):
         self.diagnostics.append(
-            Diagnostic.of(code, "%s: %s" % (name, detail))
+            Diagnostic.of(code, "%s: %s" % (name, detail), span=self._span)
         )
 
     def analyze(self, fn, name):
@@ -434,12 +449,16 @@ _UDF_ATTRS = ("fn", "predicate", "key_fn", "reduce_fn", "left_key",
               "right_key")
 
 
-def iter_dataflow_udfs(root):
+def iter_dataflow_udfs(root, spans=None):
     """Yield ``(name, fn)`` for every UDF reachable from ``root``.
 
     Walks the operator DAG through ``parents`` exactly like the
     evaluator; the name identifies the operator and the slot so a finding
-    points at where the callable was installed.
+    points at where the callable was installed.  With ``spans`` — a map
+    from ``id(dataflow node)`` to a source :class:`~repro.cypher.span
+    .Span` (the runner builds one from the physical plan) — yields
+    ``(name, fn, span)`` triples instead so findings locate the query
+    element the callable was compiled from.
     """
     stack = [root]
     seen = {id(root)}
@@ -448,16 +467,20 @@ def iter_dataflow_udfs(root):
         for attr in _UDF_ATTRS:
             fn = getattr(node, attr, None)
             if callable(fn):
-                yield "%s.%s" % (node.name, attr), fn
+                name = "%s.%s" % (node.name, attr)
+                if spans is None:
+                    yield name, fn
+                else:
+                    yield name, fn, spans.get(id(node))
         for parent in getattr(node, "parents", ()):
             if id(parent) not in seen:
                 seen.add(id(parent))
                 stack.append(parent)
 
 
-def analyze_dataflow(root):
+def analyze_dataflow(root, spans=None):
     """Shippability report over every UDF in the dataflow DAG of ``root``."""
-    return analyze_callables(iter_dataflow_udfs(root))
+    return analyze_callables(iter_dataflow_udfs(root, spans=spans))
 
 
 def analyze_chain(chain):

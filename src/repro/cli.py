@@ -7,6 +7,7 @@
     python -m repro explain /tmp/sn "MATCH (a:Person)-[:knows]->(b) RETURN *"
     python -m repro lint "MATCH (a) WHERE a.age > 5 AND a.age < 3 RETURN a"
     python -m repro check /tmp/sn "MATCH (a:Person)-[:knows*1..2]->(b) RETURN *"
+    python -m repro livecheck /tmp/sn "MATCH (a:Person) RETURN a.firstName"
     python -m repro stats /tmp/sn
     python -m repro bench --experiment fig5
     python -m repro serve /tmp/sn --port 7474
@@ -115,6 +116,12 @@ def cmd_explain(args):
 
 
 def cmd_lint(args):
+    """Static query diagnostics without executing.
+
+    Exit codes: 0 clean, 1 error diagnostics, 2 syntax error,
+    3 warnings only (the shared analysis-CLI contract; see
+    docs/analysis.md).
+    """
     from repro.analysis import lint_query
 
     statistics = None
@@ -140,7 +147,9 @@ def cmd_lint(args):
     print(
         "-- %d error(s), %d warning(s)" % (errors, warnings), file=sys.stderr
     )
-    return 1 if errors else 0
+    if errors:
+        return 1
+    return 3 if warnings else 0
 
 
 def cmd_check(args):
@@ -286,7 +295,7 @@ def cmd_flowcheck(args):
             file=sys.stderr,
         )
     for diagnostic in diagnostics[len(lint_diagnostics):]:
-        print(diagnostic.format())
+        print(diagnostic.format(args.cypher))
 
     errors = sum(1 for d in diagnostics if d.is_error)
     warnings = len(diagnostics) - errors
@@ -296,6 +305,75 @@ def cmd_flowcheck(args):
     print(
         "-- flowcheck: %s; %d error(s), %d warning(s)"
         % ("; ".join(verdict), errors, warnings),
+        file=sys.stderr,
+    )
+    if errors:
+        return 1
+    return 3 if warnings else 0
+
+
+def cmd_livecheck(args):
+    """Backward liveness + static cost bounds (S4xx) for one query.
+
+    Compiles the query under all three planners, propagates the RETURN
+    clause's demand down each physical plan (reporting dead columns,
+    dead property bytes and never-read paths), and composes the
+    statically certified worst-case cost.  With ``--max-cost-bound`` the
+    certificate is checked like the query service's admission control
+    would.  Exit codes match ``repro check``: 0 all bytes live and
+    admissible, 1 error diagnostics, 2 syntax error, 3 warnings only.
+    """
+    from repro.analysis import lint_query
+    from repro.engine.planning import (
+        ExhaustivePlanner,
+        GreedyPlanner,
+        LeftDeepPlanner,
+    )
+
+    environment, graph, statistics = _load(args)
+    if statistics is None:
+        statistics = GraphStatistics.from_graph(graph)
+    try:
+        lint_diagnostics = lint_query(args.cypher, statistics=statistics)
+    except CypherSyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    for diagnostic in lint_diagnostics:
+        print(diagnostic.format(args.cypher))
+    if any(d.is_blocking for d in lint_diagnostics):
+        print("-- blocked: fix the binding errors above", file=sys.stderr)
+        return 1
+
+    vertex_strategy = _strategy(args.vertex_strategy)
+    edge_strategy = _strategy(args.edge_strategy)
+    diagnostics = list(lint_diagnostics)
+    for planner_cls in (GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner):
+        runner = CypherRunner(
+            graph,
+            statistics=statistics,
+            planner_cls=planner_cls,
+            vertex_strategy=vertex_strategy,
+            edge_strategy=edge_strategy,
+        )
+        report = runner.livecheck(args.cypher)
+        certificate = runner.certify_cost(args.cypher)
+        diagnostics += report.diagnostics
+        admission = certificate.diagnostic(args.max_cost_bound)
+        if admission is not None:
+            diagnostics.append(admission)
+        print(
+            "-- %-18s %s; %s"
+            % (planner_cls.__name__, report.format_summary(),
+               certificate.format_summary()),
+            file=sys.stderr,
+        )
+    for diagnostic in diagnostics[len(lint_diagnostics):]:
+        print(diagnostic.format(args.cypher))
+
+    errors = sum(1 for d in diagnostics if d.is_error)
+    warnings = len(diagnostics) - errors
+    print(
+        "-- livecheck: %d error(s), %d warning(s)" % (errors, warnings),
         file=sys.stderr,
     )
     if errors:
@@ -640,6 +718,28 @@ def build_parser():
         "--edge-strategy", choices=["homo", "iso"], default="iso"
     )
     flowcheck.set_defaults(handler=cmd_flowcheck)
+
+    livecheck = commands.add_parser(
+        "livecheck",
+        help="backward liveness and static cost bounds: propagate the "
+        "RETURN clause's demand down every planner's physical plan "
+        "(dead columns, dead property bytes, never-read paths — S4xx) "
+        "and certify the worst-case output cardinality and bytes moved",
+    )
+    livecheck.add_argument("graph")
+    livecheck.add_argument("cypher")
+    livecheck.add_argument(
+        "--vertex-strategy", choices=["homo", "iso"], default="homo"
+    )
+    livecheck.add_argument(
+        "--edge-strategy", choices=["homo", "iso"], default="iso"
+    )
+    livecheck.add_argument(
+        "--max-cost-bound", type=float, default=None,
+        help="emit S405 when any operator's certified output "
+        "cardinality exceeds this bound (the admission-control check)",
+    )
+    livecheck.set_defaults(handler=cmd_livecheck)
 
     stats = commands.add_parser("stats", help="show graph statistics")
     stats.add_argument("graph")

@@ -69,6 +69,21 @@ class PreparedStatement:
             edge_strategy=runner.edge_strategy,
         )
         self.root = planner.plan()
+        if runner.prune:
+            from .planning import prune_plan
+
+            self.root = prune_plan(
+                self.root,
+                handler=self.handler,
+                vertex_strategy=runner.vertex_strategy,
+                edge_strategy=runner.edge_strategy,
+            )
+        #: the statically proven worst-case cost of this plan; the query
+        #: service's admission control compares it against its configured
+        #: bound before running a single operator
+        from repro.analysis.costbound import certify_plan
+
+        self.cost_certificate = certify_plan(self.root, runner.statistics)
         if runner.verify_plans:
             from repro.analysis.verifier import verify_plan
 

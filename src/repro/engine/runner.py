@@ -59,8 +59,16 @@ class CypherRunner:
         sanitize=False,
         plan_cache=None,
         fused=None,
+        prune=False,
     ):
         self.graph = graph
+        #: liveness-driven dead-byte pruning: with ``prune=True`` every
+        #: compiled plan is rewritten by
+        #: :func:`~repro.engine.planning.prune_plan` so property bytes the
+        #: RETURN clause never reads are dropped at the earliest operator
+        #: liveness allows.  Result-equivalent by construction (and
+        #: differential-tested); part of the plan-cache key.
+        self.prune = prune
         #: batched-fusion override for this runner's executions: ``None``
         #: inherits the environment default, ``False`` forces per-record.
         #: Sanitized execution is always per-record regardless (the
@@ -174,6 +182,16 @@ class CypherRunner:
             edge_strategy=self.edge_strategy,
         )
         root = planner.plan()
+        if self.prune:
+            # Lazy for the same reason as the verifier import below.
+            from .planning import prune_plan
+
+            root = prune_plan(
+                root,
+                handler=handler,
+                vertex_strategy=self.vertex_strategy,
+                edge_strategy=self.edge_strategy,
+            )
         if self.verify_plans:
             # imported lazily: the verifier imports the operator modules,
             # which are mid-initialization when this module first loads
@@ -224,6 +242,7 @@ class CypherRunner:
             self.edge_strategy,
             self.sanitize,
             self.verify_plans,
+            self.prune,
         )
 
     def explain(self, query, parameters=None):
@@ -277,18 +296,85 @@ class CypherRunner:
             edge_strategy=self.edge_strategy,
         )
 
+    def livecheck(self, query, parameters=None):
+        """Backward liveness analysis of ``query``'s plan (``S4xx``).
+
+        Compiles (through the plan cache) and propagates the RETURN
+        clause's demand down the physical plan, returning a
+        :class:`~repro.analysis.LivenessReport` whose diagnostics name
+        every dead column, dead property record and never-read path —
+        exactly the bytes :func:`~repro.engine.planning.prune_plan` would
+        drop under ``prune=True``.
+        """
+        from repro.analysis.liveness import verify_liveness
+
+        handler, root = self.compile(query, parameters)
+        return verify_liveness(
+            root,
+            handler,
+            vertex_strategy=self.vertex_strategy,
+            edge_strategy=self.edge_strategy,
+        )
+
+    def certify_cost(self, query, parameters=None):
+        """The static :class:`~repro.analysis.CostCertificate` of ``query``.
+
+        Composes per-operator worst-case cardinality and bytes-moved
+        bounds from the graph statistics — the artifact the query
+        service's admission control consults before executing anything.
+        """
+        from repro.analysis.costbound import certify_plan
+
+        _, root = self.compile(query, parameters)
+        return certify_plan(root, self.statistics)
+
     def check_shippable(self, query, parameters=None):
         """Shippability report over every UDF in ``query``'s dataflow.
 
         Builds the compiled plan's dataset DAG (without executing it) and
         classifies every installed callable with the ``P4xx`` analyzer —
         the gate the upcoming multi-process execution requires before
-        shipping work to worker processes.
+        shipping work to worker processes.  Dataflow nodes are mapped back
+        to the query element that compiled them, so findings carry source
+        spans.
         """
         from repro.analysis.udfcheck import analyze_dataflow
 
         _, root = self.compile(query, parameters)
-        return analyze_dataflow(root.evaluate().operator)
+        dataflow_root = root.evaluate().operator
+        return analyze_dataflow(
+            dataflow_root, spans=self._dataflow_spans(root)
+        )
+
+    def _dataflow_spans(self, root):
+        """``id(dataflow node) -> Span`` for the plan rooted at ``root``.
+
+        Visits physical operators children-first; each claims the dataflow
+        nodes reachable from its output dataset that no child already
+        claimed, and stamps them with its query element's span.  Nodes
+        compiled from span-less operators (joins, projections) simply stay
+        unstamped.
+        """
+        from repro.analysis.flow import operator_span
+
+        spans = {}
+        stack = [(root, False)]
+        while stack:
+            operator, expanded = stack.pop()
+            if not expanded:
+                stack.append((operator, True))
+                for child in reversed(operator.children):
+                    stack.append((child, False))
+                continue
+            span = operator_span(operator)
+            walk = [operator.evaluate().operator]
+            while walk:
+                node = walk.pop()
+                if id(node) in spans:
+                    continue  # a child's node: already attributed
+                spans[id(node)] = span
+                walk.extend(getattr(node, "parents", ()))
+        return {key: value for key, value in spans.items() if value is not None}
 
     def prepare(self, query):
         """Compile ``query`` once into a reusable prepared statement.

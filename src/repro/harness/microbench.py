@@ -39,6 +39,43 @@ from .queries import ALL_QUERIES, instantiate
 DEFAULT_QUERIES = ("Q1", "Q5")
 
 
+def _physical_postorder(root):
+    stack = [(root, False)]
+    while stack:
+        operator, expanded = stack.pop()
+        if expanded:
+            yield operator
+        else:
+            stack.append((operator, True))
+            for child in reversed(operator.children):
+                stack.append((child, False))
+
+
+def plan_bytes_moved(root):
+    """Embedding bytes crossing every operator boundary of one plan.
+
+    Executes the plan once (shared dataflow cache, per-record mode so
+    every intermediate is observable) and sums the serialized size of
+    each physical operator's output embeddings — the §3.3 bytes a
+    distributed runtime would actually move between operators.  This is
+    the number liveness-driven pruning (``CypherRunner(prune=True)``)
+    exists to reduce.
+    """
+    cache = {}
+    total = 0
+    for operator in _physical_postorder(root):
+        dataset = operator.evaluate()
+        partitions = dataset.environment.run(
+            dataset.operator, cache=cache, fused=False
+        )
+        total += sum(
+            embedding.serialized_size()
+            for partition in partitions
+            for embedding in partition
+        )
+    return total
+
+
 def _timed(environment, runner, query):
     """One execution; returns (cpu_seconds, result_count)."""
     was_enabled = gc.isenabled()
@@ -123,6 +160,32 @@ def run_microbench(
         fused = median(samples[name, True])
         plain = median(samples[name, False])
         speedup[name] = plain / fused if fused else float("inf")
+
+    # Liveness-pruning win: embedding bytes crossing operator boundaries
+    # with and without the dead-byte pruning rewriter.  Measured on the
+    # per-record environment so every intermediate is observable; one
+    # extra execution per (query, pruned) pair.
+    environment, _ = modes[False]
+    graph = dataset.to_logical_graph(environment)
+    statistics = GraphStatistics.from_graph(graph)
+    embedding_bytes = {}
+    for name, query in cases:
+        measured = {}
+        for pruned in (False, True):
+            runner = CypherRunner(
+                graph, statistics=statistics, prune=pruned
+            )
+            _, root = runner.compile(query)
+            measured["pruned" if pruned else "unpruned"] = plan_bytes_moved(
+                root
+            )
+        unpruned = measured["unpruned"]
+        measured["reduction_percent"] = (
+            100.0 * (unpruned - measured["pruned"]) / unpruned
+            if unpruned else 0.0
+        )
+        embedding_bytes[name] = measured
+
     return {
         "benchmark": "engine-microbench",
         "scale_factor": scale_factor,
@@ -134,6 +197,7 @@ def run_microbench(
         "python": platform.python_version(),
         "results": results,
         "speedup": speedup,
+        "embedding_bytes": embedding_bytes,
     }
 
 
@@ -168,6 +232,18 @@ def format_microbench(report):
         lines.append(
             "%-6s batched is %.2fx the per-record median"
             % (name, report["speedup"][name])
+        )
+    for name in sorted(report.get("embedding_bytes", {})):
+        record = report["embedding_bytes"][name]
+        lines.append(
+            "%-6s embedding bytes moved: %d unpruned, %d pruned "
+            "(%.1f%% reduction)"
+            % (
+                name,
+                record["unpruned"],
+                record["pruned"],
+                record["reduction_percent"],
+            )
         )
     return "\n".join(lines)
 

@@ -17,6 +17,7 @@ from .protocol import QueryHTTPServer, serve_in_thread
 from .registry import GraphRegistry, RegisteredGraph, UnknownGraphError
 from .service import (
     AdmissionError,
+    CostAdmissionError,
     PreparedHandle,
     QueryResult,
     QueryService,
@@ -25,6 +26,7 @@ from .service import (
 
 __all__ = [
     "AdmissionError",
+    "CostAdmissionError",
     "GraphRegistry",
     "LatencyHistogram",
     "PreparedHandle",

@@ -43,6 +43,23 @@ class AdmissionError(RuntimeError):
     """The service is saturated; the query was rejected, not queued."""
 
 
+class CostAdmissionError(AdmissionError):
+    """The query's statically certified cost exceeds the service bound.
+
+    Raised *before any operator executes*: the static cost-bound analyzer
+    (:mod:`repro.analysis.costbound`) proved that some operator in the
+    plan may emit more rows than the service's ``max_cost_bound`` allows
+    for any data consistent with the graph statistics.  Carries the
+    :class:`~repro.analysis.CostCertificate` and the ``S405`` diagnostic
+    naming the offending operator.
+    """
+
+    def __init__(self, certificate, diagnostic):
+        super().__init__(str(diagnostic))
+        self.certificate = certificate
+        self.diagnostic = diagnostic
+
+
 class ServiceClosedError(RuntimeError):
     """The service has been shut down and accepts no new queries."""
 
@@ -136,6 +153,8 @@ class QueryService:
         result_cache_size=0,
         lint=True,
         verify_plans=False,
+        max_cost_bound=None,
+        prune=False,
     ):
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
@@ -150,6 +169,13 @@ class QueryService:
         self.edge_strategy = edge_strategy
         self.lint = lint
         self.verify_plans = verify_plans
+        #: statically certified admission control: a query whose proven
+        #: worst-case per-operator output cardinality exceeds this bound
+        #: is rejected with :class:`CostAdmissionError` at submit time,
+        #: before any operator executes.  ``None`` disables the check.
+        self.max_cost_bound = max_cost_bound
+        #: liveness-driven dead-byte pruning for every runner's plans
+        self.prune = prune
         #: one LRU shared by every runner the service creates; holds both
         #: ("plan", ...) entries and ("prepared", ...) statements
         self.plan_cache = LRUCache(plan_cache_size, name="cache.plan")
@@ -192,6 +218,7 @@ class QueryService:
                     lint=self.lint,
                     verify_plans=self.verify_plans,
                     plan_cache=self.plan_cache,
+                    prune=self.prune,
                 )
                 self._runners[key] = runner
                 self._compile_locks[key] = named_lock("service.compile")
@@ -339,6 +366,7 @@ class QueryService:
             statement, plan_hit = self._prepared_statement(
                 runner, compile_lock, query
             )
+            self._admit_cost(statement.cost_certificate)
             embeddings, meta, job_metrics = statement.run(
                 parameters, cancellation=token
             )
@@ -351,6 +379,10 @@ class QueryService:
             )
             with compile_lock:
                 handler, root = runner.compile(query, parameters)
+            if self.max_cost_bound is not None:
+                from repro.analysis.costbound import certify_plan
+
+                self._admit_cost(certify_plan(root, runner.statistics))
             with environment.job(
                 "service:%s" % graph, cancellation=token
             ) as job_metrics:
@@ -369,6 +401,15 @@ class QueryService:
             result_cache_hit=False,
             prepared=use_prepared,
         )
+
+    def _admit_cost(self, certificate):
+        """Reject a plan whose certified bound exceeds the service limit."""
+        if self.max_cost_bound is None or certificate is None:
+            return
+        diagnostic = certificate.diagnostic(self.max_cost_bound)
+        if diagnostic is not None:
+            self.metrics.on_reject()
+            raise CostAdmissionError(certificate, diagnostic)
 
     # Introspection / lifecycle ----------------------------------------------
 

@@ -1,0 +1,239 @@
+"""Backward liveness analysis (S4xx): transfer rules and planted fixtures."""
+
+import pytest
+
+from repro.analysis import (
+    LivenessVerificationError,
+    assert_liveness,
+    verify_liveness,
+)
+from repro.dataflow import ExecutionEnvironment
+from repro.engine import CypherRunner, MatchStrategy
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.operators.leaves import SelectAndProjectVertices
+from repro.engine.planning import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    LeftDeepPlanner,
+)
+from repro.harness.queries import ALL_QUERIES, instantiate
+from repro.ldbc import LDBCGenerator
+
+PLANNERS = [GreedyPlanner, ExhaustivePlanner, LeftDeepPlanner]
+
+HOMO = MatchStrategy.HOMOMORPHISM
+
+#: every column and record the root produces is read by the RETURN clause
+ALL_LIVE_QUERY = "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a, e, b"
+DEAD_PROP_QUERY = (
+    "MATCH (a:Person)-[e:knows]->(b:Person) "
+    "WHERE a.name = 'Alice' RETURN e, b.name"
+)
+PATH_QUERY = "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a, b"
+
+
+def codes_of(report):
+    return [d.code for d in report.diagnostics]
+
+
+def compiled(graph, query, planner_cls=GreedyPlanner, **kwargs):
+    runner = CypherRunner(graph, planner_cls=planner_cls, **kwargs)
+    handler, root = runner.compile(query)
+    return runner, handler, root
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    def test_fully_returned_plan_is_clean(self, figure1_graph, planner_cls):
+        _, handler, root = compiled(figure1_graph, ALL_LIVE_QUERY, planner_cls)
+        report = verify_liveness(root, handler)
+        assert report.clean, [d.format() for d in report.diagnostics]
+        assert "all bytes live" in report.format_summary()
+
+    def test_return_star_demands_everything(self, figure1_graph):
+        _, handler, root = compiled(
+            figure1_graph, "MATCH (a:Person)-[e:knows]->(b:Person) RETURN *"
+        )
+        report = verify_liveness(root, handler)
+        assert report.clean
+        demand = report.demand_of(root)
+        assert demand.variables == set(root.meta.variables)
+
+    def test_no_handler_is_conservatively_clean(self, figure1_graph):
+        # without the RETURN clause the root demand is everything
+        _, _, root = compiled(figure1_graph, ALL_LIVE_QUERY)
+        assert verify_liveness(root).clean
+
+    def test_assert_liveness_returns_clean_report(self, figure1_graph):
+        _, handler, root = compiled(figure1_graph, ALL_LIVE_QUERY)
+        assert assert_liveness(root, handler).clean
+
+
+class TestDeadByteFindings:
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    def test_predicate_only_property_is_s402(self, figure1_graph, planner_cls):
+        # a.name is evaluated element-locally inside the leaf's flat-map;
+        # the record riding in every embedding above it is dead freight
+        _, handler, root = compiled(
+            figure1_graph, DEAD_PROP_QUERY, planner_cls
+        )
+        report = verify_liveness(root, handler)
+        assert "S402" in codes_of(report)
+        finding = next(d for d in report.diagnostics if d.code == "S402")
+        assert "a.name" in finding.message
+        assert not finding.is_error  # dead bytes are wasteful, not wrong
+
+    def test_s402_reported_at_introduction_site_only(self, figure1_graph):
+        _, handler, root = compiled(figure1_graph, DEAD_PROP_QUERY)
+        report = verify_liveness(root, handler)
+        s402 = [d for d in report.diagnostics if d.code == "S402"]
+        assert len(s402) == 1  # once at the leaf, not at every ancestor
+
+    def test_dead_finding_carries_source_span(self, figure1_graph):
+        _, handler, root = compiled(figure1_graph, DEAD_PROP_QUERY)
+        report = verify_liveness(root, handler)
+        finding = next(d for d in report.diagnostics if d.code == "S402")
+        assert finding.span is not None
+        assert "^" in finding.format(DEAD_PROP_QUERY)
+
+    def test_unreturned_edge_column_is_s401(self, figure1_graph):
+        _, handler, root = compiled(
+            figure1_graph,
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a, b",
+        )
+        report = verify_liveness(root, handler)
+        findings = [d for d in report.diagnostics if d.code == "S401"]
+        assert any("'e'" in d.message for d in findings)
+
+    def test_unread_path_contents_are_s403_under_homo(self, figure1_graph):
+        # under homo/homo no morphism check inspects the hop sequence, so
+        # a path variable that is never returned carries dead contents
+        _, handler, root = compiled(
+            figure1_graph, PATH_QUERY,
+            vertex_strategy=HOMO, edge_strategy=HOMO,
+        )
+        report = verify_liveness(
+            root, handler, vertex_strategy=HOMO, edge_strategy=HOMO
+        )
+        assert "S403" in codes_of(report)
+
+    def test_path_contents_live_under_edge_iso(self, figure1_graph):
+        # the default edge-isomorphism check replays every path's hops,
+        # so the same plan has no dead path contents
+        _, handler, root = compiled(figure1_graph, PATH_QUERY)
+        report = verify_liveness(root, handler)
+        assert "S403" not in codes_of(report)
+
+    def test_returned_path_contents_are_live(self, figure1_graph):
+        _, handler, root = compiled(
+            figure1_graph,
+            "MATCH (a:Person)-[e:knows*1..2]->(b:Person) RETURN a, e, b",
+            vertex_strategy=HOMO, edge_strategy=HOMO,
+        )
+        report = verify_liveness(
+            root, handler, vertex_strategy=HOMO, edge_strategy=HOMO
+        )
+        assert "S403" not in codes_of(report)
+
+    def test_assert_liveness_raises_on_dead_bytes(self, figure1_graph):
+        _, handler, root = compiled(figure1_graph, DEAD_PROP_QUERY)
+        with pytest.raises(LivenessVerificationError) as excinfo:
+            assert_liveness(root, handler)
+        assert any(d.code == "S402" for d in excinfo.value.diagnostics)
+
+
+class _Opaque(PhysicalOperator):
+    """An operator the liveness pass has no transfer rule for."""
+
+    display = "Opaque"
+
+    def __init__(self, children, meta):
+        super().__init__(children)
+        self.meta = meta
+
+
+class TestUnknownOperators:
+    def test_unknown_operator_is_s404_and_children_stay_live(
+        self, figure1_graph
+    ):
+        _, handler, root = compiled(figure1_graph, ALL_LIVE_QUERY)
+        wrapped = _Opaque([root], root.meta)
+        report = verify_liveness(wrapped)
+        assert "S404" in codes_of(report)
+        # everything below the opaque operator is conservatively live
+        demand = report.demand_of(root)
+        assert demand.variables == set(root.meta.variables)
+        assert demand.properties == set(root.meta.property_entries())
+        assert report.demand_of(wrapped) is not None
+
+
+class TestDemandIntrospection:
+    def test_root_demand_matches_return_items(self, figure1_graph):
+        _, handler, root = compiled(
+            figure1_graph,
+            "MATCH (a:Person)-[e:knows]->(b:Person) RETURN a, b.name",
+        )
+        report = verify_liveness(root, handler)
+        demand = report.demand_of(root)
+        assert "a" in demand.variables
+        assert ("b", "name") in demand.properties
+        assert ("a", "name") not in demand.properties
+
+    def test_runner_livecheck_entry_point(self, figure1_graph):
+        report = CypherRunner(figure1_graph).livecheck(DEAD_PROP_QUERY)
+        assert "S402" in codes_of(report)
+
+
+@pytest.fixture(scope="module")
+def ldbc():
+    dataset = LDBCGenerator(scale_factor=0.03, seed=11).generate()
+    graph = dataset.to_logical_graph(ExecutionEnvironment())
+    return dataset, graph
+
+
+class TestLDBCAcceptance:
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    def test_q1_first_name_is_dead_freight(self, ldbc, planner_cls):
+        # the paper's Q1 filters on person.firstName but returns only
+        # message fields — the exemplar record pruning exists to drop
+        dataset, graph = ldbc
+        query = instantiate(ALL_QUERIES["Q1"], dataset.first_name("medium"))
+        runner = CypherRunner(graph, planner_cls=planner_cls)
+        report = runner.livecheck(query)
+        assert any(
+            d.code == "S402" and "person.firstName" in d.message
+            for d in report.diagnostics
+        )
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    @pytest.mark.parametrize("planner_cls", PLANNERS)
+    def test_every_plan_interprets_fully(self, ldbc, name, planner_cls):
+        # no S404: all five operator modules have a transfer rule, so the
+        # analysis covers every operator of every paper-query plan
+        dataset, graph = ldbc
+        query = instantiate(ALL_QUERIES[name], dataset.first_name("medium"))
+        runner = CypherRunner(graph, planner_cls=planner_cls)
+        report = runner.livecheck(query)
+        assert "S404" not in codes_of(report)
+        _, root = runner.compile(query)
+        assert report.demand_of(root) is not None
+
+
+class TestLeafNarrowingGround:
+    def test_leaf_records_demand_split(self, figure1_graph):
+        # the pruning rewriter's ground truth: the leaf's demand set names
+        # exactly the records consumers read
+        _, handler, root = compiled(figure1_graph, DEAD_PROP_QUERY)
+        report = verify_liveness(root, handler)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if (
+                isinstance(node, SelectAndProjectVertices)
+                and node.query_vertex.variable == "a"
+            ):
+                demand = report.demand_of(node)
+                assert ("a", "name") not in demand.properties
+                return
+            stack.extend(node.children)
+        raise AssertionError("plan contains no leaf for 'a'")

@@ -85,9 +85,12 @@ class TestCli:
         assert "E201" in out
         assert "^" in out  # caret snippet rendered
 
-    def test_lint_exit_zero_on_warnings_only(self, capsys):
+    def test_lint_exit_three_on_warnings_only(self, capsys):
+        # 3 = warnings-only, the shared analysis-CLI exit contract
+        # (docs/analysis.md): lint used to return 0 here, which made
+        # warning regressions invisible to scripts
         code = cli_main(["lint", "MATCH (a), (b) RETURN a, b"])
-        assert code == 0
+        assert code == 3
         assert "W401" in capsys.readouterr().out
 
     def test_lint_exit_two_on_syntax_error(self, capsys):
