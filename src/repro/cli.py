@@ -31,8 +31,13 @@ from repro.ldbc import LDBCGenerator
 
 def _environment(args):
     model = ClusterCostModel(workers=args.workers)
+    # --workers on a subcommand (dest process_workers) means real OS
+    # worker processes; the global --workers stays the *simulated*
+    # cluster size fed to the cost model
     return ExecutionEnvironment(
-        cost_model=model, batch_size=getattr(args, "batch_size", None)
+        cost_model=model,
+        batch_size=getattr(args, "batch_size", None),
+        workers=getattr(args, "process_workers", None),
     )
 
 
@@ -596,6 +601,9 @@ def cmd_bench_micro(args):
         write_microbench,
     )
 
+    worker_sweep = args.worker_sweep
+    if worker_sweep is not None and not worker_sweep:
+        worker_sweep = True  # bare --worker-sweep: the default counts
     report = run_microbench(
         queries=tuple(args.queries),
         scale_factor=args.scale_factor,
@@ -603,6 +611,7 @@ def cmd_bench_micro(args):
         workers=args.workers,
         repeats=args.repeats,
         batch_size=args.batch_size,
+        worker_sweep=worker_sweep,
     )
     print(format_microbench(report))
     output = args.output
@@ -785,6 +794,13 @@ def build_parser():
         "(default: %d)" % DEFAULT_BATCH_SIZE,
     )
     serve.add_argument(
+        "--workers", dest="process_workers", type=int, default=None,
+        metavar="N",
+        help="run certified fused chains and hash joins on N worker "
+        "processes (default: in-process execution); distinct from the "
+        "global --workers, which sets the simulated cluster size",
+    )
+    serve.add_argument(
         "--vertex-strategy", choices=["homo", "iso"], default="homo"
     )
     serve.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
@@ -836,6 +852,11 @@ def build_parser():
         "--batch-size", type=int, default=None,
         help="chunk length of batched execution "
         "(default: %d)" % DEFAULT_BATCH_SIZE,
+    )
+    bench_micro.add_argument(
+        "--worker-sweep", nargs="*", type=int, default=None, metavar="N",
+        help="also sweep real worker-process counts and record "
+        "wall-clock speedup curves (default counts: 1 2 4 8)",
     )
     bench_micro.add_argument(
         "--output", default=None,

@@ -143,6 +143,9 @@ class FusedChainOperator(Operator):
 
     def execute(self, ctx, parent_partition_sets):
         (partitions,) = parent_partition_sets
+        pool = getattr(ctx, "pool", None)
+        if pool is not None and pool.chain_shippable(self):
+            return self._execute_pooled(ctx, pool, partitions)
         token = ctx.cancellation
         batch = self.batch_size
         chunk_fn = self._chunk
@@ -170,6 +173,29 @@ class FusedChainOperator(Operator):
                 totals = tuple(a + b for a, b in zip(totals, counts))
             out.append(produced)
             worker_counts.append(totals)
+        self._record_stage_runs(ctx, partitions, worker_counts, out)
+        return out
+
+    def _execute_pooled(self, ctx, pool, partitions):
+        """Ship the chain's partitions to the worker-process pool.
+
+        The pool runs the *same* compiled chunk template over the same
+        chunking and returns per-partition records plus the per-stage
+        counter totals, so the metrics recorded below are bit-identical
+        to in-process execution.  A worker-side failure arrives as the
+        same stage-attributed :class:`JobExecutionError` the in-process
+        replay would raise; cancellation is polled between chunks inside
+        the worker and re-raised here through the run's token.  When the
+        chain reads directly from an immutable source, its partitions
+        stay resident in the owning workers across executions.
+        """
+        from .operators import SourceOperator
+
+        parent = self.parents[0]
+        source_key = parent.id if type(parent) is SourceOperator else None
+        out, worker_counts = pool.run_chain(
+            self, partitions, ctx.cancellation, source_key=source_key
+        )
         self._record_stage_runs(ctx, partitions, worker_counts, out)
         return out
 

@@ -1,0 +1,152 @@
+"""Shared-memory ring channels between the parent and one worker.
+
+Each worker gets two single-producer/single-consumer rings over
+``multiprocessing.shared_memory`` — one per direction — plus a pair of
+pipes for control messages.  Large record-batch payloads are written
+into the ring and referenced from the control message as ``(offset,
+length)``; small payloads (or payloads the ring cannot currently hold)
+travel inline in the control message instead, so the ring is a fast
+path, never a correctness requirement, and **no side ever blocks
+waiting for ring space**.
+
+Layout of one ring segment::
+
+    [0:4)   read cursor  (u32, written by the consumer only)
+    [4:8)   write cursor (u32, written by the producer only)
+    [8:8+C) data region of ``capacity`` bytes
+
+Cursors are 4-byte aligned u32 stores, which CPython performs as single
+``memcpy`` calls into the mapped page — each cursor has exactly one
+writer, so torn reads cannot occur and no lock is needed.  Payloads are
+always contiguous: when the tail is too short the producer skips it and
+wraps to offset 0 (consumers advance their cursor to ``offset + length``
+of each consumed payload in FIFO order, which steps over skipped tails
+automatically because the *next* consumed offset restarts at 0).
+"""
+
+import struct
+from multiprocessing import shared_memory
+
+__all__ = ["RingSegment", "DEFAULT_RING_BYTES", "INLINE_LIMIT"]
+
+#: per-direction ring capacity; payloads that do not fit travel inline
+#: over the (64 KiB, blocking) pipe, so the ring is sized generously —
+#: shared memory is virtual until touched, and one exchange round can
+#: stage several partitions' worth of batches before the consumer
+#: catches up
+DEFAULT_RING_BYTES = 32 * 1024 * 1024
+
+#: payloads at or below this size skip the ring — a pipe send of a few
+#: KiB is cheaper than two cursor round-trips through shared memory
+INLINE_LIMIT = 16 * 1024
+
+_HEADER = 8
+_CURSOR = struct.Struct("<I")
+
+
+class RingSegment:
+    """One SPSC byte ring over a named shared-memory segment.
+
+    The creating side owns the segment's lifetime (``unlink=True`` on
+    :meth:`close`); the attaching side only closes its mapping.  Exactly
+    one process calls :meth:`try_write` (the producer) and exactly one
+    calls :meth:`read` / the consumer cursor update — which side plays
+    which role differs between the request and response rings.
+    """
+
+    def __init__(self, name=None, capacity=DEFAULT_RING_BYTES):
+        if name is None:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=_HEADER + capacity
+            )
+            self._owner = True
+            self._shm.buf[:_HEADER] = b"\x00" * _HEADER
+        else:
+            # the resource tracker process is shared across the whole
+            # process tree, and its registration cache is a set — the
+            # attach-side register is idempotent with the creator's, and
+            # the creator's explicit unlink() is the single unregister.
+            # (Unregistering here instead would strip the creator's entry
+            # and make its unlink() double-unregister.)
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        self.capacity = capacity
+        # producer-local mirror of the write cursor (the shm copy exists
+        # for debuggability; only this mirror is read on the hot path)
+        self._write = self._read_cursor(4)
+
+    @property
+    def name(self):
+        return self._shm.name
+
+    def descriptor(self):
+        """Picklable ``(name, capacity)`` to attach from the worker."""
+        return (self.name, self.capacity)
+
+    # cursor accessors ------------------------------------------------------
+
+    def _read_cursor(self, offset):
+        return _CURSOR.unpack_from(self._shm.buf, offset)[0]
+
+    def _store_cursor(self, offset, value):
+        _CURSOR.pack_into(self._shm.buf, offset, value)
+
+    # producer side ---------------------------------------------------------
+
+    def try_write(self, payload):
+        """Copy ``payload`` into the ring; returns ``(offset, length)``.
+
+        Returns ``None`` when the ring currently lacks contiguous space —
+        the caller sends the payload inline instead of waiting.
+        """
+        size = len(payload)
+        if size == 0 or size >= self.capacity:
+            return None
+        read = self._read_cursor(0)
+        write = self._write
+        free = (read - write - 1) % self.capacity
+        tail = self.capacity - write
+        if size <= tail:
+            if size > free:
+                return None
+            offset = write
+            new_write = (write + size) % self.capacity
+        else:
+            # skip the short tail and wrap; the tail counts as used until
+            # the consumer's cursor passes it
+            if tail + size > free:
+                return None
+            offset = 0
+            new_write = size
+        start = _HEADER + offset
+        self._shm.buf[start:start + size] = payload
+        self._write = new_write
+        self._store_cursor(4, new_write)
+        return (offset, size)
+
+    # consumer side ---------------------------------------------------------
+
+    def read(self, offset, length):
+        """Copy one referenced payload out and release its ring space.
+
+        Must be called in the order the references were produced (the
+        control pipe preserves it); advancing the read cursor to the
+        payload's end frees everything up to it, including skipped tails.
+        """
+        start = _HEADER + offset
+        payload = bytes(self._shm.buf[start:start + length])
+        self._store_cursor(0, (offset + length) % self.capacity)
+        return payload
+
+    # lifecycle -------------------------------------------------------------
+
+    def close(self):
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass

@@ -1,0 +1,770 @@
+"""The worker pool: parent-side orchestration of sharded execution.
+
+A :class:`WorkerPool` owns ``workers`` long-lived child processes, each
+with its own channel set (request/response pipes, a cancellation pipe
+that overtakes queued work, and two shared-memory rings — see
+:mod:`.channels`).  Partitions are assigned to workers by the static
+:func:`~repro.dataflow.partitioner.assign_partitions` map, Ray-streaming
+style: the "execution graph" is the fixed partition→worker placement,
+and every task for partition *p* runs on the worker owning *p*, so a
+worker's resident-source cache (immutable scan inputs shipped once)
+keeps hitting across queries.
+
+Concurrency model, chosen to honor the repository's lock discipline
+(no blocking call under a named lock — C303):
+
+* callers dispatch under no lock; per-worker channel *sends* serialize
+  on that worker's ``workers.channel`` leaf lock (pipe ``send`` and the
+  non-blocking ring write are the only operations inside);
+* one daemon **receiver thread** drains every worker's response pipe
+  with ``multiprocessing.connection.wait`` and routes each message to
+  the dispatching caller's per-job queue — the only cross-thread state,
+  the job table, is guarded by the ``workers.pool`` lock and never held
+  across a blocking call;
+* callers block on their own plain ``queue.SimpleQueue`` (never under a
+  lock), polling the run's :class:`CancellationToken` between waits, so
+  a deadline turns into ``("cancel", job)`` on every cancel pipe and the
+  worker abandons in-flight chunks.
+
+Failure containment: a worker that dies mid-task is detected by the
+receiver thread (EOF on its response pipe), every waiting dispatch gets
+a crash notice, the raised error is a :class:`JobExecutionError` naming
+the operator whose task was lost, and the pool respawns the worker
+(with empty caches) before its next dispatch.
+
+Everything shipped is certified first: chains through the ``P4xx``
+analyzer's :func:`~repro.analysis.udfcheck.analyze_chain`, join UDFs
+through :func:`~repro.analysis.udfcheck.analyze_callables` — an
+unshippable plan silently stays on the in-process path.
+"""
+
+import atexit
+import contextlib
+import hashlib
+import itertools
+import multiprocessing
+import os
+import queue
+import sys
+import threading
+import time
+from multiprocessing import connection
+
+from repro.locks import named_lock
+
+from ..errors import JobExecutionError
+from ..partitioner import assign_partitions
+from .channels import INLINE_LIMIT, RingSegment
+from .shipping import (
+    ChainSpec,
+    JoinSpec,
+    decode_records,
+    dump_functions,
+    encode_records,
+)
+
+__all__ = ["WorkerPool", "WorkerCrashError", "RemoteWorkerError"]
+
+#: response batching inside the worker (count + seconds); small values
+#: favor latency, the ring favors throughput — both are config knobs
+DEFAULT_FLUSH_BATCH = 16
+DEFAULT_FLUSH_TIMEOUT = 0.002
+
+#: how long one blocking wait on the caller's result queue lasts before
+#: the cancellation token is polled again
+_WAIT_SLICE = 0.05
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while executing shipped tasks."""
+
+
+class RemoteWorkerError(RuntimeError):
+    """A worker-side failure whose cause could not be pickled back."""
+
+
+def _pick_start_method():
+    """``forkserver`` where available (fast fork of a clean, preloaded
+    process — safe with parent threads), ``spawn`` everywhere else."""
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+@contextlib.contextmanager
+def _suppress_phantom_main():
+    """Hide a ``__main__.__file__`` no child could re-run.
+
+    A parent fed its script on stdin (``python - <<...``) or running
+    interactively has ``__main__.__file__`` set to a path that does not
+    exist on disk (``"<stdin>"``); multiprocessing's spawn preparation
+    would tell every child to re-execute that file and the worker would
+    die on arrival.  Workers never need the parent's ``__main__`` —
+    ``worker_main`` lives in an importable module and shipped closures
+    travel by value — so drop the attribute for the duration of the
+    spawn and the preparation data simply omits it.
+    """
+    main = sys.modules.get("__main__")
+    path = getattr(main, "__file__", None)
+    if path is None or os.path.exists(path):
+        yield
+        return
+    del main.__file__
+    try:
+        yield
+    finally:
+        main.__file__ = path
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process and its channels."""
+
+    def __init__(self, index, process, req_conn, resp_conn, cancel_conn,
+                 req_ring, resp_ring):
+        self.index = index
+        self.process = process
+        self.req_conn = req_conn
+        self.resp_conn = resp_conn
+        self.cancel_conn = cancel_conn
+        self.req_ring = req_ring
+        self.resp_ring = resp_ring
+        self.send_lock = named_lock("workers.channel")
+        #: spec keys already shipped to this worker  # guarded-by: send_lock
+        self.shipped = set()
+        #: resident source partitions this worker holds  # guarded-by: send_lock
+        self.resident = set()
+        self.alive = True  # unsynchronized: flipped once by the receiver
+
+    def pack_blob(self, payload):
+        """Ring placement with inline fallback; caller holds send_lock."""
+        if len(payload) > INLINE_LIMIT:
+            ref = self.req_ring.try_write(payload)
+            if ref is not None:
+                return ("r", ref[0], ref[1])
+        return ("i", payload)
+
+    def close(self, kill):
+        for conn in (self.req_conn, self.cancel_conn, self.resp_conn):
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        if self.process is not None:
+            if kill and self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - stuck child
+                self.process.kill()
+                self.process.join(timeout=5)
+        self.req_ring.close()
+        self.resp_ring.close()
+
+
+class WorkerPool:
+    """``workers`` sharded executor processes behind one dispatch API."""
+
+    def __init__(self, workers, ring_bytes=None, flush_batch=None,
+                 flush_timeout=None, start_method=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
+        self.workers = workers
+        self.ring_bytes = ring_bytes
+        self.flush_batch = flush_batch or DEFAULT_FLUSH_BATCH
+        self.flush_timeout = (
+            DEFAULT_FLUSH_TIMEOUT if flush_timeout is None else flush_timeout
+        )
+        self._start_method = start_method or _pick_start_method()
+        self._lock = named_lock("workers.pool")
+        self._handles = [None] * workers  # guarded-by: _lock
+        self._active = {}  # job id → caller queue  # guarded-by: _lock
+        self._ship_ok = {}  # spec key → bool  # guarded-by: _lock
+        self._started = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._jobs = itertools.count(1)  # unsynchronized: atomic iterator
+        self._receiver = None  # guarded-by: _lock
+        self._receiver_stop = threading.Event()
+        self._atexit = None  # guarded-by: _lock
+
+    # lifecycle -------------------------------------------------------------
+
+    def _spawn(self, ctx, index):
+        req_parent, req_child = ctx.Pipe(duplex=False)
+        resp_parent, resp_child = ctx.Pipe(duplex=False)
+        cancel_parent, cancel_child = ctx.Pipe(duplex=False)
+        req_ring = (
+            RingSegment(capacity=self.ring_bytes)
+            if self.ring_bytes else RingSegment()
+        )
+        resp_ring = (
+            RingSegment(capacity=self.ring_bytes)
+            if self.ring_bytes else RingSegment()
+        )
+        from .runtime import worker_main
+
+        process = ctx.Process(
+            target=worker_main,
+            name="repro-worker-%d" % index,
+            args=(
+                index, req_parent, resp_child, cancel_parent,
+                req_ring.descriptor(), resp_ring.descriptor(),
+                self.flush_batch, self.flush_timeout,
+            ),
+            daemon=True,
+        )
+        with _suppress_phantom_main():
+            process.start()
+        # the child inherited its pipe ends; drop ours so EOF propagates
+        req_parent.close()
+        resp_child.close()
+        cancel_parent.close()
+        return _WorkerHandle(
+            index, process, req_child, resp_parent, cancel_child,
+            req_ring, resp_ring,
+        )
+
+    def _ensure_started(self):
+        """Start (or respawn crashed) workers and the receiver thread."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            ctx = multiprocessing.get_context(self._start_method)
+            if not self._started:
+                if self._start_method == "forkserver":
+                    try:
+                        multiprocessing.forkserver.set_forkserver_preload(
+                            ["repro.dataflow.workers.runtime"]
+                        )
+                    except Exception:  # pragma: no cover - already running
+                        pass
+                self._started = True
+                self._atexit = self.shutdown
+                atexit.register(self._atexit)
+            for index in range(self.workers):
+                handle = self._handles[index]
+                if handle is not None and handle.alive:
+                    continue
+                if handle is not None:
+                    handle.close(kill=True)
+                self._handles[index] = self._spawn(ctx, index)
+            if self._receiver is None or not self._receiver.is_alive():
+                self._receiver_stop.clear()
+                self._receiver = threading.Thread(
+                    target=self._receive_loop,
+                    name="repro-worker-receiver",
+                    daemon=True,
+                )
+                self._receiver.start()
+            return list(self._handles)
+
+    def shutdown(self):
+        """Stop every worker and release channels; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = [h for h in self._handles if h is not None]
+            self._handles = [None] * self.workers
+            if self._atexit is not None:
+                try:
+                    atexit.unregister(self._atexit)
+                except Exception:  # pragma: no cover - interpreter exit
+                    pass
+                self._atexit = None
+            receiver = self._receiver
+            self._receiver = None
+        self._receiver_stop.set()
+        for handle in handles:
+            try:
+                handle.req_conn.send([("shutdown",)])
+            except Exception:  # noqa: BLE001 — already dead
+                pass
+        if receiver is not None and receiver.is_alive():
+            receiver.join(timeout=5)
+        for handle in handles:
+            handle.close(kill=True)
+
+    # receiver thread -------------------------------------------------------
+
+    def _deliver(self, job, item):
+        with self._lock:
+            target = self._active.get(job)
+        if target is not None:
+            target.put(item)
+
+    def _broadcast_crash(self, index):
+        with self._lock:
+            targets = list(self._active.values())
+        for target in targets:
+            target.put(("crash", index))
+
+    def _receive_loop(self):
+        while not self._receiver_stop.is_set():
+            with self._lock:
+                handles = [
+                    h for h in self._handles if h is not None and h.alive
+                ]
+            conns = {handle.resp_conn: handle for handle in handles}
+            if not conns:
+                time.sleep(_WAIT_SLICE)
+                continue
+            try:
+                ready = connection.wait(list(conns), timeout=0.2)
+            except OSError:  # pragma: no cover - a conn closed mid-wait
+                continue
+            for conn in ready:
+                handle = conns[conn]
+                try:
+                    batch = conn.recv()
+                except (EOFError, OSError):
+                    if self._receiver_stop.is_set():
+                        return
+                    handle.alive = False
+                    self._broadcast_crash(handle.index)
+                    continue
+                for message in batch:
+                    self._route(handle, message)
+
+    def _route(self, handle, message):
+        kind = message[0]
+        if kind == "ok":
+            _, job, seq, counts, fmt, blob = message
+            if blob[0] == "r":
+                payload = handle.resp_ring.read(blob[1], blob[2])
+            else:
+                payload = blob[1]
+            self._deliver(job, ("ok", seq, counts, fmt, payload))
+        elif kind == "cancelled":
+            self._deliver(message[1], ("cancelled", message[2]))
+        elif kind == "error":
+            _, job, seq, stage, unwrapped, cause_payload, cause_repr = message
+            self._deliver(
+                job, ("error", seq, stage, unwrapped, cause_payload,
+                      cause_repr)
+            )
+
+    # shippability gates ----------------------------------------------------
+
+    def chain_shippable(self, chain):
+        """True when every stage UDF certifies (``P4xx``-clean); cached
+        under the chain's stable stage-id key."""
+        key = ("chain",) + tuple(stage.id for stage in chain.stages)
+        with self._lock:
+            cached = self._ship_ok.get(key)
+        if cached is not None:
+            return cached
+        from repro.analysis.udfcheck import analyze_chain
+
+        ok = analyze_chain(chain).shippable
+        with self._lock:
+            self._ship_ok[key] = ok
+        return ok
+
+    def join_shippable(self, operator):
+        key = ("join", operator.id)
+        with self._lock:
+            cached = self._ship_ok.get(key)
+        if cached is not None:
+            return cached
+        from repro.analysis.udfcheck import analyze_callables
+
+        ok = analyze_callables([
+            ("%s.left_key" % operator.name, operator.left_key),
+            ("%s.right_key" % operator.name, operator.right_key),
+            ("%s.join_fn" % operator.name, operator.join_fn),
+        ]).shippable
+        with self._lock:
+            self._ship_ok[key] = ok
+        return ok
+
+    # dispatch --------------------------------------------------------------
+
+    @staticmethod
+    def _wire_spec(spec):
+        """``(wire_key, payload)``: the spec serialized by value, keyed
+        by its *content*.
+
+        Closures are shipped by value, so state they read late — e.g. a
+        prepared statement's :class:`ParameterBinding`, rebound between
+        executions of one cached plan — is frozen into the payload at
+        dump time.  Keying the worker-side spec cache on a digest of
+        that payload makes every rebinding a new spec (stale closures
+        can never be replayed from the cache), while unchanged chains
+        still hash identically and ship to each worker at most once.
+        """
+        payload = dump_functions(spec)
+        digest = hashlib.sha1(payload).hexdigest()
+        return tuple(spec.key) + (digest,), payload
+
+    def _send_batch(self, handle, wire_key, payload, messages):
+        """Ship the spec payload (once) and one task batch to ``handle``."""
+        with handle.send_lock:
+            batch = []
+            if wire_key not in handle.shipped:
+                batch.append(("ship", wire_key, handle.pack_blob(payload)))
+                handle.shipped.add(wire_key)
+            for build in messages:
+                batch.append(build(handle))
+            handle.req_conn.send(batch)
+
+    def _collect(self, job, result_queue, expected, token, op_name):
+        """Drain ``expected`` task responses, honoring cancellation."""
+        results = {}
+        cancel_sent = False
+        failure = None
+        while len(results) < expected:
+            if (
+                token is not None and not cancel_sent
+                and (token.cancelled or token.expired())
+            ):
+                self._send_cancel(job)
+                cancel_sent = True
+            try:
+                item = result_queue.get(timeout=_WAIT_SLICE)
+            except queue.Empty:
+                continue
+            kind = item[0]
+            if kind == "crash":
+                raise JobExecutionError(
+                    op_name,
+                    WorkerCrashError(
+                        "worker %d died while executing shipped tasks"
+                        % item[1]
+                    ),
+                )
+            seq = item[1]
+            results[seq] = item
+            if kind == "error" and failure is None:
+                failure = item
+        if token is not None:
+            token.poll()  # raises the caller's QueryCancelled/QueryTimeout
+        if failure is not None:
+            self._raise_remote(failure)
+        return results
+
+    def _send_cancel(self, job):
+        with self._lock:
+            handles = [h for h in self._handles if h is not None and h.alive]
+        for handle in handles:
+            try:
+                handle.cancel_conn.send(job)
+            except Exception:  # noqa: BLE001 — crash handled via queue
+                pass
+
+    @staticmethod
+    def _raise_remote(item):
+        _, _seq, stage, unwrapped, cause_payload, cause_repr = item
+        cause = None
+        if cause_payload is not None:
+            import pickle
+
+            try:
+                cause = pickle.loads(cause_payload)
+            except Exception:  # noqa: BLE001 — fall back to the repr
+                cause = None
+        if cause is None:
+            cause = RemoteWorkerError(cause_repr)
+        if unwrapped and getattr(cause, "propagate_unwrapped", False):
+            raise cause
+        raise JobExecutionError(stage, cause) from cause
+
+    def _run_tasks(self, spec, tasks, token, op_name):
+        """Ship ``tasks`` (partition-indexed payload builders), gather
+        ``(counts, records)`` per task in order."""
+        handles = self._ensure_started()
+        assignment = assign_partitions(len(tasks), self.workers)
+        wire_key, payload = self._wire_spec(spec)
+        job = next(self._jobs)
+        result_queue = queue.SimpleQueue()
+        with self._lock:
+            self._active[job] = result_queue
+        try:
+            per_worker = {}
+            for seq, task in enumerate(tasks):
+                per_worker.setdefault(assignment[seq], []).append((seq, task))
+            for index, seq_tasks in per_worker.items():
+                handle = handles[index]
+                if not handle.alive:
+                    raise JobExecutionError(
+                        op_name,
+                        WorkerCrashError("worker %d is down" % index),
+                    )
+                builders = [
+                    self._task_builder(job, seq, wire_key, task)
+                    for seq, task in seq_tasks
+                ]
+                self._send_batch(handle, wire_key, payload, builders)
+            results = self._collect(
+                job, result_queue, len(tasks), token, op_name
+            )
+        finally:
+            with self._lock:
+                self._active.pop(job, None)
+        ordered = []
+        for seq in range(len(tasks)):
+            item = results[seq]
+            if item[0] == "cancelled":
+                # unreachable without a token (collect re-raises first),
+                # kept as a hard stop if a worker mis-reports
+                raise JobExecutionError(
+                    op_name, RemoteWorkerError("task cancelled remotely")
+                )
+            _, _seq, counts, fmt, payload = item
+            ordered.append((counts, decode_records(fmt, payload)))
+        return ordered
+
+    @staticmethod
+    def _task_builder(job, seq, spec_key, task):
+        """Bind one task message's payload packing to its worker handle."""
+        kind = task[0]
+        if kind == "chain":
+            _, source_key, part_index, records = task
+
+            def build(handle):
+                if source_key is not None:
+                    cache_key = (source_key, part_index)
+                    if cache_key in handle.resident:
+                        src = ("cached", source_key, part_index)
+                        return ("chain", job, seq, spec_key, src)
+                    fmt, payload = encode_records(records)
+                    handle.resident.add(cache_key)
+                    src = ("store", source_key, part_index, fmt,
+                           handle.pack_blob(payload))
+                    return ("chain", job, seq, spec_key, src)
+                fmt, payload = encode_records(records)
+                src = ("blob", fmt, handle.pack_blob(payload))
+                return ("chain", job, seq, spec_key, src)
+
+            return build
+        # ("join", build_records, probe_records, build_is_left)
+        _, build_records, probe_records, build_is_left = task
+
+        def build(handle):
+            build_fmt, build_payload = encode_records(build_records)
+            probe_fmt, probe_payload = encode_records(probe_records)
+            return (
+                "join", job, seq, spec_key,
+                ("blob", build_fmt, handle.pack_blob(build_payload)),
+                ("blob", probe_fmt, handle.pack_blob(probe_payload)),
+                build_is_left,
+            )
+
+        return build
+
+    # public entry points ---------------------------------------------------
+
+    def run_chain(self, chain, partitions, token, source_key=None):
+        """Execute a fused chain's partitions on the pool.
+
+        Returns ``(out_partitions, worker_counts)`` shaped exactly like
+        the in-process loop's locals, so the caller reconstructs the
+        same per-stage ``OperatorRun`` metrics.  ``source_key`` marks the
+        input as an immutable source's output: each worker then keeps
+        its partitions resident and later executions skip the transfer.
+        """
+        spec = ChainSpec.from_chain(chain)
+        tasks = [
+            ("chain", source_key, part_index, records)
+            for part_index, records in enumerate(partitions)
+        ]
+        gathered = self._run_tasks(spec, tasks, token, chain.name)
+        out = [records for _counts, records in gathered]
+        worker_counts = [counts for counts, _records in gathered]
+        return out, worker_counts
+
+    def run_join(self, operator, pairs, token):
+        """Execute co-partitioned hash-join pairs on the pool.
+
+        ``pairs`` holds ``(build, probe, build_is_left)`` per partition —
+        the exact inputs ``JoinOperator._hash_join`` would loop over —
+        and the result preserves its per-partition emission order.
+        """
+        spec = JoinSpec.from_operator(operator)
+        tasks = [
+            ("join", build, probe, build_is_left)
+            for build, probe, build_is_left in pairs
+        ]
+        gathered = self._run_tasks(spec, tasks, token, operator.name)
+        return [records for _counts, records in gathered]
+
+    def run_repartition_join(self, operator, left_parts, right_parts,
+                             token):
+        """One REPARTITION_HASH join — exchange and all — on the pool.
+
+        The hash repartitioning itself runs inside the workers: one
+        ``shuffle`` task per non-empty input partition, placed on the
+        worker owning that partition.  Splits destined for partitions
+        the same worker owns never leave it; cross-worker splits come
+        back as *encoded bytes* the parent relays verbatim to the
+        owning workers (``exchange`` messages) — the parent never
+        decodes, hashes or re-encodes a record on the exchange path.
+        A second round of per-partition ``pjoin`` tasks then joins each
+        co-partitioned pair where its data already lives.
+
+        Returns ``(out, (moved_records, moved_bytes, bytes_in),
+        left_counts, right_counts)``; the caller derives ShuffleStats,
+        per-worker work and spill accounting from the counts,
+        bit-identical to the in-process path.
+        """
+        spec = JoinSpec.from_operator(operator)
+        parallelism = max(len(left_parts), len(right_parts))
+        owners = assign_partitions(parallelism, self.workers)
+        handles = self._ensure_started()
+        wire_key, payload = self._wire_spec(spec)
+        job = next(self._jobs)
+        result_queue = queue.SimpleQueue()
+        with self._lock:
+            self._active[job] = result_queue
+        completed = False
+        try:
+            # phase 1: worker-side shuffle of every non-empty partition
+            meta = []  # seq → (side, source partition index)
+            per_worker = {}
+            for side, parts in (("left", left_parts),
+                                ("right", right_parts)):
+                for source, records in enumerate(parts):
+                    if not records:
+                        continue
+                    seq = len(meta)
+                    meta.append((side, source))
+                    per_worker.setdefault(owners[source], []).append(
+                        (seq, side, source, records)
+                    )
+            for index, items in per_worker.items():
+                handle = handles[index]
+                if not handle.alive:
+                    raise JobExecutionError(
+                        operator.name,
+                        WorkerCrashError("worker %d is down" % index),
+                    )
+                builders = [
+                    self._shuffle_builder(job, seq, wire_key, side,
+                                          source, owners, records)
+                    for seq, side, source, records in items
+                ]
+                self._send_batch(handle, wire_key, payload, builders)
+            results = self._collect(
+                job, result_queue, len(meta), token, operator.name
+            )
+
+            left_counts = [0] * parallelism
+            right_counts = [0] * parallelism
+            moved_records = 0
+            moved_bytes = 0
+            bytes_in = [0] * parallelism
+            relays = {}  # owner worker → [(side, target, source, fmt, payload)]
+            for seq in range(len(meta)):
+                item = results[seq]
+                if item[0] == "cancelled":
+                    raise JobExecutionError(
+                        operator.name,
+                        RemoteWorkerError("task cancelled remotely"),
+                    )
+                _, _seq, stats, fmt, payload = item
+                counts, task_records, task_bytes, task_bytes_in = stats
+                side, source = meta[seq]
+                totals = left_counts if side == "left" else right_counts
+                for target, count in enumerate(counts):
+                    totals[target] += count
+                moved_records += task_records
+                moved_bytes += task_bytes
+                for target, size in enumerate(task_bytes_in):
+                    bytes_in[target] += size
+                for target, f_fmt, f_payload in decode_records(
+                    fmt, payload
+                ):
+                    relays.setdefault(owners[target], []).append(
+                        (side, target, source, f_fmt, f_payload)
+                    )
+
+            # phase 2: relay foreign splits, then join where the data is.
+            # A target with only one non-empty side still gets a pjoin —
+            # its result is empty, but the task drains the exchange state.
+            targets = [
+                target for target in range(parallelism)
+                if left_counts[target] or right_counts[target]
+            ]
+            target_seq = {}
+            join_worker = {}
+            next_seq = len(meta)
+            for target in targets:
+                target_seq[target] = next_seq
+                next_seq += 1
+                join_worker.setdefault(owners[target], []).append(target)
+            for index in range(self.workers):
+                worker_relays = relays.get(index, [])
+                worker_targets = join_worker.get(index, [])
+                if not worker_relays and not worker_targets:
+                    continue
+                handle = handles[index]
+                if not handle.alive:
+                    raise JobExecutionError(
+                        operator.name,
+                        WorkerCrashError("worker %d is down" % index),
+                    )
+                builders = [
+                    self._exchange_builder(job, relay)
+                    for relay in worker_relays
+                ] + [
+                    self._pjoin_builder(job, target_seq[target], wire_key,
+                                        target)
+                    for target in worker_targets
+                ]
+                self._send_batch(handle, wire_key, payload, builders)
+            results = self._collect(
+                job, result_queue, len(targets), token, operator.name
+            )
+            out = [[] for _ in range(parallelism)]
+            for target in targets:
+                item = results[target_seq[target]]
+                if item[0] == "cancelled":
+                    raise JobExecutionError(
+                        operator.name,
+                        RemoteWorkerError("task cancelled remotely"),
+                    )
+                _, _seq, _counts, fmt, payload = item
+                out[target] = decode_records(fmt, payload)
+            completed = True
+            return (
+                out,
+                (moved_records, moved_bytes, bytes_in),
+                left_counts,
+                right_counts,
+            )
+        finally:
+            with self._lock:
+                self._active.pop(job, None)
+            if not completed:
+                # clear worker-resident exchange state the aborted job
+                # left behind; job ids are never reused, so cancelling a
+                # job some worker never saw is harmless
+                self._send_cancel(job)
+
+    @staticmethod
+    def _shuffle_builder(job, seq, spec_key, side, source, owners,
+                         records):
+        def build(handle):
+            fmt, payload = encode_records(records)
+            return (
+                "shuffle", job, seq, spec_key, side, source, owners,
+                ("blob", fmt, handle.pack_blob(payload)),
+            )
+
+        return build
+
+    @staticmethod
+    def _exchange_builder(job, relay):
+        side, target, source, fmt, payload = relay
+
+        def build(handle):
+            return (
+                "exchange", job, side, target, source, fmt,
+                handle.pack_blob(payload),
+            )
+
+        return build
+
+    @staticmethod
+    def _pjoin_builder(job, seq, spec_key, target):
+        def build(handle):
+            return ("pjoin", job, seq, spec_key, target)
+
+        return build

@@ -1,0 +1,512 @@
+"""The worker process: a long-lived executor of shipped partition tasks.
+
+``worker_main`` is the child-process entry point.  It owns one end of
+the per-worker channel set (request/response pipes + shared-memory
+rings, see :mod:`.channels`) and loops over batched request messages:
+
+* ``("ship", key, blob)`` — decode a :class:`~.shipping.ChainSpec` /
+  :class:`~.shipping.JoinSpec` and cache it under ``key``; the pool
+  ships every spec to every worker at most once.
+* ``("chain", job, seq, key, src)`` — run one partition through a fused
+  chain's compiled chunk loop (the same ``_chunk_template`` codegen the
+  in-process path uses), returning the produced records and the
+  per-stage counter totals the parent needs to reconstruct bit-identical
+  ``OperatorRun`` metrics.
+* ``("join", job, seq, key, build_src, probe_src, build_is_left)`` —
+  one co-partitioned hash-join pair, mirroring
+  ``JoinOperator._hash_join`` exactly (build/probe roles and emission
+  order included, so results are order-identical to in-process runs).
+* ``("shuffle", job, seq, key, side, source, owners, src)`` — hash-
+  partition one input partition of a repartition join by its join key.
+  Splits whose target partition this worker owns stay *resident* in the
+  worker's exchange table; foreign splits return to the parent as
+  encoded bytes it relays verbatim (never decoding a record) to the
+  owning workers as ``("exchange", job, side, target, source, fmt,
+  blob)`` messages.  The response carries the per-target counts and the
+  moved-record/byte tallies the parent needs to rebuild the exact
+  ``ShuffleStats`` the in-process ``hash_shuffle`` computes.
+* ``("pjoin", job, seq, key, target)`` — join one co-partitioned pair
+  out of the exchange table, concatenating each side's splits in source
+  -partition order so record order matches the in-process shuffle.
+* ``("cancel", job)`` / ``("shutdown",)``.
+
+Cancellation arrives on a dedicated pipe so it overtakes queued work:
+the worker polls it between chunks and every ``POLL_INTERVAL`` probe
+records, abandons in-flight tasks of cancelled jobs, and acknowledges
+each with a ``("cancelled", job, seq)`` response so the parent can
+account for every dispatched task.
+
+A failing chunk is replayed record-by-record against the chain's stage
+functions — the same re-attribution the in-process path performs — and
+the failing stage's *name* plus the (pickled, when possible) cause
+cross back to the parent, which re-raises the exact
+:class:`~repro.dataflow.errors.JobExecutionError` in-process execution
+would have raised.
+"""
+
+import pickle
+import time
+from collections import OrderedDict
+
+from ..cancellation import POLL_INTERVAL
+from ..operators import _hashable
+from .channels import INLINE_LIMIT, RingSegment
+from .shipping import (
+    FORMAT_PICKLE,
+    decode_records,
+    dump_functions,
+    encode_records,
+    load_functions,
+)
+
+__all__ = ["worker_main"]
+
+#: cap on the decoded-spec cache; keys are never reused, so eviction
+#: only bounds memory of very long-lived pools.  The resident *source*
+#: cache is deliberately unbounded: the parent tracks which partitions
+#: each worker holds and skips re-sending them, so a worker-side
+#: eviction would desynchronize the two (sources are few — one per
+#: scanned dataset — so the cache is bounded by the graphs served).
+_SPEC_CACHE_LIMIT = 128
+
+_POLL_MASK = POLL_INTERVAL - 1
+
+
+class _Cancelled(Exception):
+    """In-flight task abandoned because its job was cancelled."""
+
+
+class _StageError(Exception):
+    """A task failed; carries the failing stage's name and the cause."""
+
+    def __init__(self, stage, cause, unwrapped=False):
+        super().__init__(stage)
+        self.stage = stage
+        self.cause = cause
+        self.unwrapped = unwrapped
+
+
+def _lru_put(cache, key, value, limit):
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > limit:
+        cache.popitem(last=False)
+
+
+class _Worker:
+    def __init__(self, index, req_conn, resp_conn, cancel_conn,
+                 req_ring, resp_ring, flush_batch, flush_timeout):
+        self.index = index
+        self.req_conn = req_conn
+        self.resp_conn = resp_conn
+        self.cancel_conn = cancel_conn
+        self.req_ring = req_ring
+        self.resp_ring = resp_ring
+        self.flush_batch = flush_batch
+        self.flush_timeout = flush_timeout
+        self.specs = OrderedDict()
+        self.resident = {}
+        self.cancelled = set()
+        #: repartition-exchange table: (job, side, target) → {source:
+        #: records}.  Filled by shuffle/exchange messages, drained by the
+        #: job's pjoin tasks; cancellation clears a job's leftovers.
+        self.exchange = {}
+        self._out = []
+        self._first_buffered = None
+
+    # blob transport --------------------------------------------------------
+
+    def _resolve_blob(self, blob):
+        """Inline bytes, or copy a referenced payload out of the ring."""
+        if blob[0] == "i":
+            return blob[1]
+        return self.req_ring.read(blob[1], blob[2])
+
+    def _pack_blob(self, payload):
+        if len(payload) > INLINE_LIMIT:
+            ref = self.resp_ring.try_write(payload)
+            if ref is not None:
+                return ("r", ref[0], ref[1])
+        return ("i", payload)
+
+    def _resolve_source(self, src):
+        """Decode one task input; ``store`` variants feed the resident
+        cache so later executions of the same immutable source partition
+        skip the payload transfer entirely."""
+        kind = src[0]
+        if kind == "blob":
+            return decode_records(src[1], self._resolve_blob(src[2]))
+        if kind == "cached":
+            return self.resident[(src[1], src[2])]
+        # ("store", cache_key, part_index, fmt, blob)
+        records = decode_records(src[3], self._resolve_blob(src[4]))
+        self.resident[(src[1], src[2])] = records
+        return records
+
+    # response batching -----------------------------------------------------
+
+    def _emit(self, message):
+        self._out.append(message)
+        if self._first_buffered is None:
+            self._first_buffered = time.monotonic()
+
+    def _flush(self, force):
+        if not self._out:
+            return
+        if (
+            force
+            or len(self._out) >= self.flush_batch
+            or time.monotonic() - self._first_buffered >= self.flush_timeout
+        ):
+            self.resp_conn.send(self._out)
+            self._out = []
+            self._first_buffered = None
+
+    # cancellation ----------------------------------------------------------
+
+    def _job_cancelled(self, job):
+        while self.cancel_conn.poll():
+            try:
+                stale = self.cancel_conn.recv()
+            except EOFError:  # pragma: no cover - parent died mid-cancel
+                break
+            self.cancelled.add(stale)
+            self._forget_job(stale)
+        if len(self.cancelled) > 1024:
+            # job ids are never reused; pruning old entries is safe
+            self.cancelled = set(sorted(self.cancelled)[-256:])
+        return job in self.cancelled
+
+    def _forget_job(self, job):
+        """Drop a cancelled/aborted job's resident exchange state."""
+        if self.exchange:
+            for key in [k for k in self.exchange if k[0] == job]:
+                del self.exchange[key]
+
+    # task execution --------------------------------------------------------
+
+    def _run_chain(self, job, spec, records):
+        from ..fusion import _chunk_template
+
+        chunk_fn = _chunk_template(spec.shape)
+        batch = spec.batch_size
+        fns = spec.fns
+        zeros = (0,) * sum(1 for kind in spec.shape if kind != "map")
+        produced = []
+        append = produced.append
+        totals = zeros
+        for start in range(0, len(records), batch):
+            if self._job_cancelled(job):
+                raise _Cancelled()
+            chunk = (
+                records
+                if start == 0 and len(records) <= batch
+                else records[start:start + batch]
+            )
+            try:
+                counts = chunk_fn(chunk, append, *fns)
+            except Exception as exc:  # noqa: BLE001 — re-attributed below
+                self._replay_chunk(spec, chunk, exc)
+            totals = tuple(a + b for a, b in zip(totals, counts))
+        return produced, totals
+
+    def _replay_chunk(self, spec, chunk, original):
+        """Per-record replay for stage attribution, like the fused path."""
+        if getattr(original, "propagate_unwrapped", False):
+            raise _StageError(spec.chain_name, original, unwrapped=True)
+        records = list(chunk)
+        for name, kind, fn in zip(spec.names, spec.shape, spec.fns):
+            produced = []
+            try:
+                if kind == "map":
+                    for record in records:
+                        produced.append(fn(record))
+                elif kind == "filter":
+                    for record in records:
+                        if fn(record):
+                            produced.append(record)
+                else:
+                    for record in records:
+                        produced.extend(fn(record))
+            except Exception as exc:  # noqa: BLE001 — the failing stage
+                if getattr(exc, "propagate_unwrapped", False):
+                    raise _StageError(name, exc, unwrapped=True) from exc
+                raise _StageError(name, exc) from exc
+            records = produced
+        # replay did not fail (nondeterministic UDF?) — attribute to the
+        # whole chain, like FusedChainOperator._replay_chunk
+        raise _StageError(spec.chain_name, original)
+
+    def _run_shuffle(self, job, spec, side, source, owners, records):
+        """Hash-partition one input partition by its join key.
+
+        Mirrors ``ExecutionContext.hash_shuffle`` per record — same
+        ``partition_index`` routing, same moved-record/byte accounting
+        via ``estimate_size`` — so the parent can reconstruct the exact
+        ShuffleStats.  Splits for targets this worker owns go straight
+        into the exchange table; non-empty foreign splits are encoded
+        and returned for the parent to relay.
+        """
+        from ..partitioner import partition_index
+        from ..sizing import estimate_size
+
+        key_fn = spec.left_key if side == "left" else spec.right_key
+        parallelism = len(owners)
+        splits = [[] for _ in range(parallelism)]
+        moved_records = 0
+        moved_bytes = 0
+        bytes_in = [0] * parallelism
+        try:
+            for index, record in enumerate(records):
+                if index & _POLL_MASK == 0 and self._job_cancelled(job):
+                    raise _Cancelled()
+                target = partition_index(key_fn(record), parallelism)
+                splits[target].append(record)
+                if target != source:
+                    size = estimate_size(record)
+                    moved_records += 1
+                    moved_bytes += size
+                    bytes_in[target] += size
+        except _Cancelled:
+            raise
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise _StageError(spec.name, exc, unwrapped=True) from exc
+            raise _StageError(spec.name, exc) from exc
+        counts = [len(split) for split in splits]
+        foreign = []
+        for target, split in enumerate(splits):
+            if not split:
+                continue
+            if owners[target] == self.index:
+                self.exchange.setdefault(
+                    (job, side, target), {}
+                )[source] = split
+            else:
+                fmt, payload = encode_records(split)
+                foreign.append((target, fmt, payload))
+        return (counts, moved_records, moved_bytes, bytes_in), foreign
+
+    def _run_join(self, job, spec, build, probe, build_is_left):
+        """``JoinOperator._hash_join`` verbatim, with pipe-based polling."""
+        build_key = spec.left_key if build_is_left else spec.right_key
+        probe_key = spec.right_key if build_is_left else spec.left_key
+        join_fn = spec.join_fn
+        table = {}
+        setdefault = table.setdefault
+        produced = []
+        extend = produced.extend
+        try:
+            for record in build:
+                setdefault(_hashable(build_key(record)), []).append(record)
+            get = table.get
+            if build_is_left:
+                for index, probe_record in enumerate(probe):
+                    if index & _POLL_MASK == 0 and self._job_cancelled(job):
+                        raise _Cancelled()
+                    matches = get(_hashable(probe_key(probe_record)))
+                    if not matches:
+                        continue
+                    for build_record in matches:
+                        extend(join_fn(build_record, probe_record))
+            else:
+                for index, probe_record in enumerate(probe):
+                    if index & _POLL_MASK == 0 and self._job_cancelled(job):
+                        raise _Cancelled()
+                    matches = get(_hashable(probe_key(probe_record)))
+                    if not matches:
+                        continue
+                    for build_record in matches:
+                        extend(join_fn(probe_record, build_record))
+        except (_Cancelled, _StageError):
+            raise
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise _StageError(spec.name, exc, unwrapped=True) from exc
+            raise _StageError(spec.name, exc) from exc
+        return produced
+
+    # message handling ------------------------------------------------------
+
+    def _respond_result(self, job, seq, counts, records):
+        fmt, payload = encode_records(records)
+        self._emit(("ok", job, seq, counts, fmt, self._pack_blob(payload)))
+
+    def _respond_failure(self, job, seq, error):
+        if isinstance(error, _Cancelled):
+            self._emit(("cancelled", job, seq))
+            return
+        cause = error.cause
+        try:
+            cause_payload = pickle.dumps(cause)
+            pickle.loads(cause_payload)
+        except Exception:  # noqa: BLE001 — unpicklable cause: ship repr
+            cause_payload = None
+        self._emit((
+            "error", job, seq, error.stage, error.unwrapped,
+            cause_payload, repr(cause),
+        ))
+
+    def handle(self, message):
+        """Process one request; returns False on shutdown."""
+        kind = message[0]
+        if kind == "chain":
+            _, job, seq, key, src = message
+            spec = self.specs[key]
+            self.specs.move_to_end(key)
+            records = self._resolve_source(src)
+            if self._job_cancelled(job):
+                self._emit(("cancelled", job, seq))
+                return True
+            try:
+                produced, totals = self._run_chain(job, spec, records)
+            except (_Cancelled, _StageError) as error:
+                self._respond_failure(job, seq, error)
+            else:
+                self._respond_result(job, seq, totals, produced)
+            return True
+        if kind == "join":
+            _, job, seq, key, build_src, probe_src, build_is_left = message
+            spec = self.specs[key]
+            self.specs.move_to_end(key)
+            build = self._resolve_source(build_src)
+            probe = self._resolve_source(probe_src)
+            if self._job_cancelled(job):
+                self._emit(("cancelled", job, seq))
+                return True
+            try:
+                produced = self._run_join(job, spec, build, probe,
+                                          build_is_left)
+            except (_Cancelled, _StageError) as error:
+                self._respond_failure(job, seq, error)
+            else:
+                self._respond_result(job, seq, None, produced)
+            return True
+        if kind == "shuffle":
+            _, job, seq, key, side, source, owners, src = message
+            spec = self.specs[key]
+            self.specs.move_to_end(key)
+            records = self._resolve_source(src)
+            if self._job_cancelled(job):
+                self._emit(("cancelled", job, seq))
+                return True
+            try:
+                stats, foreign = self._run_shuffle(
+                    job, spec, side, source, owners, records
+                )
+            except (_Cancelled, _StageError) as error:
+                self._respond_failure(job, seq, error)
+            else:
+                payload = pickle.dumps(
+                    foreign, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                self._emit((
+                    "ok", job, seq, stats, FORMAT_PICKLE,
+                    self._pack_blob(payload),
+                ))
+            return True
+        if kind == "exchange":
+            _, job, side, target, source, fmt, blob = message
+            records = decode_records(fmt, self._resolve_blob(blob))
+            self.exchange.setdefault((job, side, target), {})[source] = (
+                records
+            )
+            return True
+        if kind == "pjoin":
+            _, job, seq, key, target = message
+            spec = self.specs[key]
+            self.specs.move_to_end(key)
+            # pop state before the cancellation check so a cancelled
+            # job's splits never linger in the exchange table
+            left_map = self.exchange.pop((job, "left", target), {})
+            right_map = self.exchange.pop((job, "right", target), {})
+            if self._job_cancelled(job):
+                self._emit(("cancelled", job, seq))
+                return True
+            left = [
+                record
+                for src_index in sorted(left_map)
+                for record in left_map[src_index]
+            ]
+            right = [
+                record
+                for src_index in sorted(right_map)
+                for record in right_map[src_index]
+            ]
+            if len(left) <= len(right):
+                build, probe, build_is_left = left, right, True
+            else:
+                build, probe, build_is_left = right, left, False
+            try:
+                produced = (
+                    []
+                    if not build or not probe
+                    else self._run_join(job, spec, build, probe,
+                                        build_is_left)
+                )
+            except (_Cancelled, _StageError) as error:
+                self._respond_failure(job, seq, error)
+            else:
+                self._respond_result(job, seq, None, produced)
+            return True
+        if kind == "ship":
+            _, key, blob = message
+            _lru_put(
+                self.specs, key, load_functions(self._resolve_blob(blob)),
+                _SPEC_CACHE_LIMIT,
+            )
+            return True
+        if kind == "cancel":
+            self.cancelled.add(message[1])
+            self._forget_job(message[1])
+            return True
+        if kind == "crash":  # test hook: die mid-protocol, like a segfault
+            import os
+
+            os._exit(1)
+        return kind != "shutdown"
+
+    def loop(self):
+        while True:
+            try:
+                batch = self.req_conn.recv()
+            except (EOFError, OSError):  # parent died: exit quietly
+                return
+            if not isinstance(batch, list):
+                batch = [batch]
+            for message in batch:
+                if not self.handle(message):
+                    self._flush(force=True)
+                    return
+                # hold small responses back while more work is queued
+                self._flush(force=not self.req_conn.poll())
+
+
+def worker_main(worker_index, req_conn, resp_conn, cancel_conn,
+                req_ring_descriptor, resp_ring_descriptor,
+                flush_batch, flush_timeout):
+    """Child-process entry point (must stay importable for spawn)."""
+    req_ring = RingSegment(
+        name=req_ring_descriptor[0], capacity=req_ring_descriptor[1]
+    )
+    resp_ring = RingSegment(
+        name=resp_ring_descriptor[0], capacity=resp_ring_descriptor[1]
+    )
+    worker = _Worker(
+        worker_index, req_conn, resp_conn, cancel_conn, req_ring,
+        resp_ring, flush_batch, flush_timeout,
+    )
+    try:
+        worker.loop()
+    finally:
+        req_ring.close()
+        resp_ring.close()
+        for conn in (req_conn, resp_conn, cancel_conn):
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+# re-exported for the pool: shipping a spec means dumping it by value
+ship_payload = dump_functions

@@ -1,0 +1,280 @@
+"""Function and record shipping across the process boundary.
+
+Two serialization problems stand between a fused chain and a worker
+process, and this module solves both with the standard library only:
+
+* **Functions.**  The chain stages hold compiled closures (predicate
+  specializations, merge/morphism accessors) that standard ``pickle``
+  refuses to serialize — it ships functions *by reference* and a closure
+  has no importable name.  :func:`dump_functions` therefore ships
+  unshippable-by-reference functions *by value*, the way cloudpickle
+  does: the code object travels via :mod:`marshal`, captured cells and
+  defaults are pickled recursively through the same pickler, and the
+  rebuilt function re-binds to its defining module's globals (falling
+  back to shipped globals when the module is not importable, e.g.
+  ``__main__``).  This is exactly the serialization model the ``P4xx``
+  shippability analyzer (:mod:`repro.analysis.udfcheck`) certifies
+  against.
+
+* **Records.**  Embedding batches are three flat byte arrays per record
+  (§3.3), so :func:`encode_records` packs a homogeneous Embedding batch
+  as one length-prefixed byte buffer — a codec that moves through a
+  shared-memory ring without touching ``pickle`` on the hot path — and
+  falls back to pickling for any other record type (EPGM elements at
+  scan leaves, tuples, ...).
+
+Both directions assume the *same interpreter version* on both ends,
+which holds by construction: workers are spawned from this process.
+"""
+
+import importlib
+import io
+import marshal
+import pickle
+import struct
+import types
+
+__all__ = [
+    "ChainSpec",
+    "JoinSpec",
+    "dump_functions",
+    "load_functions",
+    "encode_records",
+    "decode_records",
+]
+
+#: record-batch formats: flat §3.3 embedding buffer, or pickled list
+FORMAT_EMBEDDINGS = b"E"
+FORMAT_PICKLE = b"P"
+
+_LENGTHS = struct.Struct("<III")
+
+
+# --- function shipping ------------------------------------------------------
+
+
+def _rebuild_function(code_bytes, module, qualname, defaults, kwdefaults,
+                      closure_values, shipped_globals):
+    """Reverse of the ``reducer_override`` below (runs in the worker)."""
+    code = marshal.loads(code_bytes)
+    if shipped_globals is None:
+        try:
+            namespace = importlib.import_module(module).__dict__
+        except Exception:  # pragma: no cover - defensive: module vanished
+            namespace = {"__builtins__": __builtins__}
+    else:
+        namespace = dict(shipped_globals)
+        namespace.setdefault("__builtins__", __builtins__)
+    closure = None
+    if closure_values is not None:
+        closure = tuple(types.CellType(value) for value in closure_values)
+    fn = types.FunctionType(
+        code, namespace, code.co_name, tuple(defaults) if defaults else None,
+        closure,
+    )
+    if kwdefaults:
+        fn.__kwdefaults__ = dict(kwdefaults)
+    fn.__qualname__ = qualname
+    fn.__module__ = module
+    return fn
+
+
+def _ships_by_reference(fn):
+    """True when standard pickle can find ``fn`` under its dotted name."""
+    if fn.__module__ is None or fn.__module__ == "__main__":
+        return False
+    try:
+        module = importlib.import_module(fn.__module__)
+        found = module
+        for part in fn.__qualname__.split("."):
+            found = getattr(found, part)
+    except Exception:
+        return False
+    return found is fn
+
+
+def _module_importable(module):
+    if not module or module == "__main__":
+        return False
+    try:
+        importlib.import_module(module)
+    except Exception:
+        return False
+    return True
+
+
+class _FunctionPickler(pickle.Pickler):
+    """Pickler shipping closures/lambdas by value, everything else as usual."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, struct.Struct):
+            # compiled embedding accessors close over Struct instances,
+            # which pickle refuses; the format string rebuilds them
+            return (struct.Struct, (obj.format,))
+        if not isinstance(obj, types.FunctionType):
+            return NotImplemented
+        if _ships_by_reference(obj):
+            return NotImplemented
+        code = obj.__code__
+        closure_values = None
+        if obj.__closure__ is not None:
+            closure_values = tuple(
+                cell.cell_contents for cell in obj.__closure__
+            )
+        shipped_globals = None
+        if not _module_importable(obj.__module__):
+            # the defining module will not exist in the worker: ship the
+            # globals the code object actually names (recursively, through
+            # this same pickler, so nested local functions travel too)
+            shipped_globals = {}
+            fn_globals = obj.__globals__
+            for name in code.co_names:
+                if name in fn_globals:
+                    shipped_globals[name] = fn_globals[name]
+        return (
+            _rebuild_function,
+            (
+                marshal.dumps(code),
+                obj.__module__ or "__main__",
+                obj.__qualname__,
+                obj.__defaults__,
+                obj.__kwdefaults__,
+                closure_values,
+                shipped_globals,
+            ),
+        )
+
+
+def dump_functions(obj):
+    """Pickle ``obj`` (any structure containing functions) by value."""
+    buffer = io.BytesIO()
+    _FunctionPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
+def load_functions(payload):
+    """Reverse of :func:`dump_functions` (plain unpickle)."""
+    return pickle.loads(payload)
+
+
+# --- shipped work specs -----------------------------------------------------
+
+
+class ChainSpec:
+    """A fused chain, flattened to what a worker needs to run it.
+
+    ``key`` identifies the chain *structurally* across executions: fused
+    operators are rebuilt per run by the fusion pass, but their *stages*
+    come from the cached physical plan, so the stage ids are stable.
+    The pool extends it with a digest of the serialized payload before
+    shipping (``WorkerPool._wire_spec``), so state a closure captures by
+    value — a prepared statement's parameter binding, say — re-ships
+    whenever its content changes while unchanged chains still ship to
+    each worker at most once.
+    """
+
+    __slots__ = ("key", "shape", "names", "fns", "batch_size", "chain_name")
+
+    def __init__(self, key, shape, names, fns, batch_size, chain_name):
+        self.key = key
+        self.shape = tuple(shape)
+        self.names = tuple(names)
+        self.fns = tuple(fns)
+        self.batch_size = batch_size
+        self.chain_name = chain_name
+
+    @classmethod
+    def from_chain(cls, chain):
+        """Build the spec of one ``FusedChainOperator``."""
+        return cls(
+            key=("chain",) + tuple(stage.id for stage in chain.stages),
+            shape=chain._shape,
+            names=tuple(stage.name for stage in chain.stages),
+            fns=chain._fns,
+            batch_size=chain.batch_size,
+            chain_name=chain.name,
+        )
+
+
+class JoinSpec:
+    """One hash-join's shipped side: key extractors and the flat-join fn."""
+
+    __slots__ = ("key", "left_key", "right_key", "join_fn", "name")
+
+    def __init__(self, key, left_key, right_key, join_fn, name):
+        self.key = key
+        self.left_key = left_key
+        self.right_key = right_key
+        self.join_fn = join_fn
+        self.name = name
+
+    @classmethod
+    def from_operator(cls, operator):
+        return cls(
+            key=("join", operator.id),
+            left_key=operator.left_key,
+            right_key=operator.right_key,
+            join_fn=operator.join_fn,
+            name=operator.name,
+        )
+
+
+# --- record batch codec -----------------------------------------------------
+
+
+def encode_records(records):
+    """Encode one partition/batch of records; returns ``(fmt, payload)``.
+
+    A batch that is entirely §3.3 embeddings uses the flat buffer format:
+    ``<u32 count>`` then per record ``<u32 id_len><u32 path_len><u32
+    prop_len>`` followed by the three byte arrays.  Anything else —
+    EPGM elements at scan leaves, tuples, mixed batches — pickles.
+    """
+    from repro.engine.embedding import Embedding  # lazy: layering
+
+    if records and all(type(r) is Embedding for r in records):
+        pieces = [struct.pack("<I", len(records))]
+        pack = _LENGTHS.pack
+        append = pieces.append
+        for record in records:
+            id_data = record.id_data
+            path_data = record.path_data
+            prop_data = record.prop_data
+            append(pack(len(id_data), len(path_data), len(prop_data)))
+            append(id_data)
+            append(path_data)
+            append(prop_data)
+        return FORMAT_EMBEDDINGS, b"".join(pieces)
+    return FORMAT_PICKLE, pickle.dumps(
+        list(records), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_records(fmt, payload):
+    """Reverse of :func:`encode_records`."""
+    if fmt == FORMAT_PICKLE:
+        return pickle.loads(payload)
+    from repro.engine.embedding import Embedding  # lazy: layering
+
+    view = memoryview(payload)
+    (count,) = struct.unpack_from("<I", view, 0)
+    cursor = 4
+    unpack = _LENGTHS.unpack_from
+    lengths_width = _LENGTHS.size
+    records = []
+    append = records.append
+    for _ in range(count):
+        id_len, path_len, prop_len = unpack(view, cursor)
+        cursor += lengths_width
+        id_end = cursor + id_len
+        path_end = id_end + path_len
+        prop_end = path_end + prop_len
+        append(
+            Embedding(
+                bytes(view[cursor:id_end]),
+                bytes(view[id_end:path_end]),
+                bytes(view[path_end:prop_end]),
+            )
+        )
+        cursor = prop_end
+    return records

@@ -1,0 +1,306 @@
+"""The multi-process worker runtime: channels, shipping, pool dispatch.
+
+Covers the pieces of ``repro.dataflow.workers`` individually (ring
+segments, by-value function shipping, the record codec) and the pool
+end-to-end through ``ExecutionEnvironment(workers=N)``: result parity
+with in-process execution, resident source caching, the in-process
+fallback for uncertified chains, deadline cancellation of in-flight
+worker chunks, remote stage attribution, and worker-crash containment.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment
+from repro.dataflow.cancellation import CancellationToken, QueryTimeout
+from repro.dataflow.errors import JobExecutionError
+from repro.dataflow.workers import (
+    decode_records,
+    dump_functions,
+    encode_records,
+    load_functions,
+)
+from repro.dataflow.workers.channels import RingSegment
+from repro.dataflow.workers.pool import WorkerCrashError
+
+
+@pytest.fixture
+def worker_env():
+    environment = ExecutionEnvironment(parallelism=4, workers=2)
+    yield environment
+    environment.shutdown_workers()
+
+
+def _pool_started(environment):
+    pool = environment.worker_pool()
+    return pool is not None and pool._started
+
+
+# --- ring segments ----------------------------------------------------------
+
+
+def test_ring_roundtrip_and_attach():
+    ring = RingSegment(capacity=256)
+    try:
+        ref = ring.try_write(b"hello ring")
+        assert ref is not None
+        attached = RingSegment(name=ring.name, capacity=256)
+        try:
+            assert attached.read(ref[0], ref[1]) == b"hello ring"
+        finally:
+            attached.close()
+    finally:
+        ring.close()
+
+
+def test_ring_wraps_and_skips_short_tail():
+    ring = RingSegment(capacity=64)
+    try:
+        first = ring.try_write(b"a" * 40)
+        assert first == (0, 40)
+        assert ring.read(*first) == b"a" * 40
+        # 24 bytes of tail remain; a 30-byte payload must skip the tail
+        # and wrap to offset 0
+        second = ring.try_write(b"b" * 30)
+        assert second == (0, 30)
+        assert ring.read(*second) == b"b" * 30
+    finally:
+        ring.close()
+
+
+def test_ring_overflow_returns_none_instead_of_blocking():
+    ring = RingSegment(capacity=64)
+    try:
+        assert ring.try_write(b"x" * 64) is None  # >= capacity
+        ref = ring.try_write(b"x" * 40)
+        assert ref is not None
+        # 40 bytes unconsumed: no contiguous room for 40 more
+        assert ring.try_write(b"y" * 40) is None
+        ring.read(*ref)
+        # the ring keeps one byte free and a wrapping write also burns
+        # the 24-byte tail, so 40 still does not fit — 30 does
+        assert ring.try_write(b"y" * 40) is None
+        assert ring.try_write(b"y" * 30) is not None
+    finally:
+        ring.close()
+
+
+# --- function and record shipping -------------------------------------------
+
+
+def test_ship_closure_by_value():
+    def make_adder(amount):
+        return lambda value: value + amount
+
+    rebuilt = load_functions(dump_functions(make_adder(5)))
+    assert rebuilt(10) == 15
+
+
+def test_ship_captured_struct_instance():
+    packer = struct.Struct("<I")
+
+    def read_u32(buffer):
+        return packer.unpack_from(buffer, 0)[0]
+
+    rebuilt = load_functions(dump_functions(read_u32))
+    assert rebuilt(packer.pack(77)) == 77
+
+
+def test_record_codec_pickle_fallback():
+    records = [1, ("two", 2), {"three": 3}]
+    fmt, payload = encode_records(records)
+    assert fmt == b"P"
+    assert decode_records(fmt, payload) == records
+
+
+def test_record_codec_flat_embeddings():
+    from repro.engine.embedding import Embedding
+
+    records = [
+        Embedding(b"\x01" * 12, b"", b"\x02\x03"),
+        Embedding(b"\x04" * 24, b"\x05", b""),
+    ]
+    fmt, payload = encode_records(records)
+    assert fmt == b"E"
+    assert decode_records(fmt, payload) == records
+
+
+# --- pooled execution parity ------------------------------------------------
+
+
+def test_pooled_chain_matches_in_process(worker_env):
+    def pipeline(environment):
+        return (
+            environment.from_collection(range(5000))
+            .map(lambda x: x * 3)
+            .filter(lambda x: x % 7 != 0)
+            .flat_map(lambda x: (x, -x) if x % 100 == 0 else (x,))
+            .collect()
+        )
+
+    assert pipeline(worker_env) == pipeline(ExecutionEnvironment(parallelism=4))
+    assert _pool_started(worker_env)
+
+
+def test_pool_spawns_from_stdin_main():
+    """Regression: a parent fed its script on stdin can still spawn.
+
+    Such a parent's ``__main__.__file__`` is ``"<stdin>"`` — a path no
+    child can re-run; without ``_suppress_phantom_main`` the spawn
+    preparation data names it and every worker dies on arrival.
+    """
+    script = (
+        "from repro.dataflow import ExecutionEnvironment\n"
+        "env = ExecutionEnvironment(parallelism=4, workers=2)\n"
+        "out = env.from_collection(range(200)).map(lambda x: x + 1)"
+        ".collect()\n"
+        "assert sorted(out) == list(range(1, 201)), out\n"
+        "pool = env.worker_pool()\n"
+        "assert pool is not None and pool._started\n"
+        "env.shutdown_workers()\n"
+        "print('stdin-main-ok')\n"
+    )
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    environ = dict(os.environ)
+    environ["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-"],
+        input=script,
+        capture_output=True,
+        text=True,
+        env=environ,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "stdin-main-ok" in proc.stdout
+
+
+def test_pooled_join_matches_in_process(worker_env):
+    def query(environment):
+        left = environment.from_collection(range(2000)).map(
+            lambda x: (x % 97, x)
+        )
+        right = environment.from_collection(range(2000)).map(
+            lambda x: (x % 97, x * 10)
+        )
+        return left.join(
+            right,
+            left_key=lambda pair: pair[0],
+            right_key=lambda pair: pair[0],
+            join_fn=lambda l, r: [(l[0], l[1], r[1])],
+        ).collect()
+
+    pooled = query(worker_env)
+    local = query(ExecutionEnvironment(parallelism=4))
+    assert pooled == local
+    assert _pool_started(worker_env)
+
+
+def test_resident_source_skips_re_shipping(worker_env):
+    source = worker_env.from_collection(range(3000))
+    first = source.map(lambda x: x + 1).collect()
+    pool = worker_env.worker_pool()
+    resident = [set(h.resident) for h in pool._handles if h is not None]
+    assert any(resident), "warm run should leave source partitions resident"
+    second = source.map(lambda x: x + 1).collect()
+    assert first == second
+    after = [set(h.resident) for h in pool._handles if h is not None]
+    assert after == resident  # same source: nothing new shipped
+
+
+def test_uncertified_chain_falls_back_in_process(worker_env):
+    lock = threading.Lock()  # P401: captured synchronization primitive
+
+    def touches_lock(value):
+        with lock:
+            return value + 1
+
+    out = worker_env.from_collection(range(200)).map(touches_lock).collect()
+    assert sorted(out) == list(range(1, 201))
+    assert not _pool_started(worker_env)
+
+
+# --- failure semantics across the boundary ----------------------------------
+
+
+def test_remote_stage_attribution_matches_in_process(worker_env):
+    def explode(value):
+        if value == 1234:
+            raise ValueError("sentinel %d" % value)
+        return value
+
+    def run(environment):
+        with pytest.raises(JobExecutionError) as info:
+            environment.from_collection(range(3000)).map(
+                lambda x: x
+            ).map(explode, name="explode-stage").collect()
+        return info.value
+
+    pooled = run(worker_env)
+    local = run(ExecutionEnvironment(parallelism=4))
+    assert _pool_started(worker_env)
+    assert pooled.operator_name == local.operator_name
+    assert type(pooled.cause) is type(local.cause)
+    assert str(pooled.cause) == str(local.cause)
+
+
+def test_deadline_kills_in_flight_worker_chunks(worker_env):
+    def slow(value):
+        total = 0
+        for i in range(4000):
+            total += i
+        return value + (total & 0)
+
+    data = worker_env.from_collection(range(40_000)).map(slow)
+    token = CancellationToken.with_timeout(0.05)
+    start = time.perf_counter()
+    with worker_env.job("deadline", cancellation=token):
+        with pytest.raises(QueryTimeout):
+            data.collect()
+    elapsed = time.perf_counter() - start
+    # the full pipeline takes several seconds of pure compute; a prompt
+    # abort proves workers abandoned their queued and in-flight chunks
+    assert elapsed < 3.0
+    # the pool survives a cancelled job: the next query still works
+    assert sorted(
+        worker_env.from_collection(range(10)).map(lambda x: x * 2).collect()
+    ) == [x * 2 for x in range(10)]
+
+
+def test_worker_crash_names_failing_stage(worker_env):
+    def kamikaze(value):
+        if value == 1500:
+            os._exit(1)  # simulate a segfault mid-task
+        return value
+
+    with pytest.raises(JobExecutionError) as info:
+        worker_env.from_collection(range(3000)).map(
+            kamikaze, name="kamikaze-map"
+        ).collect()
+    assert _pool_started(worker_env)
+    assert "kamikaze-map" in info.value.operator_name
+    assert isinstance(info.value.cause, WorkerCrashError)
+    # the pool respawns the dead worker before the next dispatch
+    assert sorted(
+        worker_env.from_collection(range(100)).map(lambda x: x + 1).collect()
+    ) == list(range(1, 101))
+
+
+def test_crash_hook_triggers_respawn(worker_env):
+    worker_env.from_collection(range(100)).map(lambda x: x).collect()
+    pool = worker_env.worker_pool()
+    handle = pool._handles[0]
+    handle.req_conn.send([("crash",)])
+    deadline = time.monotonic() + 10
+    while handle.alive and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert not handle.alive
+    assert sorted(
+        worker_env.from_collection(range(50)).map(lambda x: x * 2).collect()
+    ) == [x * 2 for x in range(50)]

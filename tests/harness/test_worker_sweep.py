@@ -1,0 +1,80 @@
+"""The bench-micro worker-count sweep: report shape and plumbing.
+
+The quick test runs a minimal real sweep (two pools, one tiny query) so
+the dispatch path, interleaved trials and speedup arithmetic stay
+covered in tier-1; the full default sweep (1/2/4/8 workers at SF 0.1)
+is ``stress``-marked because spawning four pools over a real LDBC
+dataset takes minutes.
+"""
+
+import pytest
+
+from repro.harness.microbench import (
+    DEFAULT_WORKER_SWEEP,
+    SWEEP_PARALLELISM,
+    format_microbench,
+    run_worker_sweep,
+)
+
+
+def _check_report(report, queries, counts):
+    assert report["benchmark"] == "worker-sweep"
+    assert report["clock"] == "perf_counter"
+    assert report["parallelism"] == SWEEP_PARALLELISM
+    assert report["worker_counts"] == list(counts)
+    assert report["baseline_workers"] == counts[0]
+    assert report["usable_cpus"] >= 1
+    assert len(report["results"]) == len(queries) * len(counts)
+    for row in report["results"]:
+        assert row["query"] in queries
+        assert row["workers"] in counts
+        assert row["median_seconds"] > 0
+        assert row["rows"] > 0
+        assert len(row["seconds"]) == report["repeats"]
+    for name in queries:
+        curve = report["speedup"][name]
+        assert set(curve) == {str(count) for count in counts}
+        assert curve[str(counts[0])] == pytest.approx(1.0)
+
+
+def test_minimal_sweep_produces_speedup_curves():
+    report = run_worker_sweep(
+        queries=("Q1",),
+        scale_factor=0.01,
+        worker_counts=(1, 2),
+        repeats=1,
+    )
+    _check_report(report, ("Q1",), (1, 2))
+
+
+def test_format_renders_sweep_table():
+    report = run_worker_sweep(
+        queries=("Q1",),
+        scale_factor=0.01,
+        worker_counts=(1, 2),
+        repeats=1,
+    )
+    text = format_microbench({
+        "scale_factor": 0.01,
+        "workers": 4,
+        "seed": 42,
+        "repeats": 1,
+        "batch_size": 1024,
+        "clock": "process_time",
+        "results": [],
+        "speedup": {},
+        "worker_sweep": report,
+    })
+    assert "worker sweep" in text
+    assert "Q1" in text
+
+
+@pytest.mark.stress
+def test_default_sweep_full_curve():
+    report = run_worker_sweep(
+        queries=("Q1", "Q5"),
+        scale_factor=0.1,
+        worker_counts=DEFAULT_WORKER_SWEEP,
+        repeats=3,
+    )
+    _check_report(report, ("Q1", "Q5"), DEFAULT_WORKER_SWEEP)
