@@ -27,10 +27,15 @@ Concurrency model, chosen to honor the repository's lock discipline
   worker abandons in-flight chunks.
 
 Failure containment: a worker that dies mid-task is detected by the
-receiver thread (EOF on its response pipe), every waiting dispatch gets
-a crash notice, the raised error is a :class:`JobExecutionError` naming
-the operator whose task was lost, and the pool respawns the worker
-(with empty caches) before its next dispatch.
+receiver thread (EOF on its response pipe) and a crash notice goes to
+every waiting dispatch — but each dispatch knows which workers its job
+was placed on and ignores crashes of workers it never used, so one
+death only fails the jobs that actually lost tasks.  For those, the
+raised error is a :class:`JobExecutionError` naming the operator whose
+task was lost, and the pool respawns the worker (with empty caches)
+before its next dispatch; the dead handle is only closed after its
+``send_lock`` is held once more, so a dispatcher mid-send can never
+write into a recycled descriptor.
 
 Everything shipped is certified first: chains through the ``P4xx``
 analyzer's :func:`~repro.analysis.udfcheck.analyze_chain`, join UDFs
@@ -48,6 +53,7 @@ import queue
 import sys
 import threading
 import time
+from collections import OrderedDict
 from multiprocessing import connection
 
 from repro.locks import named_lock
@@ -56,6 +62,7 @@ from ..errors import JobExecutionError
 from ..partitioner import assign_partitions
 from .channels import INLINE_LIMIT, RingSegment
 from .shipping import (
+    SPEC_CACHE_LIMIT,
     ChainSpec,
     JoinSpec,
     decode_records,
@@ -69,6 +76,13 @@ __all__ = ["WorkerPool", "WorkerCrashError", "RemoteWorkerError"]
 #: favor latency, the ring favors throughput — both are config knobs
 DEFAULT_FLUSH_BATCH = 16
 DEFAULT_FLUSH_TIMEOUT = 0.002
+
+#: per-worker budget for resident source partitions (encoded bytes).
+#: Ad-hoc queries mint fresh source-operator ids, so without a bound a
+#: long-lived server would pin one copy of every scanned dataset per
+#: distinct query; the pool evicts least-recently-used sources past
+#: this budget and tells the worker to free them.
+DEFAULT_RESIDENT_BYTES = 128 * 1024 * 1024
 
 #: how long one blocking wait on the caller's result queue lasts before
 #: the cancellation token is polled again
@@ -128,11 +142,24 @@ class _WorkerHandle:
         self.req_ring = req_ring
         self.resp_ring = resp_ring
         self.send_lock = named_lock("workers.channel")
-        #: spec keys already shipped to this worker  # guarded-by: send_lock
-        self.shipped = set()
-        #: resident source partitions this worker holds  # guarded-by: send_lock
-        self.resident = set()
+        #: spec keys shipped and still cached worker-side, in the
+        #: worker's exact LRU order — every batch touches its key and
+        #: evictions mirror the worker's ``spec_cache_limit`` LRU, so
+        #: the pool re-ships precisely the specs the worker dropped
+        self.shipped = OrderedDict()  # guarded-by: send_lock
+        #: resident source partitions this worker holds, cache key →
+        #: encoded size; LRU-evicted past the pool's resident-bytes
+        #: budget via ``free`` messages  # guarded-by: send_lock
+        self.resident = OrderedDict()
+        self.resident_bytes = 0  # guarded-by: send_lock
+        #: cache keys referenced by the batch being built — never
+        #: evicted in the same batch  # guarded-by: send_lock
+        self.pinned = set()
         self.alive = True  # unsynchronized: flipped once by the receiver
+        #: set (under send_lock) before the channels are torn down, so a
+        #: dispatcher holding a stale handle fails cleanly instead of
+        #: writing to a closed or recycled descriptor
+        self.closed = False  # guarded-by: send_lock
 
     def pack_blob(self, payload):
         """Ring placement with inline fallback; caller holds send_lock."""
@@ -141,6 +168,38 @@ class _WorkerHandle:
             if ref is not None:
                 return ("r", ref[0], ref[1])
         return ("i", payload)
+
+    # resident-source accounting (callers hold send_lock) -------------------
+
+    def hit_resident(self, cache_key):  # requires-lock: send_lock
+        """Touch a resident partition; False when it has been evicted."""
+        if cache_key not in self.resident:
+            return False
+        self.resident.move_to_end(cache_key)
+        self.pinned.add(cache_key)
+        return True
+
+    def store_resident(self, cache_key, size):  # requires-lock: send_lock
+        self.resident[cache_key] = size
+        self.resident.move_to_end(cache_key)
+        self.resident_bytes += size
+        self.pinned.add(cache_key)
+
+    def evict_resident(self, budget):  # requires-lock: send_lock
+        """``("free", ...)`` messages for the oldest unpinned sources
+        past ``budget`` bytes; appended after the batch's tasks so the
+        worker frees only after running them."""
+        if self.resident_bytes <= budget:
+            return []
+        frees = []
+        for cache_key in list(self.resident):
+            if self.resident_bytes <= budget:
+                break
+            if cache_key in self.pinned:
+                continue
+            self.resident_bytes -= self.resident.pop(cache_key)
+            frees.append(("free", cache_key[0], cache_key[1]))
+        return frees
 
     def close(self, kill):
         for conn in (self.req_conn, self.cancel_conn, self.resp_conn):
@@ -163,7 +222,8 @@ class WorkerPool:
     """``workers`` sharded executor processes behind one dispatch API."""
 
     def __init__(self, workers, ring_bytes=None, flush_batch=None,
-                 flush_timeout=None, start_method=None):
+                 flush_timeout=None, start_method=None,
+                 spec_cache_limit=None, resident_bytes=None):
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % (workers,))
         self.workers = workers
@@ -171,6 +231,11 @@ class WorkerPool:
         self.flush_batch = flush_batch or DEFAULT_FLUSH_BATCH
         self.flush_timeout = (
             DEFAULT_FLUSH_TIMEOUT if flush_timeout is None else flush_timeout
+        )
+        self.spec_cache_limit = spec_cache_limit or SPEC_CACHE_LIMIT
+        self.resident_bytes = (
+            DEFAULT_RESIDENT_BYTES if resident_bytes is None
+            else resident_bytes
         )
         self._start_method = start_method or _pick_start_method()
         self._lock = named_lock("workers.pool")
@@ -207,6 +272,7 @@ class WorkerPool:
                 index, req_parent, resp_child, cancel_parent,
                 req_ring.descriptor(), resp_ring.descriptor(),
                 self.flush_batch, self.flush_timeout,
+                self.spec_cache_limit,
             ),
             daemon=True,
         )
@@ -223,6 +289,7 @@ class WorkerPool:
 
     def _ensure_started(self):
         """Start (or respawn crashed) workers and the receiver thread."""
+        stale = []
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -243,7 +310,7 @@ class WorkerPool:
                 if handle is not None and handle.alive:
                     continue
                 if handle is not None:
-                    handle.close(kill=True)
+                    stale.append(handle)
                 self._handles[index] = self._spawn(ctx, index)
             if self._receiver is None or not self._receiver.is_alive():
                 self._receiver_stop.clear()
@@ -253,7 +320,17 @@ class WorkerPool:
                     daemon=True,
                 )
                 self._receiver.start()
-            return list(self._handles)
+            handles = list(self._handles)
+        for handle in stale:
+            # a dispatcher that fetched the old handle list may be
+            # mid-send: taking send_lock waits it out, and the closed
+            # flag turns any later send on the stale handle into a
+            # clean WorkerCrashError instead of an OSError (or a write
+            # into a recycled descriptor)
+            with handle.send_lock:
+                handle.closed = True
+            handle.close(kill=True)
+        return handles
 
     def shutdown(self):
         """Stop every worker and release channels; idempotent."""
@@ -273,10 +350,14 @@ class WorkerPool:
             self._receiver = None
         self._receiver_stop.set()
         for handle in handles:
-            try:
-                handle.req_conn.send([("shutdown",)])
-            except Exception:  # noqa: BLE001 — already dead
-                pass
+            # serialize with in-flight dispatches and mark the handle
+            # closed so stragglers raise WorkerCrashError, not OSError
+            with handle.send_lock:
+                handle.closed = True
+                try:
+                    handle.req_conn.send([("shutdown",)])
+                except Exception:  # noqa: BLE001 — already dead
+                    pass
         if receiver is not None and receiver.is_alive():
             receiver.join(timeout=5)
         for handle in handles:
@@ -388,41 +469,79 @@ class WorkerPool:
         dump time.  Keying the worker-side spec cache on a digest of
         that payload makes every rebinding a new spec (stale closures
         can never be replayed from the cache), while unchanged chains
-        still hash identically and ship to each worker at most once.
+        still hash identically and ship to each worker at most once
+        per residency in the worker's spec LRU.
         """
         payload = dump_functions(spec)
         digest = hashlib.sha1(payload).hexdigest()
         return tuple(spec.key) + (digest,), payload
 
     def _send_batch(self, handle, wire_key, payload, messages):
-        """Ship the spec payload (once) and one task batch to ``handle``."""
+        """Ship the spec payload (when missing) and one task batch.
+
+        Mirrors the worker's spec LRU exactly: the batch touches its
+        key, a (re-)ship inserts it, and insertion evicts past the
+        shared ``spec_cache_limit`` — per-worker sends serialize on
+        ``send_lock`` and the worker consumes batches in send order, so
+        both sides perform the same touches and evictions in the same
+        order and a shipped key is always still cached worker-side.
+
+        Raises :class:`WorkerCrashError` when the worker is dead or the
+        handle was closed under a dispatcher's feet (respawn/shutdown).
+        """
         with handle.send_lock:
+            if handle.closed or not handle.alive:
+                raise WorkerCrashError("worker %d is down" % handle.index)
+            handle.pinned = set()
             batch = []
-            if wire_key not in handle.shipped:
+            if wire_key in handle.shipped:
+                handle.shipped.move_to_end(wire_key)
+            else:
                 batch.append(("ship", wire_key, handle.pack_blob(payload)))
-                handle.shipped.add(wire_key)
+                handle.shipped[wire_key] = True
+                while len(handle.shipped) > self.spec_cache_limit:
+                    handle.shipped.popitem(last=False)
             for build in messages:
                 batch.append(build(handle))
-            handle.req_conn.send(batch)
+            batch.extend(handle.evict_resident(self.resident_bytes))
+            try:
+                handle.req_conn.send(batch)
+            except OSError as exc:
+                raise WorkerCrashError(
+                    "worker %d pipe failed mid-dispatch" % handle.index
+                ) from exc
 
-    def _collect(self, job, result_queue, expected, token, op_name):
-        """Drain ``expected`` task responses, honoring cancellation."""
+    def _collect(self, job, result_queue, expected, token, op_name, used,
+                 state):
+        """Drain ``expected`` task responses, honoring cancellation.
+
+        ``used`` holds the worker indexes this job dispatched to: crash
+        notices are broadcast to every active job, so ones from workers
+        this job never used are ignored instead of failing it.
+
+        ``state`` (``cancel_sent`` / ``drained``) reports back to the
+        caller, which confirms a cancelled job with ``done`` once every
+        dispatched task is accounted for — never earlier, since a
+        still-queued task of a ``done``-confirmed job would execute.
+        """
+        state["drained"] = False
         results = {}
-        cancel_sent = False
         failure = None
         while len(results) < expected:
             if (
-                token is not None and not cancel_sent
+                token is not None and not state["cancel_sent"]
                 and (token.cancelled or token.expired())
             ):
                 self._send_cancel(job)
-                cancel_sent = True
+                state["cancel_sent"] = True
             try:
                 item = result_queue.get(timeout=_WAIT_SLICE)
             except queue.Empty:
                 continue
             kind = item[0]
             if kind == "crash":
+                if item[1] not in used:
+                    continue  # no task of this job was placed there
                 raise JobExecutionError(
                     op_name,
                     WorkerCrashError(
@@ -434,6 +553,7 @@ class WorkerPool:
             results[seq] = item
             if kind == "error" and failure is None:
                 failure = item
+        state["drained"] = True
         if token is not None:
             token.poll()  # raises the caller's QueryCancelled/QueryTimeout
         if failure is not None:
@@ -445,7 +565,17 @@ class WorkerPool:
             handles = [h for h in self._handles if h is not None and h.alive]
         for handle in handles:
             try:
-                handle.cancel_conn.send(job)
+                handle.cancel_conn.send(("cancel", job))
+            except Exception:  # noqa: BLE001 — crash handled via queue
+                pass
+
+    def _send_done(self, job):
+        """Confirm a cancelled job fully collected: workers drop its mark."""
+        with self._lock:
+            handles = [h for h in self._handles if h is not None and h.alive]
+        for handle in handles:
+            try:
+                handle.cancel_conn.send(("done", job))
             except Exception:  # noqa: BLE001 — crash handled via queue
                 pass
 
@@ -474,6 +604,7 @@ class WorkerPool:
         wire_key, payload = self._wire_spec(spec)
         job = next(self._jobs)
         result_queue = queue.SimpleQueue()
+        state = {"cancel_sent": False, "drained": False}
         with self._lock:
             self._active[job] = result_queue
         try:
@@ -481,23 +612,26 @@ class WorkerPool:
             for seq, task in enumerate(tasks):
                 per_worker.setdefault(assignment[seq], []).append((seq, task))
             for index, seq_tasks in per_worker.items():
-                handle = handles[index]
-                if not handle.alive:
-                    raise JobExecutionError(
-                        op_name,
-                        WorkerCrashError("worker %d is down" % index),
-                    )
                 builders = [
                     self._task_builder(job, seq, wire_key, task)
                     for seq, task in seq_tasks
                 ]
-                self._send_batch(handle, wire_key, payload, builders)
+                try:
+                    self._send_batch(handles[index], wire_key, payload,
+                                     builders)
+                except WorkerCrashError as exc:
+                    raise JobExecutionError(op_name, exc) from exc
             results = self._collect(
-                job, result_queue, len(tasks), token, op_name
+                job, result_queue, len(tasks), token, op_name,
+                set(per_worker), state,
             )
         finally:
             with self._lock:
                 self._active.pop(job, None)
+            if state["cancel_sent"] and state["drained"]:
+                # every dispatched task is accounted for: workers may
+                # forget the cancel mark
+                self._send_done(job)
         ordered = []
         for seq in range(len(tasks)):
             item = results[seq]
@@ -521,11 +655,11 @@ class WorkerPool:
             def build(handle):
                 if source_key is not None:
                     cache_key = (source_key, part_index)
-                    if cache_key in handle.resident:
+                    if handle.hit_resident(cache_key):
                         src = ("cached", source_key, part_index)
                         return ("chain", job, seq, spec_key, src)
                     fmt, payload = encode_records(records)
-                    handle.resident.add(cache_key)
+                    handle.store_resident(cache_key, len(payload))
                     src = ("store", source_key, part_index, fmt,
                            handle.pack_blob(payload))
                     return ("chain", job, seq, spec_key, src)
@@ -558,7 +692,11 @@ class WorkerPool:
         the in-process loop's locals, so the caller reconstructs the
         same per-stage ``OperatorRun`` metrics.  ``source_key`` marks the
         input as an immutable source's output: each worker then keeps
-        its partitions resident and later executions skip the transfer.
+        its partitions resident and later executions skip the transfer
+        — up to the pool's per-worker ``resident_bytes`` budget, past
+        which least-recently-used sources are freed (ad-hoc queries
+        mint fresh source ids, so the cache would otherwise grow with
+        every distinct query a long-lived server executes).
         """
         spec = ChainSpec.from_chain(chain)
         tasks = [
@@ -611,6 +749,7 @@ class WorkerPool:
         wire_key, payload = self._wire_spec(spec)
         job = next(self._jobs)
         result_queue = queue.SimpleQueue()
+        state = {"cancel_sent": False, "drained": False}
         with self._lock:
             self._active[job] = result_queue
         completed = False
@@ -629,20 +768,19 @@ class WorkerPool:
                         (seq, side, source, records)
                     )
             for index, items in per_worker.items():
-                handle = handles[index]
-                if not handle.alive:
-                    raise JobExecutionError(
-                        operator.name,
-                        WorkerCrashError("worker %d is down" % index),
-                    )
                 builders = [
                     self._shuffle_builder(job, seq, wire_key, side,
                                           source, owners, records)
                     for seq, side, source, records in items
                 ]
-                self._send_batch(handle, wire_key, payload, builders)
+                try:
+                    self._send_batch(handles[index], wire_key, payload,
+                                     builders)
+                except WorkerCrashError as exc:
+                    raise JobExecutionError(operator.name, exc) from exc
             results = self._collect(
-                job, result_queue, len(meta), token, operator.name
+                job, result_queue, len(meta), token, operator.name,
+                set(per_worker), state,
             )
 
             left_counts = [0] * parallelism
@@ -689,17 +827,16 @@ class WorkerPool:
                 target_seq[target] = next_seq
                 next_seq += 1
                 join_worker.setdefault(owners[target], []).append(target)
+            # new tasks are about to be queued: the job is no longer
+            # fully accounted for until phase 2's collect drains
+            state["drained"] = False
+            phase2_used = set()
             for index in range(self.workers):
                 worker_relays = relays.get(index, [])
                 worker_targets = join_worker.get(index, [])
                 if not worker_relays and not worker_targets:
                     continue
-                handle = handles[index]
-                if not handle.alive:
-                    raise JobExecutionError(
-                        operator.name,
-                        WorkerCrashError("worker %d is down" % index),
-                    )
+                phase2_used.add(index)
                 builders = [
                     self._exchange_builder(job, relay)
                     for relay in worker_relays
@@ -708,9 +845,14 @@ class WorkerPool:
                                         target)
                     for target in worker_targets
                 ]
-                self._send_batch(handle, wire_key, payload, builders)
+                try:
+                    self._send_batch(handles[index], wire_key, payload,
+                                     builders)
+                except WorkerCrashError as exc:
+                    raise JobExecutionError(operator.name, exc) from exc
             results = self._collect(
-                job, result_queue, len(targets), token, operator.name
+                job, result_queue, len(targets), token, operator.name,
+                phase2_used, state,
             )
             out = [[] for _ in range(parallelism)]
             for target in targets:
@@ -732,11 +874,18 @@ class WorkerPool:
         finally:
             with self._lock:
                 self._active.pop(job, None)
-            if not completed:
+            if not completed and not state["cancel_sent"]:
                 # clear worker-resident exchange state the aborted job
                 # left behind; job ids are never reused, so cancelling a
                 # job some worker never saw is harmless
                 self._send_cancel(job)
+                state["cancel_sent"] = True
+            if state["cancel_sent"] and state["drained"]:
+                # every dispatched task is accounted for (and the
+                # cancel above precedes this on each cancel pipe), so
+                # workers may forget the cancel mark; after a crash the
+                # job stays marked — tasks may still be queued
+                self._send_done(job)
 
     @staticmethod
     def _shuffle_builder(job, seq, spec_key, side, source, owners,

@@ -5,8 +5,15 @@ the per-worker channel set (request/response pipes + shared-memory
 rings, see :mod:`.channels`) and loops over batched request messages:
 
 * ``("ship", key, blob)`` — decode a :class:`~.shipping.ChainSpec` /
-  :class:`~.shipping.JoinSpec` and cache it under ``key``; the pool
-  ships every spec to every worker at most once.
+  :class:`~.shipping.JoinSpec` and cache it under ``key``.  The cache
+  is an LRU bounded at the pool-chosen ``spec_cache_limit``; the pool
+  mirrors the same LRU in each handle's ``shipped`` map, so it re-ships
+  exactly the specs this side has evicted and never references a spec
+  the worker no longer holds.
+* ``("free", source_key, part_index)`` — drop one resident source
+  partition.  The pool tracks per-worker resident bytes and appends
+  these eviction notices to task batches, so worker memory for scan
+  inputs is bounded even across unrelated ad-hoc queries.
 * ``("chain", job, seq, key, src)`` — run one partition through a fused
   chain's compiled chunk loop (the same ``_chunk_template`` codegen the
   in-process path uses), returning the produced records and the
@@ -34,7 +41,11 @@ Cancellation arrives on a dedicated pipe so it overtakes queued work:
 the worker polls it between chunks and every ``POLL_INTERVAL`` probe
 records, abandons in-flight tasks of cancelled jobs, and acknowledges
 each with a ``("cancelled", job, seq)`` response so the parent can
-account for every dispatched task.
+account for every dispatched task.  The pipe carries ``("cancel",
+job)`` / ``("done", job)`` pairs: once the parent has collected every
+dispatched task of a cancelled job it confirms with ``done`` and the
+worker drops the cancel mark — the cancelled set never needs a size-
+based prune that could forget a job whose tasks are still queued.
 
 A failing chunk is replayed record-by-record against the chain's stage
 functions — the same re-attribution the in-process path performs — and
@@ -53,6 +64,7 @@ from ..operators import _hashable
 from .channels import INLINE_LIMIT, RingSegment
 from .shipping import (
     FORMAT_PICKLE,
+    SPEC_CACHE_LIMIT,
     decode_records,
     dump_functions,
     encode_records,
@@ -60,14 +72,6 @@ from .shipping import (
 )
 
 __all__ = ["worker_main"]
-
-#: cap on the decoded-spec cache; keys are never reused, so eviction
-#: only bounds memory of very long-lived pools.  The resident *source*
-#: cache is deliberately unbounded: the parent tracks which partitions
-#: each worker holds and skips re-sending them, so a worker-side
-#: eviction would desynchronize the two (sources are few — one per
-#: scanned dataset — so the cache is bounded by the graphs served).
-_SPEC_CACHE_LIMIT = 128
 
 _POLL_MASK = POLL_INTERVAL - 1
 
@@ -95,7 +99,8 @@ def _lru_put(cache, key, value, limit):
 
 class _Worker:
     def __init__(self, index, req_conn, resp_conn, cancel_conn,
-                 req_ring, resp_ring, flush_batch, flush_timeout):
+                 req_ring, resp_ring, flush_batch, flush_timeout,
+                 spec_cache_limit=SPEC_CACHE_LIMIT):
         self.index = index
         self.req_conn = req_conn
         self.resp_conn = resp_conn
@@ -104,8 +109,15 @@ class _Worker:
         self.resp_ring = resp_ring
         self.flush_batch = flush_batch
         self.flush_timeout = flush_timeout
+        self.spec_cache_limit = spec_cache_limit
+        #: decoded-spec LRU; the pool mirrors its eviction order, so the
+        #: two sides always agree on which keys are resident
         self.specs = OrderedDict()
+        #: resident source partitions; membership is parent-driven (the
+        #: pool sends ``store`` to fill and ``free`` to evict under its
+        #: per-worker byte budget), so it never desynchronizes
         self.resident = {}
+        #: cancelled job ids not yet ``done``-confirmed by the parent
         self.cancelled = set()
         #: repartition-exchange table: (job, side, target) → {source:
         #: records}.  Filled by shuffle/exchange messages, drained by the
@@ -167,14 +179,20 @@ class _Worker:
     def _job_cancelled(self, job):
         while self.cancel_conn.poll():
             try:
-                stale = self.cancel_conn.recv()
+                kind, stale = self.cancel_conn.recv()
             except EOFError:  # pragma: no cover - parent died mid-cancel
                 break
-            self.cancelled.add(stale)
-            self._forget_job(stale)
-        if len(self.cancelled) > 1024:
-            # job ids are never reused; pruning old entries is safe
-            self.cancelled = set(sorted(self.cancelled)[-256:])
+            if kind == "cancel":
+                self.cancelled.add(stale)
+                self._forget_job(stale)
+            else:
+                # "done": the parent collected every dispatched task of
+                # the cancelled job, so nothing of it can still be
+                # queued — the mark can be dropped.  Jobs aborted by a
+                # worker crash get no confirmation and keep their mark
+                # (job ids are never reused, so a stale mark is only a
+                # few bytes, never a correctness hazard).
+                self.cancelled.discard(stale)
         return job in self.cancelled
 
     def _forget_job(self, job):
@@ -328,6 +346,25 @@ class _Worker:
 
     # message handling ------------------------------------------------------
 
+    def _spec_for(self, key, job, seq):
+        """The cached spec under ``key``, touched for LRU order.
+
+        The pool mirrors this cache's eviction, so a miss should be
+        impossible; if one ever happens it must fail the *task* — a
+        bare ``KeyError`` here would kill the process and, through the
+        crash broadcast, every job placed on it.
+        """
+        spec = self.specs.get(key)
+        if spec is None:
+            self._emit((
+                "error", job, seq, "worker-spec-cache", False, None,
+                "spec %r missing from worker %d's cache "
+                "(ship/evict desync)" % (key, self.index),
+            ))
+            return None
+        self.specs.move_to_end(key)
+        return spec
+
     def _respond_result(self, job, seq, counts, records):
         fmt, payload = encode_records(records)
         self._emit(("ok", job, seq, counts, fmt, self._pack_blob(payload)))
@@ -352,8 +389,9 @@ class _Worker:
         kind = message[0]
         if kind == "chain":
             _, job, seq, key, src = message
-            spec = self.specs[key]
-            self.specs.move_to_end(key)
+            spec = self._spec_for(key, job, seq)
+            if spec is None:
+                return True
             records = self._resolve_source(src)
             if self._job_cancelled(job):
                 self._emit(("cancelled", job, seq))
@@ -367,8 +405,9 @@ class _Worker:
             return True
         if kind == "join":
             _, job, seq, key, build_src, probe_src, build_is_left = message
-            spec = self.specs[key]
-            self.specs.move_to_end(key)
+            spec = self._spec_for(key, job, seq)
+            if spec is None:
+                return True
             build = self._resolve_source(build_src)
             probe = self._resolve_source(probe_src)
             if self._job_cancelled(job):
@@ -384,8 +423,9 @@ class _Worker:
             return True
         if kind == "shuffle":
             _, job, seq, key, side, source, owners, src = message
-            spec = self.specs[key]
-            self.specs.move_to_end(key)
+            spec = self._spec_for(key, job, seq)
+            if spec is None:
+                return True
             records = self._resolve_source(src)
             if self._job_cancelled(job):
                 self._emit(("cancelled", job, seq))
@@ -414,12 +454,14 @@ class _Worker:
             return True
         if kind == "pjoin":
             _, job, seq, key, target = message
-            spec = self.specs[key]
-            self.specs.move_to_end(key)
-            # pop state before the cancellation check so a cancelled
-            # job's splits never linger in the exchange table
+            # pop state before the spec/cancellation checks so a failed
+            # or cancelled job's splits never linger in the exchange
+            # table
             left_map = self.exchange.pop((job, "left", target), {})
             right_map = self.exchange.pop((job, "right", target), {})
+            spec = self._spec_for(key, job, seq)
+            if spec is None:
+                return True
             if self._job_cancelled(job):
                 self._emit(("cancelled", job, seq))
                 return True
@@ -453,8 +495,12 @@ class _Worker:
             _, key, blob = message
             _lru_put(
                 self.specs, key, load_functions(self._resolve_blob(blob)),
-                _SPEC_CACHE_LIMIT,
+                self.spec_cache_limit,
             )
+            return True
+        if kind == "free":
+            # parent-driven resident-source eviction (byte budget)
+            self.resident.pop((message[1], message[2]), None)
             return True
         if kind == "cancel":
             self.cancelled.add(message[1])
@@ -484,7 +530,8 @@ class _Worker:
 
 def worker_main(worker_index, req_conn, resp_conn, cancel_conn,
                 req_ring_descriptor, resp_ring_descriptor,
-                flush_batch, flush_timeout):
+                flush_batch, flush_timeout,
+                spec_cache_limit=SPEC_CACHE_LIMIT):
     """Child-process entry point (must stay importable for spawn)."""
     req_ring = RingSegment(
         name=req_ring_descriptor[0], capacity=req_ring_descriptor[1]
@@ -495,6 +542,7 @@ def worker_main(worker_index, req_conn, resp_conn, cancel_conn,
     worker = _Worker(
         worker_index, req_conn, resp_conn, cancel_conn, req_ring,
         resp_ring, flush_batch, flush_timeout,
+        spec_cache_limit=spec_cache_limit,
     )
     try:
         worker.loop()

@@ -37,11 +37,19 @@ import types
 __all__ = [
     "ChainSpec",
     "JoinSpec",
+    "SPEC_CACHE_LIMIT",
     "dump_functions",
     "load_functions",
     "encode_records",
     "decode_records",
 ]
+
+#: default cap on a worker's decoded-spec cache.  Part of the wire
+#: contract: the worker evicts least-recently-used specs at this bound
+#: and the pool mirrors every eviction in the handle's ``shipped`` map,
+#: so both sides always agree on which specs are resident — a desync
+#: would make the pool skip re-shipping a spec the worker no longer has.
+SPEC_CACHE_LIMIT = 128
 
 #: record-batch formats: flat §3.3 embedding buffer, or pickled list
 FORMAT_EMBEDDINGS = b"E"

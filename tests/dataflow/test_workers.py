@@ -3,9 +3,11 @@
 Covers the pieces of ``repro.dataflow.workers`` individually (ring
 segments, by-value function shipping, the record codec) and the pool
 end-to-end through ``ExecutionEnvironment(workers=N)``: result parity
-with in-process execution, resident source caching, the in-process
+with in-process execution, resident source caching (and its byte-budget
+eviction), spec-cache LRU mirroring across the boundary, the in-process
 fallback for uncertified chains, deadline cancellation of in-flight
-worker chunks, remote stage attribution, and worker-crash containment.
+worker chunks (with ``done`` confirmation), remote stage attribution,
+and worker-crash containment scoped to the jobs that used the worker.
 """
 
 import os
@@ -214,6 +216,63 @@ def test_resident_source_skips_re_shipping(worker_env):
     assert after == resident  # same source: nothing new shipped
 
 
+def test_spec_cache_eviction_reships_evicted_specs():
+    """Regression: the pool mirrors the worker's spec-cache LRU.
+
+    With a 2-entry cache, two fresh chains evict the first chain's spec
+    from the worker; re-running the first chain must re-ship it — a
+    stale parent-side ``shipped`` entry would make the worker look up a
+    spec it no longer holds and (before the fix) die on a KeyError,
+    failing every active job.
+    """
+    from repro.dataflow.workers.pool import WorkerPool
+
+    environment = ExecutionEnvironment(parallelism=2, workers=1)
+    environment._worker_pool = WorkerPool(1, spec_cache_limit=2)
+    try:
+        first = environment.from_collection(range(500)).map(lambda x: x + 1)
+        expected = first.collect()
+        environment.from_collection(range(10)).map(lambda x: x * 2).collect()
+        environment.from_collection(range(10)).map(lambda x: x * 3).collect()
+        handle = environment.worker_pool()._handles[0]
+        assert len(handle.shipped) == 2  # the mirror evicted the first spec
+        assert first.collect() == expected  # re-shipped, not assumed cached
+        assert len(handle.shipped) == 2
+    finally:
+        environment.shutdown_workers()
+
+
+def test_resident_budget_evicts_old_sources():
+    """Regression: worker scan caches are bounded across ad-hoc queries.
+
+    Every distinct query mints fresh source-operator ids, so without a
+    budget each one would permanently pin its scan partitions in worker
+    memory.  Past ``resident_bytes`` the pool evicts least-recently-used
+    sources (telling the worker to free them) and re-ships on reuse.
+    """
+    from repro.dataflow.workers.pool import WorkerPool
+
+    environment = ExecutionEnvironment(parallelism=2, workers=1)
+    environment._worker_pool = WorkerPool(1, resident_bytes=4096)
+    try:
+        small = environment.from_collection(range(50))
+        expected = sorted(small.map(lambda x: x + 1).collect())
+        handle = environment.worker_pool()._handles[0]
+        small_keys = set(handle.resident)
+        assert small_keys, "scan partitions should go resident"
+        # a source far over the 4 KiB budget evicts the small one
+        big = environment.from_collection(
+            [("pad" * 64, i) for i in range(2000)]
+        )
+        big.map(lambda pair: pair[1]).collect()
+        assert not small_keys & set(handle.resident)
+        assert sum(handle.resident.values()) == handle.resident_bytes
+        # the evicted source re-ships transparently and still computes
+        assert sorted(small.map(lambda x: x + 1).collect()) == expected
+    finally:
+        environment.shutdown_workers()
+
+
 def test_uncertified_chain_falls_back_in_process(worker_env):
     lock = threading.Lock()  # P401: captured synchronization primitive
 
@@ -290,6 +349,78 @@ def test_worker_crash_names_failing_stage(worker_env):
     assert sorted(
         worker_env.from_collection(range(100)).map(lambda x: x + 1).collect()
     ) == list(range(1, 101))
+
+
+def test_collect_ignores_crash_of_unused_worker():
+    """Regression: one worker dying only fails jobs placed on it.
+
+    Crash notices are broadcast to every active job; a job whose tasks
+    all ran elsewhere must keep collecting instead of failing.
+    """
+    import queue as queue_module
+
+    from repro.dataflow.workers.pool import WorkerPool
+
+    pool = WorkerPool(2)
+    fmt, payload = encode_records([1, 2, 3])
+    results_queue = queue_module.SimpleQueue()
+    results_queue.put(("crash", 1))  # a worker this job never used
+    results_queue.put(("ok", 0, None, fmt, payload))
+    state = {"cancel_sent": False, "drained": False}
+    results = pool._collect(
+        7, results_queue, 1, None, "op", {0}, state
+    )
+    assert set(results) == {0}
+    assert state["drained"]
+
+    # the same notice from a worker the job DID use stays fatal
+    results_queue = queue_module.SimpleQueue()
+    results_queue.put(("crash", 0))
+    with pytest.raises(JobExecutionError) as info:
+        pool._collect(8, results_queue, 1, None, "op", {0}, state)
+    assert isinstance(info.value.cause, WorkerCrashError)
+    assert not state["drained"]
+
+
+def test_cancel_mark_dropped_after_done_confirmation():
+    """Regression: cancelled-job marks are confirmed away, not pruned.
+
+    The parent sends ``("done", job)`` once every dispatched task of a
+    cancelled job is accounted for; the worker then drops the mark.  No
+    size-based pruning exists any more, so a low-id cancelled job whose
+    tasks sit behind a long backlog can never lose its mark and run.
+    """
+    import multiprocessing
+
+    from repro.dataflow.workers.runtime import _Worker
+
+    recv_end, send_end = multiprocessing.Pipe(duplex=False)
+    worker = _Worker(0, None, None, recv_end, None, None, 16, 0.0)
+    try:
+        send_end.send(("cancel", 5))
+        assert worker._job_cancelled(5)
+        send_end.send(("done", 5))
+        assert not worker._job_cancelled(5)
+        assert worker.cancelled == set()
+        send_end.send(("cancel", 6))
+        assert not worker._job_cancelled(5)  # unrelated job unaffected
+        assert worker._job_cancelled(6)
+    finally:
+        recv_end.close()
+        send_end.close()
+
+
+def test_send_on_closed_handle_raises_worker_crash_error(worker_env):
+    """Regression: a handle closed under a dispatcher's feet (respawn or
+    shutdown) fails the send with WorkerCrashError, never a raw OSError
+    on a closed — or recycled — descriptor."""
+    worker_env.from_collection(range(10)).map(lambda x: x).collect()
+    pool = worker_env.worker_pool()
+    handle = pool._handles[0]
+    with handle.send_lock:
+        handle.closed = True
+    with pytest.raises(WorkerCrashError):
+        pool._send_batch(handle, ("stale",), b"", [])
 
 
 def test_crash_hook_triggers_respawn(worker_env):
