@@ -1,0 +1,358 @@
+"""Explicit-state model checking for the worker wire protocols.
+
+Layer 2 of ``repro wirecheck``: where :mod:`repro.analysis.protocol`
+proves the two sides *speak the same vocabulary*, this module proves
+the *conversations terminate correctly*.  A protocol is written down as
+a :class:`Model` — named machines with hashable local states, guarded
+transition rules, and bounded FIFO channels between them — and
+:func:`check` exhaustively explores every interleaving of enabled
+transitions with a visited-state set (plain breadth-first search, so
+the first counterexample found is also a shortest one).
+
+Three failure classes map onto the diagnostics registry:
+
+* **W506 deadlock** — a reachable state that is not *accepting* (by
+  default: some channel still holds messages) where no transition is
+  enabled.  The protocol can wedge.
+* **W507 lost message** — a send into a full channel whose overflow
+  policy is ``"lose"``.  Channels default to ``"block"`` (the send rule
+  is simply disabled until space frees up), matching pipes; ``"lose"``
+  models fire-and-forget paths where a drop must be proven unreachable.
+* **W508 invariant violation** — a reachable state failing a declared
+  safety invariant (a callable over all machine states and channel
+  contents returning an error string).
+
+Counterexamples are rendered as numbered message-sequence listings —
+the exact transition labels from the initial state to the violation —
+so a finding reads like a reproduction recipe, not a state dump.  The
+four shipped protocol models live in
+:mod:`repro.analysis.wire_models`; each also ships *mutated* variants
+re-planting the three hand-found PR 8 protocol bugs, which the test
+suite requires this checker to catch.
+
+The framework is deliberately tiny: states are whatever hashable
+values the model chooses (frozen dataclasses, tuples), guards and
+effects are plain functions, and the global state space is the cross
+product of machine states and channel contents.  Keep models small —
+exhaustive exploration is the point, and the shipped models all close
+under a few thousand states.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "Channel",
+    "CheckResult",
+    "Model",
+    "Rule",
+    "check",
+]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One bounded FIFO channel declaration."""
+
+    name: str
+    capacity: int = 4
+    #: ``"block"`` disables sends while full; ``"lose"`` drops the
+    #: message and records a W507
+    policy: str = "block"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One guarded transition of one machine.
+
+    ``kind`` is ``"internal"`` (guard/effect take the machine state) or
+    ``"receive"`` (guard/effect take the state and the head message of
+    ``channel``; the message is consumed when the rule fires).  Effects
+    return ``(new_state, sends)`` where ``sends`` is an iterable of
+    ``(channel_name, message)`` pairs, all applied atomically — one
+    rule firing is one indivisible step, like one batched pipe send.
+    """
+
+    machine: str
+    name: str
+    kind: str
+    guard: object
+    effect: object
+    channel: Optional[str] = None
+
+
+class Model:
+    """A protocol: machines, channels, rules and safety invariants."""
+
+    def __init__(self, name):
+        self.name = name
+        self.machines = {}   # machine name → initial state
+        self.channels = {}   # channel name → Channel
+        self.rules = []
+        self.invariants = []  # (name, fn(states, channels) → str | None)
+        #: accepting predicate for deadlock checking; default: every
+        #: channel drained (a quiescent protocol is allowed to stop)
+        self.accepting = None
+
+    # -- declaration ---------------------------------------------------------
+
+    def machine(self, name, initial):
+        self.machines[name] = initial
+        return name
+
+    def channel(self, name, capacity=4, policy="block"):
+        self.channels[name] = Channel(name, capacity, policy)
+        return name
+
+    def internal(self, machine, name, guard, effect):
+        self.rules.append(Rule(machine, name, "internal", guard, effect))
+
+    def receive(self, machine, name, channel, guard, effect):
+        self.rules.append(
+            Rule(machine, name, "receive", guard, effect, channel)
+        )
+
+    def invariant(self, name, fn):
+        self.invariants.append((name, fn))
+
+    # -- state plumbing ------------------------------------------------------
+
+    def initial_state(self):
+        machines = tuple(sorted(self.machines))
+        channels = tuple(sorted(self.channels))
+        states = tuple(self.machines[name] for name in machines)
+        contents = tuple(() for _ in channels)
+        return _Global(self, machines, channels, states, contents)
+
+
+class _Global:
+    """One immutable global state: machine states + channel contents."""
+
+    __slots__ = ("model", "machine_names", "channel_names", "states",
+                 "contents")
+
+    def __init__(self, model, machine_names, channel_names, states,
+                 contents):
+        self.model = model
+        self.machine_names = machine_names
+        self.channel_names = channel_names
+        self.states = states
+        self.contents = contents
+
+    def key(self):
+        return (self.states, self.contents)
+
+    def machine_state(self, name):
+        return self.states[self.machine_names.index(name)]
+
+    def channel_contents(self, name):
+        return self.contents[self.channel_names.index(name)]
+
+    def state_view(self):
+        return dict(zip(self.machine_names, self.states))
+
+    def channel_view(self):
+        return dict(zip(self.channel_names, self.contents))
+
+    def apply(self, machine, new_state, sends):
+        """Successor state after one rule firing; None when a blocking
+        channel is full; ``(successor, lost)`` with the dropped
+        messages otherwise."""
+        states = list(self.states)
+        states[self.machine_names.index(machine)] = new_state
+        contents = list(self.contents)
+        lost = []
+        for channel_name, message in sends:
+            index = self.channel_names.index(channel_name)
+            channel = self.model.channels[channel_name]
+            if len(contents[index]) >= channel.capacity:
+                if channel.policy == "block":
+                    return None
+                lost.append((channel_name, message))
+                continue
+            contents[index] = contents[index] + (message,)
+        return (
+            _Global(self.model, self.machine_names, self.channel_names,
+                    tuple(states), tuple(contents)),
+            lost,
+        )
+
+    def consume(self, channel_name):
+        index = self.channel_names.index(channel_name)
+        contents = list(self.contents)
+        head = contents[index][0]
+        contents[index] = contents[index][1:]
+        return head, _Global(
+            self.model, self.machine_names, self.channel_names,
+            self.states, tuple(contents),
+        )
+
+
+@dataclass
+class CheckResult:
+    """Exploration outcome: diagnostics plus the counterexample trace."""
+
+    model: str
+    diagnostics: list = field(default_factory=list)
+    trace: list = field(default_factory=list)
+    states_explored: int = 0
+    #: False when exploration stopped at ``max_states`` — the absence
+    #: of findings is then *not* a proof
+    complete: bool = True
+
+    @property
+    def ok(self):
+        return not self.diagnostics
+
+    def format_trace(self):
+        if not self.trace:
+            return "(violation in the initial state)"
+        width = len(str(len(self.trace)))
+        return "\n".join(
+            "%*d. %s" % (width, index + 1, step)
+            for index, step in enumerate(self.trace)
+        )
+
+    def format_summary(self):
+        status = "ok" if self.ok else self.diagnostics[0].code
+        suffix = "" if self.complete else " (bounded: state cap hit)"
+        return "model %s: %s, %d state(s) explored%s" % (
+            self.model, status, self.states_explored, suffix
+        )
+
+
+def _label(rule, message=None, extra=None):
+    parts = ["%s.%s" % (rule.machine, rule.name)]
+    if rule.kind == "receive":
+        parts.append("recv %r from %s" % (message, rule.channel))
+    if extra:
+        parts.append(extra)
+    return ": ".join(parts)
+
+
+def _enabled(state):
+    """Yield ``(rule, successor, label, lost)`` for every firing."""
+    for rule in state.model.rules:
+        local = state.machine_state(rule.machine)
+        if rule.kind == "internal":
+            if not rule.guard(local):
+                continue
+            new_state, sends = rule.effect(local)
+            applied = state.apply(rule.machine, new_state, sends)
+            if applied is None:
+                continue
+            successor, lost = applied
+            yield rule, successor, _label(rule), lost
+        else:
+            contents = state.channel_contents(rule.channel)
+            if not contents:
+                continue
+            message = contents[0]
+            if not rule.guard(local, message):
+                continue
+            head, drained = state.consume(rule.channel)
+            new_state, sends = rule.effect(local, head)
+            applied = drained.apply(rule.machine, new_state, sends)
+            if applied is None:
+                continue
+            successor, lost = applied
+            yield rule, successor, _label(rule, message), lost
+
+
+def _rebuild_trace(parents, key):
+    steps = []
+    while key is not None:
+        entry = parents[key]
+        if entry is None:
+            break
+        key, label = entry
+        steps.append(label)
+    steps.reverse()
+    return steps
+
+
+def check(model, max_states=100000):
+    """Exhaustively explore ``model``; returns a :class:`CheckResult`.
+
+    Stops at the first violation (BFS order, so the counterexample is
+    minimal) or when the reachable state space — capped at
+    ``max_states`` — is exhausted.
+    """
+    result = CheckResult(model=model.name)
+    initial = model.initial_state()
+    accepting = model.accepting or (
+        lambda states, channels: not any(channels.values())
+    )
+
+    def violated(state):
+        states = state.state_view()
+        channels = state.channel_view()
+        for name, fn in model.invariants:
+            failure = fn(states, channels)
+            if failure:
+                return name, failure
+        return None
+
+    parents = {initial.key(): None}
+    queue = deque([initial])
+    failure = violated(initial)
+    if failure is not None:
+        result.diagnostics.append(Diagnostic.of(
+            "W508",
+            "model %s: invariant %r violated in the initial state: %s"
+            % (model.name, failure[0], failure[1]),
+        ))
+        return result
+
+    while queue:
+        state = queue.popleft()
+        result.states_explored += 1
+        key = state.key()
+        fired_any = False
+        for rule, successor, label, lost in _enabled(state):
+            fired_any = True
+            successor_key = successor.key()
+            is_new = successor_key not in parents
+            if is_new:
+                parents[successor_key] = (key, label)
+            if lost:
+                result.trace = _rebuild_trace(parents, key) + [label]
+                for channel_name, message in lost:
+                    result.diagnostics.append(Diagnostic.of(
+                        "W507",
+                        "model %s: message %r dropped on full channel "
+                        "%s (policy 'lose')\n%s"
+                        % (model.name, message, channel_name,
+                           result.format_trace()),
+                    ))
+                return result
+            if is_new:
+                failure = violated(successor)
+                if failure is not None:
+                    result.trace = _rebuild_trace(parents, successor_key)
+                    result.diagnostics.append(Diagnostic.of(
+                        "W508",
+                        "model %s: invariant %r violated: %s\n%s"
+                        % (model.name, failure[0], failure[1],
+                           result.format_trace()),
+                    ))
+                    return result
+                if len(parents) <= max_states:
+                    queue.append(successor)
+                else:
+                    result.complete = False
+        if not fired_any and not accepting(
+            state.state_view(), state.channel_view()
+        ):
+            result.trace = _rebuild_trace(parents, key)
+            result.diagnostics.append(Diagnostic.of(
+                "W506",
+                "model %s: deadlock — no transition enabled in a "
+                "non-accepting state\n%s"
+                % (model.name, result.format_trace()),
+            ))
+            return result
+    return result

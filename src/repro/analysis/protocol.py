@@ -1,0 +1,652 @@
+"""Static wire-schema extraction and drift check: ``repro wirecheck``.
+
+Layer 1 of the wire-protocol verifier (W501–W505; Layer 2, the
+explicit-state model checker, lives in :mod:`repro.analysis.model` /
+:mod:`repro.analysis.wire_models`).  The multi-process runtime's parent
+(:mod:`repro.dataflow.workers.pool`) and worker
+(:mod:`repro.dataflow.workers.runtime`) exchange string-tagged tuples
+over three pipes; the declared vocabulary — tag constants, per-tag
+field lists, sender roles — is
+:data:`repro.dataflow.workers.messages.PIPES`.  This pass parses both
+sides with :mod:`ast`, extracts every message **construct site** (a
+tuple literal headed by a vocabulary constant) and every **handler
+arm** (a comparison of a message's tag slot against a vocabulary
+constant), and diffs the two sides against the declaration:
+
+* **W501** — a tag is constructed on its sending side but the receiving
+  side has no handler arm: the message would be silently dropped (or
+  crash the receiver).
+* **W502** — a handler arm matches a tag no production sender ever
+  constructs: dead protocol surface that hides drift (``test_only``
+  tags such as the ``crash`` hook are exempt).
+* **W503** — a construct site or handler arm disagrees with the
+  declared shape: wrong tuple arity, or a message constructed on the
+  side declared as its *receiver*.
+* **W504** — a construct-site payload field that the ``P4xx``
+  shippability machinery would reject (lambdas, generators, locally
+  created locks/files/threads): it cannot cross the pickle boundary.
+* **W505** — a wire-contract constant (:data:`SHARED_CONSTANTS`, e.g.
+  ``SPEC_CACHE_LIMIT``) read on both sides but *defined* locally in a
+  role module instead of imported from the shared defining module —
+  the exact both-sides-must-agree drift the spec-cache LRU mirror
+  depends on.
+
+The extraction is sound by convention, not by solving Python: wire
+messages are always built and matched through the imported vocabulary
+constants (see the :mod:`~repro.dataflow.workers.messages` module
+docstring), so a tuple headed by a raw string literal is internal
+bookkeeping and intentionally invisible to this pass.
+"""
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "ConstructSite",
+    "HandlerArm",
+    "WireReport",
+    "wirecheck_paths",
+    "wirecheck_sources",
+    "DEFAULT_ROLE_PATHS",
+]
+
+_WORKERS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "dataflow", "workers",
+)
+
+#: the shipped tree's role assignment: which modules speak as the
+#: parent, which as the worker, and which only *define* shared wire
+#: constants (legitimate definition sites for W505)
+DEFAULT_ROLE_PATHS = {
+    "parent": (os.path.join(_WORKERS_DIR, "pool.py"),),
+    "worker": (os.path.join(_WORKERS_DIR, "runtime.py"),),
+    "shared": (
+        os.path.join(_WORKERS_DIR, "messages.py"),
+        os.path.join(_WORKERS_DIR, "channels.py"),
+        os.path.join(_WORKERS_DIR, "shipping.py"),
+    ),
+}
+
+#: constructors whose result can never cross the pickle boundary —
+#: the syntactic face of the P4xx ``captured-synchronization`` /
+#: ``captured-handle`` classes (udfcheck analyzes live callables; a
+#: message field is plain data, so the constructor call is the signal)
+_UNSHIPPABLE_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread", "ThreadPoolExecutor", "named_lock",
+    "named_rlock", "open",
+})
+
+
+@dataclass(frozen=True)
+class ConstructSite:
+    """One tuple literal headed by a vocabulary tag constant."""
+
+    tag: str
+    pipe: str
+    role: str
+    path: str
+    line: int
+    arity: int
+    fields: tuple  # AST nodes of the payload slots, for W504
+
+
+@dataclass(frozen=True)
+class HandlerArm:
+    """One comparison of a message's tag slot against a tag constant."""
+
+    tag: str
+    pipe: str
+    role: str
+    path: str
+    line: int
+    #: exact tuple arity when the arm unpacks the message, else None
+    arity: Optional[int]
+    #: 1 + highest subscript index observed — a lower bound on arity
+    min_arity: int
+
+
+@dataclass
+class WireReport:
+    """Extraction results plus the drift diagnostics they imply."""
+
+    diagnostics: list = field(default_factory=list)
+    constructs: list = field(default_factory=list)
+    handlers: list = field(default_factory=list)
+
+    @property
+    def errors(self):
+        return sum(1 for d in self.diagnostics if d.is_error)
+
+    @property
+    def warnings(self):
+        return sum(1 for d in self.diagnostics if not d.is_error)
+
+    @property
+    def clean(self):
+        return not self.diagnostics
+
+    def format_summary(self):
+        return (
+            "wirecheck: %d construct site(s), %d handler arm(s), "
+            "%d error(s), %d warning(s)"
+            % (len(self.constructs), len(self.handlers), self.errors,
+               self.warnings)
+        )
+
+    def format_vocabulary(self):
+        """Per-pipe tag coverage table (``--verbose`` output)."""
+        from repro.dataflow.workers.messages import PIPES
+
+        sent = {}
+        handled = {}
+        for site in self.constructs:
+            sent.setdefault(site.tag, []).append(site)
+        for arm in self.handlers:
+            handled.setdefault(arm.tag, []).append(arm)
+        lines = []
+        for pipe in PIPES:
+            lines.append("%s pipe (%s -> %s):"
+                         % (pipe.name, pipe.sender, pipe.receiver))
+            for tag in pipe.fields:
+                note = ""
+                if tag in pipe.test_only:
+                    note = " [test-only]"
+                lines.append(
+                    "  %-10s arity %d  sends %d  arms %d%s"
+                    % (tag, pipe.arity(tag), len(sent.get(tag, ())),
+                       len(handled.get(tag, ())), note)
+                )
+        return "\n".join(lines)
+
+
+# --- per-file extraction ----------------------------------------------------
+
+
+def _is_vocab_module(module, level):
+    """True for ``repro.dataflow.workers.messages`` under any spelling."""
+    if module is None:
+        return False
+    return module == "messages" or module.endswith(".messages") or (
+        level > 0 and module == "messages"
+    )
+
+
+class _FunctionScope:
+    """Lexical facts about one function body the arm analysis needs."""
+
+    def __init__(self):
+        #: kind variable → the message variable it was sliced from
+        self.kind_from_slice = {}
+        #: kind variable → exact tuple arity of a ``k, ... = conn.recv()``
+        self.kind_from_recv = {}
+        #: local name → syntactically unshippable value (lambda, lock…)
+        self.unshippable = {}
+
+
+class _FileExtractor(ast.NodeVisitor):
+    """Extract construct sites, handler arms and constant definitions."""
+
+    def __init__(self, path, role, tag_pipe, vocab_names, shared_constants):
+        self.path = path
+        self.role = role
+        self.tag_pipe = tag_pipe  # tag value → PipeSpec
+        self.vocab_names = vocab_names  # constant name → tag value
+        self.shared_constants = shared_constants
+        self.constructs = []
+        self.handlers = []
+        #: shared-constant name → line of a module-level local definition
+        self.constant_defs = {}
+        #: shared-constant names read anywhere in this file
+        self.constant_reads = set()
+        self._aliases = {}  # local name → vocabulary constant name
+        self._module_aliases = set()  # local names bound to the module
+        self._scopes = []
+        self.closed_scopes = []  # every function scope, for W504 lookups
+        self._arm_lines = set()
+
+    # -- imports and module level -------------------------------------------
+
+    def visit_ImportFrom(self, node):
+        if _is_vocab_module(node.module, node.level):
+            for alias in node.names:
+                if alias.name in self.vocab_names:
+                    self._aliases[alias.asname or alias.name] = alias.name
+        else:
+            for alias in node.names:
+                if alias.name == "messages":
+                    self._module_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            if alias.name.endswith(".messages"):
+                self._module_aliases.add(
+                    alias.asname or alias.name.split(".")[0]
+                )
+        self.generic_visit(node)
+
+    def visit_Module(self, node):
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in self.shared_constants
+                    ):
+                        self.constant_defs[target.id] = statement.lineno
+        self.generic_visit(node)
+
+    def visit_Name(self, node):
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id in self.shared_constants
+        ):
+            self.constant_reads.add(node.id)
+        self.generic_visit(node)
+
+    # -- tag resolution ------------------------------------------------------
+
+    def _tag_of(self, node):
+        """The tag string a reference resolves to, or None."""
+        if isinstance(node, ast.Name):
+            constant = self._aliases.get(node.id)
+            if constant is not None:
+                return self.vocab_names[constant]
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if (
+                node.value.id in self._module_aliases
+                and node.attr in self.vocab_names
+            ):
+                return self.vocab_names[node.attr]
+        return None
+
+    # -- function scopes -----------------------------------------------------
+
+    def _enter_function(self, node):
+        scope = _FunctionScope()
+        for statement in ast.walk(node):
+            if not isinstance(statement, ast.Assign):
+                continue
+            if len(statement.targets) != 1:
+                continue
+            target = statement.targets[0]
+            value = statement.value
+            if isinstance(target, ast.Name):
+                # kind = message[0]
+                if (
+                    isinstance(value, ast.Subscript)
+                    and isinstance(value.value, ast.Name)
+                    and isinstance(value.slice, ast.Constant)
+                    and value.slice.value == 0
+                ):
+                    scope.kind_from_slice[target.id] = value.value.id
+                elif self._unshippable_value(value) is not None:
+                    scope.unshippable[target.id] = (
+                        self._unshippable_value(value)
+                    )
+            elif isinstance(target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in target.elts
+            ):
+                # kind, ... = conn.recv()
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "recv"
+                    and target.elts
+                ):
+                    scope.kind_from_recv[target.elts[0].id] = len(
+                        target.elts
+                    )
+        self._scopes.append(scope)
+
+    def visit_FunctionDef(self, node):
+        self._enter_function(node)
+        self.generic_visit(node)
+        self.closed_scopes.append(self._scopes.pop())
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _scope(self):
+        return self._scopes[-1] if self._scopes else _FunctionScope()
+
+    # -- construct sites -----------------------------------------------------
+
+    @staticmethod
+    def _unshippable_value(node):
+        """A short reason when ``node`` can never pickle, else None."""
+        if isinstance(node, ast.Lambda):
+            return "a lambda (P401-class: ships by value, never by ref)"
+        if isinstance(node, ast.GeneratorExp):
+            return "a generator expression (P402-class process handle)"
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in _UNSHIPPABLE_CONSTRUCTORS:
+                return (
+                    "a %s() (P401/P402-class synchronization or process "
+                    "handle)" % name
+                )
+        return None
+
+    def visit_Tuple(self, node):
+        if node.elts:
+            tag = self._tag_of(node.elts[0])
+            if tag is not None and tag in self.tag_pipe:
+                self.constructs.append(ConstructSite(
+                    tag=tag,
+                    pipe=self.tag_pipe[tag].name,
+                    role=self.role,
+                    path=self.path,
+                    line=node.lineno,
+                    arity=len(node.elts),
+                    fields=tuple(node.elts[1:]),
+                ))
+        self.generic_visit(node)
+
+    # -- handler arms --------------------------------------------------------
+
+    def _match_arm(self, compare):
+        """``(tag, kind_var)`` when ``compare`` matches a tag slot."""
+        if len(compare.ops) != 1 or not isinstance(
+            compare.ops[0], (ast.Eq, ast.NotEq)
+        ):
+            return None
+        left, right = compare.left, compare.comparators[0]
+        for kvar, tagref in ((left, right), (right, left)):
+            tag = self._tag_of(tagref)
+            if tag is None or tag not in self.tag_pipe:
+                continue
+            if not isinstance(kvar, ast.Name):
+                continue
+            scope = self._scope()
+            if (
+                kvar.id in scope.kind_from_slice
+                or kvar.id in scope.kind_from_recv
+            ):
+                return tag, kvar.id
+        return None
+
+    def _record_arm(self, tag, kind_var, line, body):
+        scope = self._scope()
+        arity = scope.kind_from_recv.get(kind_var)
+        min_arity = 1
+        if arity is None and body is not None:
+            message_var = scope.kind_from_slice[kind_var]
+            for statement in body:
+                for node in ast.walk(statement):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Tuple)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == message_var
+                    ):
+                        arity = len(node.targets[0].elts)
+                    elif (
+                        isinstance(node, ast.Subscript)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == message_var
+                        and isinstance(node.slice, ast.Constant)
+                        and isinstance(node.slice.value, int)
+                    ):
+                        min_arity = max(min_arity, node.slice.value + 1)
+        self.handlers.append(HandlerArm(
+            tag=tag,
+            pipe=self.tag_pipe[tag].name,
+            role=self.role,
+            path=self.path,
+            line=line,
+            arity=arity,
+            min_arity=min_arity,
+        ))
+
+    def visit_If(self, node):
+        matched = (
+            self._match_arm(node.test)
+            if isinstance(node.test, ast.Compare)
+            else None
+        )
+        if matched is not None:
+            self._arm_lines.add(node.test.lineno)
+            self._record_arm(matched[0], matched[1], node.test.lineno,
+                             node.body)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node):
+        # arms outside an If test (e.g. ``return kind != SHUTDOWN``)
+        if node.lineno not in self._arm_lines:
+            matched = self._match_arm(node)
+            if matched is not None:
+                self._arm_lines.add(node.lineno)
+                self._record_arm(matched[0], matched[1], node.lineno,
+                                 None)
+        self.generic_visit(node)
+
+
+# --- the drift check --------------------------------------------------------
+
+
+def _where(path, line):
+    return "%s:%d" % (os.path.basename(path), line)
+
+
+def _check_drift(extractors, pipes, shared_constants):
+    report = WireReport()
+    for extractor in extractors:
+        report.constructs.extend(extractor.constructs)
+        report.handlers.extend(extractor.handlers)
+
+    tag_pipe = {}
+    for pipe in pipes:
+        for tag in pipe.fields:
+            tag_pipe[tag] = pipe
+
+    sends = {}     # tag → sender-role construct sites
+    arms = {}      # tag → receiver-role handler arms
+    diagnostics = report.diagnostics
+    for site in report.constructs:
+        pipe = tag_pipe[site.tag]
+        if site.role == pipe.sender:
+            sends.setdefault(site.tag, []).append(site)
+        elif site.role == pipe.receiver:
+            diagnostics.append(Diagnostic.of(
+                "W503",
+                "%s: message %r constructed on the %s side, but the %s "
+                "pipe declares %s as its sender"
+                % (_where(site.path, site.line), site.tag, site.role,
+                   pipe.name, pipe.sender),
+            ))
+    for arm in report.handlers:
+        pipe = tag_pipe[arm.tag]
+        if arm.role == pipe.receiver:
+            arms.setdefault(arm.tag, []).append(arm)
+        elif arm.role == pipe.sender and pipe.sender != pipe.receiver:
+            # a sender matching its own outgoing tag is internal routing
+            # (e.g. builders switching on task kind) — not a wire arm
+            pass
+
+    analyzed_roles = {extractor.role for extractor in extractors}
+    for tag, pipe in tag_pipe.items():
+        tag_sends = sends.get(tag, ())
+        tag_arms = arms.get(tag, ())
+        if tag_sends and not tag_arms and pipe.receiver in analyzed_roles:
+            site = tag_sends[0]
+            diagnostics.append(Diagnostic.of(
+                "W501",
+                "%s: %r is sent on the %s pipe but the %s side has no "
+                "handler arm for it"
+                % (_where(site.path, site.line), tag, pipe.name,
+                   pipe.receiver),
+            ))
+        if (
+            tag_arms and not tag_sends
+            and tag not in pipe.test_only
+            and pipe.sender in analyzed_roles
+        ):
+            arm = tag_arms[0]
+            diagnostics.append(Diagnostic.of(
+                "W502",
+                "%s: %r is handled on the %s side but no %s-side send "
+                "site constructs it"
+                % (_where(arm.path, arm.line), tag, pipe.receiver,
+                   pipe.sender),
+            ))
+
+    for site in sends.values():
+        for construct in site:
+            pipe = tag_pipe[construct.tag]
+            declared = pipe.arity(construct.tag)
+            if construct.arity != declared:
+                diagnostics.append(Diagnostic.of(
+                    "W503",
+                    "%s: %r constructed with %d element(s), the %s pipe "
+                    "declares %d (%s)"
+                    % (_where(construct.path, construct.line),
+                       construct.tag, construct.arity, pipe.name,
+                       declared,
+                       ", ".join(("tag",) + pipe.fields[construct.tag])),
+                ))
+            for index, expr in enumerate(construct.fields):
+                reason = _FileExtractor._unshippable_value(expr)
+                if reason is None and isinstance(expr, ast.Name):
+                    reason = _field_name_unshippable(
+                        extractors, construct, expr.id
+                    )
+                if reason is not None:
+                    field_name = (
+                        pipe.fields[construct.tag][index]
+                        if index < len(pipe.fields[construct.tag])
+                        else "#%d" % (index + 1)
+                    )
+                    diagnostics.append(Diagnostic.of(
+                        "W504",
+                        "%s: %r field %r is %s — it cannot cross the "
+                        "process boundary"
+                        % (_where(construct.path, construct.line),
+                           construct.tag, field_name, reason),
+                    ))
+    for tag_arms in arms.values():
+        for arm in tag_arms:
+            pipe = tag_pipe[arm.tag]
+            declared = pipe.arity(arm.tag)
+            if arm.arity is not None and arm.arity != declared:
+                diagnostics.append(Diagnostic.of(
+                    "W503",
+                    "%s: handler arm for %r unpacks %d element(s), the "
+                    "%s pipe declares %d (%s)"
+                    % (_where(arm.path, arm.line), arm.tag, arm.arity,
+                       pipe.name, declared,
+                       ", ".join(("tag",) + pipe.fields[arm.tag])),
+                ))
+            elif arm.arity is None and arm.min_arity > declared:
+                diagnostics.append(Diagnostic.of(
+                    "W503",
+                    "%s: handler arm for %r indexes element %d, the %s "
+                    "pipe declares only %d element(s)"
+                    % (_where(arm.path, arm.line), arm.tag,
+                       arm.min_arity - 1, pipe.name, declared),
+                ))
+
+    # W505: a role module locally defining a shared wire constant that
+    # the other side of the pipe also reads
+    reads_by_role = {}
+    for extractor in extractors:
+        reads_by_role.setdefault(extractor.role, set()).update(
+            extractor.constant_reads
+        )
+    for extractor in extractors:
+        if extractor.role == "shared":
+            continue
+        other = "worker" if extractor.role == "parent" else "parent"
+        for name, line in sorted(extractor.constant_defs.items()):
+            if name in reads_by_role.get(other, ()):  # both sides read it
+                diagnostics.append(Diagnostic.of(
+                    "W505",
+                    "%s: wire-contract constant %s is defined locally on "
+                    "the %s side but also read on the %s side — both "
+                    "must import one shared definition"
+                    % (_where(extractor.path, line), name,
+                       extractor.role, other),
+                ))
+    return report
+
+
+def _field_name_unshippable(extractors, construct, name):
+    """Reason when a Name field was locally bound to an unshippable
+    value in the construct site's file."""
+    for extractor in extractors:
+        if extractor.path != construct.path:
+            continue
+        for scope in extractor.closed_scopes:
+            if name in scope.unshippable:
+                return scope.unshippable[name]
+    return None
+
+
+# --- entry points -----------------------------------------------------------
+
+
+def _vocabulary():
+    from repro.dataflow.workers import messages
+
+    vocab_names = {
+        name: getattr(messages, name)
+        for name in messages.__all__
+        if isinstance(getattr(messages, name), str)
+    }
+    tag_pipe = {}
+    for pipe in messages.PIPES:
+        for tag in pipe.fields:
+            tag_pipe[tag] = pipe
+    return messages.PIPES, tag_pipe, vocab_names, frozenset(
+        messages.SHARED_CONSTANTS
+    )
+
+
+def wirecheck_sources(role_sources):
+    """Run the drift check over in-memory sources.
+
+    ``role_sources`` maps a role (``"parent"``/``"worker"``/
+    ``"shared"``) to a list of ``(path, source_text)`` pairs.  Raises
+    :class:`SyntaxError` on un-parseable source, like the other
+    checkers' path entry points.
+    """
+    pipes, tag_pipe, vocab_names, shared_constants = _vocabulary()
+    extractors = []
+    for role, sources in role_sources.items():
+        for path, text in sources:
+            tree = ast.parse(text, filename=path)
+            extractor = _FileExtractor(
+                path, role, tag_pipe, vocab_names, shared_constants
+            )
+            extractor.visit(tree)
+            extractors.append(extractor)
+    return _check_drift(extractors, pipes, shared_constants)
+
+
+def wirecheck_paths(role_paths=None):
+    """Run the drift check over source files on disk.
+
+    ``role_paths`` maps roles to path tuples; defaults to the shipped
+    worker runtime (:data:`DEFAULT_ROLE_PATHS`).
+    """
+    role_sources = {}
+    for role, paths in (role_paths or DEFAULT_ROLE_PATHS).items():
+        pairs = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                pairs.append((path, handle.read()))
+        role_sources[role] = pairs
+    return wirecheck_sources(role_sources)

@@ -1,0 +1,662 @@
+"""The checked wire-protocol models (Layer 2 of ``repro wirecheck``).
+
+Each function builds a :class:`~repro.analysis.model.Model` of one
+protocol the multi-process runtime (:mod:`repro.dataflow.workers`)
+depends on, small enough for exhaustive exploration yet faithful to
+the shipped code's actual rules:
+
+* :func:`cancel_done_model` — the cancel/``done`` confirmation
+  protocol: a worker keeps a cancelled job's mark until the parent
+  confirms every dispatched task collected.
+* :func:`spec_cache_model` — spec-cache LRU mirroring: the pool
+  replays the worker's ``OrderedDict`` touch/insert/evict sequence, so
+  a shipped key is always still cached worker-side.
+* :func:`ring_model` — the SPSC ring's cursor arithmetic: one-slot-
+  empty reserve, contiguous payloads, tail-skip wrap.
+* :func:`resident_model` — resident-source eviction: per-batch
+  pinning, frees appended *after* the batch's tasks, and the parent's
+  byte-budget mirror of the worker's resident set.
+* :func:`crash_scope_model` — crash-notice scoping: a worker death
+  fails exactly the jobs that placed tasks on it.
+
+PR 8's review pass found three of these protocols wrong by hand; each
+bug is **re-planted** here as a named mutation (`MUTATIONS`) producing
+a deliberately broken model the checker must refute with a short
+counterexample trace:
+
+========================  =======================================
+mutation                  the PR 8 bug it replants
+========================  =======================================
+``spec_cache:desync``     mirror kept as an unordered set that
+                          never replays evictions — the pool stops
+                          re-shipping specs the worker dropped
+``crash_scope:``          a crash notice failed *every* active
+``shared_notice_bug``     job, not just those placed on the dead
+                          worker
+``cancel_done:``          size-bounded pruning of the cancelled
+``prune_marks``           set forgot marks for jobs whose tasks
+                          were still queued
+========================  =======================================
+
+plus extra mutations guarding the nearly-wrong edges: ``early_done``
+(confirmation sent before every task is accounted), ``no_reserve``
+(the ring's one-slot-empty reserve dropped), ``no_pin`` /
+``no_free_on_evict`` / ``unpinned_reorder`` (resident-eviction
+batch-consistency defects).
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .model import Model, check
+
+__all__ = [
+    "MODELS",
+    "MUTATIONS",
+    "cancel_done_model",
+    "check_all",
+    "crash_scope_model",
+    "resident_model",
+    "ring_model",
+    "spec_cache_model",
+]
+
+
+def _invalid_mutation(model, mutation):
+    raise ValueError("unknown %s mutation %r" % (model, mutation))
+
+
+# --- cancel / done confirmation ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CancelPool:
+    dispatched: tuple
+    cancel_sent: tuple
+    collected: tuple
+    done_sent: tuple
+
+
+@dataclass(frozen=True)
+class _CancelWorker:
+    marks: tuple
+    ever_cancelled: frozenset
+    ever_done: frozenset
+    violation: Optional[str] = None
+
+
+def _set_at(values, index, value):
+    items = list(values)
+    items[index] = value
+    return tuple(items)
+
+
+def cancel_done_model(mutation=None, jobs=2):
+    """Cancel/``done`` confirmation over a dedicated cancel pipe.
+
+    Mutations: ``"early_done"`` sends the confirmation before every
+    dispatched task is collected; ``"prune_marks"`` bounds the worker's
+    cancelled-mark set at one entry with FIFO eviction (the PR 8
+    cancellation-mark leak).
+    """
+    if mutation not in (None, "early_done", "prune_marks"):
+        _invalid_mutation("cancel_done", mutation)
+    model = Model("cancel_done" + (":" + mutation if mutation else ""))
+    model.machine("pool", _CancelPool(
+        dispatched=(False,) * jobs,
+        cancel_sent=(False,) * jobs,
+        collected=(0,) * jobs,
+        done_sent=(False,) * jobs,
+    ))
+    model.machine("worker", _CancelWorker(
+        marks=(), ever_cancelled=frozenset(), ever_done=frozenset(),
+    ))
+    model.channel("req", capacity=jobs)
+    model.channel("cancel", capacity=2 * jobs)
+    model.channel("resp", capacity=jobs)
+
+    for job in range(jobs):
+        model.internal(
+            "pool", "dispatch[%d]" % job,
+            lambda s, j=job: not s.dispatched[j],
+            lambda s, j=job: (
+                replace(s, dispatched=_set_at(s.dispatched, j, True)),
+                [("req", ("task", j))],
+            ),
+        )
+        model.internal(
+            "pool", "cancel[%d]" % job,
+            lambda s, j=job: s.dispatched[j] and not s.cancel_sent[j],
+            lambda s, j=job: (
+                replace(s, cancel_sent=_set_at(s.cancel_sent, j, True)),
+                [("cancel", ("cancel", j))],
+            ),
+        )
+        model.internal(
+            "pool", "confirm[%d]" % job,
+            lambda s, j=job: (
+                s.cancel_sent[j]
+                and not s.done_sent[j]
+                # the load-bearing guard: every dispatched task of the
+                # job must be accounted for before ``done`` may go out
+                and (mutation == "early_done" or s.collected[j] >= 1)
+            ),
+            lambda s, j=job: (
+                replace(s, done_sent=_set_at(s.done_sent, j, True)),
+                [("cancel", ("done", j))],
+            ),
+        )
+
+    model.receive(
+        "pool", "collect", "resp",
+        lambda s, m: True,
+        lambda s, m: (
+            replace(s, collected=_set_at(
+                s.collected, m[1], s.collected[m[1]] + 1
+            )),
+            [],
+        ),
+    )
+
+    def on_cancel(s, m):
+        job = m[1]
+        marks = s.marks + ((job,) if job not in s.marks else ())
+        if mutation == "prune_marks":
+            marks = marks[-1:]  # the size-bounded prune (the bug)
+        return (
+            replace(
+                s, marks=marks,
+                ever_cancelled=s.ever_cancelled | {job},
+            ),
+            [],
+        )
+
+    def on_done(s, m):
+        job = m[1]
+        return (
+            replace(
+                s,
+                marks=tuple(j for j in s.marks if j != job),
+                ever_done=s.ever_done | {job},
+            ),
+            [],
+        )
+
+    def on_task(s, m):
+        job = m[1]
+        if job in s.marks:
+            return replace(s), [("resp", ("cancelled", job))]
+        violation = s.violation
+        if job in s.ever_done:
+            violation = (
+                "task of job %d executed after its done confirmation"
+                % job
+            )
+        elif job in s.ever_cancelled:
+            violation = (
+                "task of job %d executed after its cancel mark was "
+                "pruned" % job
+            )
+        return replace(s, violation=violation), [("resp", ("ok", job))]
+
+    model.receive("worker", "on_cancel", "cancel",
+                  lambda s, m: m[0] == "cancel", on_cancel)
+    model.receive("worker", "on_done", "cancel",
+                  lambda s, m: m[0] == "done", on_done)
+    model.receive("worker", "on_task", "req",
+                  lambda s, m: True, on_task)
+
+    model.invariant(
+        "cancelled-task-never-executes",
+        lambda states, channels: states["worker"].violation,
+    )
+    return model
+
+
+# --- spec-cache LRU mirroring -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SpecPool:
+    mirror: tuple
+    budget: int
+
+
+@dataclass(frozen=True)
+class _SpecWorker:
+    cache: tuple
+    violation: Optional[str] = None
+
+
+def _lru_touch(order, key, limit):
+    order = tuple(k for k in order if k != key) + (key,)
+    return order[-limit:]
+
+
+def spec_cache_model(mutation=None, limit=2, keys=("a", "b", "c"),
+                     budget=4):
+    """The pool's mirror of the worker's spec LRU.
+
+    A dispatch ships the spec iff the mirror says the worker no longer
+    caches it; the worker then decodes task messages against its own
+    LRU.  The safety property: a task's spec key is always resident
+    worker-side.  Mutation ``"desync"`` replants the PR 8 cache-desync
+    bug — the mirror is an unordered grow-only set, so evictions are
+    never replayed and dropped specs are never re-shipped.
+    """
+    if mutation not in (None, "desync"):
+        _invalid_mutation("spec_cache", mutation)
+    model = Model("spec_cache" + (":" + mutation if mutation else ""))
+    model.machine("pool", _SpecPool(mirror=(), budget=budget))
+    model.machine("worker", _SpecWorker(cache=()))
+    model.channel("req", capacity=2 * budget)
+
+    def dispatch(s, key):
+        if key in s.mirror:
+            mirror = (
+                s.mirror if mutation == "desync"
+                else _lru_touch(s.mirror, key, limit)
+            )
+            sends = [("req", ("task", key))]
+        else:
+            mirror = (
+                tuple(sorted(set(s.mirror) | {key}))
+                if mutation == "desync"  # membership only, no eviction
+                else _lru_touch(s.mirror, key, limit)
+            )
+            sends = [("req", ("ship", key)), ("req", ("task", key))]
+        return replace(s, mirror=mirror, budget=s.budget - 1), sends
+
+    for key in keys:
+        model.internal(
+            "pool", "dispatch[%s]" % key,
+            lambda s: s.budget > 0,
+            lambda s, k=key: dispatch(s, k),
+        )
+
+    def on_ship(s, m):
+        return replace(s, cache=_lru_touch(s.cache, m[1], limit)), []
+
+    def on_task(s, m):
+        key = m[1]
+        if key not in s.cache:
+            return (
+                replace(s, violation=(
+                    "task references spec %r evicted from the worker "
+                    "cache (ship/evict desync)" % key
+                )),
+                [],
+            )
+        return replace(s, cache=_lru_touch(s.cache, key, limit)), []
+
+    model.receive("worker", "on_ship", "req",
+                  lambda s, m: m[0] == "ship", on_ship)
+    model.receive("worker", "on_task", "req",
+                  lambda s, m: m[0] == "task", on_task)
+
+    model.invariant(
+        "task-spec-always-resident",
+        lambda states, channels: states["worker"].violation,
+    )
+    return model
+
+
+# --- SPSC ring cursors ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Ring:
+    read: int
+    write: int
+    segments: tuple  # outstanding (offset, length) in FIFO order
+    budget: int
+    violation: Optional[str] = None
+
+
+def ring_model(mutation=None, capacity=4, sizes=(1, 2, 3), budget=4):
+    """The shared-memory ring's cursor arithmetic.
+
+    One machine carries both roles (the ring is SPSC; producer and
+    consumer steps still interleave freely).  The producer replicates
+    :meth:`~repro.dataflow.workers.channels.RingSegment.try_write` —
+    one-slot-empty free computation, contiguous placement, tail-skip
+    wrap, inline fallback when the payload does not fit — and the
+    invariant is that a placed payload never overlaps bytes the
+    consumer has not yet read.  Mutation ``"no_reserve"`` drops the
+    one-slot-empty reserve (``free = capacity`` when the cursors are
+    equal), the classic full/empty ambiguity.
+    """
+    if mutation not in (None, "no_reserve"):
+        _invalid_mutation("ring", mutation)
+    model = Model("ring" + (":" + mutation if mutation else ""))
+    model.machine("ring", _Ring(read=0, write=0, segments=(), budget=budget))
+
+    def overlap(offset, size, segments):
+        for seg_offset, seg_length in segments:
+            if offset < seg_offset + seg_length and seg_offset < (
+                offset + size
+            ):
+                return (seg_offset, seg_length)
+        return None
+
+    def write(s, size):
+        if mutation == "no_reserve" and s.read == s.write:
+            free = capacity
+        else:
+            free = (s.read - s.write - 1) % capacity
+        tail = capacity - s.write
+        if size <= tail:
+            if size > free:
+                return replace(s, budget=s.budget - 1), []  # inline
+            offset = s.write
+            new_write = (s.write + size) % capacity
+        else:
+            if tail + size > free:
+                return replace(s, budget=s.budget - 1), []  # inline
+            offset = 0
+            new_write = size
+        violation = s.violation
+        clobbered = overlap(offset, size, s.segments)
+        if clobbered is not None:
+            violation = (
+                "write of %d byte(s) at offset %d overlaps unread "
+                "segment %r" % (size, offset, clobbered)
+            )
+        return (
+            replace(
+                s, write=new_write, budget=s.budget - 1,
+                segments=s.segments + ((offset, size),),
+                violation=violation,
+            ),
+            [],
+        )
+
+    for size in sizes:
+        model.internal(
+            "ring", "write[%d]" % size,
+            lambda s: s.budget > 0,
+            lambda s, z=size: write(s, z),
+        )
+
+    model.internal(
+        "ring", "read",
+        lambda s: bool(s.segments),
+        lambda s: (
+            replace(
+                s,
+                read=(s.segments[0][0] + s.segments[0][1]) % capacity,
+                segments=s.segments[1:],
+            ),
+            [],
+        ),
+    )
+
+    model.invariant(
+        "payloads-never-overlap-unread",
+        lambda states, channels: states["ring"].violation,
+    )
+    return model
+
+
+# --- resident-source eviction -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ResidentPool:
+    resident: tuple  # LRU order, every source one byte
+    budget: int
+    violation: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _ResidentWorker:
+    resident: frozenset
+    violation: Optional[str] = None
+
+
+def resident_model(mutation=None, keys=("x", "y"), byte_budget=1,
+                   batches=2):
+    """Resident-source accounting under the per-worker byte budget.
+
+    A batch touches or stores its sources (pinning them), then appends
+    ``free`` messages for the LRU-evicted remainder *after* its tasks.
+    Safety: a ``cached`` reference always finds the source resident,
+    a batch never frees a source it itself references, and — once the
+    pipe drains — the worker's resident set equals the pool's mirror.
+
+    Mutations: ``"no_pin"`` evicts batch-referenced sources,
+    ``"no_free_on_evict"`` forgets to tell the worker about an
+    eviction, ``"unpinned_reorder"`` combines ``no_pin`` with frees
+    sent *before* the batch's tasks (the ordering pinning makes safe).
+    """
+    if mutation not in (None, "no_pin", "no_free_on_evict",
+                        "unpinned_reorder"):
+        _invalid_mutation("resident", mutation)
+    model = Model("resident" + (":" + mutation if mutation else ""))
+    model.machine("pool", _ResidentPool(resident=(), budget=batches))
+    model.machine("worker", _ResidentWorker(resident=frozenset()))
+    model.channel("req", capacity=8)
+
+    subsets = [(keys[0],), (keys[1],), tuple(keys)]
+    skip_pins = mutation in ("no_pin", "unpinned_reorder")
+
+    def batch(s, batch_keys):
+        resident = list(s.resident)
+        pinned = set()
+        tasks = []
+        for key in batch_keys:
+            pinned.add(key)
+            if key in resident:
+                resident.remove(key)
+                resident.append(key)  # move_to_end
+                tasks.append(("req", ("cached", key)))
+            else:
+                resident.append(key)
+                tasks.append(("req", ("store", key)))
+        frees = []
+        violation = s.violation
+        for key in list(resident):
+            if len(resident) <= byte_budget:
+                break
+            if key in pinned and not skip_pins:
+                continue
+            resident.remove(key)
+            if key in pinned:
+                violation = (
+                    "batch frees source %r it references itself" % key
+                )
+            if mutation != "no_free_on_evict":
+                frees.append(("req", ("free", key)))
+        if mutation == "unpinned_reorder":
+            sends = frees + tasks  # the ordering pinning protects
+        else:
+            sends = tasks + frees
+        return (
+            replace(s, resident=tuple(resident), budget=s.budget - 1,
+                    violation=violation),
+            sends,
+        )
+
+    for subset in subsets:
+        model.internal(
+            "pool", "batch[%s]" % "+".join(subset),
+            lambda s: s.budget > 0,
+            lambda s, b=subset: batch(s, b),
+        )
+
+    def on_store(s, m):
+        return replace(s, resident=s.resident | {m[1]}), []
+
+    def on_cached(s, m):
+        if m[1] not in s.resident:
+            return (
+                replace(s, violation=(
+                    "cached reference to source %r the worker no "
+                    "longer holds" % m[1]
+                )),
+                [],
+            )
+        return s, []
+
+    def on_free(s, m):
+        return replace(s, resident=s.resident - {m[1]}), []
+
+    model.receive("worker", "on_store", "req",
+                  lambda s, m: m[0] == "store", on_store)
+    model.receive("worker", "on_cached", "req",
+                  lambda s, m: m[0] == "cached", on_cached)
+    model.receive("worker", "on_free", "req",
+                  lambda s, m: m[0] == "free", on_free)
+
+    def conformance(states, channels):
+        pool, worker = states["pool"], states["worker"]
+        if pool.violation:
+            return pool.violation
+        if worker.violation:
+            return worker.violation
+        if not channels["req"]:  # quiescent: mirrors must agree
+            if worker.resident != frozenset(pool.resident):
+                return (
+                    "quiescent mismatch: pool mirror %r vs worker "
+                    "resident %r"
+                    % (tuple(pool.resident), tuple(sorted(
+                        worker.resident
+                    )))
+                )
+        return None
+
+    model.invariant("resident-mirror-conformance", conformance)
+    return model
+
+
+# --- crash-notice scoping ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CrashPool:
+    dispatched: tuple
+    outcome: tuple  # per job: "running" | "done" | "failed"
+
+
+@dataclass(frozen=True)
+class _CrashWorker:
+    alive: bool = True
+    crash_sent: bool = False
+
+
+def crash_scope_model(mutation=None):
+    """Crash notices fail exactly the jobs placed on the dead worker.
+
+    Two jobs, each one task, each placed on its own worker; worker B
+    may die at any point.  The invariant: job 0 — which never placed a
+    task on B — must never be failed.  Mutation
+    ``"shared_notice_bug"`` replants the PR 8 crash mis-scoping: the
+    collect loop failed *every* active job on any crash notice.
+    """
+    if mutation not in (None, "shared_notice_bug"):
+        _invalid_mutation("crash_scope", mutation)
+    model = Model(
+        "crash_scope" + (":" + mutation if mutation else "")
+    )
+    used = ("A", "B")  # job index → the worker its task is placed on
+    model.machine("pool", _CrashPool(
+        dispatched=(False, False), outcome=("running", "running"),
+    ))
+    model.machine("workerA", _CrashWorker())
+    model.machine("workerB", _CrashWorker())
+    model.channel("reqA", capacity=2)
+    model.channel("reqB", capacity=2)
+    model.channel("resp", capacity=4)
+
+    for job, worker in enumerate(used):
+        model.internal(
+            "pool", "dispatch[%d]" % job,
+            lambda s, j=job: not s.dispatched[j],
+            lambda s, j=job, w=worker: (
+                replace(s, dispatched=_set_at(s.dispatched, j, True)),
+                [("req%s" % w, ("task", j))],
+            ),
+        )
+
+    def on_ok(s, m):
+        job = m[1]
+        outcome = (
+            _set_at(s.outcome, job, "done")
+            if s.outcome[job] == "running" else s.outcome
+        )
+        return replace(s, outcome=outcome), []
+
+    def on_crash(s, m):
+        dead = m[1]
+        outcome = list(s.outcome)
+        for job, worker in enumerate(used):
+            if s.outcome[job] != "running":
+                continue
+            # the load-bearing scoping: only jobs that placed tasks on
+            # the dead worker lose anything
+            if mutation == "shared_notice_bug" or worker == dead:
+                outcome[job] = "failed"
+        return replace(s, outcome=tuple(outcome)), []
+
+    model.receive("pool", "collect_ok", "resp",
+                  lambda s, m: m[0] == "ok", on_ok)
+    model.receive("pool", "collect_crash", "resp",
+                  lambda s, m: m[0] == "crash", on_crash)
+
+    for name in ("A", "B"):
+        def on_task(s, m, w=name):
+            if not s.alive:
+                return s, []  # a dead worker's queue drains into EOF
+            return s, [("resp", ("ok", m[1]))]
+
+        model.receive("worker%s" % name, "on_task", "req%s" % name,
+                      lambda s, m: True, on_task)
+
+    model.internal(
+        "workerB", "crash",
+        lambda s: s.alive and not s.crash_sent,
+        lambda s: (
+            replace(s, alive=False, crash_sent=True),
+            [("resp", ("crash", "B"))],
+        ),
+    )
+
+    model.invariant(
+        "crash-failures-scoped-to-used-workers",
+        lambda states, channels: (
+            "job 0 failed although no task of it was placed on the "
+            "dead worker"
+            if states["pool"].outcome[0] == "failed" else None
+        ),
+    )
+    return model
+
+
+# --- registry ---------------------------------------------------------------
+
+#: model name → builder accepting ``mutation=None``
+MODELS = {
+    "cancel_done": cancel_done_model,
+    "spec_cache": spec_cache_model,
+    "ring": ring_model,
+    "resident": resident_model,
+    "crash_scope": crash_scope_model,
+}
+
+#: model name → the mutations its builder accepts; every one must be
+#: *caught* by the checker (the planted-bug acceptance tests assert it)
+MUTATIONS = {
+    "cancel_done": ("early_done", "prune_marks"),
+    "spec_cache": ("desync",),
+    "ring": ("no_reserve",),
+    "resident": ("no_pin", "no_free_on_evict", "unpinned_reorder"),
+    "crash_scope": ("shared_notice_bug",),
+}
+
+
+def check_all(max_states=100000):
+    """Check every shipped (unmutated) model; returns name → result."""
+    return {
+        name: check(builder(), max_states=max_states)
+        for name, builder in MODELS.items()
+    }

@@ -245,6 +245,58 @@ def cmd_racecheck(args):
     return 3 if report.warnings else 0
 
 
+def cmd_wirecheck(args):
+    """Wire-protocol verification for the worker runtime (W5xx).
+
+    Layer 1 diffs the message constructors and handler arms extracted
+    from the parent/worker sources against the declared pipe
+    vocabulary (:mod:`repro.dataflow.workers.messages`); Layer 2
+    exhaustively model-checks the cancel/done, spec-cache, ring and
+    resident-eviction protocols.  Exit codes match ``repro check``:
+    0 clean, 1 error diagnostics, 2 un-parseable source, 3 warnings
+    only.
+    """
+    from repro.analysis.protocol import wirecheck_paths
+    from repro.analysis.wire_models import check_all
+
+    try:
+        report = wirecheck_paths()
+    except SyntaxError as exc:
+        print("syntax error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    diagnostics = list(report.diagnostics)
+    results = check_all(max_states=args.max_states)
+    for result in results.values():
+        diagnostics.extend(result.diagnostics)
+    for diagnostic in diagnostics:
+        print(diagnostic.format())
+    if args.verbose:
+        print(report.format_vocabulary(), file=sys.stderr)
+        for result in results.values():
+            print(result.format_summary(), file=sys.stderr)
+    bounded = [r.model for r in results.values() if not r.complete]
+    if bounded:
+        print(
+            "warning: state cap hit for model(s) %s — absence of "
+            "findings is not a proof" % ", ".join(bounded),
+            file=sys.stderr,
+        )
+    states = sum(r.states_explored for r in results.values())
+    print(
+        "-- %s; %d model(s), %d state(s) explored"
+        % (report.format_summary(), len(results), states),
+        file=sys.stderr,
+    )
+    errors = sum(1 for d in diagnostics if d.is_error)
+    if errors:
+        return 1
+    # a capped exploration is a warning: nothing found, nothing proven
+    return 3 if len(diagnostics) > errors or bounded else 0
+
+
 def cmd_flowcheck(args):
     """Static layout-flow verification (S3xx) + UDF shippability (P4xx).
 
@@ -710,6 +762,26 @@ def build_parser():
         help="also print the static lock-order graph",
     )
     racecheck.set_defaults(handler=cmd_racecheck)
+
+    wirecheck = commands.add_parser(
+        "wirecheck",
+        help="wire-protocol verification for the worker runtime: diff "
+        "extracted message constructors/handler arms against the "
+        "declared pipe vocabulary (W501-W505) and model-check the "
+        "cancel/done, spec-cache, ring and resident-eviction "
+        "protocols (W506-W508)",
+    )
+    wirecheck.add_argument(
+        "--verbose", action="store_true",
+        help="also print the per-pipe vocabulary coverage table and "
+        "per-model exploration summaries",
+    )
+    wirecheck.add_argument(
+        "--max-states", type=int, default=100000,
+        help="state-space cap per model (absence of findings is not a "
+        "proof once hit)",
+    )
+    wirecheck.set_defaults(handler=cmd_wirecheck)
 
     flowcheck = commands.add_parser(
         "flowcheck",

@@ -12,6 +12,7 @@ on top (service deadlines, admission control, the simulated cost
 model) behaves identically in both modes.
 """
 
+from . import messages
 from .pool import RemoteWorkerError, WorkerCrashError, WorkerPool
 from .shipping import (
     ChainSpec,
@@ -23,6 +24,7 @@ from .shipping import (
 )
 
 __all__ = [
+    "messages",
     "WorkerPool",
     "WorkerCrashError",
     "RemoteWorkerError",

@@ -1,0 +1,180 @@
+"""The parent↔worker wire vocabulary — the protocol, in one place.
+
+PR 8's review pass found three protocol bugs by hand (spec-cache
+desync, crash mis-scoping, cancellation-mark leaks), all of the same
+species: the message vocabulary lived as duplicated string literals in
+:mod:`.pool` and :mod:`.runtime`, so the two sides could drift.  This
+module makes drift impossible by construction — every wire message is
+built and matched through the constants below, and the declarative
+:data:`PIPES` table is the contract the static wire checker
+(:mod:`repro.analysis.protocol`, ``repro wirecheck``) verifies both
+sides against.
+
+Three pipes connect the parent to each worker:
+
+* the **request pipe** (parent → worker) carries spec shipping, task
+  dispatch, exchange relays and resident-source eviction, batched as
+  lists of messages;
+* the **response pipe** (worker → parent) carries task results,
+  failures and cancellation acknowledgements, batched by the worker's
+  flush policy;
+* the **cancel pipe** (parent → worker) carries only the
+  cancel/``done`` confirmation protocol, on its own descriptor so it
+  overtakes queued work.
+
+Every message is a flat tuple ``(TAG, field, ...)``.  The field tuples
+in :data:`PIPES` are the authoritative arities: a send site or match
+arm that disagrees is a wire bug (``W503``).  The rule that keeps the
+static extraction sound: **wire messages are always constructed and
+matched through these constants** — a tuple headed by a plain string
+literal is internal bookkeeping (pool-side queue items, cache keys) and
+never crosses a pipe.
+
+Shared numeric constants that both sides must agree on (the spec-cache
+LRU bound, the inline-payload threshold) are part of the same contract:
+they are defined once (here or in :mod:`.shipping`/:mod:`.channels`)
+and *imported* by both sides; a side defining its own copy is flagged
+as ``W505``.
+"""
+
+__all__ = [
+    "SHIP", "CHAIN", "JOIN", "SHUFFLE", "EXCHANGE", "PJOIN", "FREE",
+    "SHUTDOWN", "CRASH", "OK", "ERROR", "CANCELLED", "CANCEL", "DONE",
+    "BLOB_RING", "BLOB_INLINE", "SRC_BLOB", "SRC_CACHED", "SRC_STORE",
+    "PipeSpec", "PIPES", "SHARED_CONSTANTS", "set_trace_hook", "trace",
+]
+
+# --- request pipe (parent → worker) ----------------------------------------
+
+#: cache one serialized spec under its wire key (content-digest keyed)
+SHIP = "ship"
+#: run one partition through a fused chain's compiled chunk loop
+CHAIN = "chain"
+#: one co-partitioned hash-join pair (build/probe already co-located)
+JOIN = "join"
+#: hash-partition one input partition of a repartition join
+SHUFFLE = "shuffle"
+#: relay one foreign shuffle split (opaque bytes) to its owning worker
+EXCHANGE = "exchange"
+#: join one co-partitioned pair out of the worker's exchange table
+PJOIN = "pjoin"
+#: drop one resident source partition (parent-driven byte budget)
+FREE = "free"
+#: drain buffered responses and exit the worker loop
+SHUTDOWN = "shutdown"
+#: test hook: die mid-protocol like a segfault (never sent by the pool)
+CRASH = "crash"
+
+# --- response pipe (worker → parent) ---------------------------------------
+
+#: one task's result: per-stage counts and the produced record batch
+OK = "ok"
+#: one task failed: failing stage name plus the (picklable) cause
+ERROR = "error"
+#: one task abandoned because its job was cancelled
+CANCELLED = "cancelled"
+
+# --- cancel pipe (parent → worker) -----------------------------------------
+
+#: mark a job cancelled; the worker abandons its queued/in-flight tasks
+CANCEL = "cancel"
+#: every dispatched task of the cancelled job is accounted for — the
+#: worker may forget the cancel mark (never sent earlier: a still-queued
+#: task of a ``done``-confirmed job would execute)
+DONE = "done"
+
+# --- payload sub-markers (inside blob/src fields, never top-level) ---------
+
+BLOB_RING = "r"       #: ``("r", offset, length)`` — payload in the ring
+BLOB_INLINE = "i"     #: ``("i", bytes)`` — payload inline in the message
+SRC_BLOB = "blob"     #: ``("blob", fmt, blob)`` — one-shot task input
+SRC_CACHED = "cached"  #: ``("cached", source_key, part)`` — resident hit
+SRC_STORE = "store"   #: ``("store", source_key, part, fmt, blob)`` — fill
+
+
+class PipeSpec:
+    """One pipe's declared vocabulary: who sends, and which shapes.
+
+    ``fields`` maps each tag to the tuple of payload field names that
+    follow it — the wire arity of a message is ``len(fields[tag]) + 1``.
+    ``test_only`` tags are part of the protocol the *receiver* must
+    handle but that production senders never emit (the ``crash`` hook);
+    the wire checker exempts them from W502.
+    """
+
+    __slots__ = ("name", "sender", "fields", "test_only")
+
+    def __init__(self, name, sender, fields, test_only=()):
+        self.name = name
+        self.sender = sender  # "parent" | "worker"
+        self.fields = dict(fields)
+        self.test_only = frozenset(test_only)
+
+    @property
+    def receiver(self):
+        return "worker" if self.sender == "parent" else "parent"
+
+    def arity(self, tag):
+        """Total tuple length of ``tag``'s messages, tag included."""
+        return len(self.fields[tag]) + 1
+
+
+#: the authoritative pipe table the wire checker verifies both sides
+#: against; field names double as documentation of each payload slot
+PIPES = (
+    PipeSpec("request", sender="parent", fields={
+        SHIP: ("key", "blob"),
+        CHAIN: ("job", "seq", "spec", "src"),
+        JOIN: ("job", "seq", "spec", "build_src", "probe_src",
+               "build_is_left"),
+        SHUFFLE: ("job", "seq", "spec", "side", "source", "owners", "src"),
+        EXCHANGE: ("job", "side", "target", "source", "fmt", "blob"),
+        PJOIN: ("job", "seq", "spec", "target"),
+        FREE: ("source_key", "part"),
+        SHUTDOWN: (),
+        CRASH: (),
+    }, test_only=(CRASH,)),
+    PipeSpec("response", sender="worker", fields={
+        OK: ("job", "seq", "counts", "fmt", "blob"),
+        ERROR: ("job", "seq", "stage", "unwrapped", "cause_payload",
+                "cause_repr"),
+        CANCELLED: ("job", "seq"),
+    }),
+    PipeSpec("cancel", sender="parent", fields={
+        CANCEL: ("job",),
+        DONE: ("job",),
+    }),
+)
+
+#: numeric constants both sides of the wire read; each must have exactly
+#: one defining module that both sides import (W505 otherwise)
+SHARED_CONSTANTS = ("SPEC_CACHE_LIMIT", "INLINE_LIMIT")
+
+
+# --- trace hook -------------------------------------------------------------
+
+#: when set, every pipe send/receive on the parent side reports
+#: ``(direction, worker_index, message)`` here — the conformance tests
+#: replay recorded traces against the protocol models.  One ``is None``
+#: check per *batch* when unset, so the hot path pays nothing.
+_trace_hook = None
+
+
+def set_trace_hook(hook):
+    """Install (or with ``None`` remove) the trace hook; returns the
+    previous hook so tests can restore it."""
+    global _trace_hook
+    previous = _trace_hook
+    _trace_hook = hook
+    return previous
+
+
+def trace(direction, worker_index, message):
+    """Report one wire event to the installed hook, if any.
+
+    ``direction`` is the pipe name (``"request"``/``"response"``/
+    ``"cancel"``); ``message`` is one message tuple for the cancel pipe
+    and the full batch (a list of message tuples) for the other two.
+    """
+    if _trace_hook is not None:
+        _trace_hook(direction, worker_index, message)

@@ -61,6 +61,27 @@ from repro.locks import named_lock
 from ..errors import JobExecutionError
 from ..partitioner import assign_partitions
 from .channels import INLINE_LIMIT, RingSegment
+from .messages import (
+    BLOB_INLINE,
+    BLOB_RING,
+    CANCEL,
+    CANCELLED,
+    CHAIN,
+    DONE,
+    ERROR,
+    EXCHANGE,
+    FREE,
+    JOIN,
+    OK,
+    PJOIN,
+    SHIP,
+    SHUFFLE,
+    SHUTDOWN,
+    SRC_BLOB,
+    SRC_CACHED,
+    SRC_STORE,
+    trace,
+)
 from .shipping import (
     SPEC_CACHE_LIMIT,
     ChainSpec,
@@ -166,8 +187,8 @@ class _WorkerHandle:
         if len(payload) > INLINE_LIMIT:
             ref = self.req_ring.try_write(payload)
             if ref is not None:
-                return ("r", ref[0], ref[1])
-        return ("i", payload)
+                return (BLOB_RING, ref[0], ref[1])
+        return (BLOB_INLINE, payload)
 
     # resident-source accounting (callers hold send_lock) -------------------
 
@@ -198,7 +219,7 @@ class _WorkerHandle:
             if cache_key in self.pinned:
                 continue
             self.resident_bytes -= self.resident.pop(cache_key)
-            frees.append(("free", cache_key[0], cache_key[1]))
+            frees.append((FREE, cache_key[0], cache_key[1]))
         return frees
 
     def close(self, kill):
@@ -355,7 +376,9 @@ class WorkerPool:
             with handle.send_lock:
                 handle.closed = True
                 try:
-                    handle.req_conn.send([("shutdown",)])
+                    # a leaf-lock pipe send is the channel design itself:
+                    # send_lock only ever guards this worker's descriptor
+                    handle.req_conn.send([(SHUTDOWN,)])  # racecheck: ignore[C306]
                 except Exception:  # noqa: BLE001 — already dead
                     pass
         if receiver is not None and receiver.is_alive():
@@ -401,21 +424,22 @@ class WorkerPool:
                     handle.alive = False
                     self._broadcast_crash(handle.index)
                     continue
+                trace("response", handle.index, batch)
                 for message in batch:
                     self._route(handle, message)
 
     def _route(self, handle, message):
         kind = message[0]
-        if kind == "ok":
+        if kind == OK:
             _, job, seq, counts, fmt, blob = message
-            if blob[0] == "r":
+            if blob[0] == BLOB_RING:
                 payload = handle.resp_ring.read(blob[1], blob[2])
             else:
                 payload = blob[1]
             self._deliver(job, ("ok", seq, counts, fmt, payload))
-        elif kind == "cancelled":
+        elif kind == CANCELLED:
             self._deliver(message[1], ("cancelled", message[2]))
-        elif kind == "error":
+        elif kind == ERROR:
             _, job, seq, stage, unwrapped, cause_payload, cause_repr = message
             self._deliver(
                 job, ("error", seq, stage, unwrapped, cause_payload,
@@ -427,7 +451,7 @@ class WorkerPool:
     def chain_shippable(self, chain):
         """True when every stage UDF certifies (``P4xx``-clean); cached
         under the chain's stable stage-id key."""
-        key = ("chain",) + tuple(stage.id for stage in chain.stages)
+        key = ("chain-udfs",) + tuple(stage.id for stage in chain.stages)
         with self._lock:
             cached = self._ship_ok.get(key)
         if cached is not None:
@@ -440,7 +464,7 @@ class WorkerPool:
         return ok
 
     def join_shippable(self, operator):
-        key = ("join", operator.id)
+        key = ("join-udfs", operator.id)
         with self._lock:
             cached = self._ship_ok.get(key)
         if cached is not None:
@@ -497,15 +521,18 @@ class WorkerPool:
             if wire_key in handle.shipped:
                 handle.shipped.move_to_end(wire_key)
             else:
-                batch.append(("ship", wire_key, handle.pack_blob(payload)))
+                batch.append((SHIP, wire_key, handle.pack_blob(payload)))
                 handle.shipped[wire_key] = True
                 while len(handle.shipped) > self.spec_cache_limit:
                     handle.shipped.popitem(last=False)
             for build in messages:
                 batch.append(build(handle))
             batch.extend(handle.evict_resident(self.resident_bytes))
+            trace("request", handle.index, batch)
             try:
-                handle.req_conn.send(batch)
+                # a leaf-lock pipe send is the channel design itself:
+                # send_lock only ever guards this worker's descriptor
+                handle.req_conn.send(batch)  # racecheck: ignore[C306]
             except OSError as exc:
                 raise WorkerCrashError(
                     "worker %d pipe failed mid-dispatch" % handle.index
@@ -564,8 +591,9 @@ class WorkerPool:
         with self._lock:
             handles = [h for h in self._handles if h is not None and h.alive]
         for handle in handles:
+            trace("cancel", handle.index, (CANCEL, job))
             try:
-                handle.cancel_conn.send(("cancel", job))
+                handle.cancel_conn.send((CANCEL, job))
             except Exception:  # noqa: BLE001 — crash handled via queue
                 pass
 
@@ -574,8 +602,9 @@ class WorkerPool:
         with self._lock:
             handles = [h for h in self._handles if h is not None and h.alive]
         for handle in handles:
+            trace("cancel", handle.index, (DONE, job))
             try:
-                handle.cancel_conn.send(("done", job))
+                handle.cancel_conn.send((DONE, job))
             except Exception:  # noqa: BLE001 — crash handled via queue
                 pass
 
@@ -656,16 +685,16 @@ class WorkerPool:
                 if source_key is not None:
                     cache_key = (source_key, part_index)
                     if handle.hit_resident(cache_key):
-                        src = ("cached", source_key, part_index)
-                        return ("chain", job, seq, spec_key, src)
+                        src = (SRC_CACHED, source_key, part_index)
+                        return (CHAIN, job, seq, spec_key, src)
                     fmt, payload = encode_records(records)
                     handle.store_resident(cache_key, len(payload))
-                    src = ("store", source_key, part_index, fmt,
+                    src = (SRC_STORE, source_key, part_index, fmt,
                            handle.pack_blob(payload))
-                    return ("chain", job, seq, spec_key, src)
+                    return (CHAIN, job, seq, spec_key, src)
                 fmt, payload = encode_records(records)
-                src = ("blob", fmt, handle.pack_blob(payload))
-                return ("chain", job, seq, spec_key, src)
+                src = (SRC_BLOB, fmt, handle.pack_blob(payload))
+                return (CHAIN, job, seq, spec_key, src)
 
             return build
         # ("join", build_records, probe_records, build_is_left)
@@ -675,9 +704,9 @@ class WorkerPool:
             build_fmt, build_payload = encode_records(build_records)
             probe_fmt, probe_payload = encode_records(probe_records)
             return (
-                "join", job, seq, spec_key,
-                ("blob", build_fmt, handle.pack_blob(build_payload)),
-                ("blob", probe_fmt, handle.pack_blob(probe_payload)),
+                JOIN, job, seq, spec_key,
+                (SRC_BLOB, build_fmt, handle.pack_blob(build_payload)),
+                (SRC_BLOB, probe_fmt, handle.pack_blob(probe_payload)),
                 build_is_left,
             )
 
@@ -893,8 +922,8 @@ class WorkerPool:
         def build(handle):
             fmt, payload = encode_records(records)
             return (
-                "shuffle", job, seq, spec_key, side, source, owners,
-                ("blob", fmt, handle.pack_blob(payload)),
+                SHUFFLE, job, seq, spec_key, side, source, owners,
+                (SRC_BLOB, fmt, handle.pack_blob(payload)),
             )
 
         return build
@@ -905,7 +934,7 @@ class WorkerPool:
 
         def build(handle):
             return (
-                "exchange", job, side, target, source, fmt,
+                EXCHANGE, job, side, target, source, fmt,
                 handle.pack_blob(payload),
             )
 
@@ -914,6 +943,6 @@ class WorkerPool:
     @staticmethod
     def _pjoin_builder(job, seq, spec_key, target):
         def build(handle):
-            return ("pjoin", job, seq, spec_key, target)
+            return (PJOIN, job, seq, spec_key, target)
 
         return build

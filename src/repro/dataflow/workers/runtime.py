@@ -35,7 +35,11 @@ rings, see :mod:`.channels`) and loops over batched request messages:
 * ``("pjoin", job, seq, key, target)`` — join one co-partitioned pair
   out of the exchange table, concatenating each side's splits in source
   -partition order so record order matches the in-process shuffle.
-* ``("cancel", job)`` / ``("shutdown",)``.
+* ``("shutdown",)`` — drain buffered responses and exit.
+
+Every tag above is a constant from :mod:`.messages`, the single wire
+vocabulary both sides import — construction or matching through a raw
+string literal is a wirecheck (W5xx) finding.
 
 Cancellation arrives on a dedicated pipe so it overtakes queued work:
 the worker polls it between chunks and every ``POLL_INTERVAL`` probe
@@ -62,6 +66,26 @@ from collections import OrderedDict
 from ..cancellation import POLL_INTERVAL
 from ..operators import _hashable
 from .channels import INLINE_LIMIT, RingSegment
+from .messages import (
+    BLOB_INLINE,
+    BLOB_RING,
+    CANCEL,
+    CANCELLED,
+    CHAIN,
+    CRASH,
+    DONE,
+    ERROR,
+    EXCHANGE,
+    FREE,
+    JOIN,
+    OK,
+    PJOIN,
+    SHIP,
+    SHUFFLE,
+    SHUTDOWN,
+    SRC_BLOB,
+    SRC_CACHED,
+)
 from .shipping import (
     FORMAT_PICKLE,
     SPEC_CACHE_LIMIT,
@@ -130,7 +154,7 @@ class _Worker:
 
     def _resolve_blob(self, blob):
         """Inline bytes, or copy a referenced payload out of the ring."""
-        if blob[0] == "i":
+        if blob[0] == BLOB_INLINE:
             return blob[1]
         return self.req_ring.read(blob[1], blob[2])
 
@@ -138,17 +162,17 @@ class _Worker:
         if len(payload) > INLINE_LIMIT:
             ref = self.resp_ring.try_write(payload)
             if ref is not None:
-                return ("r", ref[0], ref[1])
-        return ("i", payload)
+                return (BLOB_RING, ref[0], ref[1])
+        return (BLOB_INLINE, payload)
 
     def _resolve_source(self, src):
         """Decode one task input; ``store`` variants feed the resident
         cache so later executions of the same immutable source partition
         skip the payload transfer entirely."""
         kind = src[0]
-        if kind == "blob":
+        if kind == SRC_BLOB:
             return decode_records(src[1], self._resolve_blob(src[2]))
-        if kind == "cached":
+        if kind == SRC_CACHED:
             return self.resident[(src[1], src[2])]
         # ("store", cache_key, part_index, fmt, blob)
         records = decode_records(src[3], self._resolve_blob(src[4]))
@@ -182,16 +206,16 @@ class _Worker:
                 kind, stale = self.cancel_conn.recv()
             except EOFError:  # pragma: no cover - parent died mid-cancel
                 break
-            if kind == "cancel":
+            if kind == CANCEL:
                 self.cancelled.add(stale)
                 self._forget_job(stale)
-            else:
-                # "done": the parent collected every dispatched task of
-                # the cancelled job, so nothing of it can still be
-                # queued — the mark can be dropped.  Jobs aborted by a
-                # worker crash get no confirmation and keep their mark
-                # (job ids are never reused, so a stale mark is only a
-                # few bytes, never a correctness hazard).
+            elif kind == DONE:
+                # the parent collected every dispatched task of the
+                # cancelled job, so nothing of it can still be queued —
+                # the mark can be dropped.  Jobs aborted by a worker
+                # crash get no confirmation and keep their mark (job
+                # ids are never reused, so a stale mark is only a few
+                # bytes, never a correctness hazard).
                 self.cancelled.discard(stale)
         return job in self.cancelled
 
@@ -357,7 +381,7 @@ class _Worker:
         spec = self.specs.get(key)
         if spec is None:
             self._emit((
-                "error", job, seq, "worker-spec-cache", False, None,
+                ERROR, job, seq, "worker-spec-cache", False, None,
                 "spec %r missing from worker %d's cache "
                 "(ship/evict desync)" % (key, self.index),
             ))
@@ -367,11 +391,11 @@ class _Worker:
 
     def _respond_result(self, job, seq, counts, records):
         fmt, payload = encode_records(records)
-        self._emit(("ok", job, seq, counts, fmt, self._pack_blob(payload)))
+        self._emit((OK, job, seq, counts, fmt, self._pack_blob(payload)))
 
     def _respond_failure(self, job, seq, error):
         if isinstance(error, _Cancelled):
-            self._emit(("cancelled", job, seq))
+            self._emit((CANCELLED, job, seq))
             return
         cause = error.cause
         try:
@@ -380,21 +404,21 @@ class _Worker:
         except Exception:  # noqa: BLE001 — unpicklable cause: ship repr
             cause_payload = None
         self._emit((
-            "error", job, seq, error.stage, error.unwrapped,
+            ERROR, job, seq, error.stage, error.unwrapped,
             cause_payload, repr(cause),
         ))
 
     def handle(self, message):
         """Process one request; returns False on shutdown."""
         kind = message[0]
-        if kind == "chain":
+        if kind == CHAIN:
             _, job, seq, key, src = message
             spec = self._spec_for(key, job, seq)
             if spec is None:
                 return True
             records = self._resolve_source(src)
             if self._job_cancelled(job):
-                self._emit(("cancelled", job, seq))
+                self._emit((CANCELLED, job, seq))
                 return True
             try:
                 produced, totals = self._run_chain(job, spec, records)
@@ -403,7 +427,7 @@ class _Worker:
             else:
                 self._respond_result(job, seq, totals, produced)
             return True
-        if kind == "join":
+        if kind == JOIN:
             _, job, seq, key, build_src, probe_src, build_is_left = message
             spec = self._spec_for(key, job, seq)
             if spec is None:
@@ -411,7 +435,7 @@ class _Worker:
             build = self._resolve_source(build_src)
             probe = self._resolve_source(probe_src)
             if self._job_cancelled(job):
-                self._emit(("cancelled", job, seq))
+                self._emit((CANCELLED, job, seq))
                 return True
             try:
                 produced = self._run_join(job, spec, build, probe,
@@ -421,14 +445,14 @@ class _Worker:
             else:
                 self._respond_result(job, seq, None, produced)
             return True
-        if kind == "shuffle":
+        if kind == SHUFFLE:
             _, job, seq, key, side, source, owners, src = message
             spec = self._spec_for(key, job, seq)
             if spec is None:
                 return True
             records = self._resolve_source(src)
             if self._job_cancelled(job):
-                self._emit(("cancelled", job, seq))
+                self._emit((CANCELLED, job, seq))
                 return True
             try:
                 stats, foreign = self._run_shuffle(
@@ -441,18 +465,18 @@ class _Worker:
                     foreign, protocol=pickle.HIGHEST_PROTOCOL
                 )
                 self._emit((
-                    "ok", job, seq, stats, FORMAT_PICKLE,
+                    OK, job, seq, stats, FORMAT_PICKLE,
                     self._pack_blob(payload),
                 ))
             return True
-        if kind == "exchange":
+        if kind == EXCHANGE:
             _, job, side, target, source, fmt, blob = message
             records = decode_records(fmt, self._resolve_blob(blob))
             self.exchange.setdefault((job, side, target), {})[source] = (
                 records
             )
             return True
-        if kind == "pjoin":
+        if kind == PJOIN:
             _, job, seq, key, target = message
             # pop state before the spec/cancellation checks so a failed
             # or cancelled job's splits never linger in the exchange
@@ -463,7 +487,7 @@ class _Worker:
             if spec is None:
                 return True
             if self._job_cancelled(job):
-                self._emit(("cancelled", job, seq))
+                self._emit((CANCELLED, job, seq))
                 return True
             left = [
                 record
@@ -491,26 +515,22 @@ class _Worker:
             else:
                 self._respond_result(job, seq, None, produced)
             return True
-        if kind == "ship":
+        if kind == SHIP:
             _, key, blob = message
             _lru_put(
                 self.specs, key, load_functions(self._resolve_blob(blob)),
                 self.spec_cache_limit,
             )
             return True
-        if kind == "free":
+        if kind == FREE:
             # parent-driven resident-source eviction (byte budget)
             self.resident.pop((message[1], message[2]), None)
             return True
-        if kind == "cancel":
-            self.cancelled.add(message[1])
-            self._forget_job(message[1])
-            return True
-        if kind == "crash":  # test hook: die mid-protocol, like a segfault
+        if kind == CRASH:  # test hook: die mid-protocol, like a segfault
             import os
 
             os._exit(1)
-        return kind != "shutdown"
+        return kind != SHUTDOWN
 
     def loop(self):
         while True:

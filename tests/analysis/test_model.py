@@ -1,0 +1,248 @@
+"""The explicit-state model checker (Layer 2 framework).
+
+Small hand-built protocols pin each checker behavior: clean
+termination, W506 deadlocks, W507 losses, W508 invariant violations,
+BFS-minimal counterexample traces, atomic multi-sends, blocking
+back-pressure, and the ``max_states`` bound.  The planted fixture
+models (:mod:`tests.analysis.wire_fixtures`) must each trip exactly
+their code.
+"""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.analysis.model import Model, check
+from tests.analysis import wire_fixtures
+
+
+@dataclass(frozen=True)
+class _Peer:
+    sent: int = 0
+    seen: int = 0
+
+
+def _ping_pong(rounds=3, capacity=2):
+    """A protocol that always drains: ping sends, pong echoes."""
+    model = Model("ping_pong")
+    model.machine("ping", _Peer())
+    model.machine("pong", _Peer())
+    model.channel("fwd", capacity=capacity)
+    model.channel("bwd", capacity=capacity)
+    model.internal(
+        "ping", "send",
+        lambda s: s.sent < rounds,
+        lambda s: (replace(s, sent=s.sent + 1), [("fwd", ("ping", s.sent))]),
+    )
+    model.receive(
+        "pong", "echo", "fwd",
+        lambda s, m: True,
+        lambda s, m: (replace(s, seen=s.seen + 1), [("bwd", ("pong", m[1]))]),
+    )
+    model.receive(
+        "ping", "absorb", "bwd",
+        lambda s, m: True,
+        lambda s, m: (replace(s, seen=s.seen + 1), []),
+    )
+    return model
+
+
+def test_clean_protocol_checks_ok():
+    result = check(_ping_pong())
+    assert result.ok and result.complete
+    assert result.states_explored > 1
+    assert "ok" in result.format_summary()
+
+
+def test_invariants_hold_on_every_reachable_state():
+    model = _ping_pong()
+    model.invariant(
+        "echo-never-outruns-send",
+        lambda states, channels: (
+            "pong saw more than ping sent"
+            if states["pong"].seen > states["ping"].sent else None
+        ),
+    )
+    assert check(model).ok
+
+
+def test_w508_counterexample_is_minimal():
+    model = _ping_pong(rounds=3)
+    model.invariant(
+        "never-two-echoes",
+        lambda states, channels: (
+            "second echo" if states["pong"].seen >= 2 else None
+        ),
+    )
+    result = check(model)
+    assert [d.code for d in result.diagnostics] == ["W508"]
+    # shortest path: send, echo, send, echo — BFS guarantees no longer
+    # interleaving is reported
+    assert len(result.trace) == 4
+    listing = result.format_trace()
+    assert listing.splitlines()[0].startswith("1. ")
+    assert "recv" in listing
+
+
+def test_w508_in_initial_state():
+    model = Model("born_bad")
+
+    @dataclass(frozen=True)
+    class S:
+        pass
+
+    model.machine("m", S())
+    model.invariant("never", lambda states, channels: "starts broken")
+    result = check(model)
+    assert [d.code for d in result.diagnostics] == ["W508"]
+    assert result.trace == []
+    assert "initial state" in result.format_trace()
+
+
+def test_w506_deadlock_with_trace():
+    model = Model("wedge")
+
+    @dataclass(frozen=True)
+    class S:
+        sent: bool = False
+
+    model.machine("a", S())
+    model.channel("ch", capacity=1)
+    model.internal(
+        "a", "send",
+        lambda s: not s.sent,
+        lambda s: (replace(s, sent=True), [("ch", ("hello",))]),
+    )
+    result = check(model)
+    assert [d.code for d in result.diagnostics] == ["W506"]
+    assert result.trace == ["a.send"]
+
+
+def test_quiescent_stop_is_not_a_deadlock():
+    """Drained channels are accepting by default: no W506."""
+    model = Model("quiescent")
+
+    @dataclass(frozen=True)
+    class S:
+        done: bool = False
+
+    model.machine("a", S())
+    model.channel("ch", capacity=1)
+    model.internal(
+        "a", "step",
+        lambda s: not s.done,
+        lambda s: (replace(s, done=True), []),
+    )
+    assert check(model).ok
+
+
+def test_w507_lost_message_on_lose_policy():
+    model = Model("lossy")
+
+    @dataclass(frozen=True)
+    class S:
+        n: int = 0
+
+    model.machine("p", S())
+    model.channel("ch", capacity=1, policy="lose")
+    model.internal(
+        "p", "send",
+        lambda s: s.n < 2,
+        lambda s: (replace(s, n=s.n + 1), [("ch", ("m", s.n))]),
+    )
+    result = check(model)
+    assert [d.code for d in result.diagnostics] == ["W507"]
+    assert "dropped on full channel" in result.diagnostics[0].message
+
+
+def test_blocking_channel_applies_back_pressure():
+    """A full ``"block"`` channel disables the send instead of losing."""
+    model = Model("backpressure")
+
+    @dataclass(frozen=True)
+    class S:
+        n: int = 0
+
+    model.machine("p", S())
+    model.machine("c", S())
+    model.channel("ch", capacity=1, policy="block")
+    model.internal(
+        "p", "send",
+        lambda s: s.n < 3,
+        lambda s: (replace(s, n=s.n + 1), [("ch", ("m", s.n))]),
+    )
+    model.receive(
+        "c", "drain", "ch",
+        lambda s, m: True,
+        lambda s, m: (replace(s, n=s.n + 1), []),
+    )
+    result = check(model)
+    assert result.ok, [d.format() for d in result.diagnostics]
+
+
+def test_sends_in_one_firing_are_atomic():
+    """Both messages of one effect land before any other rule runs."""
+    model = Model("atomic")
+
+    @dataclass(frozen=True)
+    class S:
+        fired: bool = False
+
+    @dataclass(frozen=True)
+    class R:
+        first: tuple = ()
+
+    model.machine("p", S())
+    model.machine("c", R())
+    model.channel("ch", capacity=4)
+    model.internal(
+        "p", "burst",
+        lambda s: not s.fired,
+        lambda s: (
+            replace(s, fired=True),
+            [("ch", ("one",)), ("ch", ("two",))],
+        ),
+    )
+    model.receive(
+        "c", "drain", "ch",
+        lambda s, m: True,
+        lambda s, m: (replace(s, first=s.first or m), []),
+    )
+    model.invariant(
+        "fifo-order",
+        lambda states, channels: (
+            "second message overtook the first"
+            if states["c"].first == ("two",) else None
+        ),
+    )
+    assert check(model).ok
+
+
+def test_max_states_bound_marks_result_incomplete():
+    model = Model("unbounded")
+
+    @dataclass(frozen=True)
+    class S:
+        n: int = 0
+
+    model.machine("m", S())
+    model.internal(
+        "m", "tick",
+        lambda s: True,
+        lambda s: (replace(s, n=s.n + 1), []),
+    )
+    result = check(model, max_states=50)
+    assert result.ok and not result.complete
+    assert "state cap hit" in result.format_summary()
+
+
+@pytest.mark.parametrize(
+    "fixture", wire_fixtures.MODEL_FIXTURES,
+    ids=lambda m: m.EXPECTED,
+)
+def test_planted_model_trips_exactly_its_code(fixture):
+    result = check(fixture.build())
+    assert sorted({d.code for d in result.diagnostics}) == [
+        fixture.EXPECTED
+    ], [d.format() for d in result.diagnostics]
+    assert len(result.trace) <= 20

@@ -1,0 +1,297 @@
+"""Layer 1 of ``repro wirecheck``: wire-schema extraction and drift.
+
+Corpus snippets pin each W501–W505 diagnostic the way the C3xx corpus
+pins racecheck; the planted fixture modules
+(:mod:`tests.analysis.wire_fixtures`) must each trip exactly their
+code; and the integration tests assert the shipped worker runtime is
+drift-free with full vocabulary coverage.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.protocol import wirecheck_paths, wirecheck_sources
+from repro.cli import main
+from tests.analysis import wire_fixtures
+
+
+def check(parent=None, worker=None):
+    role_sources = {}
+    if parent is not None:
+        role_sources["parent"] = [
+            ("parent.py", textwrap.dedent(parent))
+        ]
+    if worker is not None:
+        role_sources["worker"] = [
+            ("worker.py", textwrap.dedent(worker))
+        ]
+    return wirecheck_sources(role_sources)
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+# --- the shipped tree --------------------------------------------------------
+
+
+def test_shipped_worker_runtime_is_drift_free():
+    report = wirecheck_paths()
+    assert report.clean, [d.format() for d in report.diagnostics]
+    assert report.constructs, "extraction found no construct sites"
+    assert report.handlers, "extraction found no handler arms"
+
+
+def test_shipped_tree_covers_every_declared_tag():
+    """Every non-test tag has at least one send site and one arm."""
+    from repro.dataflow.workers.messages import PIPES
+
+    report = wirecheck_paths()
+    sent = {site.tag for site in report.constructs}
+    handled = {arm.tag for arm in report.handlers}
+    for pipe in PIPES:
+        for tag in pipe.fields:
+            assert tag in handled, "no handler arm extracted for %r" % tag
+            if tag not in pipe.test_only:
+                assert tag in sent, "no send site extracted for %r" % tag
+
+
+def test_vocabulary_table_lists_pipes_and_test_only():
+    report = wirecheck_paths()
+    table = report.format_vocabulary()
+    assert "request pipe (parent -> worker)" in table
+    assert "response pipe (worker -> parent)" in table
+    assert "cancel pipe (parent -> worker)" in table
+    assert "[test-only]" in table
+
+
+def test_cli_wirecheck_exits_clean():
+    assert main(["wirecheck"]) == 0
+
+
+def test_cli_wirecheck_capped_exploration_is_warnings_only(capsys):
+    # nothing found under a 50-state cap proves nothing — exit 3
+    assert main(["wirecheck", "--max-states", "50"]) == 3
+    assert "state cap hit" in capsys.readouterr().err
+
+
+# --- W501: sent but unhandled ------------------------------------------------
+
+
+def test_w501_only_when_receiver_side_is_analyzed():
+    parent = """
+        from repro.dataflow.workers.messages import FREE
+
+        def evict(conn, key, part):
+            conn.send([(FREE, key, part)])
+    """
+    # parent alone: the worker side was not analyzed, so no W501
+    assert codes(check(parent=parent)) == []
+    report = check(parent=parent, worker="def loop(conn):\n    pass\n")
+    assert codes(report) == ["W501"]
+    assert "'free'" in report.diagnostics[0].message
+
+
+# --- W502: handled but never sent -------------------------------------------
+
+
+def test_w502_is_a_warning_and_crash_is_exempt():
+    worker = """
+        from repro.dataflow.workers.messages import CRASH, FREE
+
+        def handle(message):
+            kind = message[0]
+            if kind == FREE:
+                return "free"
+            if kind == CRASH:
+                return "crash"
+    """
+    report = check(parent="def dispatch(conn):\n    pass\n", worker=worker)
+    assert codes(report) == ["W502"]  # free is dead, crash is test_only
+    assert not report.diagnostics[0].is_error
+    assert report.errors == 0 and report.warnings == 1
+
+
+# --- W503: shape disagreements ----------------------------------------------
+
+
+def test_w503_wrong_direction_construction():
+    worker = """
+        from repro.dataflow.workers.messages import SHIP
+
+        def smuggle(conn, key, blob):
+            conn.send([(SHIP, key, blob)])
+    """
+    report = check(worker=worker)
+    assert "W503" in codes(report)
+    assert "declares parent as its sender" in report.diagnostics[0].message
+
+
+def test_w503_handler_unpack_arity():
+    parent = """
+        from repro.dataflow.workers.messages import CHAIN
+
+        def build(conn, job, seq, spec, src):
+            conn.send([(CHAIN, job, seq, spec, src)])
+    """
+    worker = """
+        from repro.dataflow.workers.messages import CHAIN
+
+        def handle(message):
+            kind = message[0]
+            if kind == CHAIN:
+                _, job, seq, spec = message
+                return job
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W503"]
+    assert "unpacks 4 element(s)" in report.diagnostics[0].message
+
+
+def test_w503_subscript_lower_bound():
+    parent = """
+        from repro.dataflow.workers.messages import PJOIN
+
+        def build(conn, job, seq, spec, target):
+            conn.send([(PJOIN, job, seq, spec, target)])
+    """
+    worker = """
+        from repro.dataflow.workers.messages import PJOIN
+
+        def handle(message):
+            kind = message[0]
+            if kind == PJOIN:
+                return message[7]
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W503"]
+    assert "indexes element 7" in report.diagnostics[0].message
+
+
+def test_w503_recv_unpack_arity_on_cancel_pipe():
+    parent = """
+        from repro.dataflow.workers.messages import CANCEL
+
+        def cancel(conn, job):
+            conn.send((CANCEL, job))
+    """
+    worker = """
+        from repro.dataflow.workers.messages import CANCEL
+
+        def drain(conn):
+            kind, job, extra = conn.recv()
+            if kind == CANCEL:
+                return job
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W503"]
+    assert "unpacks 3 element(s)" in report.diagnostics[0].message
+
+
+# --- W504: unshippable payloads ---------------------------------------------
+
+
+def test_w504_direct_lambda_field():
+    parent = """
+        from repro.dataflow.workers.messages import SHIP
+
+        def ship(conn, key):
+            conn.send([(SHIP, key, lambda r: r)])
+    """
+    worker = """
+        from repro.dataflow.workers.messages import SHIP
+
+        def handle(message):
+            kind = message[0]
+            if kind == SHIP:
+                _, key, blob = message
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W504"]
+    assert "field 'blob'" in report.diagnostics[0].message
+
+
+def test_w504_local_lock_through_name():
+    parent = """
+        import threading
+        from repro.dataflow.workers.messages import SHIP
+
+        def ship(conn, key):
+            guard = threading.Lock()
+            conn.send([(SHIP, key, guard)])
+    """
+    worker = """
+        from repro.dataflow.workers.messages import SHIP
+
+        def handle(message):
+            kind = message[0]
+            if kind == SHIP:
+                _, key, blob = message
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W504"]
+    assert "Lock()" in report.diagnostics[0].message
+
+
+# --- raw literals stay invisible --------------------------------------------
+
+
+def test_raw_string_tuples_are_internal_bookkeeping():
+    """The soundness convention: only vocabulary constants are wire."""
+    parent = """
+        def queue_item(seq):
+            return ("ok", seq, None, None, None)
+
+        def task_key(ids):
+            return ("chain",) + tuple(ids)
+    """
+    report = check(parent=parent)
+    assert codes(report) == []
+    assert not report.constructs
+
+
+# --- planted fixture modules -------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "fixture", wire_fixtures.SOURCE_FIXTURES,
+    ids=lambda m: m.EXPECTED,
+)
+def test_planted_fixture_trips_exactly_its_code(fixture):
+    report = wirecheck_sources({
+        "parent": [("planted_parent.py", fixture.PARENT)],
+        "worker": [("planted_worker.py", fixture.WORKER)],
+    })
+    assert sorted({d.code for d in report.diagnostics}) == [
+        fixture.EXPECTED
+    ], [d.format() for d in report.diagnostics]
+
+
+# --- W505 corpus -------------------------------------------------------------
+
+
+def test_w505_requires_the_other_side_to_read():
+    parent = """
+        INLINE_LIMIT = 1024
+
+        def pack(blob):
+            return blob[:INLINE_LIMIT]
+    """
+    # the worker never reads INLINE_LIMIT: a local constant is fine
+    report = check(parent=parent, worker="def handle(m):\n    pass\n")
+    assert codes(report) == []
+    worker = """
+        def unpack(blob):
+            return blob[:INLINE_LIMIT]
+    """
+    report = check(parent=parent, worker=worker)
+    assert codes(report) == ["W505"]
+
+
+# --- entry-point contract ----------------------------------------------------
+
+
+def test_syntax_error_propagates():
+    with pytest.raises(SyntaxError):
+        check(parent="def broken(:\n")

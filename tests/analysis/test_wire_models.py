@@ -1,0 +1,108 @@
+"""The shipped wire-protocol models and their re-planted PR 8 bugs.
+
+Every unmutated model must verify clean with a fully explored state
+space; every registered mutation must be *caught* with a
+counterexample trace of at most 20 steps.  The three bugs PR 8's
+review pass found by hand — spec-cache desync, crash mis-scoping,
+cancellation-mark leaks — are pinned individually with asserts on the
+violation messages, so the models cannot quietly stop covering them.
+"""
+
+import pytest
+
+from repro.analysis.model import check
+from repro.analysis.wire_models import (
+    MODELS,
+    MUTATIONS,
+    cancel_done_model,
+    check_all,
+    crash_scope_model,
+    ring_model,
+    spec_cache_model,
+)
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_shipped_model_verifies_clean(name):
+    result = check(MODELS[name]())
+    assert result.ok, [d.format() for d in result.diagnostics]
+    assert result.complete, "state space not exhausted for %s" % name
+    assert result.states_explored < 10000, (
+        "model %s grew past the keep-it-small design bound" % name
+    )
+
+
+def test_check_all_covers_every_registered_model():
+    results = check_all()
+    assert set(results) == set(MODELS)
+    assert all(r.ok and r.complete for r in results.values())
+
+
+@pytest.mark.parametrize(
+    "name,mutation",
+    [(name, mutation) for name in sorted(MUTATIONS)
+     for mutation in MUTATIONS[name]],
+)
+def test_every_mutation_is_caught_with_a_short_trace(name, mutation):
+    result = check(MODELS[name](mutation=mutation))
+    assert not result.ok, "%s:%s slipped through" % (name, mutation)
+    assert {d.code for d in result.diagnostics} <= {"W506", "W507", "W508"}
+    assert len(result.trace) <= 20, (
+        "%s:%s counterexample has %d steps"
+        % (name, mutation, len(result.trace))
+    )
+
+
+def test_unknown_mutation_is_rejected():
+    with pytest.raises(ValueError):
+        ring_model(mutation="made_up")
+
+
+# --- the three PR 8 bugs, pinned individually --------------------------------
+
+
+def test_replanted_spec_cache_desync():
+    """PR 8 bug 1: the pool's mirror stopped replaying evictions."""
+    result = check(spec_cache_model(mutation="desync"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "W508"
+    assert "evicted from the worker cache" in diagnostic.message
+    # the classic shape: fill the LRU past its limit, then revisit the
+    # evicted key — the mutated mirror never re-ships it
+    assert len(result.trace) <= 20
+
+
+def test_replanted_crash_mis_scoping():
+    """PR 8 bug 2: a crash notice failed every active job."""
+    result = check(crash_scope_model(mutation="shared_notice_bug"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "W508"
+    assert "no task of it was placed on the dead worker" in (
+        diagnostic.message
+    )
+    assert len(result.trace) <= 20
+
+
+def test_replanted_cancellation_mark_leak():
+    """PR 8 bug 3: size-bounded pruning forgot live cancel marks."""
+    result = check(cancel_done_model(mutation="prune_marks"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "W508"
+    assert "cancel mark was pruned" in diagnostic.message
+    assert len(result.trace) <= 20
+
+
+def test_early_done_confirmation_is_also_caught():
+    """The nearly-wrong edge: ``done`` before every task collected."""
+    result = check(cancel_done_model(mutation="early_done"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "W508"
+    assert "after its done confirmation" in diagnostic.message
+
+
+def test_ring_one_slot_reserve_is_load_bearing():
+    """Dropping the one-slot-empty reserve corrupts unread payloads."""
+    result = check(ring_model(mutation="no_reserve"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "W508"
+    assert "overlaps unread segment" in diagnostic.message

@@ -1,0 +1,34 @@
+"""Planted wire-protocol defects, one module per W5xx code.
+
+The convention mirrors the S3xx/P4xx planted fixtures
+(``planted_race.py``, the inline udfcheck closures): every diagnostic
+the verifier can emit has a minimal defect here that *must* keep
+firing it, so a refactor that silently blinds a check fails the suite.
+
+Layer 1 fixtures (``planted_w501`` … ``planted_w505``) carry
+``PARENT`` / ``WORKER`` source strings — a miniature pool and runtime
+speaking the *real* vocabulary from
+:mod:`repro.dataflow.workers.messages` with exactly one defect planted
+— plus ``EXPECTED``, the code that must fire (and be the *only* code
+that fires).  Layer 2 fixtures (``planted_w506`` … ``planted_w508``)
+instead expose ``build()`` returning a deliberately broken
+:class:`~repro.analysis.model.Model`.
+"""
+
+from . import (  # noqa: F401
+    planted_w501,
+    planted_w502,
+    planted_w503,
+    planted_w504,
+    planted_w505,
+    planted_w506,
+    planted_w507,
+    planted_w508,
+)
+
+#: Layer 1 fixtures: module → the single diagnostic it must trip
+SOURCE_FIXTURES = (planted_w501, planted_w502, planted_w503,
+                   planted_w504, planted_w505)
+
+#: Layer 2 fixtures: broken models for each checker failure class
+MODEL_FIXTURES = (planted_w506, planted_w507, planted_w508)

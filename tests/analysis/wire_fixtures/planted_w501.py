@@ -1,0 +1,24 @@
+"""W501 — a tag sent on a pipe the other side never handles.
+
+The parent evicts a resident source and tells the worker to free it;
+the worker's receive loop has no ``free`` arm, so the message would be
+silently dropped and the worker's resident set would grow forever.
+"""
+
+EXPECTED = "W501"
+
+PARENT = '''
+from repro.dataflow.workers.messages import FREE
+
+
+def evict(conn, source_key, part):
+    conn.send([(FREE, source_key, part)])
+'''
+
+WORKER = '''
+def loop(conn):
+    while True:
+        batch = conn.recv()
+        for message in batch:
+            pass  # no arm ever looks at the tag
+'''

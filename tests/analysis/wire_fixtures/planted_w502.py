@@ -1,0 +1,26 @@
+"""W502 — a handler arm for a tag no production sender constructs.
+
+The worker still carries a ``pjoin`` arm, but the parent-side dispatch
+for it was deleted in a refactor: dead protocol surface that would
+hide real drift behind an always-false branch.  (``crash`` is the
+sanctioned exception — declared ``test_only``, so the real runtime's
+arm without a production send site stays clean.)
+"""
+
+EXPECTED = "W502"
+
+PARENT = '''
+def dispatch(conn, batch):
+    conn.send(batch)  # no vocabulary constructor left on this side
+'''
+
+WORKER = '''
+from repro.dataflow.workers.messages import PJOIN
+
+
+def handle(message):
+    kind = message[0]
+    if kind == PJOIN:
+        _, job, seq, spec, target = message
+        return target
+'''

@@ -1,0 +1,28 @@
+"""W503 — a construct site disagreeing with the declared shape.
+
+The parent ships a spec blob as ``(SHIP, key)`` — the blob field fell
+off in a refactor — while the request pipe declares ``ship`` as
+``(tag, key, blob)``.  The worker's correct three-element unpack would
+raise ``ValueError`` at runtime on the first dispatch.
+"""
+
+EXPECTED = "W503"
+
+PARENT = '''
+from repro.dataflow.workers.messages import SHIP
+
+
+def ship(conn, key, blob):
+    conn.send([(SHIP, key)])  # dropped the blob field
+'''
+
+WORKER = '''
+from repro.dataflow.workers.messages import SHIP
+
+
+def handle(message):
+    kind = message[0]
+    if kind == SHIP:
+        _, key, blob = message
+        return key, blob
+'''

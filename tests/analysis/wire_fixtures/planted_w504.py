@@ -1,0 +1,29 @@
+"""W504 — a payload field that can never cross the pickle boundary.
+
+The parent puts a locally created lambda into a ``ship`` payload slot.
+``dump_functions`` ships *certified* callables by value, but a bare
+lambda in a message field is exactly the P401-class capture the
+shippability analyzer rejects — pickling it raises at dispatch time.
+"""
+
+EXPECTED = "W504"
+
+PARENT = '''
+from repro.dataflow.workers.messages import SHIP
+
+
+def ship(conn, key):
+    payload = lambda record: record
+    conn.send([(SHIP, key, payload)])
+'''
+
+WORKER = '''
+from repro.dataflow.workers.messages import SHIP
+
+
+def handle(message):
+    kind = message[0]
+    if kind == SHIP:
+        _, key, blob = message
+        return key, blob
+'''

@@ -1,0 +1,28 @@
+"""W505 — a wire-contract constant defined locally on one side.
+
+Both sides size the spec-cache LRU, but the parent module declares its
+own ``SPEC_CACHE_LIMIT`` instead of importing the shared definition:
+the two limits can now drift apart, which is precisely how the PR 8
+spec-cache desync started.
+"""
+
+EXPECTED = "W505"
+
+PARENT = '''
+SPEC_CACHE_LIMIT = 32  # local copy: can drift from the worker's
+
+
+def should_reship(shipped, key):
+    return len(shipped) > SPEC_CACHE_LIMIT or key not in shipped
+'''
+
+WORKER = '''
+from repro.dataflow.workers.messages import SHIP  # noqa: F401 — vocab import
+
+SPEC_CACHE_LIMIT = 16
+
+
+def evict(cache):
+    while len(cache) > SPEC_CACHE_LIMIT:
+        cache.popitem(last=False)
+'''

@@ -1,0 +1,72 @@
+"""W506 — a protocol that can wedge.
+
+The client fires a request and waits for a reply; the server consumes
+the request but its reply guard demands a credit the client only
+grants *after* seeing the reply.  The checker reaches the state where
+the request is consumed, no rule is enabled, and the reply channel is
+empty while the client still waits — a deadlock.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.model import Model
+
+EXPECTED = "W506"
+
+
+@dataclass(frozen=True)
+class _Client:
+    sent: bool = False
+    credited: bool = False
+    replied: bool = False
+
+
+@dataclass(frozen=True)
+class _Server:
+    pending: bool = False
+
+
+def build():
+    model = Model("planted_w506")
+    model.machine("client", _Client())
+    model.machine("server", _Server())
+    model.channel("req", capacity=1)
+    model.channel("resp", capacity=1)
+    model.channel("credit", capacity=1)
+
+    model.internal(
+        "client", "request",
+        lambda s: not s.sent,
+        lambda s: (replace(s, sent=True), [("req", ("request",))]),
+    )
+    # the bug: the credit is only granted after the reply arrives,
+    # but the server will not reply without the credit
+    model.internal(
+        "client", "grant_credit",
+        lambda s: s.replied and not s.credited,
+        lambda s: (replace(s, credited=True), [("credit", ("credit",))]),
+    )
+    model.receive(
+        "client", "on_reply", "resp",
+        lambda s, m: True,
+        lambda s, m: (replace(s, replied=True), []),
+    )
+
+    model.receive(
+        "server", "on_request", "req",
+        lambda s, m: True,
+        lambda s, m: (replace(s, pending=True), []),
+    )
+    model.receive(
+        "server", "reply", "credit",
+        lambda s, m: s.pending,
+        lambda s, m: (replace(s, pending=False), [("resp", ("reply",))]),
+    )
+
+    # a pending request with every channel drained is not a legal stop
+    model.accepting = lambda states, channels: (
+        not states["server"].pending
+        and (states["client"].replied or not states["client"].sent)
+        and not any(channels.values())
+    )
+    return model

@@ -1,0 +1,46 @@
+"""W507 — a message dropped on a full fire-and-forget channel.
+
+A notifier pushes three events into a one-slot ``"lose"``-policy
+channel while the listener may lag arbitrarily; the interleaving where
+the second send lands before the listener drains the first loses an
+event.  (Pipes in the real runtime are ``"block"``; ``"lose"`` models
+paths where a drop must be *proven* unreachable — here it is not.)
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.model import Model
+
+EXPECTED = "W507"
+
+
+@dataclass(frozen=True)
+class _Notifier:
+    sent: int = 0
+
+
+@dataclass(frozen=True)
+class _Listener:
+    seen: int = 0
+
+
+def build():
+    model = Model("planted_w507")
+    model.machine("notifier", _Notifier())
+    model.machine("listener", _Listener())
+    model.channel("events", capacity=1, policy="lose")
+
+    model.internal(
+        "notifier", "notify",
+        lambda s: s.sent < 3,
+        lambda s: (
+            replace(s, sent=s.sent + 1),
+            [("events", ("event", s.sent))],
+        ),
+    )
+    model.receive(
+        "listener", "on_event", "events",
+        lambda s, m: True,
+        lambda s, m: (replace(s, seen=s.seen + 1), []),
+    )
+    return model

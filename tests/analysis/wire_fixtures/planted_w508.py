@@ -1,0 +1,68 @@
+"""W508 — a reachable state violating a declared safety invariant.
+
+A token protocol meant to enforce mutual exclusion hands its token out
+on request — but never checks the token back in, so two requesters can
+both hold it.  The invariant (``at most one holder``) fails on the
+interleaving where both requests land before either release.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.model import Model
+
+EXPECTED = "W508"
+
+
+@dataclass(frozen=True)
+class _Grantor:
+    pass  # the bug: no "token is out" state at all
+
+
+@dataclass(frozen=True)
+class _Holder:
+    requested: bool = False
+    holding: bool = False
+
+
+def build():
+    model = Model("planted_w508")
+    model.machine("grantor", _Grantor())
+    model.machine("holderA", _Holder())
+    model.machine("holderB", _Holder())
+    model.channel("grants", capacity=2)
+
+    for name in ("holderA", "holderB"):
+        model.internal(
+            name, "request",
+            lambda s: not s.requested,
+            lambda s: (replace(s, requested=True), []),
+        )
+        model.receive(
+            name, "take", "grants",
+            lambda s, m, n=name: m[1] == n,
+            lambda s, m: (replace(s, holding=True), []),
+        )
+        model.internal(
+            name, "release",
+            lambda s: s.holding,
+            lambda s: (replace(s, holding=False), []),
+        )
+
+    for name in ("holderA", "holderB"):
+        model.internal(
+            "grantor", "grant_%s" % name,
+            lambda s: True,
+            # stateless grant: nothing stops a second token going out
+            lambda s, n=name: (s, [("grants", ("token", n))]),
+        )
+
+    model.invariant(
+        "at-most-one-holder",
+        lambda states, channels: (
+            "both holders own the token at once"
+            if states["holderA"].holding and states["holderB"].holding
+            else None
+        ),
+    )
+    model.accepting = lambda states, channels: True
+    return model

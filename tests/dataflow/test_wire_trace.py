@@ -1,0 +1,177 @@
+"""Trace conformance: recorded wire traffic obeys the declared protocol.
+
+``repro.dataflow.workers.messages.set_trace_hook`` taps every parent-
+side pipe interaction.  These tests run real pooled jobs — a fused
+chain, a forced repartition join, a deadline-cancelled job — record
+the traffic, and replay it against the declarations the static
+verifier and the model checker reason about:
+
+* every message carries a declared tag with its declared arity on the
+  pipe whose sender actually sent it (the Layer 1 schema);
+* replaying each worker's request stream through the spec-cache LRU
+  discipline never references an evicted spec (the ``spec_cache``
+  model's invariant, on real traces);
+* replaying each worker's cancel stream never confirms ``done`` for a
+  job that was not cancelled first (the ``cancel_done`` model's
+  protocol order, on real traces).
+
+If the runtime drifts from the models, this is the test that notices.
+"""
+
+import pytest
+
+from repro.dataflow import ExecutionEnvironment
+from repro.dataflow.cancellation import CancellationToken, QueryTimeout
+from repro.dataflow.operators import JoinStrategy
+from repro.dataflow.workers import messages
+from repro.dataflow.workers.messages import (
+    CANCEL,
+    DONE,
+    PIPES,
+    SHIP,
+)
+
+
+class _TraceRecorder:
+    def __init__(self):
+        self.events = []  # (direction, worker_index, message-or-batch)
+
+    def __call__(self, direction, worker_index, message):
+        self.events.append((direction, worker_index, message))
+
+    def flat(self, direction):
+        """(worker, message) pairs; request/response batches unrolled."""
+        out = []
+        for recorded_direction, worker, payload in self.events:
+            if recorded_direction != direction:
+                continue
+            if direction == "cancel":
+                out.append((worker, payload))
+            else:
+                out.extend((worker, message) for message in payload)
+        return out
+
+
+@pytest.fixture
+def traced_env():
+    recorder = _TraceRecorder()
+    previous = messages.set_trace_hook(recorder)
+    environment = ExecutionEnvironment(parallelism=4, workers=2)
+    try:
+        yield environment, recorder
+    finally:
+        messages.set_trace_hook(previous)
+        environment.shutdown_workers()
+
+
+def _run_traffic(environment):
+    """A chain job, a forced repartition join, and a cancelled job."""
+    chain_out = environment.from_collection(range(3000)).map(
+        lambda x: x * 2
+    ).filter(lambda x: x % 3).collect()
+    assert chain_out
+
+    left = environment.from_collection(range(1500)).map(
+        lambda x: (x % 53, x)
+    )
+    right = environment.from_collection(range(1500)).map(
+        lambda x: (x % 53, x * 10)
+    )
+    join_out = left.join(
+        right,
+        left_key=lambda pair: pair[0],
+        right_key=lambda pair: pair[0],
+        join_fn=lambda l, r: [(l[0], l[1], r[1])],
+        strategy=JoinStrategy.REPARTITION_HASH,
+    ).collect()
+    assert join_out
+
+    def slow(value):
+        total = 0
+        for i in range(4000):
+            total += i
+        return value + (total & 0)
+
+    data = environment.from_collection(range(40_000)).map(slow)
+    token = CancellationToken.with_timeout(0.05)
+    with environment.job("deadline", cancellation=token):
+        with pytest.raises(QueryTimeout):
+            data.collect()
+
+
+def test_recorded_traffic_conforms_to_declared_schema(traced_env):
+    environment, recorder = traced_env
+    _run_traffic(environment)
+    assert recorder.events, "trace hook recorded nothing"
+
+    by_name = {pipe.name: pipe for pipe in PIPES}
+    seen_tags = set()
+    for direction, pipe in (("request", by_name["request"]),
+                            ("response", by_name["response"]),
+                            ("cancel", by_name["cancel"])):
+        for worker, message in recorder.flat(direction):
+            assert isinstance(message, tuple), message
+            tag = message[0]
+            assert tag in pipe.fields, (
+                "undeclared tag %r on the %s pipe" % (tag, pipe.name)
+            )
+            assert len(message) == pipe.arity(tag), (
+                "%r arity %d on the wire, %d declared"
+                % (tag, len(message), pipe.arity(tag))
+            )
+            seen_tags.add(tag)
+    # the three workloads exercise the full production request surface
+    assert {"ship", "chain", "shuffle", "exchange", "pjoin"} <= seen_tags
+    assert {"ok", "cancel", "done"} <= seen_tags
+
+
+def test_replayed_request_stream_satisfies_spec_cache_model(traced_env):
+    environment, recorder = traced_env
+    _run_traffic(environment)
+    pool = environment.worker_pool()
+    limit = pool.spec_cache_limit
+
+    from collections import OrderedDict
+
+    caches = {}
+    spec_tags = {"chain", "join", "shuffle", "pjoin"}
+    replayed_tasks = 0
+    for worker, message in recorder.flat("request"):
+        cache = caches.setdefault(worker, OrderedDict())
+        tag = message[0]
+        if tag == SHIP:
+            cache[message[1]] = True
+            cache.move_to_end(message[1])
+            while len(cache) > limit:
+                cache.popitem(last=False)
+        elif tag in spec_tags:
+            key = message[3]
+            assert key in cache, (
+                "task on worker %d references spec %r the replayed LRU "
+                "already evicted" % (worker, key)
+            )
+            cache.move_to_end(key)
+            replayed_tasks += 1
+    assert replayed_tasks, "no spec-keyed tasks recorded"
+
+
+def test_replayed_cancel_stream_satisfies_cancel_done_model(traced_env):
+    environment, recorder = traced_env
+    _run_traffic(environment)
+
+    marks = {}
+    confirmed = set()
+    for worker, message in recorder.flat("cancel"):
+        tag, job = message
+        worker_marks = marks.setdefault(worker, set())
+        if tag == CANCEL:
+            worker_marks.add(job)
+        else:
+            assert tag == DONE
+            assert job in worker_marks, (
+                "done for job %d on worker %d without a preceding "
+                "cancel" % (job, worker)
+            )
+            worker_marks.discard(job)
+            confirmed.add(job)
+    assert confirmed, "the deadline job should be cancel/done confirmed"
