@@ -38,7 +38,8 @@ typecheck:
 	@command -v mypy >/dev/null 2>&1 || { \
 		echo "error: mypy not installed — pip install -e '.[dev]'" >&2; \
 		exit 1; }
-	mypy src/repro/analysis src/repro/dataflow src/repro/engine/embedding.py
+	mypy src/repro/analysis src/repro/dataflow src/repro/engine/embedding.py \
+		src/repro/engine/columnar.py
 
 # regenerate the diagnostic-code table in docs/analysis.md from the
 # CODES registry (tests/analysis/test_docs_codes.py pins the two in sync)
@@ -65,8 +66,12 @@ wirecheck:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# real CPU-time engine microbenchmarks, batched/fused vs per-record;
-# appends the next BENCH_<n>.json trajectory file at the repo root
+# real CPU-time engine microbenchmarks, columnar vs batched/fused vs
+# per-record; appends the next BENCH_<n>.json trajectory file at the
+# repo root.  The columnar-vs-batched comparison is informational
+# (non-blocking): the target succeeds regardless of the measured ratio
+# so noisy machines never fail CI — regressions are caught by eye from
+# the BENCH_<n>.json series instead.
 bench-micro:
 	python -m repro bench-micro
 

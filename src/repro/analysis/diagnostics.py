@@ -39,10 +39,12 @@ Code ranges:
 * ``W5xx`` — wire-protocol findings (``repro wirecheck``,
   :mod:`repro.analysis.protocol` / :mod:`repro.analysis.model`): the
   parent↔worker message contract of the multi-process runtime, proven
-  two ways.  ``W501``–``W505`` come from the static wire-schema drift
-  check (AST extraction of every message constructor and handler arm in
+  two ways.  ``W501``–``W505`` and ``W509`` come from the static
+  wire-schema drift check (AST extraction of every message constructor,
+  handler arm and record-batch format constant in
   :mod:`repro.dataflow.workers`, diffed against the declared
-  :data:`~repro.dataflow.workers.messages.PIPES` vocabulary); ``W506``–
+  :data:`~repro.dataflow.workers.messages.PIPES` /
+  :data:`~repro.dataflow.workers.messages.FRAMES` vocabulary); ``W506``–
   ``W508`` come from the explicit-state model checker exhaustively
   exploring the interleavings of the cancel/done, spec-cache LRU,
   SPSC-ring and resident-eviction protocols.  These point at Python
@@ -236,6 +238,10 @@ CODES = {
     "W508": (Severity.ERROR, "protocol-invariant-violation",
              "a reachable protocol state violates a declared safety "
              "invariant (cache desync, stale cancel mark, ring overlap)"),
+    "W509": (Severity.ERROR, "wire-frame-drift",
+             "a record-batch FORMAT_* constant disagrees with the "
+             "declared frame table (messages.FRAMES) — undeclared, "
+             "missing, or with a drifted tag byte"),
 }
 
 #: Codes the runner refuses to execute: the compiler would reject these

@@ -30,6 +30,13 @@ constant), and diffs the two sides against the declaration:
   role module instead of imported from the shared defining module —
   the exact both-sides-must-agree drift the spec-cache LRU mirror
   depends on.
+* **W509** — the record-batch format constants (``FORMAT_*`` in the
+  shipping module) disagree with the declared frame table
+  (:data:`~repro.dataflow.workers.messages.FRAMES`): a declared frame
+  without a defining constant, a constant whose tag byte drifted, or a
+  ``FORMAT_*`` constant no declaration covers.  The ``fmt`` field of
+  every blob-bearing message carries one of these tags, so an
+  undeclared or drifted format is payload the other side cannot parse.
 
 The extraction is sound by convention, not by solving Python: wire
 messages are always built and matched through the imported vocabulary
@@ -202,6 +209,9 @@ class _FileExtractor(ast.NodeVisitor):
         self.handlers = []
         #: shared-constant name → line of a module-level local definition
         self.constant_defs = {}
+        #: ``FORMAT_*`` name → (tag bytes, line) of a module-level
+        #: bytes-literal definition (the W509 frame-table check)
+        self.format_defs = {}
         #: shared-constant names read anywhere in this file
         self.constant_reads = set()
         self._aliases = {}  # local name → vocabulary constant name
@@ -235,11 +245,17 @@ class _FileExtractor(ast.NodeVisitor):
         for statement in node.body:
             if isinstance(statement, ast.Assign):
                 for target in statement.targets:
-                    if (
-                        isinstance(target, ast.Name)
-                        and target.id in self.shared_constants
-                    ):
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id in self.shared_constants:
                         self.constant_defs[target.id] = statement.lineno
+                    if target.id.startswith("FORMAT_") and isinstance(
+                        statement.value, ast.Constant
+                    ) and isinstance(statement.value.value, bytes):
+                        self.format_defs[target.id] = (
+                            statement.value.value,
+                            statement.lineno,
+                        )
         self.generic_visit(node)
 
     def visit_Name(self, node):
@@ -442,7 +458,7 @@ def _where(path, line):
     return "%s:%d" % (os.path.basename(path), line)
 
 
-def _check_drift(extractors, pipes, shared_constants):
+def _check_drift(extractors, pipes, shared_constants, frames=()):
     report = WireReport()
     for extractor in extractors:
         report.constructs.extend(extractor.constructs)
@@ -580,6 +596,46 @@ def _check_drift(extractors, pipes, shared_constants):
                     % (_where(extractor.path, line), name,
                        extractor.role, other),
                 ))
+
+    # W509: the shipping codec's FORMAT_* constants in lockstep with the
+    # declared frame table — same constant set, same tag bytes
+    declared = {frame.constant: frame for frame in frames}
+    defined = {}
+    for extractor in extractors:
+        for name, (tag, line) in extractor.format_defs.items():
+            defined[name] = (tag, extractor.path, line)
+    for name in sorted(declared):
+        frame = declared[name]
+        if name not in defined:
+            # only meaningful when the codec module is among the analyzed
+            # sources (tests drive partial source sets through
+            # wirecheck_sources; a run without any FORMAT_* definitions
+            # has nothing to be in lockstep with)
+            if defined:
+                diagnostics.append(Diagnostic.of(
+                    "W509",
+                    "record-batch frame %r is declared (tag %r) but no "
+                    "analyzed module defines the constant %s"
+                    % (name, frame.tag, name),
+                ))
+        elif defined[name][0] != frame.tag:
+            tag, path, line = defined[name]
+            diagnostics.append(Diagnostic.of(
+                "W509",
+                "%s: %s = %r disagrees with the declared frame tag %r — "
+                "the receiving side would parse the payload as a "
+                "different format"
+                % (_where(path, line), name, tag, frame.tag),
+            ))
+    for name in sorted(defined):
+        if name not in declared:
+            tag, path, line = defined[name]
+            diagnostics.append(Diagnostic.of(
+                "W509",
+                "%s: record-batch format %s (tag %r) is not declared in "
+                "messages.FRAMES"
+                % (_where(path, line), name, tag),
+            ))
     return report
 
 
@@ -610,8 +666,12 @@ def _vocabulary():
     for pipe in messages.PIPES:
         for tag in pipe.fields:
             tag_pipe[tag] = pipe
-    return messages.PIPES, tag_pipe, vocab_names, frozenset(
-        messages.SHARED_CONSTANTS
+    return (
+        messages.PIPES,
+        tag_pipe,
+        vocab_names,
+        frozenset(messages.SHARED_CONSTANTS),
+        messages.FRAMES,
     )
 
 
@@ -623,7 +683,7 @@ def wirecheck_sources(role_sources):
     :class:`SyntaxError` on un-parseable source, like the other
     checkers' path entry points.
     """
-    pipes, tag_pipe, vocab_names, shared_constants = _vocabulary()
+    pipes, tag_pipe, vocab_names, shared_constants, frames = _vocabulary()
     extractors = []
     for role, sources in role_sources.items():
         for path, text in sources:
@@ -633,7 +693,7 @@ def wirecheck_sources(role_sources):
             )
             extractor.visit(tree)
             extractors.append(extractor)
-    return _check_drift(extractors, pipes, shared_constants)
+    return _check_drift(extractors, pipes, shared_constants, frames)
 
 
 def wirecheck_paths(role_paths=None):

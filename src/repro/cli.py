@@ -25,7 +25,11 @@ from repro.dataflow import (
 )
 from repro.engine import CypherRunner, GraphStatistics, MatchStrategy
 from repro.epgm.io import CSVDataSink, CSVDataSource
-from repro.harness.microbench import DEFAULT_QUERIES as DEFAULT_MICRO_QUERIES
+from repro.harness.microbench import (
+    DEFAULT_QUERIES as DEFAULT_MICRO_QUERIES,
+    DEFAULT_REPEATS as DEFAULT_MICRO_REPEATS,
+    DEFAULT_SCALE_FACTOR as DEFAULT_MICRO_SCALE,
+)
 from repro.ldbc import LDBCGenerator
 
 
@@ -38,6 +42,7 @@ def _environment(args):
         cost_model=model,
         batch_size=getattr(args, "batch_size", None),
         workers=getattr(args, "process_workers", None),
+        columnar=getattr(args, "columnar", False),
     )
 
 
@@ -645,7 +650,7 @@ def cmd_bench_serve(args):
 
 
 def cmd_bench_micro(args):
-    """Real CPU-time engine microbenchmarks: batched vs per-record."""
+    """Real CPU-time microbenchmarks: columnar vs batched vs per-record."""
     from repro.harness.microbench import (
         format_microbench,
         next_trajectory_path,
@@ -873,6 +878,12 @@ def build_parser():
         "global --workers, which sets the simulated cluster size",
     )
     serve.add_argument(
+        "--columnar", action="store_true",
+        help="run fused chains over columnar embedding chunks "
+        "(vectorized kernels, zero-copy worker transfer); results, "
+        "metrics and diagnostics are identical to batched execution",
+    )
+    serve.add_argument(
         "--vertex-strategy", choices=["homo", "iso"], default="homo"
     )
     serve.add_argument("--edge-strategy", choices=["homo", "iso"], default="iso")
@@ -906,19 +917,25 @@ def build_parser():
     bench_micro = commands.add_parser(
         "bench-micro",
         help="real CPU-time engine microbenchmarks: each query timed "
-        "under batched/fused and per-record execution; writes a "
-        "BENCH_<n>.json trajectory file for regression tracking",
+        "under batched/fused, columnar, and per-record execution; "
+        "writes a BENCH_<n>.json trajectory file for regression "
+        "tracking",
     )
     bench_micro.add_argument(
         "--queries", nargs="+", default=list(DEFAULT_MICRO_QUERIES),
         choices=["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"],
         help="paper queries to time",
     )
-    bench_micro.add_argument("--scale-factor", type=float, default=0.1)
+    bench_micro.add_argument(
+        "--scale-factor", type=float, default=DEFAULT_MICRO_SCALE,
+        help="LDBC graph scale (pinned default: %s, so successive "
+        "BENCH_<n>.json files stay comparable)" % DEFAULT_MICRO_SCALE,
+    )
     bench_micro.add_argument("--seed", type=int, default=42)
     bench_micro.add_argument(
-        "--repeats", type=int, default=5,
-        help="timed trials per (query, mode) after one warm-up",
+        "--repeats", type=int, default=DEFAULT_MICRO_REPEATS,
+        help="timed trials per (query, mode) after one warm-up "
+        "(pinned default: %d)" % DEFAULT_MICRO_REPEATS,
     )
     bench_micro.add_argument(
         "--batch-size", type=int, default=None,

@@ -120,30 +120,38 @@ class DataSet:
 
     # Actions ---------------------------------------------------------------
 
-    def collect(self, fused=None):
+    def collect(self, fused=None, columnar=None):
         """Execute the DAG and return all records as a list.
 
         ``fused`` overrides the environment's default batched-fusion mode
-        for this execution (``None`` inherits it).
+        for this execution, ``columnar`` its chunk-kernel sub-mode
+        (``None`` inherits them).
         """
-        partitions = self.environment.run(self.operator, fused=fused)
+        partitions = self.environment.run(
+            self.operator, fused=fused, columnar=columnar
+        )
         return [record for partition in partitions for record in partition]
 
-    def collect_partitions(self, fused=None):
+    def collect_partitions(self, fused=None, columnar=None):
         """Execute the DAG and return records per worker."""
-        return self.environment.run(self.operator, fused=fused)
-
-    def count(self, fused=None):
-        """Execute the DAG and return the number of records."""
-        return sum(
-            len(p) for p in self.environment.run(self.operator, fused=fused)
+        return self.environment.run(
+            self.operator, fused=fused, columnar=columnar
         )
 
-    def first(self, n, fused=None):
+    def count(self, fused=None, columnar=None):
+        """Execute the DAG and return the number of records."""
+        return sum(
+            len(p)
+            for p in self.environment.run(
+                self.operator, fused=fused, columnar=columnar
+            )
+        )
+
+    def first(self, n, fused=None, columnar=None):
         """Execute and return up to ``n`` records (deterministic order)."""
         if n < 0:
             raise ValueError("n must be non-negative, got %d" % n)
-        return self.collect(fused=fused)[:n]
+        return self.collect(fused=fused, columnar=columnar)[:n]
 
 
 class GroupedDataSet:

@@ -62,7 +62,8 @@ class ExecutionEnvironment:
     """
 
     def __init__(self, parallelism=None, cost_model=None, batch_size=None,
-                 fusion=True, certify_fusion=False, workers=None):
+                 fusion=True, certify_fusion=False, workers=None,
+                 columnar=False):
         if cost_model is None:
             cost_model = ClusterCostModel(workers=parallelism or 4)
         elif parallelism is not None and parallelism != cost_model.workers:
@@ -77,6 +78,9 @@ class ExecutionEnvironment:
         self.batch_size = batch_size  # unsynchronized: immutable after init
         self.fusion = bool(fusion)  # unsynchronized: immutable after init
         self.certify_fusion = bool(certify_fusion)  # unsynchronized: immutable
+        # columnar is a sub-mode of fusion: chunk kernels only run inside
+        # fused chains / fused-run shuffles, never per-record
+        self.columnar = bool(columnar)  # unsynchronized: immutable after init
         # the shared default accumulator: concurrent service queries never
         # record here (each runs under a per-thread job scope); only
         # single-threaded callers and reset_metrics touch it
@@ -181,7 +185,7 @@ class ExecutionEnvironment:
     # Evaluation ----------------------------------------------------------------
 
     def run(self, operator, cache=None, metrics=None, cancellation=None,
-            fused=None):
+            fused=None, columnar=None):
         """Evaluate the DAG rooted at ``operator``; returns partitions.
 
         ``cache`` (operator id → partitions) may be passed in and shared
@@ -193,10 +197,11 @@ class ExecutionEnvironment:
         per-node caching contract.
 
         ``fused`` overrides the environment's default ``fusion`` mode for
-        this run.  ``metrics`` and ``cancellation`` default to the
-        thread's active :meth:`job` scope, so callers deep inside operator
-        builds need no extra plumbing to participate in per-query scoping
-        and deadlines.
+        this run, ``columnar`` the default ``columnar`` mode (a sub-mode:
+        columnar execution requires a fused run).  ``metrics`` and
+        ``cancellation`` default to the thread's active :meth:`job` scope,
+        so callers deep inside operator builds need no extra plumbing to
+        participate in per-query scoping and deadlines.
         """
         if metrics is None:
             metrics = self.current_metrics
@@ -205,12 +210,15 @@ class ExecutionEnvironment:
         if fused is None:
             fused = self.fusion
         fused = bool(fused) and cache is None
+        if columnar is None:
+            columnar = self.columnar
+        columnar = bool(columnar) and fused
         # the worker pool only ever sees fused runs: per-record and
         # shared-cache execution (sanitized runs, EXPLAIN ANALYZE) stay
         # in-process by construction
         pool = self.worker_pool() if fused else None
         ctx = ExecutionContext(self, metrics, cancellation=cancellation,
-                               fused=fused, pool=pool)
+                               fused=fused, pool=pool, columnar=columnar)
         return self._evaluate(operator, {} if cache is None else cache, ctx)
 
     def _evaluate(self, operator, cache, ctx):

@@ -48,6 +48,11 @@ _template_lock = named_lock("dataflow.fusion")
 #: loop; shared by every environment in the process.
 _templates: Dict[Tuple[str, ...], Callable[..., tuple]] = {}  # guarded-by: _template_lock
 
+#: lazily-bound ColumnarPartition class — the dataflow layer never imports
+#: the engine at module scope (layering), so the columnar execute path
+#: resolves it on first use; single-assignment, benign under races
+_columnar_partition_cls = None
+
 
 def _render_template(shape: Tuple[str, ...]) -> str:
     """Source of the fused chunk loop for one chain ``shape``.
@@ -140,6 +145,32 @@ class FusedChainOperator(Operator):
             for stage in stages
         )
         self._chunk = _chunk_template(self._shape)
+        # columnar kernels ride on the stage closures as plain attributes
+        # (attached by the engine layer).  A chain is chunk-capable when
+        # every stage carries a chunk→chunk kernel, and leaf-capable when
+        # some flat-map stage carries an elements→chunk builder, every
+        # stage after it has a chunk kernel, and the stages before it are
+        # element-level (they run per-element over the batch — e.g. the
+        # label scan feeding a leaf transform).
+        self._kernels = tuple(
+            getattr(fn, "columnar_kernel", None) for fn in self._fns
+        )
+        self._chunk_capable = all(
+            kernel is not None for kernel in self._kernels
+        )
+        self._leaf_index = None
+        self._leaf_kernel = None
+        for index, (kind, fn) in enumerate(zip(self._shape, self._fns)):
+            leaf = getattr(fn, "columnar_leaf", None)
+            if kind == "flatmap" and leaf is not None:
+                if all(
+                    kernel is not None
+                    for kernel in self._kernels[index + 1:]
+                ):
+                    self._leaf_index = index
+                    self._leaf_kernel = leaf
+                break
+        self._leaf_capable = self._leaf_index is not None
 
     def execute(self, ctx, parent_partition_sets):
         (partitions,) = parent_partition_sets
@@ -151,9 +182,19 @@ class FusedChainOperator(Operator):
         chunk_fn = self._chunk
         fns = self._fns
         zeros = (0,) * sum(1 for kind in self._shape if kind != "map")
+        columnar = getattr(ctx, "columnar", False) and (
+            self._chunk_capable or self._leaf_capable
+        )
         out = []
         worker_counts = []
         for partition in partitions:
+            if columnar:
+                result = self._execute_columnar(token, partition, zeros)
+                if result is not None:
+                    columnar_out, totals = result
+                    out.append(columnar_out)
+                    worker_counts.append(totals)
+                    continue
             produced = []
             append = produced.append
             totals = zeros
@@ -176,6 +217,91 @@ class FusedChainOperator(Operator):
         self._record_stage_runs(ctx, partitions, worker_counts, out)
         return out
 
+    def _execute_columnar(self, token, partition, zeros):
+        """Run the chain as chunk kernels over one partition.
+
+        Returns ``(ColumnarPartition, stage_totals)`` or ``None`` when the
+        partition's shape does not fit the compiled kernels (a plain
+        record list feeding a chain without a leaf builder, or chunks
+        feeding a chain with a kernel gap) — the caller falls back to the
+        per-record loop for that partition.  Stage totals count chunk rows
+        after each non-map stage, matching the per-record counters.
+        """
+        chunks_in = getattr(partition, "chunks", None)
+        if chunks_in is not None:
+            if not self._chunk_capable:
+                return None
+            sources = chunks_in
+            leaf_index = None
+        else:
+            if not self._leaf_capable:
+                return None
+            leaf_index = self._leaf_index
+            batch = self.batch_size
+            if len(partition) <= batch:
+                sources = [partition]
+            else:
+                sources = [
+                    partition[start:start + batch]
+                    for start in range(0, len(partition), batch)
+                ]
+        global _columnar_partition_cls
+        if _columnar_partition_cls is None:
+            from repro.engine.columnar import ColumnarPartition
+
+            _columnar_partition_cls = ColumnarPartition
+        shape = self._shape
+        kernels = self._kernels
+        fns = self._fns
+        leaf = self._leaf_kernel
+        totals = list(zeros)
+        produced = []
+        for source in sources:
+            # one cancellation poll per chunk, like the per-record loop
+            if token is not None:
+                token.poll()
+            current = source
+            counter = 0
+            try:
+                for index, (kind, kernel) in enumerate(zip(shape, kernels)):
+                    if leaf_index is not None and index < leaf_index:
+                        # element-level prefix (e.g. the label scan):
+                        # per-element, exactly like the per-record loop
+                        fn = fns[index]
+                        if kind == "map":
+                            current = [fn(element) for element in current]
+                        elif kind == "filter":
+                            current = [
+                                element for element in current
+                                if fn(element)
+                            ]
+                            totals[counter] += len(current)
+                            counter += 1
+                        else:
+                            flattened = []
+                            for element in current:
+                                flattened.extend(fn(element))
+                            current = flattened
+                            totals[counter] += len(current)
+                            counter += 1
+                        continue
+                    if index == leaf_index:
+                        current = leaf(current)
+                    else:
+                        current = kernel(current)
+                    if kind != "map":
+                        totals[counter] += current.count
+                        counter += 1
+            except Exception as exc:  # noqa: BLE001 — re-attributed below
+                records = (
+                    list(source) if leaf_index is not None
+                    else source.to_embeddings()
+                )
+                self._replay_chunk(records, exc)
+            if current.count:
+                produced.append(current)
+        return _columnar_partition_cls(produced), tuple(totals)
+
     def _execute_pooled(self, ctx, pool, partitions):
         """Ship the chain's partitions to the worker-process pool.
 
@@ -193,8 +319,12 @@ class FusedChainOperator(Operator):
 
         parent = self.parents[0]
         source_key = parent.id if type(parent) is SourceOperator else None
+        columnar = getattr(ctx, "columnar", False) and (
+            self._chunk_capable or self._leaf_capable
+        )
         out, worker_counts = pool.run_chain(
-            self, partitions, ctx.cancellation, source_key=source_key
+            self, partitions, ctx.cancellation, source_key=source_key,
+            columnar=columnar,
         )
         self._record_stage_runs(ctx, partitions, worker_counts, out)
         return out

@@ -50,7 +50,7 @@ class ExecutionContext:
     """Per-run services handed to operators: shuffling, metrics, memory."""
 
     def __init__(self, environment, metrics, iteration=None, cancellation=None,
-                 fused=False, batch_size=None, pool=None):
+                 fused=False, batch_size=None, pool=None, columnar=False):
         self._environment = environment
         self._metrics = metrics
         self.iteration = iteration
@@ -61,6 +61,11 @@ class ExecutionContext:
         #: when True the evaluator runs the fusion pass and executes
         #: map/filter/flat-map chains as compiled batched loops
         self.fused = fused
+        #: when True (fused runs only), fused chains with columnar kernels
+        #: execute over :class:`~repro.engine.columnar.EmbeddingChunk`
+        #: batches and joins/shuffles split chunks by slicing columns;
+        #: operators without kernels fall back per-record transparently
+        self.columnar = columnar
         #: :class:`~repro.dataflow.workers.WorkerPool` or None.  Set only
         #: on fused runs of a ``workers=N`` environment; operators with a
         #: shippable task shape (fused chains, hash-join partition pairs)
@@ -92,8 +97,28 @@ class ExecutionContext:
     # Shuffle primitives ---------------------------------------------------
 
     def hash_shuffle(self, partitions, key_fn):
-        """Redistribute records so equal keys share a worker."""
+        """Redistribute records so equal keys share a worker.
+
+        When every partition is columnar and the key reader carries a
+        compiled ``columnar_shuffle`` kernel (single id-column join keys),
+        the split slices chunk columns instead of materializing row
+        objects; the returned stats are byte-identical to the per-record
+        loop below.
+        """
         parallelism = self.parallelism
+        kernel = getattr(key_fn, "columnar_shuffle", None)
+        if kernel is not None and all(
+            getattr(partition, "chunks", None) is not None
+            for partition in partitions
+        ):
+            shuffled, records, moved_bytes, bytes_in = kernel(
+                partitions, parallelism
+            )
+            stats = ShuffleStats(parallelism)
+            stats.records = records
+            stats.bytes = moved_bytes
+            stats.bytes_in = list(bytes_in)
+            return shuffled, stats
         out = [[] for _ in range(parallelism)]
         stats = ShuffleStats(parallelism)
         for source_worker, partition in enumerate(partitions):
@@ -108,9 +133,32 @@ class ExecutionContext:
         return out, stats
 
     def broadcast(self, partitions):
-        """Replicate a dataset's records to every worker."""
+        """Replicate a dataset's records to every worker.
+
+        Columnar partitions broadcast by *sharing* their immutable chunks
+        (no copy, no decode); the stats equal the per-record accounting
+        because a chunk's byte size is the sum of its rows' serialized
+        sizes.
+        """
         parallelism = self.parallelism
         stats = ShuffleStats(parallelism)
+        if partitions and all(
+            getattr(partition, "chunks", None) is not None
+            for partition in partitions
+        ):
+            chunks = [
+                chunk for partition in partitions for chunk in partition.chunks
+            ]
+            total_records = sum(chunk.count for chunk in chunks)
+            total_bytes = sum(chunk.byte_size() for chunk in chunks)
+            stats.records = total_records * max(parallelism - 1, 0)
+            stats.bytes = total_bytes * max(parallelism - 1, 0)
+            for worker in range(parallelism):
+                stats.bytes_in[worker] = total_bytes
+            partition_cls = type(partitions[0])
+            return [
+                partition_cls(chunks) for _ in range(parallelism)
+            ], stats
         everything = [record for partition in partitions for record in partition]
         total_bytes = sum(estimate_size(record) for record in everything)
         stats.records = len(everything) * max(parallelism - 1, 0)
@@ -386,6 +434,7 @@ class BulkIterationOperator(Operator):
                 fused=ctx.fused,
                 batch_size=ctx.batch_size,
                 pool=ctx.pool,
+                columnar=ctx.columnar,
             )
             working_ds = environment.from_partitions(
                 working, name="iteration-working-set"
@@ -584,11 +633,19 @@ class JoinOperator(Operator):
         if strategy is JoinStrategy.BROADCAST_FIRST:
             left_local, s = ctx.broadcast(left_parts)
             stats.merge(s)
-            right_local = [list(p) for p in right_parts]
+            # columnar partitions stay columnar on the non-broadcast side
+            # so the local join can run its chunk kernel
+            right_local = [
+                p if getattr(p, "chunks", None) is not None else list(p)
+                for p in right_parts
+            ]
         elif strategy is JoinStrategy.BROADCAST_SECOND:
             right_local, s = ctx.broadcast(right_parts)
             stats.merge(s)
-            left_local = [list(p) for p in left_parts]
+            left_local = [
+                p if getattr(p, "chunks", None) is not None else list(p)
+                for p in left_parts
+            ]
         else:  # repartition-based strategies co-locate equal keys
             # the key functions run bare (no per-record _call frames);
             # one try/except per shuffle keeps the error contract
@@ -612,6 +669,7 @@ class JoinOperator(Operator):
         else:
             out = []
             spilled = 0
+            spec = getattr(self.join_fn, "columnar_join", None)
             for left_partition, right_partition in zip(
                 left_local, right_local
             ):
@@ -624,6 +682,14 @@ class JoinOperator(Operator):
                 if strategy is JoinStrategy.SORT_MERGE:
                     produced = self._sort_merge(
                         left_partition, right_partition, ctx
+                    )
+                elif (
+                    spec is not None
+                    and getattr(build, "chunks", None) is not None
+                    and getattr(probe, "chunks", None) is not None
+                ):
+                    produced = self._columnar_hash_join(
+                        spec, build, probe, build_is_left, ctx
                     )
                 else:
                     produced = self._hash_join(
@@ -715,6 +781,23 @@ class JoinOperator(Operator):
         if len(left_partition) <= len(right_partition):
             return left_partition, right_partition, True
         return right_partition, left_partition, False
+
+    def _columnar_hash_join(self, spec, build, probe, build_is_left, ctx):
+        """Chunk-level hash join via the engine-compiled join spec.
+
+        Output rows appear in the exact probe-order × build-order the
+        per-record ``_hash_join`` produces; the result is wrapped in the
+        same columnar partition type so downstream kernels keep operating
+        without decoding."""
+        try:
+            chunks = spec.hash_join(
+                build.chunks, probe.chunks, build_is_left, ctx.cancellation
+            )
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise
+            raise JobExecutionError(self.name, exc) from exc
+        return type(build)(chunks)
 
     def _hash_join(self, build, probe, build_is_left, ctx):
         """Batch-wise hash join: build, then probe, without per-record

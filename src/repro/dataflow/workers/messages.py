@@ -35,13 +35,19 @@ LRU bound, the inline-payload threshold) are part of the same contract:
 they are defined once (here or in :mod:`.shipping`/:mod:`.channels`)
 and *imported* by both sides; a side defining its own copy is flagged
 as ``W505``.
+
+Record batches travelling inside blob payloads carry a one-byte format
+tag; :data:`FRAMES` declares the admissible formats and the checker
+(``W509``) keeps the ``FORMAT_*`` codec constants in :mod:`.shipping`
+in lockstep with the declaration.
 """
 
 __all__ = [
     "SHIP", "CHAIN", "JOIN", "SHUFFLE", "EXCHANGE", "PJOIN", "FREE",
     "SHUTDOWN", "CRASH", "OK", "ERROR", "CANCELLED", "CANCEL", "DONE",
     "BLOB_RING", "BLOB_INLINE", "SRC_BLOB", "SRC_CACHED", "SRC_STORE",
-    "PipeSpec", "PIPES", "SHARED_CONSTANTS", "set_trace_hook", "trace",
+    "PipeSpec", "PIPES", "FrameSpec", "FRAMES", "SHARED_CONSTANTS",
+    "set_trace_hook", "trace",
 ]
 
 # --- request pipe (parent → worker) ----------------------------------------
@@ -144,6 +150,34 @@ PIPES = (
         CANCEL: ("job",),
         DONE: ("job",),
     }),
+)
+
+class FrameSpec:
+    """One record-batch payload format the ``fmt`` fields may carry.
+
+    ``tag`` is the one-byte wire discriminator; ``constant`` the name of
+    the defining ``FORMAT_*`` constant in :mod:`.shipping`.  The wire
+    checker (``W509``) verifies the shipping module defines exactly the
+    declared constants with exactly the declared tags — a new payload
+    format that is not declared here, or a declared format whose tag
+    drifted, is a wire bug.
+    """
+
+    __slots__ = ("tag", "constant", "description")
+
+    def __init__(self, tag, constant, description):
+        self.tag = tag
+        self.constant = constant
+        self.description = description
+
+
+#: the authoritative record-batch format table: every ``fmt`` value a
+#: blob-bearing message (``ok``/``exchange``/``src`` payloads) may carry
+FRAMES = (
+    FrameSpec(b"E", "FORMAT_EMBEDDINGS", "flat §3.3 embedding buffer"),
+    FrameSpec(b"C", "FORMAT_CHUNK",
+              "columnar chunk frame: raw column buffers, no decode"),
+    FrameSpec(b"P", "FORMAT_PICKLE", "pickled record list (fallback)"),
 )
 
 #: numeric constants both sides of the wire read; each must have exactly

@@ -714,7 +714,8 @@ class WorkerPool:
 
     # public entry points ---------------------------------------------------
 
-    def run_chain(self, chain, partitions, token, source_key=None):
+    def run_chain(self, chain, partitions, token, source_key=None,
+                  columnar=False):
         """Execute a fused chain's partitions on the pool.
 
         Returns ``(out_partitions, worker_counts)`` shaped exactly like
@@ -726,8 +727,10 @@ class WorkerPool:
         which least-recently-used sources are freed (ad-hoc queries
         mint fresh source ids, so the cache would otherwise grow with
         every distinct query a long-lived server executes).
+        ``columnar=True`` ships the chain's chunk kernels with the spec
+        so workers run the chunk-level loop and return chunk frames.
         """
-        spec = ChainSpec.from_chain(chain)
+        spec = ChainSpec.from_chain(chain, columnar=columnar)
         tasks = [
             ("chain", source_key, part_index, records)
             for part_index, records in enumerate(partitions)

@@ -18,7 +18,12 @@ rings, see :mod:`.channels`) and loops over batched request messages:
   chain's compiled chunk loop (the same ``_chunk_template`` codegen the
   in-process path uses), returning the produced records and the
   per-stage counter totals the parent needs to reconstruct bit-identical
-  ``OperatorRun`` metrics.
+  ``OperatorRun`` metrics.  A columnar-enabled spec additionally carries
+  the chain's chunk kernels: when the kernels fit the input shape the
+  worker runs the same chunk-level loop the in-process columnar path
+  runs and the result returns as a chunk frame (raw column buffers,
+  no per-record decode on either side of the ring); otherwise it falls
+  back to the per-record loop transparently.
 * ``("join", job, seq, key, build_src, probe_src, build_is_left)`` —
   one co-partitioned hash-join pair, mirroring
   ``JoinOperator._hash_join`` exactly (build/probe roles and emission
@@ -31,7 +36,10 @@ rings, see :mod:`.channels`) and loops over batched request messages:
   owning workers as ``("exchange", job, side, target, source, fmt,
   blob)`` messages.  The response carries the per-target counts and the
   moved-record/byte tallies the parent needs to rebuild the exact
-  ``ShuffleStats`` the in-process ``hash_shuffle`` computes.
+  ``ShuffleStats`` the in-process ``hash_shuffle`` computes.  Columnar
+  inputs split by slicing chunk columns (the engine's ``shuffle_split``,
+  shared with the in-process kernel) and foreign splits travel as chunk
+  frames the parent still relays verbatim.
 * ``("pjoin", job, seq, key, target)`` — join one co-partitioned pair
   out of the exchange table, concatenating each side's splits in source
   -partition order so record order matches the in-process shuffle.
@@ -112,6 +120,21 @@ class _StageError(Exception):
         self.stage = stage
         self.cause = cause
         self.unwrapped = unwrapped
+
+
+class _PollToken:
+    """Adapts the cancel-pipe poll to the ``token.poll()`` the columnar
+    join kernel expects at its chunk boundaries."""
+
+    __slots__ = ("worker", "job")
+
+    def __init__(self, worker, job):
+        self.worker = worker
+        self.job = job
+
+    def poll(self):
+        if self.worker._job_cancelled(self.job):
+            raise _Cancelled()
 
 
 def _lru_put(cache, key, value, limit):
@@ -228,6 +251,10 @@ class _Worker:
     # task execution --------------------------------------------------------
 
     def _run_chain(self, job, spec, records):
+        if spec.kernels is not None:
+            result = self._run_chain_columnar(job, spec, records)
+            if result is not None:
+                return result
         from ..fusion import _chunk_template
 
         chunk_fn = _chunk_template(spec.shape)
@@ -251,6 +278,95 @@ class _Worker:
                 self._replay_chunk(spec, chunk, exc)
             totals = tuple(a + b for a, b in zip(totals, counts))
         return produced, totals
+
+    def _run_chain_columnar(self, job, spec, records):
+        """Run a columnar-enabled chain as chunk kernels, or ``None``.
+
+        The worker-side mirror of
+        ``FusedChainOperator._execute_columnar``: chunk input needs a
+        kernel at every stage, a plain record list needs the leaf builder
+        (element-level prefix stages run per element); stage totals count
+        rows after each non-map stage.  ``None`` means the input shape
+        does not fit the shipped kernels and the caller falls back to the
+        compiled per-record chunk loop — the same transparent per-record
+        fallback the in-process path takes.  A failing source batch is
+        decoded and replayed per record for stage attribution.
+        """
+        from repro.engine.columnar import ColumnarPartition  # lazy: layering
+
+        kernels = spec.kernels
+        chunks_in = getattr(records, "chunks", None)
+        if chunks_in is not None:
+            if not all(kernel is not None for kernel in kernels):
+                return None
+            sources = chunks_in
+            leaf_index = None
+        else:
+            leaf_index = spec.leaf_index
+            if leaf_index is None:
+                return None
+            batch = spec.batch_size
+            if len(records) <= batch:
+                sources = [records]
+            else:
+                sources = [
+                    records[start:start + batch]
+                    for start in range(0, len(records), batch)
+                ]
+        shape = spec.shape
+        fns = spec.fns
+        leaf = spec.leaf
+        totals = list(
+            (0,) * sum(1 for kind in shape if kind != "map")
+        )
+        produced = []
+        for source in sources:
+            # one cancellation poll per source chunk, like the fused loop
+            if self._job_cancelled(job):
+                raise _Cancelled()
+            current = source
+            counter = 0
+            try:
+                for index, (kind, kernel) in enumerate(zip(shape, kernels)):
+                    if leaf_index is not None and index < leaf_index:
+                        # element-level prefix (e.g. the label scan):
+                        # per-element, exactly like the per-record loop
+                        fn = fns[index]
+                        if kind == "map":
+                            current = [fn(element) for element in current]
+                        elif kind == "filter":
+                            current = [
+                                element for element in current
+                                if fn(element)
+                            ]
+                            totals[counter] += len(current)
+                            counter += 1
+                        else:
+                            flattened = []
+                            for element in current:
+                                flattened.extend(fn(element))
+                            current = flattened
+                            totals[counter] += len(current)
+                            counter += 1
+                        continue
+                    if index == leaf_index:
+                        current = leaf(current)
+                    else:
+                        current = kernel(current)
+                    if kind != "map":
+                        totals[counter] += current.count
+                        counter += 1
+            except _Cancelled:
+                raise
+            except Exception as exc:  # noqa: BLE001 — re-attributed below
+                source_records = (
+                    list(source) if leaf_index is not None
+                    else source.to_embeddings()
+                )
+                self._replay_chunk(spec, source_records, exc)
+            if current.count:
+                produced.append(current)
+        return ColumnarPartition(produced), tuple(totals)
 
     def _replay_chunk(self, spec, chunk, original):
         """Per-record replay for stage attribution, like the fused path."""
@@ -292,6 +408,13 @@ class _Worker:
         from ..partitioner import partition_index
         from ..sizing import estimate_size
 
+        if (
+            spec.columnar is not None
+            and getattr(records, "chunks", None) is not None
+        ):
+            return self._run_shuffle_columnar(
+                job, spec, side, source, owners, records
+            )
         key_fn = spec.left_key if side == "left" else spec.right_key
         parallelism = len(owners)
         splits = [[] for _ in range(parallelism)]
@@ -329,8 +452,65 @@ class _Worker:
                 foreign.append((target, fmt, payload))
         return (counts, moved_records, moved_bytes, bytes_in), foreign
 
+    def _run_shuffle_columnar(self, job, spec, side, source, owners,
+                              records):
+        """Chunk-sliced hash-partition of one columnar input partition.
+
+        Shares :func:`repro.engine.columnar.shuffle_split` with the
+        in-process shuffle kernel, so routing and moved-record/byte
+        accounting are bit-identical to the per-record loop.  Owned
+        splits enter the exchange table as columnar partitions; foreign
+        splits leave as chunk frames the parent relays verbatim —
+        repartitioned rows cross worker boundaries without a single
+        record being decoded.
+        """
+        from repro.engine.columnar import (  # lazy: layering
+            ColumnarPartition,
+            shuffle_split,
+        )
+
+        key_columns = (
+            spec.columnar.left_columns
+            if side == "left"
+            else spec.columnar.right_columns
+        )
+        if self._job_cancelled(job):
+            raise _Cancelled()
+        try:
+            splits, moved_records, moved_bytes, bytes_in = shuffle_split(
+                records.chunks, key_columns, len(owners), source
+            )
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise _StageError(spec.name, exc, unwrapped=True) from exc
+            raise _StageError(spec.name, exc) from exc
+        counts = [
+            sum(chunk.count for chunk in chunks) for chunks in splits
+        ]
+        foreign = []
+        for target, chunks in enumerate(splits):
+            if not counts[target]:
+                continue
+            split = ColumnarPartition(chunks)
+            if owners[target] == self.index:
+                self.exchange.setdefault(
+                    (job, side, target), {}
+                )[source] = split
+            else:
+                fmt, payload = encode_records(split)
+                foreign.append((target, fmt, payload))
+        return (counts, moved_records, moved_bytes, bytes_in), foreign
+
     def _run_join(self, job, spec, build, probe, build_is_left):
         """``JoinOperator._hash_join`` verbatim, with pipe-based polling."""
+        if (
+            spec.columnar is not None
+            and getattr(build, "chunks", None) is not None
+            and getattr(probe, "chunks", None) is not None
+        ):
+            return self._run_join_columnar(
+                job, spec, build, probe, build_is_left
+            )
         build_key = spec.left_key if build_is_left else spec.right_key
         probe_key = spec.right_key if build_is_left else spec.left_key
         join_fn = spec.join_fn
@@ -367,6 +547,51 @@ class _Worker:
                 raise _StageError(spec.name, exc, unwrapped=True) from exc
             raise _StageError(spec.name, exc) from exc
         return produced
+
+    def _run_join_columnar(self, job, spec, build, probe, build_is_left):
+        """``JoinOperator._columnar_hash_join``, with pipe-based polling.
+
+        The engine-compiled join spec joins the chunk lists directly —
+        output rows in the exact probe-order × build-order of the
+        per-record loop — and the result goes back to the parent as a
+        chunk frame without materializing a single record.
+        """
+        from repro.engine.columnar import ColumnarPartition  # lazy: layering
+
+        try:
+            chunks = spec.columnar.hash_join(
+                build.chunks,
+                probe.chunks,
+                build_is_left,
+                _PollToken(self, job),
+            )
+        except _Cancelled:
+            raise
+        except Exception as exc:  # noqa: BLE001 — rewrap with context
+            if getattr(exc, "propagate_unwrapped", False):
+                raise _StageError(spec.name, exc, unwrapped=True) from exc
+            raise _StageError(spec.name, exc) from exc
+        return ColumnarPartition(chunks)
+
+    def _concat_splits(self, split_map):
+        """Concatenate one pjoin side's splits in source-partition order.
+
+        All-columnar splits concatenate by chunk list — no decode, same
+        row order as the in-process shuffle; mixed or per-record splits
+        fall back to the flat record list.
+        """
+        splits = [split_map[index] for index in sorted(split_map)]
+        if splits and all(
+            getattr(split, "chunks", None) is not None for split in splits
+        ):
+            from repro.engine.columnar import (  # lazy: layering
+                ColumnarPartition,
+            )
+
+            return ColumnarPartition(
+                [chunk for split in splits for chunk in split.chunks]
+            )
+        return [record for split in splits for record in split]
 
     # message handling ------------------------------------------------------
 
@@ -489,16 +714,8 @@ class _Worker:
             if self._job_cancelled(job):
                 self._emit((CANCELLED, job, seq))
                 return True
-            left = [
-                record
-                for src_index in sorted(left_map)
-                for record in left_map[src_index]
-            ]
-            right = [
-                record
-                for src_index in sorted(right_map)
-                for record in right_map[src_index]
-            ]
+            left = self._concat_splits(left_map)
+            right = self._concat_splits(right_map)
             if len(left) <= len(right):
                 build, probe, build_is_left = left, right, True
             else:

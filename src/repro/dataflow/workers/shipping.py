@@ -21,7 +21,17 @@ process, and this module solves both with the standard library only:
   as one length-prefixed byte buffer — a codec that moves through a
   shared-memory ring without touching ``pickle`` on the hot path — and
   falls back to pickling for any other record type (EPGM elements at
-  scan leaves, tuples, ...).
+  scan leaves, tuples, ...).  Columnar partitions
+  (:class:`repro.engine.columnar.ColumnarPartition`) ship as *chunk
+  frames*: each chunk's raw column buffers — id entries, offset tables,
+  path/prop payloads — are concatenated behind a fixed header, so a
+  chunk crosses the ring as a single frame with no per-record object,
+  no per-record length walk, and no pickle byte on either side.
+
+The three record-batch formats (``FORMAT_EMBEDDINGS`` /
+``FORMAT_CHUNK`` / ``FORMAT_PICKLE``) are declared in
+:data:`repro.dataflow.workers.messages.FRAMES`; the wire checker
+(``W509``) keeps the constants here in lockstep with that declaration.
 
 Both directions assume the *same interpreter version* on both ends,
 which holds by construction: workers are spawned from this process.
@@ -51,11 +61,15 @@ __all__ = [
 #: would make the pool skip re-shipping a spec the worker no longer has.
 SPEC_CACHE_LIMIT = 128
 
-#: record-batch formats: flat §3.3 embedding buffer, or pickled list
+#: record-batch formats (declared in ``messages.FRAMES``): flat §3.3
+#: embedding buffer, columnar chunk frame, or pickled list
 FORMAT_EMBEDDINGS = b"E"
+FORMAT_CHUNK = b"C"
 FORMAT_PICKLE = b"P"
 
 _LENGTHS = struct.Struct("<III")
+_CHUNK_COUNT = struct.Struct("<I")
+_CHUNK_HEADER = struct.Struct("<IIII")
 
 
 # --- function shipping ------------------------------------------------------
@@ -181,19 +195,40 @@ class ChainSpec:
     each worker at most once.
     """
 
-    __slots__ = ("key", "shape", "names", "fns", "batch_size", "chain_name")
+    __slots__ = ("key", "shape", "names", "fns", "batch_size", "chain_name",
+                 "kernels", "leaf_index", "leaf")
 
-    def __init__(self, key, shape, names, fns, batch_size, chain_name):
+    def __init__(self, key, shape, names, fns, batch_size, chain_name,
+                 kernels=None, leaf_index=None, leaf=None):
         self.key = key
         self.shape = tuple(shape)
         self.names = tuple(names)
         self.fns = tuple(fns)
         self.batch_size = batch_size
         self.chain_name = chain_name
+        # columnar kernels ride on the stage closures as plain function
+        # *attributes*, which by-value function shipping does not carry —
+        # a columnar spec therefore ships them as explicit fields
+        self.kernels = tuple(kernels) if kernels is not None else None
+        self.leaf_index = leaf_index
+        self.leaf = leaf
 
     @classmethod
-    def from_chain(cls, chain):
-        """Build the spec of one ``FusedChainOperator``."""
+    def from_chain(cls, chain, columnar=False):
+        """Build the spec of one ``FusedChainOperator``.
+
+        ``columnar=True`` additionally ships the chain's chunk kernels
+        (``kernels``/``leaf_index``/``leaf``) so the worker runs the same
+        chunk-level loop the in-process columnar path runs.  A
+        non-columnar spec carries no kernels, so the two variants have
+        distinct content digests and cache independently — toggling the
+        environment's columnar flag re-ships rather than mis-hits.
+        """
+        kernels = leaf_index = leaf = None
+        if columnar:
+            kernels = chain._kernels
+            leaf_index = chain._leaf_index
+            leaf = chain._leaf_kernel
         return cls(
             key=("chain",) + tuple(stage.id for stage in chain.stages),
             shape=chain._shape,
@@ -201,20 +236,29 @@ class ChainSpec:
             fns=chain._fns,
             batch_size=chain.batch_size,
             chain_name=chain.name,
+            kernels=kernels,
+            leaf_index=leaf_index,
+            leaf=leaf,
         )
 
 
 class JoinSpec:
     """One hash-join's shipped side: key extractors and the flat-join fn."""
 
-    __slots__ = ("key", "left_key", "right_key", "join_fn", "name")
+    __slots__ = ("key", "left_key", "right_key", "join_fn", "name",
+                 "columnar")
 
-    def __init__(self, key, left_key, right_key, join_fn, name):
+    def __init__(self, key, left_key, right_key, join_fn, name,
+                 columnar=None):
         self.key = key
         self.left_key = left_key
         self.right_key = right_key
         self.join_fn = join_fn
         self.name = name
+        # the compiled ColumnarJoinSpec rides on ``join_fn`` as a plain
+        # function attribute, which by-value shipping drops — shipped
+        # explicitly so workers can join chunk pairs without decoding
+        self.columnar = columnar
 
     @classmethod
     def from_operator(cls, operator):
@@ -224,22 +268,114 @@ class JoinSpec:
             right_key=operator.right_key,
             join_fn=operator.join_fn,
             name=operator.name,
+            columnar=getattr(operator.join_fn, "columnar_join", None),
         )
 
 
 # --- record batch codec -----------------------------------------------------
 
 
+def _encode_chunks(partition):
+    """Pack a columnar partition as one contiguous chunk frame.
+
+    ``<u32 nchunks>`` then per chunk ``<u32 count><u32 columns><u32
+    path_len><u32 prop_len>`` followed by the chunk's raw column buffers
+    in order: the §3.3 id entry block (``count * columns *
+    ENTRY_WIDTH`` bytes), the packed path offset table (``count + 1``
+    little-endian u32), the path buffer, the packed prop offset table,
+    the prop buffer.  No per-record object is touched — the frame is a
+    concatenation of buffers the chunk already holds.
+    """
+    from repro.engine.columnar import offset_struct  # lazy: layering
+
+    chunks = partition.chunks
+    pieces = [_CHUNK_COUNT.pack(len(chunks))]
+    append = pieces.append
+    for chunk in chunks:
+        count = chunk.count
+        path_buf = chunk.path_buf
+        prop_buf = chunk.prop_buf
+        append(_CHUNK_HEADER.pack(
+            count, chunk.columns, len(path_buf), len(prop_buf)
+        ))
+        append(chunk.id_buf())
+        offsets = offset_struct(count + 1)
+        append(offsets.pack(*chunk.path_offsets))
+        append(path_buf)
+        append(offsets.pack(*chunk.prop_offsets))
+        append(prop_buf)
+    return b"".join(pieces)
+
+
+def _decode_chunks(payload):
+    """Reverse of :func:`_encode_chunks`; returns a ColumnarPartition.
+
+    The decoded chunks arrive with their id buffer pre-populated (it is
+    the frame's entry block verbatim), so re-encoding — a relay, or the
+    response leg of a worker task — never re-packs the entries.
+    """
+    from repro.engine.columnar import (  # lazy: layering
+        ColumnarPartition,
+        EmbeddingChunk,
+        entry_struct,
+        offset_struct,
+    )
+    from repro.engine.embedding import ENTRY_WIDTH  # lazy: layering
+
+    view = memoryview(payload)
+    (nchunks,) = _CHUNK_COUNT.unpack_from(view, 0)
+    cursor = _CHUNK_COUNT.size
+    header = _CHUNK_HEADER.unpack_from
+    header_width = _CHUNK_HEADER.size
+    chunks = []
+    append = chunks.append
+    for _ in range(nchunks):
+        count, columns, path_len, prop_len = header(view, cursor)
+        cursor += header_width
+        entries = count * columns
+        id_end = cursor + entries * ENTRY_WIDTH
+        id_buf = bytes(view[cursor:id_end])
+        flat = entry_struct(entries).unpack(id_buf)
+        cursor = id_end
+        offsets = offset_struct(count + 1)
+        offsets_width = offsets.size
+        path_offsets = offsets.unpack_from(view, cursor)
+        cursor += offsets_width
+        path_buf = bytes(view[cursor:cursor + path_len])
+        cursor += path_len
+        prop_offsets = offsets.unpack_from(view, cursor)
+        cursor += offsets_width
+        prop_buf = bytes(view[cursor:cursor + prop_len])
+        cursor += prop_len
+        append(EmbeddingChunk(
+            count,
+            columns,
+            flat[0::2],
+            flat[1::2],
+            path_buf,
+            path_offsets,
+            prop_buf,
+            prop_offsets,
+            id_buf=id_buf,
+        ))
+    return ColumnarPartition(chunks)
+
+
 def encode_records(records):
     """Encode one partition/batch of records; returns ``(fmt, payload)``.
 
-    A batch that is entirely §3.3 embeddings uses the flat buffer format:
-    ``<u32 count>`` then per record ``<u32 id_len><u32 path_len><u32
+    A columnar partition (recognized, like everywhere in the dataflow
+    layer, by its ``chunks`` attribute) ships as a chunk frame — raw
+    column buffers behind fixed headers, no decode.  A batch that is
+    entirely §3.3 embeddings uses the flat buffer format: ``<u32
+    count>`` then per record ``<u32 id_len><u32 path_len><u32
     prop_len>`` followed by the three byte arrays.  Anything else —
     EPGM elements at scan leaves, tuples, mixed batches — pickles.
     """
     from repro.engine.embedding import Embedding  # lazy: layering
 
+    if getattr(records, "chunks", None) is not None:
+        return FORMAT_CHUNK, _encode_chunks(records)
     if records and all(type(r) is Embedding for r in records):
         pieces = [struct.pack("<I", len(records))]
         pack = _LENGTHS.pack
@@ -262,6 +398,8 @@ def decode_records(fmt, payload):
     """Reverse of :func:`encode_records`."""
     if fmt == FORMAT_PICKLE:
         return pickle.loads(payload)
+    if fmt == FORMAT_CHUNK:
+        return _decode_chunks(payload)
     from repro.engine.embedding import Embedding  # lazy: layering
 
     view = memoryview(payload)

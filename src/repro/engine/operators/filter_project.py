@@ -2,6 +2,7 @@
 
 from repro.cypher.predicates import compile_cnf
 
+from ..columnar import project_kernel, select_kernel
 from ..embedding import EmbeddingMetaData, compile_property_projector
 from .base import PhysicalOperator
 
@@ -28,6 +29,8 @@ class SelectEmbeddings(PhysicalOperator):
 
         def keep(embedding):
             return evaluate(bind(embedding))
+
+        keep.columnar_kernel = select_kernel(evaluate, self.meta)
 
         return self.children[0].evaluate().filter(
             keep, name="SelectEmbeddings(%s)" % self.cnf
@@ -61,6 +64,9 @@ class ProjectEmbeddings(PhysicalOperator):
     def _build(self):
         keep_indices = list(self._keep_indices)
         project = compile_property_projector(keep_indices)
+        # the sanitizer wrapper below shadows the closure, dropping the
+        # kernel — sanitized runs are per-record by construction
+        project.columnar_kernel = project_kernel(keep_indices)
 
         sanitizer = self._sanitizer
         if sanitizer is not None:

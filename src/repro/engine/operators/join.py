@@ -5,6 +5,7 @@ configured morphism semantics are dropped inside the join, never
 materialized (paper §3.1).
 """
 
+from ..columnar import columnar_join_spec, shuffle_kernel
 from ..embedding import EmbeddingMetaData, compile_merge
 from ..morphism import compile_morphism_check
 from .base import PhysicalOperator
@@ -72,6 +73,23 @@ class JoinEmbeddings(PhysicalOperator):
                 if check(merged):
                     return [merged]
                 return []
+
+        # columnar fast path: the join spec (key columns, merge shape,
+        # morphism watch set) rides on the plain closures; the sanitizer
+        # wrappers below shadow them, so sanitized runs stay per-record
+        spec = columnar_join_spec(
+            left_meta,
+            right_meta,
+            self.join_variables,
+            self._drop_columns,
+            self.meta,
+            self.vertex_strategy,
+            self.edge_strategy,
+        )
+        if spec is not None:
+            flat_join.columnar_join = spec
+            left_key.columnar_shuffle = shuffle_kernel(left_columns)
+            right_key.columnar_shuffle = shuffle_kernel(right_columns)
 
         sanitizer = self._sanitizer
         if sanitizer is not None:

@@ -8,6 +8,7 @@ keys later operators need, and emit an embedding.
 from repro.cypher.predicates import compile_cnf
 from repro.epgm.indexed import IndexedLogicalGraph
 
+from ..columnar import leaf_edge_kernel, leaf_vertex_kernel
 from ..embedding import Embedding, ElementBindings, EmbeddingMetaData
 from .base import PhysicalOperator
 
@@ -57,6 +58,12 @@ class SelectAndProjectVertices(PhysicalOperator):
                     [vertex.get_property(key) for key in keys]
                 )
             return [embedding]
+
+        # columnar fused chains bulk-build the surviving rows into one
+        # chunk; the per-element CNF (label fast path included) is shared
+        select_project_transform.columnar_leaf = leaf_vertex_kernel(
+            variable, keep, keys
+        )
 
         source = _label_scoped_dataset(self.graph, self.query_vertex.labels, "v")
         return source.flat_map(
@@ -131,6 +138,10 @@ class SelectAndProjectEdges(PhysicalOperator):
                     )
                 results.append(embedding)
             return results
+
+        select_project_transform.columnar_leaf = leaf_edge_kernel(
+            variable, keep, keys, is_loop, undirected, distinct_endpoints
+        )
 
         source = _label_scoped_dataset(self.graph, self.query_edge.types, "e")
         return source.flat_map(

@@ -59,6 +59,7 @@ class CypherRunner:
         sanitize=False,
         plan_cache=None,
         fused=None,
+        columnar=None,
         prune=False,
     ):
         self.graph = graph
@@ -74,6 +75,10 @@ class CypherRunner:
         #: Sanitized execution is always per-record regardless (the
         #: sanitizer's per-boundary wrappers must see every intermediate).
         self.fused = fused
+        #: columnar chunk-kernel override, same contract as ``fused`` —
+        #: ``None`` inherits the environment default, and sanitized runs
+        #: are per-record (so never columnar) by construction
+        self.columnar = columnar
         self.vertex_strategy = vertex_strategy or DEFAULT_VERTEX_STRATEGY
         self.edge_strategy = edge_strategy or DEFAULT_EDGE_STRATEGY
         self._statistics = statistics
@@ -394,10 +399,20 @@ class CypherRunner:
         """The ``fused`` argument this runner's executions should pass."""
         return False if self.sanitize else self.fused
 
+    def execution_columnar(self):
+        """The ``columnar`` argument this runner's executions should pass."""
+        return False if self.sanitize else self.columnar
+
     def execute_embeddings(self, query, parameters=None):
         """``(embeddings, meta)`` — the raw relational result."""
         _, root = self.compile(query, parameters)
-        return root.evaluate().collect(fused=self.execution_fused()), root.meta
+        return (
+            root.evaluate().collect(
+                fused=self.execution_fused(),
+                columnar=self.execution_columnar(),
+            ),
+            root.meta,
+        )
 
     def execute(self, query, attach_bindings=True, parameters=None):
         """The EPGM pattern-matching operator: a GraphCollection of matches."""
@@ -414,7 +429,10 @@ class CypherRunner:
         SKIP and LIMIT.
         """
         handler, root = self.compile(query, parameters)
-        embeddings = root.evaluate().collect(fused=self.execution_fused())
+        embeddings = root.evaluate().collect(
+            fused=self.execution_fused(),
+            columnar=self.execution_columnar(),
+        )
         return self.build_rows(handler, embeddings, root.meta)
 
     def build_rows(self, handler, embeddings, meta):

@@ -47,10 +47,11 @@ _TYPE_NAMES = {
 class PropertyValue:
     """An immutable, typed property value."""
 
-    __slots__ = ("_type", "_value")
+    __slots__ = ("_type", "_value", "_bytes")
 
     def __init__(self, value):
         """Wrap a raw Python value; use ``PropertyValue(None)`` for NULL."""
+        self._bytes = None
         if isinstance(value, PropertyValue):
             self._type = value._type
             self._value = value._value
@@ -111,7 +112,18 @@ class PropertyValue:
     # Serialization ------------------------------------------------------------
 
     def to_bytes(self):
-        """Serialize as one type byte plus a type-specific payload."""
+        """Serialize as one type byte plus a type-specific payload.
+
+        The encoding is memoized: values are immutable and every scan of
+        an element re-serializes the same payload, so the bytes are
+        computed once per value, not once per embedding row.
+        """
+        cached = self._bytes
+        if cached is None:
+            cached = self._bytes = self._encode()
+        return cached
+
+    def _encode(self):
         t = self._type
         if t == _TYPE_NULL:
             return bytes([t])

@@ -1,4 +1,4 @@
-"""Real-time engine microbenchmarks: batched/fused vs per-record.
+"""Real-time engine microbenchmarks: columnar vs batched vs per-record.
 
 The experiment runners in :mod:`repro.harness.experiments` report
 *simulated* cluster runtimes from the cost model; these benchmarks
@@ -13,8 +13,8 @@ Methodology, chosen for stability on noisy shared machines:
 
 * ``time.process_time`` (CPU time) rather than wall clock;
 * the GC is paused around every timed region and collected between them;
-* trials of the two modes are interleaved round-robin, so slow drift in
-  machine load hits both modes equally;
+* trials of all modes are interleaved round-robin, so slow drift in
+  machine load hits every mode equally;
 * one untimed warm-up round per (query, mode) pays plan compilation and
   dataset partitioning up front.
 """
@@ -37,6 +37,20 @@ from .queries import ALL_QUERIES, instantiate
 #: The acceptance pair: an operational one-hop pattern (Q1) and the
 #: analytical triangle (Q5) — leaf-dominated and join-dominated work.
 DEFAULT_QUERIES = ("Q1", "Q5")
+
+#: Pinned benchmark graph scale.  SF 0.1 medians sit in the
+#: single-millisecond range where scheduler noise swamps real deltas;
+#: SF 0.2 is the smallest scale at which repeated runs of the same
+#: build agree to a few percent, so trajectory files stay comparable.
+DEFAULT_SCALE_FACTOR = 0.2
+
+#: Pinned timed trials per (query, mode) after the untimed warm-up.
+DEFAULT_REPEATS = 5
+
+#: Execution modes timed by :func:`run_microbench`, in report order:
+#: fused/batched (the PR 5 baseline), fused over columnar chunks, and
+#: the unfused per-record interpreter.
+MICRO_MODES = ("batched", "columnar", "per-record")
 
 #: worker-process counts swept by :func:`run_worker_sweep`
 DEFAULT_WORKER_SWEEP = (1, 2, 4, 8)
@@ -122,7 +136,7 @@ def _timed_wall(environment, runner, query):
 
 def run_worker_sweep(
     queries=DEFAULT_QUERIES,
-    scale_factor=0.1,
+    scale_factor=DEFAULT_SCALE_FACTOR,
     seed=42,
     worker_counts=DEFAULT_WORKER_SWEEP,
     repeats=3,
@@ -234,21 +248,25 @@ def run_worker_sweep(
 
 def run_microbench(
     queries=DEFAULT_QUERIES,
-    scale_factor=0.1,
+    scale_factor=DEFAULT_SCALE_FACTOR,
     seed=42,
     workers=4,
-    repeats=5,
+    repeats=DEFAULT_REPEATS,
     batch_size=None,
     selectivity="low",
     worker_sweep=None,
 ):
-    """Time each query under batched/fused and per-record execution.
+    """Time each query under batched, columnar, and per-record execution.
 
     Returns a JSON-ready report dict whose ``results`` list holds one
-    record per (query, mode): ``query``, ``batched``, ``median_seconds``,
-    ``stddev_seconds``, ``min_seconds``, ``rows``, and the raw
-    ``seconds`` samples.  ``speedup`` maps each query to the per-record /
-    batched median ratio measured in this run.
+    record per (query, mode): ``query``, ``mode`` (one of
+    :data:`MICRO_MODES`), ``batched`` (false only for the per-record
+    interpreter), ``median_seconds``, ``stddev_seconds``,
+    ``min_seconds``, ``rows``, and the raw ``seconds`` samples.
+    ``speedup`` maps each query to the per-record / batched median
+    ratio; ``columnar_speedup`` maps each query to the batched /
+    columnar median ratio — the win of running the same fused chains
+    over columnar chunks instead of embedding lists.
 
     ``worker_sweep`` (a sequence of worker-process counts, or ``True``
     for :data:`DEFAULT_WORKER_SWEEP`) additionally runs
@@ -257,15 +275,16 @@ def run_microbench(
     """
     dataset = LDBCGenerator(scale_factor, seed).generate()
     modes = {}
-    for batched in (True, False):
+    for mode in MICRO_MODES:
         environment = ExecutionEnvironment(
             cost_model=default_cost_model(workers),
             batch_size=batch_size,
-            fusion=batched,
+            fusion=mode != "per-record",
+            columnar=mode == "columnar",
         )
         graph = dataset.to_logical_graph(environment)
         statistics = GraphStatistics.from_graph(graph)
-        modes[batched] = (environment, CypherRunner(graph, statistics=statistics))
+        modes[mode] = (environment, CypherRunner(graph, statistics=statistics))
 
     cases = []
     for name in queries:
@@ -275,25 +294,26 @@ def run_microbench(
         )
         cases.append((name, instantiate(template, first_name)))
 
-    samples = {(name, batched): [] for name, _ in cases for batched in modes}
+    samples = {(name, mode): [] for name, _ in cases for mode in modes}
     rows = {}
     for trial in range(-1, repeats):  # trial -1 is the untimed warm-up
         for name, query in cases:
-            for batched, (environment, runner) in modes.items():
+            for mode, (environment, runner) in modes.items():
                 elapsed, count = _timed(environment, runner, query)
                 if trial < 0:
                     rows[name] = count
                 else:
-                    samples[name, batched].append(elapsed)
+                    samples[name, mode].append(elapsed)
 
     results = []
     for name, _ in cases:
-        for batched in (True, False):
-            data = samples[name, batched]
+        for mode in MICRO_MODES:
+            data = samples[name, mode]
             results.append(
                 {
                     "query": name,
-                    "batched": batched,
+                    "mode": mode,
+                    "batched": mode != "per-record",
                     "median_seconds": median(data),
                     "stddev_seconds": stdev(data) if len(data) > 1 else 0.0,
                     "min_seconds": min(data),
@@ -302,16 +322,21 @@ def run_microbench(
                 }
             )
     speedup = {}
+    columnar_speedup = {}
     for name, _ in cases:
-        fused = median(samples[name, True])
-        plain = median(samples[name, False])
+        fused = median(samples[name, "batched"])
+        plain = median(samples[name, "per-record"])
+        chunked = median(samples[name, "columnar"])
         speedup[name] = plain / fused if fused else float("inf")
+        columnar_speedup[name] = (
+            fused / chunked if chunked else float("inf")
+        )
 
     # Liveness-pruning win: embedding bytes crossing operator boundaries
     # with and without the dead-byte pruning rewriter.  Measured on the
     # per-record environment so every intermediate is observable; one
     # extra execution per (query, pruned) pair.
-    environment, _ = modes[False]
+    environment, _ = modes["per-record"]
     graph = dataset.to_logical_graph(environment)
     statistics = GraphStatistics.from_graph(graph)
     embedding_bytes = {}
@@ -335,14 +360,18 @@ def run_microbench(
     report = {
         "benchmark": "engine-microbench",
         "scale_factor": scale_factor,
+        "default_scale_factor": DEFAULT_SCALE_FACTOR,
         "seed": seed,
         "workers": workers,
         "repeats": repeats,
-        "batch_size": modes[True][0].batch_size,
+        "default_repeats": DEFAULT_REPEATS,
+        "batch_size": modes["batched"][0].batch_size,
+        "modes": list(MICRO_MODES),
         "clock": "process_time",
         "python": platform.python_version(),
         "results": results,
         "speedup": speedup,
+        "columnar_speedup": columnar_speedup,
         "embedding_bytes": embedding_bytes,
     }
     if worker_sweep:
@@ -379,11 +408,14 @@ def format_microbench(report):
         % ("query", "mode", "median [s]", "stddev [s]", "min [s]", "rows"),
     ]
     for record in report["results"]:
+        mode = record.get(
+            "mode", "batched" if record["batched"] else "per-record"
+        )
         lines.append(
             "%-6s %-12s %12.4f %12.4f %12.4f %8d"
             % (
                 record["query"],
-                "batched" if record["batched"] else "per-record",
+                mode,
                 record["median_seconds"],
                 record["stddev_seconds"],
                 record["min_seconds"],
@@ -394,6 +426,11 @@ def format_microbench(report):
         lines.append(
             "%-6s batched is %.2fx the per-record median"
             % (name, report["speedup"][name])
+        )
+    for name in sorted(report.get("columnar_speedup", {})):
+        lines.append(
+            "%-6s columnar is %.2fx the batched median"
+            % (name, report["columnar_speedup"][name])
         )
     for name in sorted(report.get("embedding_bytes", {})):
         record = report["embedding_bytes"][name]

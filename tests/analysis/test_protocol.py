@@ -295,3 +295,49 @@ def test_w505_requires_the_other_side_to_read():
 def test_syntax_error_propagates():
     with pytest.raises(SyntaxError):
         check(parent="def broken(:\n")
+
+
+# --- W509: record-frame drift -------------------------------------------------
+
+
+def test_w509_drifted_frame_tag():
+    report = check(parent="""
+        FORMAT_EMBEDDINGS = b"E"
+        FORMAT_CHUNK = b"X"
+        FORMAT_PICKLE = b"P"
+    """)
+    assert codes(report) == ["W509"]
+    assert "FORMAT_CHUNK" in report.diagnostics[0].message
+
+
+def test_w509_undeclared_frame_constant():
+    report = check(parent="""
+        FORMAT_EMBEDDINGS = b"E"
+        FORMAT_CHUNK = b"C"
+        FORMAT_PICKLE = b"P"
+        FORMAT_ARROW = b"A"
+    """)
+    assert codes(report) == ["W509"]
+    assert "FORMAT_ARROW" in report.diagnostics[0].message
+
+
+def test_w509_missing_declared_constant():
+    report = check(parent="""
+        FORMAT_EMBEDDINGS = b"E"
+        FORMAT_PICKLE = b"P"
+    """)
+    assert codes(report) == ["W509"]
+    assert "FORMAT_CHUNK" in report.diagnostics[0].message
+
+
+def test_w509_silent_when_no_formats_defined():
+    """Partial-source runs without the codec module stay clean."""
+    assert codes(check(parent="def loop(conn):\n    pass\n")) == []
+
+
+def test_w509_full_frame_set_is_clean():
+    assert codes(check(parent="""
+        FORMAT_EMBEDDINGS = b"E"
+        FORMAT_CHUNK = b"C"
+        FORMAT_PICKLE = b"P"
+    """)) == []

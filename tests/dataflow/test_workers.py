@@ -133,6 +133,39 @@ def test_record_codec_flat_embeddings():
     assert decode_records(fmt, payload) == records
 
 
+def test_record_codec_columnar_chunks():
+    from repro.engine.columnar import ColumnarPartition, chunk_from_embeddings
+    from repro.engine.embedding import Embedding
+
+    rows = [
+        Embedding(b"\x00" * 9 + b"\x01" * 9, b"\x07" * 12, b""),
+        Embedding(b"\x02" * 9 + b"\x03" * 9, b"", b"\x00\x01\x05"),
+        Embedding(b"\x04" * 9 + b"\x05" * 9, b"\x08" * 24, b"\x00\x00"),
+    ]
+    partition = ColumnarPartition(
+        [chunk_from_embeddings(rows[:2]), chunk_from_embeddings(rows[2:])]
+    )
+    fmt, payload = encode_records(partition)
+    assert fmt == b"C"
+    decoded = decode_records(fmt, payload)
+    # stays columnar across the wire: chunk boundaries survive intact
+    assert [chunk.count for chunk in decoded.chunks] == [2, 1]
+    assert [
+        (r.id_data, r.path_data, r.prop_data) for r in decoded
+    ] == [(r.id_data, r.path_data, r.prop_data) for r in rows]
+    # a round-trip re-encode is byte-identical (id_buf never re-packed)
+    assert encode_records(decoded) == (fmt, payload)
+
+
+def test_record_codec_empty_columnar_partition():
+    from repro.engine.columnar import ColumnarPartition
+
+    fmt, payload = encode_records(ColumnarPartition([]))
+    assert fmt == b"C"
+    decoded = decode_records(fmt, payload)
+    assert decoded.chunks == [] and len(decoded) == 0
+
+
 # --- pooled execution parity ------------------------------------------------
 
 
